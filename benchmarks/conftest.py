@@ -1,0 +1,45 @@
+"""Shared benchmark fixtures.
+
+Workload runs are session-cached at the scale given by the
+``REPRO_BENCH_SCALE`` environment variable (default ``default``); every
+bench that regenerates a paper table also writes its rendered output to
+``benchmarks/results/`` so EXPERIMENTS.md can reference the exact text.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper evaluates K at these percentages of the max miss count.
+PERCENTS = (5.0, 10.0, 15.0, 20.0)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def runs(bench_scale):
+    """All 12 verified workload runs."""
+    from repro.workloads import run_all
+
+    return run_all(scale=bench_scale)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

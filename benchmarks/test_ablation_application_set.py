@@ -1,0 +1,72 @@
+"""Extension bench: application-set exploration (the paper's §1 motivation).
+
+Embedded systems run a fixed *set* of applications; the introduction
+motivates tuning the cache "to the application set of these systems".
+This bench explores one cache serving all 12 kernel data traces at
+once, under both composition rules (bound the total; bound each), and
+compares against the per-application answers.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.multi import MultiTraceExplorer
+from repro.trace.stats import compute_statistics
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import emit
+
+
+def test_application_set_exploration(benchmark, runs, results_dir):
+    traces = [runs[name].data_trace for name in WORKLOAD_NAMES]
+    # Budget: 10% of the summed max misses (sum mode) / per-trace 10%
+    # of the largest member (each mode), keeping both runs comparable.
+    total_max = sum(compute_statistics(t).max_misses for t in traces)
+    sum_budget = total_max // 10
+    each_budget = max(
+        compute_statistics(t).max_misses for t in traces
+    ) // 10
+
+    def explore_both():
+        explorer = MultiTraceExplorer(traces)
+        return (
+            explorer,
+            explorer.explore_sum(sum_budget),
+            explorer.explore_each(each_budget),
+        )
+
+    explorer, sum_result, each_result = benchmark(explore_both)
+
+    # Exactness of the sum rule against per-trace explorers.
+    individuals = [AnalyticalCacheExplorer(t) for t in traces]
+    for index, inst in enumerate(sum_result.instances):
+        expected = sum(
+            e.misses(inst.depth, inst.associativity) for e in individuals
+        )
+        assert sum_result.total_misses(index) == expected
+        assert expected <= sum_budget
+
+    # The each rule really is the max of the individual answers.
+    for inst in each_result.instances:
+        individual_max = max(
+            e.explore(each_budget).as_dict().get(inst.depth, 1)
+            for e in individuals
+        )
+        assert inst.associativity == individual_max
+
+    depths = sorted(
+        set(sum_result.as_dict()) & set(each_result.as_dict())
+    )[:8]
+    rows = [
+        [
+            depth,
+            sum_result.as_dict()[depth],
+            each_result.as_dict()[depth],
+        ]
+        for depth in depths
+    ]
+    table = format_table(
+        ["Depth", f"A (sum K={sum_budget})", f"A (each K={each_budget})"],
+        rows,
+        title="Extension: one cache for the whole 12-kernel application set",
+    )
+    emit(results_dir, "ablation_application_set", table)

@@ -1,0 +1,73 @@
+"""Extension bench: analytical L2 exploration behind a fixed L1.
+
+One L1 simulation produces the miss stream; the analytical algorithm
+then answers every (L2 depth, L2 associativity) question on it at once
+— versus the traditional flow's one full two-level simulation per L2
+candidate.  Answers are spot-checked against direct simulation of the
+miss stream.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.explore.hierarchy import HierarchyExplorer
+from repro.trace.stats import compute_statistics
+
+from conftest import emit
+
+KERNELS = ("des", "g3fax", "ucbqsort")
+L1 = CacheConfig(depth=64, associativity=1)
+
+
+def test_l2_exploration_behind_fixed_l1(benchmark, runs, results_dir):
+    def explore_all():
+        out = {}
+        for name in KERNELS:
+            trace = runs[name].unified_trace
+            explorer = HierarchyExplorer(trace, L1)
+            budget = compute_statistics(explorer.miss_trace).budget(10)
+            out[name] = (explorer, explorer.explore(budget), budget)
+        return out
+
+    outcomes = benchmark(explore_all)
+
+    rows = []
+    for name, (explorer, outcome, budget) in outcomes.items():
+        # Spot-check the analytical L2 answers against simulation.
+        for instance, misses in list(
+            zip(outcome.l2_result.instances, outcome.l2_result.misses)
+        )[:3]:
+            simulated = simulate_trace(
+                outcome.miss_trace, instance.to_config()
+            ).non_cold_misses
+            assert simulated == misses, (name, instance)
+
+        l1_rate = outcome.l1_result.miss_rate
+        smallest = outcome.l2_result.smallest()
+        rows.append(
+            [
+                name,
+                len(explorer.trace),
+                len(outcome.miss_trace),
+                f"{l1_rate:.3f}",
+                budget,
+                str(smallest) if smallest else "-",
+            ]
+        )
+
+    table = format_table(
+        [
+            "Kernel",
+            "L1 accesses",
+            "L2 accesses",
+            "L1 miss rate",
+            "L2 budget",
+            "Smallest L2",
+        ],
+        rows,
+        title=(
+            f"Extension: analytical L2 exploration behind L1 "
+            f"({L1.describe()})"
+        ),
+    )
+    emit(results_dir, "ablation_hierarchy", table)

@@ -1,0 +1,75 @@
+"""Extension bench (paper §4 future work): the line-size axis.
+
+Sweeps line sizes 1/2/4/8 on the kernel data traces; per line size the
+analytical algorithm yields the per-depth minimum associativity on the
+line-address trace (exact, simulator-verified in the test suite).  The
+reported trade is the classic one: longer lines shrink the conflict
+working set (loop footprints span fewer lines) but pay more words of
+traffic per miss.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.linesize import LineSizeExplorer
+from repro.trace.stats import compute_statistics
+
+from conftest import emit
+
+KERNELS = ("crc", "fir", "ucbqsort", "engine")
+
+
+def test_line_size_sweep(benchmark, runs, results_dir):
+    def sweep_all():
+        out = {}
+        for name in KERNELS:
+            trace = runs[name].data_trace
+            budget = compute_statistics(trace).budget(10)
+            out[name] = (LineSizeExplorer(trace).explore(budget), budget)
+        return out
+
+    sweeps = benchmark(sweep_all)
+
+    rows = []
+    for name, (sweep, budget) in sweeps.items():
+        for line_words in sweep.line_sizes():
+            result = sweep.at(line_words)
+            point = min(
+                (
+                    li
+                    for li in sweep.instances
+                    if li.line_words == line_words
+                ),
+                key=lambda li: li.size_words,
+            )
+            rows.append(
+                [
+                    name,
+                    line_words,
+                    budget,
+                    f"D={point.instance.depth} A={point.instance.associativity}",
+                    point.size_words,
+                    point.traffic_words,
+                ]
+            )
+        smallest = sweep.smallest()
+        least_traffic = sweep.least_traffic()
+        rows.append(
+            [
+                name,
+                "best",
+                budget,
+                f"size:{smallest} traffic:{least_traffic}",
+                smallest.size_words,
+                least_traffic.traffic_words,
+            ]
+        )
+        # Shape: the smallest-capacity solution per L is weakly helped by
+        # longer lines on these loop/stream kernels, while traffic per
+        # miss grows by construction.
+        assert all(li.non_cold_misses <= budget for li in sweep.instances)
+
+    table = format_table(
+        ["Kernel", "L", "K", "Smallest instance", "Words", "Traffic"],
+        rows,
+        title="Extension: line-size sweep (smallest budget-satisfying point per L)",
+    )
+    emit(results_dir, "ablation_line_size", table)

@@ -1,0 +1,69 @@
+"""Extension bench (paper §2.4): parallel postlude via BCAT partitioning.
+
+The paper notes the bit-vector sets make the algorithm distributable.
+This bench runs the histogram phase serially and with worker processes
+on the largest kernel traces, asserts bit-identical results, and
+reports the timings.  (At these trace sizes process start-up dominates;
+the point being demonstrated is the decomposition, whose benefit grows
+with N*N'.)
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.parallel import compute_level_histograms_parallel
+from repro.core.postlude import compute_level_histograms
+
+from conftest import emit
+
+KERNELS = ("des", "g3fax", "blit")
+
+
+def test_parallel_postlude_matches_serial(benchmark, runs, results_dir):
+    prepared = {}
+    for name in KERNELS:
+        explorer = AnalyticalCacheExplorer(runs[name].data_trace)
+        prepared[name] = (explorer.zerosets, explorer.mrct)
+
+    def serial_all():
+        return {
+            name: compute_level_histograms(zerosets, mrct)
+            for name, (zerosets, mrct) in prepared.items()
+        }
+
+    serial = benchmark(serial_all)
+
+    rows = []
+    for name, (zerosets, mrct) in prepared.items():
+        start = time.perf_counter()
+        serial_h = compute_level_histograms(zerosets, mrct)
+        serial_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel_h = compute_level_histograms_parallel(
+            zerosets, mrct, processes=2, split_level=2
+        )
+        parallel_seconds = time.perf_counter() - start
+
+        for level in serial_h:
+            assert serial_h[level].counts == parallel_h[level].counts, (
+                name,
+                level,
+            )
+        rows.append(
+            [
+                name,
+                zerosets.n_unique,
+                f"{serial_seconds:.4f}",
+                f"{parallel_seconds:.4f}",
+            ]
+        )
+    assert set(serial) == set(prepared)
+
+    table = format_table(
+        ["Kernel", "N'", "Serial s", "2 workers s"],
+        rows,
+        title="Extension: parallel postlude (bit-identical histograms)",
+    )
+    emit(results_dir, "ablation_parallel", table)

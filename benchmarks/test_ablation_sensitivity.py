@@ -1,0 +1,59 @@
+"""Extension bench: the full K→A staircase from one analytical run.
+
+A unique property of the analytical method: the per-level histograms
+contain the complete budget-to-associativity relationship, so the whole
+trade-off curve ("how many extra misses buy each cheaper cache?") costs
+nothing beyond the single run the paper already performs.  The
+traditional flow would need one simulation per probed budget per
+candidate.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.sensitivity import budget_sensitivity
+
+from conftest import emit
+
+KERNELS = ("crc", "engine")
+DEPTHS = (8, 64)
+
+
+def test_budget_sensitivity_staircases(benchmark, runs, results_dir):
+    def staircases():
+        out = {}
+        for name in KERNELS:
+            explorer = AnalyticalCacheExplorer(runs[name].data_trace)
+            for depth in DEPTHS:
+                out[(name, depth)] = (
+                    explorer,
+                    budget_sensitivity(explorer, depth),
+                )
+        return out
+
+    results = benchmark(staircases)
+
+    rows = []
+    for (name, depth), (explorer, steps) in results.items():
+        # Verify each breakpoint against direct exploration.
+        for step in steps[:4]:
+            assert (
+                explorer.explore(step.min_budget).as_dict()[depth]
+                == step.associativity
+            )
+        for step in steps[:6]:
+            rows.append(
+                [
+                    name,
+                    depth,
+                    step.associativity,
+                    step.min_budget,
+                    "inf" if step.unbounded else step.max_budget,
+                ]
+            )
+
+    table = format_table(
+        ["Kernel", "Depth", "A", "K from", "K to"],
+        rows,
+        title="Extension: complete K -> A staircase (one analytical run)",
+    )
+    emit(results_dir, "ablation_sensitivity", table)

@@ -1,0 +1,57 @@
+"""Infrastructure ablation: trace file format costs.
+
+Long traces dominate the disk footprint of a trace-driven methodology;
+this bench measures write/read time and file size for every supported
+format (text, dinero, CSV, binary, binary+gzip) on one long kernel-like
+trace, asserting lossless roundtrips throughout.
+"""
+
+import os
+import time
+
+from repro.analysis.tables import format_table
+from repro.trace.io import read_trace, write_trace
+from repro.trace.synthetic import markov_trace
+
+from conftest import emit
+
+FORMATS = (".trace", ".din", ".csv", ".rbt", ".rbt.gz")
+
+
+def test_trace_format_costs(benchmark, results_dir, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("io_bench")
+    trace = markov_trace(60_000, 4000, locality=0.9, seed=7)
+
+    def roundtrip_binary():
+        path = tmp_path / "bench.rbt"
+        write_trace(trace, path)
+        return read_trace(path)
+
+    loaded = benchmark(roundtrip_binary)
+    assert list(loaded) == list(trace)
+
+    rows = []
+    for suffix in FORMATS:
+        path = tmp_path / f"t{suffix}"
+        start = time.perf_counter()
+        write_trace(trace, path)
+        write_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        read_back = read_trace(path, address_bits=trace.address_bits)
+        read_seconds = time.perf_counter() - start
+        assert list(read_back) == list(trace), suffix
+        rows.append(
+            [
+                suffix,
+                os.path.getsize(path),
+                f"{write_seconds:.3f}",
+                f"{read_seconds:.3f}",
+            ]
+        )
+
+    table = format_table(
+        ["Format", "Bytes", "Write s", "Read s"],
+        rows,
+        title=f"Trace I/O formats on a {len(trace)}-reference trace (lossless)",
+    )
+    emit(results_dir, "ablation_trace_io", table)

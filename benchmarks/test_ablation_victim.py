@@ -1,0 +1,93 @@
+"""Extension bench: victim buffers vs associativity.
+
+The group's follow-up work puts a small victim buffer behind an
+application-specific cache.  This bench measures when that trades well
+against adding ways, and when it does not:
+
+* on the kernel data traces, conflicts are *spread* across many sets,
+  so a handful of victim entries recovers only part of the 1-way → 2-way
+  gap — the buffer is shared by every set;
+* on a concentrated-conflict workload (three hot lines rotating through
+  ONE set), 2 victim entries eliminate every non-cold miss while even a
+  2-way cache still thrashes (LRU on a 3-cycle misses always) — the
+  victim buffer wins *outright*, not just per word.
+
+Both regimes are asserted; the table reports the measured middle.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.cache.victim import simulate_victim
+from repro.trace.trace import Trace
+
+from conftest import emit
+
+KERNELS = ("crc", "engine", "ucbqsort")
+DEPTH = 64
+ENTRY_GRID = (1, 4, 16)
+
+
+def _concentrated_trace() -> Trace:
+    """Three lines rotating through set 0 of the depth-DEPTH cache."""
+    rotation = [0, DEPTH, 2 * DEPTH]
+    return Trace(rotation * 40, name="concentrated")
+
+
+def test_victim_buffer_vs_associativity(benchmark, runs, results_dir):
+    dm = CacheConfig(depth=DEPTH, associativity=1)
+    two_way = CacheConfig(depth=DEPTH, associativity=2)
+
+    def sweep_all():
+        out = {}
+        for name in KERNELS:
+            trace = runs[name].data_trace
+            base = simulate_trace(trace, dm).non_cold_misses
+            target = simulate_trace(trace, two_way).non_cold_misses
+            buffered = {
+                entries: simulate_victim(trace, dm, entries).non_cold_misses
+                for entries in ENTRY_GRID
+            }
+            out[name] = (base, target, buffered)
+        return out
+
+    outcomes = benchmark(sweep_all)
+
+    rows = []
+    for name, (base, target, buffered) in outcomes.items():
+        rows.append(
+            [name, base, target]
+            + [buffered[entries] for entries in ENTRY_GRID]
+        )
+        # Monotone improvement, never beats... the buffer can actually
+        # beat 2-way (it is shared and fully associative), so only the
+        # monotonicity and no-worse-than-plain facts are invariant.
+        counts = [buffered[entries] for entries in ENTRY_GRID]
+        assert counts == sorted(counts, reverse=True), name
+        assert all(c <= base for c in counts), name
+
+    # The concentrated regime: a tiny buffer replaces doubling the cache.
+    trace = _concentrated_trace()
+    base = simulate_trace(trace, dm).non_cold_misses
+    target = simulate_trace(trace, two_way).non_cold_misses
+    buffered = [
+        simulate_victim(trace, dm, entries).non_cold_misses
+        for entries in ENTRY_GRID
+    ]
+    assert base > 0
+    assert target > 0, "2-way LRU still thrashes on the 3-cycle"
+    assert all(count == 0 for count in buffered[1:]), (
+        "2 victim entries must absorb the single-set 3-line rotation"
+    )
+    rows.append(["concentrated", base, target, *buffered])
+
+    table = format_table(
+        ["Trace", f"DM D={DEPTH}", "2-way"]
+        + [f"DM+{e} victim" for e in ENTRY_GRID],
+        rows,
+        title=(
+            "Extension: non-cold misses — victim entries vs doubling ways "
+            "(spread vs concentrated conflicts)"
+        ),
+    )
+    emit(results_dir, "ablation_victim", table)

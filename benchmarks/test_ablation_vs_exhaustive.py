@@ -1,0 +1,59 @@
+"""Figure 1 head-to-head: analytical (b) vs traditional simulate loops (a).
+
+The paper's motivation is that design-simulate-analyze converges slowly
+because every iteration costs a full trace simulation.  This bench runs
+all three methods on real kernel traces, asserts they agree, and reports
+the costs — the reproduced "result" is analytical winning by a widening
+margin as the space grows.
+"""
+
+from repro.analysis.tables import format_table
+from repro.explore.compare import compare_methods
+from repro.explore.space import DesignSpace
+from repro.trace.stats import compute_statistics
+
+from conftest import emit
+
+KERNELS = ("crc", "qurt", "engine", "fir")
+SPACE = DesignSpace(min_depth=2, max_depth=256, max_associativity=8)
+
+
+def test_analytical_vs_traditional_dse(benchmark, runs, results_dir):
+    def compare_all():
+        out = {}
+        for name in KERNELS:
+            trace = runs[name].data_trace
+            budget = compute_statistics(trace).budget(10)
+            out[name] = compare_methods(trace, budget, SPACE)
+        return out
+
+    comparisons = benchmark.pedantic(compare_all, rounds=1, iterations=1)
+
+    rows = []
+    for name, comparison in comparisons.items():
+        assert comparison.agreement(), comparison.disagreements()
+        rows.append(
+            [
+                name,
+                f"{comparison.analytical_seconds:.4f}",
+                f"{comparison.exhaustive.elapsed_seconds:.4f}",
+                f"{comparison.heuristic.elapsed_seconds:.4f}",
+                comparison.exhaustive.simulations,
+                comparison.heuristic.simulations,
+                f"{comparison.speedup_vs_exhaustive:.1f}x",
+            ]
+        )
+    table = format_table(
+        [
+            "Kernel",
+            "Analytical s",
+            "Exhaustive s",
+            "Heuristic s",
+            "Exh sims",
+            "Heur sims",
+            "Speedup",
+        ],
+        rows,
+        title="Figure 1 ablation: analytical vs design-simulate-analyze",
+    )
+    emit(results_dir, "ablation_vs_exhaustive", table)

@@ -1,0 +1,59 @@
+"""Related-work ablation: analytical algorithm vs one-pass (Mattson) simulation.
+
+The paper positions itself against single-pass techniques [16][17] that
+evaluate many configurations in one simulation run.  Per depth, the
+Mattson stack-distance profile answers the same minimum-associativity
+question; this bench checks exact agreement on every depth and compares
+total runtime (the one-pass method must re-walk the trace once per
+depth, where the analytical method shares one prelude).
+"""
+
+import time
+
+from repro.analysis.tables import format_table
+from repro.cache.onepass import stack_distance_profile
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.stats import compute_statistics
+
+from conftest import emit
+
+KERNELS = ("crc", "bcnt", "qurt", "pocsag")
+
+
+def test_analytical_agrees_with_onepass_and_costs(benchmark, runs, results_dir):
+    def analytical_all():
+        out = {}
+        for name in KERNELS:
+            trace = runs[name].data_trace
+            explorer = AnalyticalCacheExplorer(trace)
+            budget = compute_statistics(trace).budget(10)
+            out[name] = (explorer, explorer.explore(budget), budget)
+        return out
+
+    analytical = benchmark(analytical_all)
+
+    rows = []
+    for name in KERNELS:
+        trace = runs[name].data_trace
+        explorer, result, budget = analytical[name]
+
+        start = time.perf_counter()
+        onepass_answers = {}
+        for inst in result.instances:
+            profile = stack_distance_profile(trace, inst.depth)
+            onepass_answers[inst.depth] = profile.min_associativity(budget)
+        onepass_seconds = time.perf_counter() - start
+
+        for inst in result.instances:
+            assert onepass_answers[inst.depth] == inst.associativity, (
+                name,
+                inst.depth,
+            )
+        rows.append([name, len(result.instances), f"{onepass_seconds:.4f}"])
+
+    table = format_table(
+        ["Kernel", "Depths checked", "One-pass seconds"],
+        rows,
+        title="Ablation: analytical vs Mattson one-pass (identical answers)",
+    )
+    emit(results_dir, "ablation_vs_onepass", table)

@@ -1,0 +1,61 @@
+"""Extended evaluation: the four extra PowerStone kernels.
+
+The paper evaluates 12 PowerStone programs; the wider suite also
+contains jpeg, summin, v42 and whet, which this repository implements
+as well.  This bench extends Tables 5/6 and the optimal-instance tables
+to them, with the same shape assertions as the paper benches.
+"""
+
+from repro.analysis.tables import optimal_instances_table, trace_stats_table
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.stats import compute_statistics
+from repro.workloads import EXTRA_WORKLOAD_NAMES, run_workload_by_name
+
+from conftest import PERCENTS, emit
+
+
+def test_extra_kernels_stats_and_instances(benchmark, bench_scale, results_dir):
+    extra_runs = {
+        name: run_workload_by_name(name, scale=bench_scale)
+        for name in EXTRA_WORKLOAD_NAMES
+    }
+
+    def explore_all():
+        out = {}
+        for name, run in extra_runs.items():
+            for label, trace in (
+                ("data", run.data_trace),
+                ("inst", run.instruction_trace),
+            ):
+                explorer = AnalyticalCacheExplorer(trace)
+                out[(name, label)] = {
+                    p: explorer.explore_percent(p) for p in PERCENTS
+                }
+        return out
+
+    explorations = benchmark(explore_all)
+
+    blocks = []
+    stats = []
+    for name, run in extra_runs.items():
+        stats.append(compute_statistics(run.data_trace, name=f"{name}.data"))
+        stats.append(
+            compute_statistics(run.instruction_trace, name=f"{name}.inst")
+        )
+    blocks.append(
+        trace_stats_table(stats, title="Extra kernels: trace statistics")
+    )
+
+    for (name, label), results in explorations.items():
+        blocks.append(
+            optimal_instances_table(
+                results,
+                title=f"Optimal {label} cache instances for {name} (extra)",
+            )
+        )
+        # Same shape assertions as the paper benches.
+        for percent, result in results.items():
+            assocs = [inst.associativity for inst in result]
+            assert assocs == sorted(assocs, reverse=True), (name, label)
+
+    emit(results_dir, "extras_suite", "\n\n".join(blocks))

@@ -1,0 +1,90 @@
+"""Paper Figure 4: execution time vs N * N' is on average linear.
+
+Two point sets are measured and fit:
+
+* all 24 workload traces (12 data + 12 instruction), like the paper — a
+  noisy cloud whose *trend* is linear ("it is easy to see that the time
+  complexity of the algorithm is on the average linear", section 3);
+* a controlled synthetic sweep (loop traces with footprint x iteration
+  grids) where N and N' vary independently — this isolates the scaling
+  law from per-trace structure and must fit tightly.
+
+Assertions: positive slope on the workload cloud, positive rank
+correlation between N*N' and runtime, and a tight linear fit on the
+controlled sweep.
+"""
+
+from repro.analysis.runtime import fit_scaling, measure_runtime
+from repro.analysis.tables import format_table
+from repro.trace.synthetic import loop_nest_trace
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import emit
+
+
+def _rank_correlation(xs, ys):
+    """Spearman rank correlation (no ties expected in practice)."""
+    def ranks(values):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        out = [0] * len(values)
+        for rank, idx in enumerate(order):
+            out[idx] = rank
+        return out
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+def test_figure4_runtime_scales_linearly_with_work_product(
+    benchmark, runs, results_dir
+):
+    traces = []
+    for name in WORKLOAD_NAMES:
+        traces.append(runs[name].data_trace)
+        traces.append(runs[name].instruction_trace)
+
+    def measure_all():
+        return [measure_runtime(trace, budgets=(0,)) for trace in traces]
+
+    measurements = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    fit = fit_scaling(measurements)
+
+    # Controlled sweep: same generator, geometric N*N' ladder.
+    sweep = []
+    for footprint, iterations in (
+        (64, 20), (128, 40), (256, 40), (256, 80), (512, 80), (512, 160),
+    ):
+        trace = loop_nest_trace(footprint, iterations)
+        trace.name = f"loop-{footprint}x{iterations}"
+        sweep.append(measure_runtime(trace, budgets=(0,), repeats=2))
+    sweep_fit = fit_scaling(sweep)
+
+    rows = [
+        [m.name, m.n, m.n_unique, m.work_product, f"{m.seconds:.4f}"]
+        for m in sorted(measurements, key=lambda m: m.work_product)
+    ]
+    rows.append(["(workload fit)", "-", "-", "-",
+                 f"slope={fit.slope:.3e} r^2={fit.r_squared:.3f}"])
+    for m in sweep:
+        rows.append([m.name, m.n, m.n_unique, m.work_product, f"{m.seconds:.4f}"])
+    rows.append(["(sweep fit)", "-", "-", "-",
+                 f"slope={sweep_fit.slope:.3e} r^2={sweep_fit.r_squared:.3f}"])
+    table = format_table(
+        ["Trace", "N", "N'", "N*N'", "Seconds"],
+        rows,
+        title="Figure 4: execution time vs N*N' (points + least-squares fits)",
+    )
+    emit(results_dir, "figure4_scaling", table)
+
+    assert fit.slope > 0, "runtime must grow with N*N'"
+    spearman = _rank_correlation(
+        [m.work_product for m in measurements],
+        [m.seconds for m in measurements],
+    )
+    assert spearman > 0.5, f"expected a monotone trend, got rho={spearman:.3f}"
+    assert sweep_fit.slope > 0
+    assert sweep_fit.r_squared > 0.8, (
+        f"controlled sweep should be near-linear, got r^2={sweep_fit.r_squared:.3f}"
+    )

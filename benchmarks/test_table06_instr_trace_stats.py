@@ -1,0 +1,26 @@
+"""Paper Table 6: instruction trace statistics (N, N', max misses)."""
+
+from repro.analysis.tables import trace_stats_table
+from repro.trace.stats import compute_statistics
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import emit
+
+
+def test_table06_instr_trace_stats(benchmark, runs, results_dir):
+    traces = [runs[name].instruction_trace for name in WORKLOAD_NAMES]
+
+    def compute_all():
+        return [
+            compute_statistics(trace, name=name)
+            for name, trace in zip(WORKLOAD_NAMES, traces)
+        ]
+
+    stats = benchmark(compute_all)
+    table = trace_stats_table(stats, title="Table 6: Instruction trace statistics")
+    emit(results_dir, "table06_instr_trace_stats", table)
+
+    for row in stats:
+        assert 0 < row.n_unique <= row.n
+        # Instruction traces are loop-dominated: far more reuse than data.
+        assert row.n_unique < row.n

@@ -1,0 +1,30 @@
+"""Paper Table 32: algorithm run time on the instruction traces."""
+
+from repro.analysis.runtime import measure_runtime
+from repro.analysis.tables import runtime_table
+from repro.trace.stats import compute_statistics
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import PERCENTS, emit
+
+
+def test_table32_runtime_instruction_traces(benchmark, runs, results_dir):
+    traces = {name: runs[name].instruction_trace for name in WORKLOAD_NAMES}
+    budgets = {
+        name: [compute_statistics(t).budget(p) for p in PERCENTS]
+        for name, t in traces.items()
+    }
+
+    def measure_all():
+        return {
+            name: measure_runtime(trace, budgets=budgets[name])
+            for name, trace in traces.items()
+        }
+
+    measurements = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    table = runtime_table(
+        {name: m.seconds for name, m in measurements.items()},
+        title="Table 32: Algorithm run time, instruction traces (this machine)",
+    )
+    emit(results_dir, "table32_runtime_instr", table)
+    assert all(m.seconds > 0 for m in measurements.values())

@@ -1,0 +1,51 @@
+"""Paper Tables 19-30: optimal instruction-cache instances per benchmark.
+
+Same layout as Tables 7-18 but over the instruction traces.  The paper's
+Table 30 narrative ("for a cache of depth 512, a direct mapped cache
+would be sufficient to ensure less than 15% misses, while a two way set
+associative cache would be needed to assure less than 5%") is the shape
+being reproduced: looser budgets reach A=1 at shallower depths.
+"""
+
+import pytest
+
+from repro.analysis.tables import optimal_instances_table
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.workloads import WORKLOAD_NAMES
+
+from conftest import PERCENTS, emit
+
+TABLE_NUMBERS = {name: 19 + i for i, name in enumerate(WORKLOAD_NAMES)}
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_optimal_instruction_cache_instances(benchmark, runs, results_dir, name):
+    trace = runs[name].instruction_trace
+
+    def explore_all():
+        explorer = AnalyticalCacheExplorer(trace)
+        return explorer, {p: explorer.explore_percent(p) for p in PERCENTS}
+
+    explorer, results = benchmark(explore_all)
+
+    number = TABLE_NUMBERS[name]
+    table = optimal_instances_table(
+        results,
+        title=f"Table {number}: Optimal instruction cache instances for {name}",
+    )
+    emit(results_dir, f"table{number:02d}_instr_{name}", table)
+
+    for percent, result in results.items():
+        budget = explorer.statistics.budget(percent)
+        assert all(m <= budget for m in result.misses)
+
+    # The depth at which A=1 first suffices is monotone in the budget:
+    # a looser K never needs a deeper cache to go direct-mapped.
+    def first_direct_depth(result):
+        for inst in result.instances:
+            if inst.associativity == 1:
+                return inst.depth
+        return float("inf")
+
+    depths = [first_direct_depth(results[p]) for p in sorted(PERCENTS)]
+    assert depths == sorted(depths, reverse=True)

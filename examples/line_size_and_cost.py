@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Beyond the paper: line-size sweep and hardware-cost-aware selection.
+
+The paper fixes the line size at one word and leaves line size and cost
+models as future work (section 4).  This example exercises both
+extensions on a real kernel trace:
+
+1. sweep line sizes analytically (exact — a cache with L-word lines
+   behaves like a one-word-line cache on the line-address trace);
+2. attach CACTI-style area/energy/latency estimates to every
+   budget-satisfying instance and pick operating points by cost.
+
+Run:  python examples/line_size_and_cost.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core import AnalyticalCacheExplorer, LineSizeExplorer
+from repro.explore.selection import (
+    cheapest,
+    cost_exploration,
+    cost_line_sweep,
+    cost_pareto,
+)
+from repro.trace import compute_statistics
+from repro.workloads import run_workload_by_name
+
+run = run_workload_by_name("fir", scale="small")
+trace = run.data_trace
+budget = compute_statistics(trace).budget(10)
+print(f"fir data trace: N={len(trace)}, miss budget K={budget}\n")
+
+# --- 1. line-size sweep -----------------------------------------------------
+sweep = LineSizeExplorer(trace, line_sizes=(1, 2, 4, 8)).explore(budget)
+rows = []
+for line_words in sweep.line_sizes():
+    point = min(
+        (li for li in sweep.instances if li.line_words == line_words),
+        key=lambda li: li.size_words,
+    )
+    rows.append(
+        [
+            line_words,
+            str(point.instance),
+            point.size_words,
+            point.total_misses,
+            point.traffic_words,
+        ]
+    )
+print(
+    format_table(
+        ["L (words)", "Smallest (D,A)", "Capacity", "Line fetches", "Traffic"],
+        rows,
+        title="line-size sweep: capacity shrinks, traffic per miss grows",
+    )
+)
+print(f"least total capacity:   {sweep.smallest()}")
+print(f"least memory traffic:   {sweep.least_traffic()}\n")
+
+# --- 2. cost-aware selection ---------------------------------------------------
+explorer = AnalyticalCacheExplorer(trace)
+result = explorer.explore(budget)
+costed = cost_exploration(explorer, result, address_bits=trace.address_bits)
+front = cost_pareto(costed)
+
+rows = [
+    [
+        str(c.instance),
+        f"{c.estimate.area_bits:,.0f}",
+        f"{c.run_energy:,.0f}",
+        f"{c.estimate.access_time:.2f}",
+        "front" if c in front else "",
+    ]
+    for c in costed
+]
+print(
+    format_table(
+        ["Instance", "Area (bits)", "Run energy", "Latency", "Pareto"],
+        rows,
+        title="CACTI-style costs of every budget-satisfying instance",
+    )
+)
+print(f"\nenergy-optimal:  {cheapest(costed).instance}")
+print(f"area-optimal:    {cheapest(costed, key=lambda c: c.estimate.area_bits).instance}")
+print(f"latency-optimal: {cheapest(costed, key=lambda c: c.estimate.access_time).instance}")
+
+# Costs compose with the line sweep too:
+sweep_costed = cost_line_sweep(sweep, accesses=len(trace))
+best = cheapest(sweep_costed)
+print(
+    f"\nenergy-optimal across line sizes: L={best.line_words}, "
+    f"{best.instance} ({best.run_energy:,.0f} units)"
+)

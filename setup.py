@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e . --no-use-pep517`` works on offline machines
+that lack the ``wheel`` package; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — Analytical Design Space Exploration of Caches for Embedded Systems.
+
+A complete reproduction of Ghosh & Givargis (DATE 2003): an analytical
+algorithm that, given a memory-reference trace and a miss budget K,
+directly computes the minimum associativity for every cache depth — no
+per-configuration simulation — plus every substrate the paper's
+evaluation depends on:
+
+* :mod:`repro.trace`     — traces, stripping, statistics, file I/O,
+  synthetic generators
+* :mod:`repro.isa`       — a small RISC VM + assembler (stands in for the
+  paper's MIPS R3000 simulator)
+* :mod:`repro.workloads` — the 12 PowerStone-style benchmark kernels
+* :mod:`repro.cache`     — set-associative cache simulator and Mattson
+  one-pass stack-distance simulator
+* :mod:`repro.core`      — the paper's contribution (BCAT, MRCT, postlude)
+* :mod:`repro.explore`   — traditional DSE baselines and comparisons
+* :mod:`repro.analysis`  — table rendering and runtime measurement
+
+Quickstart::
+
+    from repro.trace import loop_nest_trace
+    from repro.core import AnalyticalCacheExplorer
+
+    trace = loop_nest_trace(footprint=64, iterations=100)
+    result = AnalyticalCacheExplorer(trace).explore(budget=0)
+    for instance in result:
+        print(instance)
+"""
+
+from repro.core import AnalyticalCacheExplorer, CacheInstance, ExplorationResult, explore
+from repro.cache import CacheConfig, CacheSimulator, SimulationResult, simulate_trace
+from repro.trace import Trace, compute_statistics, read_trace, write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalCacheExplorer",
+    "CacheInstance",
+    "ExplorationResult",
+    "explore",
+    "CacheConfig",
+    "CacheSimulator",
+    "SimulationResult",
+    "simulate_trace",
+    "Trace",
+    "compute_statistics",
+    "read_trace",
+    "write_trace",
+    "__version__",
+]

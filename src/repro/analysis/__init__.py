@@ -1,0 +1,85 @@
+"""Reporting and measurement: the paper's tables and Figure 4.
+
+:mod:`repro.analysis.tables` renders ASCII versions of the paper's
+evaluation tables; :mod:`repro.analysis.runtime` measures the analytical
+algorithm's wall-clock cost and fits the linear time-vs-``N*N'`` model
+behind Figure 4.
+"""
+
+from repro.analysis.tables import (
+    format_table,
+    trace_stats_table,
+    optimal_instances_table,
+    runtime_table,
+    miss_grid_table,
+)
+from repro.analysis.runtime import (
+    RuntimeMeasurement,
+    ScalingFit,
+    measure_runtime,
+    fit_scaling,
+)
+from repro.analysis.hwmodel import HardwareEstimate, estimate_hardware
+from repro.analysis.workingset import (
+    WorkingSetPoint,
+    locality_score,
+    reuse_distance_histogram,
+    working_set_curve,
+)
+from repro.analysis.curves import (
+    CurvePoint,
+    associativity_curve,
+    capacity_curve,
+)
+from repro.analysis.report import generate_report
+from repro.analysis.conflicts import (
+    RowConflict,
+    conflict_report,
+    total_conflict_misses,
+)
+from repro.analysis.export import (
+    curve_to_csv,
+    exploration_to_csv,
+    histograms_to_csv,
+    measurements_to_csv,
+)
+from repro.analysis.threec import MissBreakdown, classify_misses
+from repro.analysis.traffic import (
+    TrafficEstimate,
+    compare_write_policies,
+    estimate_traffic,
+)
+
+__all__ = [
+    "HardwareEstimate",
+    "estimate_hardware",
+    "WorkingSetPoint",
+    "locality_score",
+    "reuse_distance_histogram",
+    "working_set_curve",
+    "CurvePoint",
+    "associativity_curve",
+    "capacity_curve",
+    "generate_report",
+    "RowConflict",
+    "conflict_report",
+    "total_conflict_misses",
+    "MissBreakdown",
+    "classify_misses",
+    "curve_to_csv",
+    "exploration_to_csv",
+    "histograms_to_csv",
+    "measurements_to_csv",
+    "TrafficEstimate",
+    "compare_write_policies",
+    "estimate_traffic",
+    "format_table",
+    "trace_stats_table",
+    "optimal_instances_table",
+    "runtime_table",
+    "miss_grid_table",
+    "RuntimeMeasurement",
+    "ScalingFit",
+    "measure_runtime",
+    "fit_scaling",
+]

@@ -1,0 +1,90 @@
+"""Conflict diagnosis: *which* addresses cause the misses.
+
+The BCAT/MRCT machinery knows more than the miss counts — it knows
+exactly which cache row every conflict happens in and which references
+populate that row.  This module surfaces that for the designer: per
+cache row at a chosen (depth, associativity), the miss contribution and
+the resident addresses, ranked.  Combined with
+:func:`repro.trace.transform.remap_addresses` this turns the analyzer
+into a data-layout optimization loop (see
+``examples/layout_optimization.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.bcat import walk_bcat_sets
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.postlude import misses_at_node
+from repro.core.zerosets import bitset_members
+
+
+@dataclass(frozen=True)
+class RowConflict:
+    """One cache row's conflict diagnosis.
+
+    Attributes:
+        row_index: which row of the depth-D cache (its index bits).
+        addresses: the unique addresses mapping to this row.
+        misses: non-cold misses this row contributes at the queried
+            associativity.
+    """
+
+    row_index: int
+    addresses: List[int]
+    misses: int
+
+    @property
+    def occupancy(self) -> int:
+        """How many distinct references share the row."""
+        return len(self.addresses)
+
+
+def conflict_report(
+    explorer: AnalyticalCacheExplorer,
+    depth: int,
+    associativity: int = 1,
+    top: int = 10,
+) -> List[RowConflict]:
+    """The ``top`` most miss-contributing rows at (depth, associativity).
+
+    Rows with zero misses are omitted; ties rank by occupancy.  The sum
+    of all rows' misses (not just the returned top) equals
+    ``explorer.misses(depth, associativity)`` — asserted in tests.
+    """
+    if depth < 1 or (depth & (depth - 1)) != 0:
+        raise ValueError(f"depth must be a power of two, got {depth}")
+    if associativity < 1:
+        raise ValueError("associativity must be >= 1")
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    level = depth.bit_length() - 1
+    stripped = explorer.stripped
+    rows: List[RowConflict] = []
+    for node_level, members in walk_bcat_sets(
+        explorer.zerosets, max_level=level
+    ):
+        if node_level != level or members.bit_count() < 2:
+            continue
+        misses = misses_at_node(members, explorer.mrct, associativity)
+        if misses == 0:
+            continue
+        addresses = sorted(
+            stripped.address(ident) for ident in bitset_members(members)
+        )
+        rows.append(
+            RowConflict(
+                row_index=addresses[0] % depth,
+                addresses=addresses,
+                misses=misses,
+            )
+        )
+    rows.sort(key=lambda r: (-r.misses, -r.occupancy, r.row_index))
+    return rows[:top]
+
+
+def total_conflict_misses(rows: List[RowConflict]) -> int:
+    """Sum of the reported rows' miss contributions."""
+    return sum(row.misses for row in rows)

@@ -1,0 +1,93 @@
+"""Miss-ratio curves derived from the analytical histograms.
+
+Classic cache-planning artifacts, computed without simulation:
+
+* :func:`associativity_curve` — at a fixed depth, non-cold misses for
+  every associativity up to the zero-miss point (one histogram read);
+* :func:`capacity_curve` — for each total capacity ``C`` (in words),
+  the minimum non-cold misses over all ``(D, A)`` with ``D * A = C`` —
+  the classic miss-ratio-vs-size curve a designer plots first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import CacheInstance
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One point of a miss curve.
+
+    Attributes:
+        x: the swept quantity (associativity or capacity in words).
+        misses: non-cold miss count.
+        instance: the (D, A) realizing the point (capacity curve only;
+            equals the queried geometry for associativity curves).
+    """
+
+    x: int
+    misses: int
+    instance: CacheInstance
+
+
+def associativity_curve(
+    explorer: AnalyticalCacheExplorer, depth: int
+) -> List[CurvePoint]:
+    """Misses vs associativity at a fixed depth, up to zero misses."""
+    points: List[CurvePoint] = []
+    assoc = 1
+    while True:
+        misses = explorer.misses(depth, assoc)
+        points.append(
+            CurvePoint(
+                x=assoc,
+                misses=misses,
+                instance=CacheInstance(depth=depth, associativity=assoc),
+            )
+        )
+        if misses == 0:
+            return points
+        assoc += 1
+
+
+def capacity_curve(
+    explorer: AnalyticalCacheExplorer,
+    max_capacity: int,
+    min_capacity: int = 2,
+) -> List[CurvePoint]:
+    """Best-achievable misses per total capacity (powers of two).
+
+    For each capacity ``C`` the minimum over all factorizations
+    ``C = D * A`` with power-of-two ``D >= 2`` is reported, together
+    with the geometry achieving it (ties prefer larger depth — cheaper
+    hardware at equal misses).
+    """
+    if min_capacity < 2:
+        raise ValueError("min_capacity must be >= 2")
+    if max_capacity < min_capacity:
+        raise ValueError("max_capacity must be >= min_capacity")
+    points: List[CurvePoint] = []
+    capacity = 1
+    while capacity < min_capacity:
+        capacity *= 2
+    while capacity <= max_capacity:
+        best_misses = None
+        best_instance = None
+        depth = 2
+        while depth <= capacity:
+            assoc = capacity // depth
+            misses = explorer.misses(depth, assoc)
+            if best_misses is None or misses <= best_misses:
+                best_misses = misses
+                best_instance = CacheInstance(depth=depth, associativity=assoc)
+            depth *= 2
+        assert best_instance is not None and best_misses is not None
+        points.append(
+            CurvePoint(x=capacity, misses=best_misses, instance=best_instance)
+        )
+        capacity *= 2
+    return points

@@ -1,0 +1,65 @@
+"""CSV export of analysis artifacts.
+
+Plotting and spreadsheet tooling want flat CSV; these helpers render
+the library's main result types that way.  All functions return the CSV
+text (callers write files), with deterministic column order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Sequence
+
+from repro.analysis.curves import CurvePoint
+from repro.analysis.runtime import RuntimeMeasurement
+from repro.core.instance import ExplorationResult
+from repro.core.postlude import LevelHistogram
+
+
+def _render(headers: Sequence[str], rows) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return out.getvalue()
+
+
+def exploration_to_csv(result: ExplorationResult) -> str:
+    """``depth,associativity,size_words,misses`` rows."""
+    misses = result.misses or [""] * len(result.instances)
+    rows = [
+        [inst.depth, inst.associativity, inst.size_words, m]
+        for inst, m in zip(result.instances, misses)
+    ]
+    return _render(["depth", "associativity", "size_words", "misses"], rows)
+
+
+def curve_to_csv(points: Sequence[CurvePoint], x_name: str = "x") -> str:
+    """``x,misses,depth,associativity`` rows for any miss curve."""
+    rows = [
+        [p.x, p.misses, p.instance.depth, p.instance.associativity]
+        for p in points
+    ]
+    return _render([x_name, "misses", "depth", "associativity"], rows)
+
+
+def histograms_to_csv(histograms: Dict[int, LevelHistogram]) -> str:
+    """``level,depth,distance,count`` rows (sorted, dense enough to plot)."""
+    rows = []
+    for level in sorted(histograms):
+        histogram = histograms[level]
+        for distance in sorted(histogram.counts):
+            rows.append(
+                [level, histogram.depth, distance, histogram.counts[distance]]
+            )
+    return _render(["level", "depth", "distance", "count"], rows)
+
+
+def measurements_to_csv(measurements: Sequence[RuntimeMeasurement]) -> str:
+    """``name,n,n_unique,work_product,seconds`` rows (Figure-4 points)."""
+    rows = [
+        [m.name, m.n, m.n_unique, m.work_product, m.seconds]
+        for m in measurements
+    ]
+    return _render(["name", "n", "n_unique", "work_product", "seconds"], rows)

@@ -1,0 +1,119 @@
+"""First-order cache hardware cost model (CACTI-style).
+
+The paper cites CACTI [11] (Wilton & Jouppi) as the standard access-time
+model and frames cache tuning as trading misses against "silicon area,
+clock latency, or energy" (section 1).  This module provides a
+deliberately simple, fully documented analytical stand-in for CACTI so
+the exploration results can be ranked by hardware cost, not only by
+geometry:
+
+* **area** — data + tag RAM bits, plus per-way comparator/mux overhead;
+* **access energy** — bitline/wordline term growing with the words read
+  per access (all ways of a set are read in a conventional parallel-
+  lookup cache) plus tag-compare energy per way;
+* **access time** — decoder depth (log of rows), a logarithmic
+  way-select mux term, and a linear comparator match-line load per way;
+* **total energy** — per-access dynamic energy times accesses, plus a
+  miss penalty term for line refills.
+
+The constants are normalized (unit = cost of one RAM bit / one bit
+access), so values are meaningful *relative to each other* within a
+sweep — exactly how the paper's design-space discussion uses them.  The
+model is monotone in each structural parameter, which the property
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+
+WORD_BITS = 32
+
+# Normalized technology constants (unit: one RAM bit).
+_TAG_OVERHEAD_BITS = 2          # valid + dirty per line
+_COMPARATOR_BITS_PER_WAY = 24   # comparator + way-select logic
+_ENERGY_PER_BIT_READ = 1.0
+_ENERGY_PER_TAG_BIT = 1.2       # tag path includes compare
+_DECODER_TIME_PER_LEVEL = 1.0
+_WAY_SELECT_TIME = 0.5          # way-mux tree, log term
+_MATCH_LINE_TIME_PER_WAY = 0.1  # comparator match-line load, linear term
+_MISS_REFILL_ENERGY_PER_WORD = 8.0  # off-chip word transfer vs on-chip bit
+
+
+@dataclass(frozen=True)
+class HardwareEstimate:
+    """Normalized cost figures for one cache configuration.
+
+    Attributes:
+        config: the cache being estimated.
+        area_bits: storage + logic area in RAM-bit equivalents.
+        access_energy: dynamic energy per access (bit-read units).
+        access_time: access latency (decoder-level units).
+    """
+
+    config: CacheConfig
+    area_bits: float
+    access_energy: float
+    access_time: float
+
+    def total_energy(self, accesses: int, misses: int) -> float:
+        """Dynamic energy of a whole run: accesses plus refill traffic.
+
+        Args:
+            accesses: total references served.
+            misses: total line fetches (cold included — cold fills move
+                data too).
+        """
+        if accesses < 0 or misses < 0:
+            raise ValueError("accesses and misses must be non-negative")
+        refill = misses * self.config.line_words * _MISS_REFILL_ENERGY_PER_WORD
+        return accesses * self.access_energy + refill
+
+
+def _tag_bits(config: CacheConfig, address_bits: int) -> int:
+    """Tag width for a given machine address width."""
+    tag = address_bits - config.index_bits - config.offset_bits
+    return max(tag, 1)
+
+
+def estimate_hardware(
+    config: CacheConfig, address_bits: int = 32
+) -> HardwareEstimate:
+    """Estimate area, per-access energy and access time for a config.
+
+    Args:
+        config: the cache design point.
+        address_bits: machine address width (sets the tag width).
+    """
+    if address_bits < 1:
+        raise ValueError("address_bits must be >= 1")
+    lines = config.depth * config.associativity
+    data_bits = lines * config.line_words * WORD_BITS
+    tag_bits = lines * (_tag_bits(config, address_bits) + _TAG_OVERHEAD_BITS)
+    logic_bits = config.associativity * _COMPARATOR_BITS_PER_WAY
+    area = float(data_bits + tag_bits + logic_bits)
+
+    # A conventional parallel-lookup cache reads every way of the set.
+    data_read_bits = config.associativity * config.line_words * WORD_BITS
+    tag_read_bits = config.associativity * (
+        _tag_bits(config, address_bits) + _TAG_OVERHEAD_BITS
+    )
+    energy = (
+        data_read_bits * _ENERGY_PER_BIT_READ
+        + tag_read_bits * _ENERGY_PER_TAG_BIT
+    )
+
+    time = (
+        _DECODER_TIME_PER_LEVEL * math.log2(max(config.depth, 2))
+        + _WAY_SELECT_TIME * math.log2(2 * config.associativity)
+        + _MATCH_LINE_TIME_PER_WAY * config.associativity
+    )
+    return HardwareEstimate(
+        config=config,
+        area_bits=area,
+        access_energy=energy,
+        access_time=time,
+    )

@@ -1,0 +1,177 @@
+"""One-command designer report.
+
+Bundles everything the library knows about a trace into a single
+markdown document: statistics, locality profile, the optimal-instance
+table over the paper's budget grid, the capacity curve, budget
+sensitivity at a focus depth, and hardware-cost-ranked picks.  Used by
+``repro report`` and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.curves import capacity_curve
+from repro.analysis.tables import format_table, optimal_instances_table
+from repro.analysis.workingset import locality_score, working_set_curve
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.sensitivity import budget_sensitivity
+from repro.trace.trace import Trace
+
+DEFAULT_PERCENTS = (5.0, 10.0, 15.0, 20.0)
+
+
+def generate_report(
+    trace: Trace,
+    percents=DEFAULT_PERCENTS,
+    focus_percent: float = 10.0,
+    focus_depth: Optional[int] = None,
+) -> str:
+    """Render a complete markdown report for one trace.
+
+    Args:
+        trace: the trace to analyze.
+        percents: budget grid (as % of max misses) for the instance table.
+        focus_percent: budget used for the cost ranking.
+        focus_depth: depth for the sensitivity staircase (default: the
+            middle reported depth).
+    """
+    explorer = AnalyticalCacheExplorer(trace)
+    stats = explorer.statistics
+    lines: List[str] = []
+    title = trace.name or "trace"
+    lines.append(f"# Cache design report: {title}")
+    lines.append("")
+
+    # --- statistics & locality -------------------------------------------
+    lines.append("## Trace statistics")
+    lines.append("")
+    lines.append(f"- references (N): **{stats.n}**")
+    lines.append(f"- unique references (N'): **{stats.n_unique}**")
+    lines.append(f"- max misses (depth-1 DM, non-cold): **{stats.max_misses}**")
+    lines.append(f"- address bits: {stats.address_bits}")
+    lines.append(f"- locality score (reuse within 16): {locality_score(trace):.2f}")
+    lines.append("")
+    points = working_set_curve(trace)
+    lines.append(
+        format_table(
+            ["Window", "Mean working set", "Max"],
+            [[p.window, f"{p.mean_unique:.1f}", p.max_unique] for p in points],
+            title="Working sets (non-overlapping windows)",
+        )
+    )
+    lines.append("")
+
+    # --- optimal instances over the paper's budget grid -------------------
+    results = {p: explorer.explore_percent(p) for p in percents}
+    lines.append("## Optimal cache instances (rows: K as % of max misses)")
+    lines.append("")
+    lines.append(optimal_instances_table(results))
+    lines.append("")
+
+    # --- capacity curve ----------------------------------------------------
+    max_capacity = 2
+    while max_capacity < 2 * stats.n_unique:
+        max_capacity *= 2
+    curve = capacity_curve(explorer, max_capacity=max_capacity)
+    lines.append("## Best-achievable misses per capacity")
+    lines.append("")
+    lines.append(
+        format_table(
+            ["Capacity (words)", "Best instance", "Non-cold misses"],
+            [[p.x, str(p.instance), p.misses] for p in curve],
+        )
+    )
+    lines.append("")
+
+    # --- sensitivity staircase ----------------------------------------------
+    focus_result = results.get(focus_percent) or explorer.explore_percent(
+        focus_percent
+    )
+    depths = [inst.depth for inst in focus_result.instances]
+    if focus_depth is None and depths:
+        focus_depth = depths[len(depths) // 2]
+    if focus_depth is not None:
+        steps = budget_sensitivity(explorer, focus_depth)
+        lines.append(f"## Budget sensitivity at depth {focus_depth}")
+        lines.append("")
+        rows = [
+            [
+                s.associativity,
+                s.min_budget,
+                "inf" if s.unbounded else s.max_budget,
+            ]
+            for s in steps
+        ]
+        lines.append(
+            format_table(["Assoc", "K from", "K to"], rows)
+        )
+        lines.append("")
+
+    # --- 3C classification at the focus budget ------------------------------
+    from repro.analysis.threec import classify_misses
+
+    lines.append(f"## Miss classification (3C) at K = {focus_percent:g}%")
+    lines.append("")
+    breakdown_rows = []
+    for inst in focus_result.instances:
+        breakdown = classify_misses(explorer, inst.depth, inst.associativity)
+        breakdown_rows.append(
+            [
+                str(inst),
+                breakdown.compulsory,
+                breakdown.capacity,
+                breakdown.conflict,
+            ]
+        )
+    lines.append(
+        format_table(
+            ["Instance", "Compulsory", "Capacity", "Conflict"],
+            breakdown_rows,
+        )
+    )
+    lines.append(
+        "\n(Conflict < 0 marks the classic anomaly: restricted placement "
+        "beating fully associative LRU.)"
+    )
+    lines.append("")
+
+    # --- hardware-cost ranking -------------------------------------------------
+    # Imported here to keep repro.analysis importable without repro.explore
+    # (which itself uses repro.analysis.hwmodel).
+    from repro.explore.selection import cheapest, cost_exploration
+
+    costed = cost_exploration(
+        explorer, focus_result, address_bits=stats.address_bits
+    )
+    lines.append(
+        f"## Hardware costs at K = {focus_percent:g}% "
+        f"(budget {focus_result.budget})"
+    )
+    lines.append("")
+    lines.append(
+        format_table(
+            ["Instance", "Area (bits)", "Run energy", "Latency"],
+            [
+                [
+                    str(c.instance),
+                    f"{c.estimate.area_bits:.0f}",
+                    f"{c.run_energy:.0f}",
+                    f"{c.estimate.access_time:.2f}",
+                ]
+                for c in costed
+            ],
+        )
+    )
+    lines.append("")
+    lines.append(f"- energy-optimal: **{cheapest(costed).instance}**")
+    lines.append(
+        "- area-optimal: "
+        f"**{cheapest(costed, key=lambda c: c.estimate.area_bits).instance}**"
+    )
+    lines.append(
+        "- latency-optimal: "
+        f"**{cheapest(costed, key=lambda c: c.estimate.access_time).instance}**"
+    )
+    lines.append("")
+    return "\n".join(lines)

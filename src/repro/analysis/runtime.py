@@ -1,0 +1,111 @@
+"""Runtime measurement and the Figure 4 scaling fit.
+
+The paper's Figure 4 plots algorithm execution time against ``N * N'``
+(trace size times unique references) and observes an on-average linear
+relationship.  :func:`measure_runtime` times a full analytical run
+(prelude + postlude, caches cleared) and :func:`fit_scaling` performs the
+least-squares line fit and reports its quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class RuntimeMeasurement:
+    """One timed analytical run.
+
+    Attributes:
+        name: trace label.
+        n: trace size N.
+        n_unique: unique references N'.
+        seconds: wall-clock time of prelude + postlude + exploration.
+    """
+
+    name: str
+    n: int
+    n_unique: int
+    seconds: float
+
+    @property
+    def work_product(self) -> int:
+        """Figure 4's x-axis: ``N * N'``."""
+        return self.n * self.n_unique
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Least-squares fit of ``seconds ~ slope * (N*N') + intercept``.
+
+    Attributes:
+        slope: seconds per unit of ``N*N'``.
+        intercept: fixed overhead in seconds.
+        r_squared: coefficient of determination of the fit.
+    """
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, work_product: float) -> float:
+        """Predicted runtime for a given ``N*N'``."""
+        return self.slope * work_product + self.intercept
+
+
+def measure_runtime(
+    trace: Trace, budgets: Sequence[int] = (0,), repeats: int = 1
+) -> RuntimeMeasurement:
+    """Time a complete analytical exploration of a trace.
+
+    Each repeat builds a fresh explorer (no cached stages) and runs every
+    budget, matching how the paper reports per-benchmark times; the
+    minimum over repeats is kept to suppress scheduler noise.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    explorer = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        explorer = AnalyticalCacheExplorer(trace)
+        for budget in budgets:
+            explorer.explore(budget)
+        best = min(best, time.perf_counter() - start)
+    assert explorer is not None
+    return RuntimeMeasurement(
+        name=trace.name,
+        n=len(trace),
+        n_unique=explorer.stripped.n_unique,
+        seconds=best,
+    )
+
+
+def fit_scaling(measurements: Sequence[RuntimeMeasurement]) -> ScalingFit:
+    """Least-squares line through (N*N', seconds) points.
+
+    Pure-Python implementation (two points minimum); ``r_squared`` is 1.0
+    for a degenerate vertical spread of zero.
+    """
+    if len(measurements) < 2:
+        raise ValueError("at least two measurements are required for a fit")
+    xs: List[float] = [float(m.work_product) for m in measurements]
+    ys: List[float] = [m.seconds for m in measurements]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all measurements share the same N*N'; cannot fit")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ScalingFit(slope=slope, intercept=intercept, r_squared=r_squared)

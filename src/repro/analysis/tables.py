@@ -1,0 +1,104 @@
+"""ASCII rendering of the paper's evaluation tables.
+
+* Tables 5/6 — per-benchmark trace statistics (N, N', max misses).
+* Tables 7–30 — optimal cache instances: rows are the miss budget K (as a
+  percentage of max misses), columns are cache depths, entries are the
+  minimum associativity.
+* Tables 31/32 — algorithm run times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.instance import ExplorationResult
+from repro.trace.stats import TraceStatistics
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row width {len(row)} does not match header width {columns}"
+            )
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(rule)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def trace_stats_table(
+    stats: Sequence[TraceStatistics], title: str = ""
+) -> str:
+    """Paper Table 5/6: benchmark, N, N', max misses."""
+    rows = [[s.name, s.n, s.n_unique, s.max_misses] for s in stats]
+    return format_table(
+        ["Benchmark", "Size N", "Unique References N'", "Max. Misses"],
+        rows,
+        title=title,
+    )
+
+
+def optimal_instances_table(
+    results_by_percent: Dict[float, ExplorationResult],
+    depths: Optional[Sequence[int]] = None,
+    title: str = "",
+) -> str:
+    """Paper Tables 7-30: rows = K%, columns = depth, entries = A.
+
+    A ``-`` marks a depth a particular run did not report (all runs on
+    the same trace normally report the same depths).
+    """
+    if not results_by_percent:
+        raise ValueError("at least one exploration result is required")
+    if depths is None:
+        all_depths = set()
+        for result in results_by_percent.values():
+            all_depths.update(inst.depth for inst in result.instances)
+        depths = sorted(all_depths)
+    headers = ["K"] + [str(d) for d in depths]
+    rows = []
+    for percent in sorted(results_by_percent):
+        result = results_by_percent[percent]
+        mapping = result.as_dict()
+        rows.append(
+            [f"{percent:g}%"] + [mapping.get(d, "-") for d in depths]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def runtime_table(
+    times: Dict[str, float], title: str = ""
+) -> str:
+    """Paper Table 31/32: benchmark and algorithm run time in seconds."""
+    rows = [[name, f"{seconds:.4g}"] for name, seconds in times.items()]
+    return format_table(["Benchmark", "Time (sec)"], rows, title=title)
+
+
+def miss_grid_table(
+    grid: Dict[tuple, int],
+    depths: Sequence[int],
+    associativities: Sequence[int],
+    title: str = "",
+) -> str:
+    """Full (depth x associativity) -> misses grid, for exhaustive sweeps."""
+    headers = ["A \\ D"] + [str(d) for d in depths]
+    rows = []
+    for assoc in associativities:
+        rows.append(
+            [str(assoc)] + [grid.get((d, assoc), "-") for d in depths]
+        )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,79 @@
+"""3C miss classification: compulsory / capacity / conflict.
+
+Hill's classic decomposition, computed analytically:
+
+* **compulsory** (cold) — first touches; equal to N' for one-word lines;
+* **capacity** — the non-cold misses a *fully associative* LRU cache of
+  the same total capacity would still take (histogram level 0 at
+  associativity = D·A);
+* **conflict** — the remainder: misses caused purely by restricted
+  placement.
+
+Both quantities fall out of the explorer's cached histograms, so
+classifying every (D, A) point costs nothing extra.
+
+The classic anomaly applies: a fully associative LRU cache of equal
+capacity is *not* always better (loop over C+1 lines: FA-LRU misses
+everything, a set-associative split can hit), so ``conflict`` can be
+negative.  Negative conflict means the restricted placement *helped*;
+the value is reported as-is and the anomaly has a dedicated test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.explorer import AnalyticalCacheExplorer
+
+
+@dataclass(frozen=True)
+class MissBreakdown:
+    """The 3C decomposition of one cache configuration's misses.
+
+    Attributes:
+        depth: cache depth D.
+        associativity: ways A.
+        compulsory: cold misses (unique references).
+        capacity: misses a same-capacity fully associative cache takes.
+        conflict: placement-induced misses (total non-cold - capacity).
+    """
+
+    depth: int
+    associativity: int
+    compulsory: int
+    capacity: int
+    conflict: int
+
+    @property
+    def non_cold(self) -> int:
+        """Capacity + conflict (the paper's K-constrained quantity)."""
+        return self.capacity + self.conflict
+
+    @property
+    def total(self) -> int:
+        """All misses including compulsory."""
+        return self.compulsory + self.non_cold
+
+
+def classify_misses(
+    explorer: AnalyticalCacheExplorer, depth: int, associativity: int
+) -> MissBreakdown:
+    """3C breakdown for one (depth, associativity) point.
+
+    The fully associative reference cache has one set (depth 1) with
+    ``depth * associativity`` ways — identical total capacity.
+    """
+    if depth < 1 or (depth & (depth - 1)) != 0:
+        raise ValueError(f"depth must be a power of two, got {depth}")
+    if associativity < 1:
+        raise ValueError("associativity must be >= 1")
+    non_cold = explorer.misses(depth, associativity)
+    capacity = explorer.misses(1, depth * associativity)
+    conflict = non_cold - capacity  # may be negative (see module doc)
+    return MissBreakdown(
+        depth=depth,
+        associativity=associativity,
+        compulsory=explorer.stripped.n_unique,
+        capacity=capacity,
+        conflict=conflict,
+    )

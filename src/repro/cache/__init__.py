@@ -1,0 +1,47 @@
+"""Set-associative cache simulator.
+
+This package is the "traditional approach" substrate of the paper's
+Figure 1(a): a trace-driven cache simulator in the style of dinero, used
+to (1) calibrate the *maximum misses* figure of Tables 5/6, (2) validate
+the analytical algorithm (its miss counts must match simulation exactly
+for LRU caches with one-word lines), and (3) provide the
+design-simulate-analyze baseline the paper's analytical method replaces.
+
+A Mattson stack-distance *one-pass* simulator
+(:mod:`repro.cache.onepass`) evaluates all associativities of a given
+depth simultaneously, reproducing the single-pass techniques of the
+paper's related work [16][17].
+"""
+
+from repro.cache.config import CacheConfig, ReplacementKind, WritePolicy
+from repro.cache.result import SimulationResult
+from repro.cache.simulator import CacheSimulator, miss_stream, simulate_trace
+from repro.cache.onepass import StackDistanceProfile, stack_distance_profile
+from repro.cache.multilevel import (
+    TwoLevelResult,
+    TwoLevelSimulator,
+    simulate_two_level,
+)
+from repro.cache.victim import (
+    VictimCacheSimulator,
+    VictimResult,
+    simulate_victim,
+)
+
+__all__ = [
+    "CacheConfig",
+    "ReplacementKind",
+    "WritePolicy",
+    "SimulationResult",
+    "CacheSimulator",
+    "miss_stream",
+    "simulate_trace",
+    "StackDistanceProfile",
+    "stack_distance_profile",
+    "TwoLevelResult",
+    "TwoLevelSimulator",
+    "simulate_two_level",
+    "VictimCacheSimulator",
+    "VictimResult",
+    "simulate_victim",
+]

@@ -1,0 +1,112 @@
+"""Cache configuration.
+
+The paper's design space is (depth ``D``, associativity ``A``) with the
+line size fixed at one word and LRU write-back control (section 2.1).  The
+simulator is nevertheless fully parameterized — line size, replacement
+policy and write policy are all configurable — because the traditional
+design-simulate-analyze baseline, the validation harness and several
+ablations need them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ReplacementKind(enum.Enum):
+    """Replacement policy selector."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+    PLRU = "plru"
+
+
+class WritePolicy(enum.Enum):
+    """Write policy selector (both are write-allocate)."""
+
+    WRITE_BACK = "write-back"
+    WRITE_THROUGH = "write-through"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """A single cache design point.
+
+    Attributes:
+        depth: number of cache rows (sets); must be a power of two so that
+            ``log2(depth)`` address bits form the index (paper section 2.1).
+        associativity: ways per set (>= 1); need not be a power of two
+            except under PLRU replacement.
+        line_words: words per cache line; power of two, defaults to the
+            paper's fixed value of 1.
+        replacement: replacement policy (paper fixes LRU).
+        write_policy: write policy (paper fixes write-back).
+        seed: RNG seed used only by RANDOM replacement.
+    """
+
+    depth: int
+    associativity: int
+    line_words: int = 1
+    replacement: ReplacementKind = ReplacementKind.LRU
+    write_policy: WritePolicy = WritePolicy.WRITE_BACK
+    seed: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.depth):
+            raise ValueError(f"depth must be a power of two, got {self.depth}")
+        if self.associativity < 1:
+            raise ValueError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
+        if not is_power_of_two(self.line_words):
+            raise ValueError(
+                f"line_words must be a power of two, got {self.line_words}"
+            )
+        if self.replacement is ReplacementKind.PLRU and not is_power_of_two(
+            self.associativity
+        ):
+            raise ValueError("PLRU requires a power-of-two associativity")
+
+    @property
+    def index_bits(self) -> int:
+        """Number of index bits, ``log2(depth)``."""
+        return self.depth.bit_length() - 1
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of in-line offset bits, ``log2(line_words)``."""
+        return self.line_words.bit_length() - 1
+
+    @property
+    def size_words(self) -> int:
+        """Total capacity in words: ``depth * associativity * line_words``.
+
+        With one-word lines this is the paper's ``2**log2(D) * A`` size.
+        """
+        return self.depth * self.associativity * self.line_words
+
+    def set_index(self, address: int) -> int:
+        """Cache set index for a word address."""
+        return (address >> self.offset_bits) & (self.depth - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag portion of a word address."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def line_address(self, address: int) -> int:
+        """Address of the line containing a word address."""
+        return address >> self.offset_bits
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``D=64 A=2 line=1 lru/write-back``."""
+        return (
+            f"D={self.depth} A={self.associativity} line={self.line_words} "
+            f"{self.replacement.value}/{self.write_policy.value}"
+        )

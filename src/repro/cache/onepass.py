@@ -1,0 +1,128 @@
+"""Mattson stack-distance one-pass simulation.
+
+The paper's related work ([16][17], Mattson et al. 1970) evaluates many
+cache configurations in a single pass using the LRU *inclusion* property:
+an access whose per-set LRU stack distance is ``d`` hits in every cache of
+that depth with associativity ``> d`` and misses in every one with
+associativity ``<= d``.  One pass therefore yields the miss count of
+*every* associativity at a fixed depth.
+
+This module provides the honest re-implementation of that technique — it
+is both a validation oracle for the analytical algorithm (the two must
+agree exactly) and the subject of the one-pass ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cache.config import is_power_of_two
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class StackDistanceProfile:
+    """Per-set LRU stack-distance histogram for one cache depth.
+
+    Attributes:
+        depth: cache depth (number of sets).
+        histogram: ``histogram[d]`` = number of accesses with stack
+            distance ``d`` (0 = re-touch of the most recent line in the
+            set).  Cold accesses (infinite distance) are *not* included.
+        cold: number of cold accesses.
+        accesses: total accesses profiled.
+    """
+
+    depth: int
+    histogram: Dict[int, int]
+    cold: int
+    accesses: int
+
+    def non_cold_misses(self, associativity: int) -> int:
+        """Non-cold misses of a ``depth x associativity`` LRU cache."""
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        return sum(
+            count for dist, count in self.histogram.items() if dist >= associativity
+        )
+
+    def hits(self, associativity: int) -> int:
+        """Hits of a ``depth x associativity`` LRU cache."""
+        return self.accesses - self.cold - self.non_cold_misses(associativity)
+
+    @property
+    def max_distance(self) -> int:
+        """Largest observed stack distance (-1 when every access is cold)."""
+        return max(self.histogram, default=-1)
+
+    @property
+    def zero_miss_associativity(self) -> int:
+        """Smallest associativity with zero non-cold misses (the paper's
+        ``A_zero`` for this depth)."""
+        return self.max_distance + 1 if self.histogram else 1
+
+    def min_associativity(self, k: int) -> int:
+        """Smallest associativity whose non-cold misses are ``<= k``.
+
+        This is the simulation-side answer to the paper's postlude
+        question and the oracle the analytical algorithm is checked
+        against.
+        """
+        if k < 0:
+            raise ValueError("miss budget k must be non-negative")
+        remaining = sum(self.histogram.values())
+        if remaining <= k:
+            return 1
+        assoc = 1
+        # misses(assoc) = remaining - sum(histogram[d] for d < assoc)
+        while True:
+            remaining -= self.histogram.get(assoc - 1, 0)
+            if remaining <= k:
+                return assoc
+            assoc += 1
+
+
+def stack_distance_profile(trace: Trace, depth: int) -> StackDistanceProfile:
+    """Profile per-set LRU stack distances in one pass over the trace.
+
+    Args:
+        trace: word-addressed trace (one-word lines, as the paper fixes).
+        depth: cache depth; must be a power of two.
+    """
+    if not is_power_of_two(depth):
+        raise ValueError(f"depth must be a power of two, got {depth}")
+    mask = depth - 1
+    stacks: Dict[int, List[int]] = {}
+    histogram: Dict[int, int] = {}
+    cold = 0
+    for addr in trace:
+        index = addr & mask
+        stack = stacks.get(index)
+        if stack is None:
+            stack = []
+            stacks[index] = stack
+        try:
+            dist = stack.index(addr)
+        except ValueError:
+            cold += 1
+            stack.insert(0, addr)
+            continue
+        histogram[dist] = histogram.get(dist, 0) + 1
+        del stack[dist]
+        stack.insert(0, addr)
+    return StackDistanceProfile(
+        depth=depth, histogram=histogram, cold=cold, accesses=len(trace)
+    )
+
+
+def profile_all_depths(trace: Trace, max_depth: int) -> Dict[int, StackDistanceProfile]:
+    """Stack-distance profiles for every power-of-two depth up to ``max_depth``."""
+    if not is_power_of_two(max_depth):
+        raise ValueError(f"max_depth must be a power of two, got {max_depth}")
+    profiles: Dict[int, StackDistanceProfile] = {}
+    depth = 1
+    while depth <= max_depth:
+        profiles[depth] = stack_distance_profile(trace, depth)
+        depth *= 2
+    return profiles

@@ -1,0 +1,196 @@
+"""Replacement policies.
+
+Each policy manages the contents of one cache *set*.  The simulator calls
+:meth:`SetPolicy.lookup` for every access; the policy returns whether the
+tag hit and performs any fill/eviction internally, reporting the evicted
+tag (if any) so the simulator can account for write-backs.
+
+LRU is the policy the paper fixes; FIFO, seeded-random and tree-PLRU exist
+for the baseline/ablation experiments and for users exploring beyond the
+paper's space.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.config import CacheConfig, ReplacementKind
+
+
+class SetPolicy:
+    """Replacement state for a single cache set."""
+
+    __slots__ = ("associativity",)
+
+    def __init__(self, associativity: int) -> None:
+        self.associativity = associativity
+
+    def lookup(self, tag: int) -> Tuple[bool, Optional[int]]:
+        """Access ``tag``; fill on miss.
+
+        Returns:
+            ``(hit, evicted_tag)`` — ``evicted_tag`` is ``None`` unless the
+            fill displaced a resident line.
+        """
+        raise NotImplementedError
+
+    def resident_tags(self) -> List[int]:
+        """Tags currently resident in this set (order unspecified)."""
+        raise NotImplementedError
+
+    def contains(self, tag: int) -> bool:
+        """True when ``tag`` is resident (no state change)."""
+        return tag in self.resident_tags()
+
+
+class LRUSet(SetPolicy):
+    """Least-recently-used: evict the line untouched for longest.
+
+    The stack is kept most-recent-first in a plain list; embedded-scale
+    associativities are small, so the linear ``remove`` is cheap.
+    """
+
+    __slots__ = ("_stack",)
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._stack: List[int] = []
+
+    def lookup(self, tag: int) -> Tuple[bool, Optional[int]]:
+        stack = self._stack
+        if tag in stack:
+            stack.remove(tag)
+            stack.insert(0, tag)
+            return True, None
+        stack.insert(0, tag)
+        evicted = stack.pop() if len(stack) > self.associativity else None
+        return False, evicted
+
+    def resident_tags(self) -> List[int]:
+        return list(self._stack)
+
+
+class FIFOSet(SetPolicy):
+    """First-in-first-out: evict the oldest fill; hits do not reorder."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._queue: List[int] = []
+
+    def lookup(self, tag: int) -> Tuple[bool, Optional[int]]:
+        queue = self._queue
+        if tag in queue:
+            return True, None
+        queue.insert(0, tag)
+        evicted = queue.pop() if len(queue) > self.associativity else None
+        return False, evicted
+
+    def resident_tags(self) -> List[int]:
+        return list(self._queue)
+
+
+class RandomSet(SetPolicy):
+    """Random replacement with a deterministic per-set RNG."""
+
+    __slots__ = ("_ways", "_rng")
+
+    def __init__(self, associativity: int, rng: random.Random) -> None:
+        super().__init__(associativity)
+        self._ways: List[int] = []
+        self._rng = rng
+
+    def lookup(self, tag: int) -> Tuple[bool, Optional[int]]:
+        ways = self._ways
+        if tag in ways:
+            return True, None
+        if len(ways) < self.associativity:
+            ways.append(tag)
+            return False, None
+        victim = self._rng.randrange(self.associativity)
+        evicted = ways[victim]
+        ways[victim] = tag
+        return False, evicted
+
+    def resident_tags(self) -> List[int]:
+        return list(self._ways)
+
+
+class PLRUSet(SetPolicy):
+    """Tree-based pseudo-LRU for power-of-two associativities.
+
+    A binary tree of ``A - 1`` direction bits selects the victim; every
+    access flips the bits on its path to point away from the accessed way.
+
+    The ``A - 1`` internal nodes are stored heap-ordered: node ``i`` has
+    children ``2i+1`` and ``2i+2``; a child index ``>= A - 1`` denotes the
+    leaf (way) ``child - (A - 1)``.  A bit of 0 sends the victim search
+    left, 1 sends it right.
+    """
+
+    __slots__ = ("_ways", "_bits", "_where")
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._ways: List[Optional[int]] = [None] * associativity
+        self._bits: List[int] = [0] * max(associativity - 1, 0)
+        self._where: Dict[int, int] = {}
+
+    def _touch(self, way: int) -> None:
+        """Flip the bits on ``way``'s root path to point away from it."""
+        internal = len(self._bits)
+        child = way + internal
+        while child > 0:
+            parent = (child - 1) // 2
+            # If we reached the leaf through the left child, send future
+            # victim searches right, and vice versa.
+            self._bits[parent] = 0 if child == 2 * parent + 2 else 1
+            child = parent
+
+    def _victim(self) -> int:
+        """Follow the tree bits down to the pseudo-LRU way."""
+        internal = len(self._bits)
+        node = 0
+        while node < internal:
+            node = 2 * node + 1 + self._bits[node]
+        return node - internal
+
+    def lookup(self, tag: int) -> Tuple[bool, Optional[int]]:
+        way = self._where.get(tag)
+        if way is not None:
+            self._touch(way)
+            return True, None
+        # Fill an empty way first.
+        for idx, resident in enumerate(self._ways):
+            if resident is None:
+                self._ways[idx] = tag
+                self._where[tag] = idx
+                self._touch(idx)
+                return False, None
+        victim = self._victim()
+        evicted = self._ways[victim]
+        assert evicted is not None
+        del self._where[evicted]
+        self._ways[victim] = tag
+        self._where[tag] = victim
+        self._touch(victim)
+        return False, evicted
+
+    def resident_tags(self) -> List[int]:
+        return [t for t in self._ways if t is not None]
+
+
+def make_set_policy(config: CacheConfig, rng: random.Random) -> SetPolicy:
+    """Instantiate the per-set replacement state for a config."""
+    kind = config.replacement
+    if kind is ReplacementKind.LRU:
+        return LRUSet(config.associativity)
+    if kind is ReplacementKind.FIFO:
+        return FIFOSet(config.associativity)
+    if kind is ReplacementKind.RANDOM:
+        return RandomSet(config.associativity, rng)
+    if kind is ReplacementKind.PLRU:
+        return PLRUSet(config.associativity)
+    raise ValueError(f"unhandled replacement kind: {kind}")

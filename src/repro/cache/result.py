@@ -1,0 +1,76 @@
+"""Simulation results and miss accounting.
+
+The paper's miss budget ``K`` counts misses *beyond* the cold (compulsory)
+misses, "as cold misses cannot be avoided" (section 2.1).  The simulator
+therefore classifies every miss as cold (first access to that line ever)
+or non-cold, and all comparisons with the analytical algorithm use the
+non-cold count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.config import CacheConfig
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one trace through one cache configuration.
+
+    Attributes:
+        config: the simulated cache design point.
+        accesses: total references replayed.
+        hits: accesses that hit in the cache.
+        cold_misses: first-ever accesses to each line (compulsory misses).
+        non_cold_misses: remaining misses — the quantity the paper's K
+            constrains.
+        writebacks: dirty lines written back to memory (write-back policy).
+        write_throughs: stores forwarded to memory (write-through policy).
+    """
+
+    config: CacheConfig
+    accesses: int
+    hits: int
+    cold_misses: int
+    non_cold_misses: int
+    writebacks: int = 0
+    write_throughs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hits + self.cold_misses + self.non_cold_misses != self.accesses:
+            raise ValueError(
+                "inconsistent result: hits + misses must equal accesses "
+                f"({self.hits} + {self.cold_misses} + {self.non_cold_misses} "
+                f"!= {self.accesses})"
+            )
+
+    @property
+    def misses(self) -> int:
+        """All misses, cold included."""
+        return self.cold_misses + self.non_cold_misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Overall miss ratio (0.0 for an empty trace)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def non_cold_miss_rate(self) -> float:
+        """Non-cold miss ratio (0.0 for an empty trace)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.non_cold_misses / self.accesses
+
+    def meets_budget(self, k: int) -> bool:
+        """True when non-cold misses are within the paper's budget K."""
+        return self.non_cold_misses <= k
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulationResult {self.config.describe()} "
+            f"accesses={self.accesses} hits={self.hits} "
+            f"cold={self.cold_misses} non_cold={self.non_cold_misses}>"
+        )

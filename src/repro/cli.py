@@ -1,0 +1,647 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro workloads [--scale S] [--extras]     run & verify the kernels
+    repro emit NAME --kind inst|data|unified -o F   write a workload trace
+    repro stats TRACE [TRACE ...]          Table 5/6-style statistics
+    repro explore TRACE --budget K [--json]    analytical (D, A) exploration
+    repro explore TRACE --percent P        ... with K = P% of max misses
+    repro simulate TRACE --depth D --assoc A   one cache simulation
+    repro compare TRACE --budget K         analytical vs traditional DSE
+    repro linesize TRACE --budget K        sweep line sizes (future work)
+    repro compact TRACE -o OUT --filter-depth D   Puzak trace stripping
+    repro robustness TRACE --budget K      LRU instances under FIFO/PLRU/random
+    repro cost TRACE --budget K            CACTI-style cost ranking
+    repro phases TRACE --budget K          per-phase optima vs static
+    repro hierarchy TRACE --percent P      explore L2 behind a fixed L1
+    repro conflicts TRACE --depth D        diagnose conflicting cache rows
+    repro curves TRACE [-o csv]            miss curves as CSV
+    repro disasm NAME                      disassemble a workload kernel
+    repro report TRACE [-o report.md]      full markdown design report
+    repro paper-example                    the paper's running example
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import (
+    format_table,
+    trace_stats_table,
+)
+from repro.cache.config import CacheConfig, ReplacementKind
+from repro.cache.simulator import simulate_trace
+from repro.core.bcat import build_bcat
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.mrct import build_mrct, mrct_as_display_table
+from repro.core.zerosets import build_zero_one_sets
+from repro.explore.compare import compare_methods
+from repro.explore.space import DesignSpace
+from repro.trace.io import read_trace, write_trace
+from repro.trace.stats import compute_statistics
+from repro.trace.strip import strip_trace
+from repro.trace.trace import Trace
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import list_workloads, run_workload_by_name
+
+    rows = []
+    for name in list_workloads(include_extras=args.extras):
+        run = run_workload_by_name(name, scale=args.scale)
+        rows.append(
+            [
+                name,
+                run.machine.instructions_executed,
+                len(run.instruction_trace),
+                len(run.data_trace),
+                f"{run.checksum:#010x}",
+                "ok" if run.verified else "MISMATCH",
+            ]
+        )
+    print(
+        format_table(
+            ["Benchmark", "Instructions", "I-trace N", "D-trace N", "Checksum", "Verify"],
+            rows,
+            title=f"PowerStone-style workloads (scale={args.scale})",
+        )
+    )
+    return 0
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    from repro.workloads import run_workload_by_name
+
+    run = run_workload_by_name(args.name, scale=args.scale)
+    if args.kind == "inst":
+        trace = run.instruction_trace
+    elif args.kind == "data":
+        trace = run.data_trace
+    else:
+        trace = run.machine.combined_trace(f"{args.name}.unified")
+    write_trace(trace, args.output)
+    print(f"wrote {len(trace)} references to {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = [compute_statistics(read_trace(path)) for path in args.traces]
+    print(trace_stats_table(stats))
+    return 0
+
+
+def _budget_for(args: argparse.Namespace, explorer: AnalyticalCacheExplorer) -> int:
+    if args.budget is not None:
+        return args.budget
+    return explorer.statistics.budget(args.percent)
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(
+        trace, max_depth=args.max_depth if args.max_depth else None
+    )
+    budget = _budget_for(args, explorer)
+    result = explorer.explore(budget)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_json_dict(), indent=2))
+        return 0
+    print(f"trace {trace.name}: N={len(trace)} N'={trace.unique_count()}")
+    print(f"miss budget K={budget} (beyond cold misses)")
+    rows = [
+        [inst.depth, inst.associativity, inst.size_words, misses]
+        for inst, misses in zip(result.instances, result.misses)
+    ]
+    print(
+        format_table(
+            ["Depth D", "Assoc A", "Size (words)", "Misses"],
+            rows,
+            title="optimal cache instances",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    config = CacheConfig(
+        depth=args.depth,
+        associativity=args.assoc,
+        line_words=args.line,
+        replacement=ReplacementKind(args.replacement),
+    )
+    result = simulate_trace(trace, config)
+    print(f"config: {config.describe()}")
+    print(f"accesses:        {result.accesses}")
+    print(f"hits:            {result.hits}")
+    print(f"cold misses:     {result.cold_misses}")
+    print(f"non-cold misses: {result.non_cold_misses}")
+    print(f"miss rate:       {result.miss_rate:.4f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    trace = read_trace(args.trace)
+    space = DesignSpace(
+        min_depth=2,
+        max_depth=args.max_depth or (1 << max(1, trace.address_bits - 1)),
+        max_associativity=args.max_assoc,
+    )
+    explorer = AnalyticalCacheExplorer(trace)
+    budget = _budget_for(args, explorer)
+    comparison = compare_methods(trace, budget, space)
+    print(f"budget K={budget}; agreement: {comparison.agreement()}")
+    for problem in comparison.disagreements():
+        print(f"  DISAGREEMENT: {problem}")
+    rows = [
+        ["analytical", "-", f"{comparison.analytical_seconds:.4f}"],
+        [
+            "exhaustive",
+            comparison.exhaustive.simulations,
+            f"{comparison.exhaustive.elapsed_seconds:.4f}",
+        ],
+        [
+            "heuristic",
+            comparison.heuristic.simulations,
+            f"{comparison.heuristic.elapsed_seconds:.4f}",
+        ],
+    ]
+    print(format_table(["Method", "Simulations", "Seconds"], rows))
+    print(
+        f"speedup vs exhaustive: {comparison.speedup_vs_exhaustive:.1f}x, "
+        f"vs heuristic: {comparison.speedup_vs_heuristic:.1f}x"
+    )
+    return 0
+
+
+def _cmd_linesize(args: argparse.Namespace) -> int:
+    from repro.core.linesize import LineSizeExplorer
+
+    trace = read_trace(args.trace)
+    explorer = LineSizeExplorer(trace, line_sizes=args.lines)
+    stats_explorer = AnalyticalCacheExplorer(trace)
+    budget = _budget_for(args, stats_explorer)
+    sweep = explorer.explore(budget)
+    rows = [
+        [
+            point.line_words,
+            point.instance.depth,
+            point.instance.associativity,
+            point.size_words,
+            point.non_cold_misses,
+            point.traffic_words,
+        ]
+        for point in sweep.instances
+    ]
+    print(
+        format_table(
+            ["Line", "Depth", "Assoc", "Words", "Misses", "Traffic"],
+            rows,
+            title=f"line-size sweep at K={budget}",
+        )
+    )
+    print(f"smallest: {sweep.smallest()}  least traffic: {sweep.least_traffic()}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.trace.compaction import compact_trace
+
+    trace = read_trace(args.trace)
+    result = compact_trace(trace, args.filter_depth)
+    write_trace(result.trace, args.output)
+    stats = result.stats
+    print(
+        f"stripped {stats.original_length} -> {stats.compacted_length} "
+        f"references ({stats.reduction:.1%} removed); miss counts exact "
+        f"for depths >= {stats.filter_depth}"
+    )
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.explore.policies import policy_robustness
+
+    trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(trace)
+    budget = _budget_for(args, explorer)
+    result = explorer.explore(budget)
+    records = policy_robustness(trace, result)
+    rows = []
+    for record in records:
+        cells = [str(record.instance), record.lru_misses]
+        for policy in sorted(record.outcomes, key=lambda p: p.value):
+            outcome = record.outcomes[policy]
+            if not outcome.applicable:
+                cells.append("n/a")
+            else:
+                marker = "" if outcome.non_cold_misses <= budget else " !"
+                cells.append(f"{outcome.non_cold_misses}{marker}")
+        rows.append(cells)
+    policies = sorted(
+        records[0].outcomes, key=lambda p: p.value
+    ) if records else []
+    print(
+        format_table(
+            ["Instance", "LRU"] + [p.value for p in policies],
+            rows,
+            title=f"non-cold misses per policy at K={budget} (! = over budget)",
+        )
+    )
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    from repro.explore.selection import cheapest, cost_exploration, cost_pareto
+
+    trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(trace)
+    budget = _budget_for(args, explorer)
+    result = explorer.explore(budget)
+    costed = cost_exploration(explorer, result, address_bits=trace.address_bits)
+    front = cost_pareto(costed)
+    rows = [
+        [
+            str(c.instance),
+            f"{c.estimate.area_bits:.0f}",
+            f"{c.run_energy:.0f}",
+            f"{c.estimate.access_time:.2f}",
+            c.non_cold_misses,
+            "*" if c in front else "",
+        ]
+        for c in costed
+    ]
+    print(
+        format_table(
+            ["Instance", "Area (bits)", "Run energy", "Latency", "Misses", "Pareto"],
+            rows,
+            title=f"hardware cost of K={budget} solutions (normalized units)",
+        )
+    )
+    print(f"min energy: {cheapest(costed).instance}")
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from repro.explore.phases import explore_phases
+
+    trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(trace)
+    budget = _budget_for(args, explorer)
+    outcome = explore_phases(trace, budget, phase_count=args.phases)
+    depths = sorted(outcome.static_result.as_dict())
+    rows = []
+    for depth in depths:
+        per_phase = outcome.phase_instances(depth)
+        if any(a is None for a in per_phase):
+            continue
+        rows.append(
+            [
+                depth,
+                outcome.static_result.as_dict()[depth],
+                "/".join(str(a) for a in per_phase),
+                outcome.reconfiguration_benefit(depth),
+            ]
+        )
+    print(
+        format_table(
+            ["Depth", "Static A", "Per-phase A", "Words saved"],
+            rows,
+            title=f"phase exploration: {args.phases} phases, K={budget} each",
+        )
+    )
+    return 0
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.explore.hierarchy import HierarchyExplorer
+    from repro.trace.stats import compute_statistics
+
+    trace = read_trace(args.trace)
+    l1 = CacheConfig(depth=args.l1_depth, associativity=args.l1_assoc)
+    explorer = HierarchyExplorer(trace, l1)
+    if args.budget is not None:
+        budget = args.budget
+    else:
+        budget = compute_statistics(explorer.miss_trace).budget(args.percent)
+    outcome = explorer.explore(budget)
+    print(
+        f"L1 ({l1.describe()}): {outcome.l1_result.misses} misses "
+        f"({outcome.l1_result.miss_rate:.1%}) -> L2 sees "
+        f"{len(outcome.miss_trace)} accesses"
+    )
+    rows = [
+        [inst.depth, inst.associativity, misses]
+        for inst, misses in zip(
+            outcome.l2_result.instances, outcome.l2_result.misses
+        )
+    ]
+    print(
+        format_table(
+            ["L2 depth", "L2 assoc", "L2 misses"],
+            rows,
+            title=f"optimal L2 instances at K={budget}",
+        )
+    )
+    return 0
+
+
+def _cmd_conflicts(args: argparse.Namespace) -> int:
+    from repro.analysis.conflicts import conflict_report
+
+    trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(trace)
+    rows = conflict_report(
+        explorer, args.depth, associativity=args.assoc, top=args.top
+    )
+    if not rows:
+        print(
+            f"no conflicting rows at D={args.depth} A={args.assoc} - "
+            "the cache is conflict-free for this trace"
+        )
+        return 0
+    print(
+        format_table(
+            ["Row", "Misses", "Refs", "Addresses"],
+            [
+                [
+                    r.row_index,
+                    r.misses,
+                    r.occupancy,
+                    ", ".join(f"{a:#x}" for a in r.addresses[:6])
+                    + ("..." if r.occupancy > 6 else ""),
+                ]
+                for r in rows
+            ],
+            title=f"top conflicting rows at D={args.depth} A={args.assoc}",
+        )
+    )
+    return 0
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    from repro.analysis.curves import associativity_curve, capacity_curve
+    from repro.analysis.export import curve_to_csv
+
+    trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(trace)
+    if args.depth:
+        points = associativity_curve(explorer, args.depth)
+        csv_text = curve_to_csv(points, x_name="associativity")
+    else:
+        max_capacity = args.max_capacity
+        if not max_capacity:
+            max_capacity = 2
+            while max_capacity < 2 * explorer.stripped.n_unique:
+                max_capacity *= 2
+        points = capacity_curve(explorer, max_capacity=max_capacity)
+        csv_text = curve_to_csv(points, x_name="capacity_words")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(csv_text)
+        print(f"wrote {len(points)} points to {args.output}")
+    else:
+        print(csv_text, end="")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.isa.assembler import assemble
+    from repro.workloads import get_workload
+
+    workload = get_workload(args.name, scale=args.scale)
+    program = assemble(workload.source, name=workload.name)
+    print(f"; {workload.name}: {workload.description}")
+    print(
+        f"; {program.code_words} instructions, "
+        f"{program.data_words} data words, "
+        f"expected checksum {workload.expected:#010x}"
+    )
+    print(program.disassemble())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import generate_report
+
+    trace = read_trace(args.trace)
+    report = generate_report(trace, focus_percent=args.percent)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote report to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_paper_example(args: argparse.Namespace) -> int:
+    trace = Trace.from_bit_strings(
+        [
+            "1011", "1100", "0110", "0011", "1011",
+            "0100", "1100", "0011", "1011", "0110",
+        ],
+        name="paper-table-1",
+    )
+    stripped = strip_trace(trace)
+    print("Table 1 (original trace):", [f"{a:04b}" for a in trace])
+    print(
+        "Table 2 (stripped):",
+        {i + 1: f"{a:04b}" for i, a in enumerate(stripped.unique_addresses)},
+    )
+    zerosets = build_zero_one_sets(stripped)
+    print("Table 3 (zero/one sets):")
+    for bit in range(zerosets.address_bits):
+        zero = sorted(i + 1 for i in zerosets.zero_members(bit))
+        one = sorted(i + 1 for i in zerosets.one_members(bit))
+        print(f"  B{bit}: Z={zero} O={one}")
+    mrct = build_mrct(stripped)
+    print("Table 4 (MRCT):", mrct_as_display_table(mrct))
+    print("Figure 3 (BCAT):")
+    print(build_bcat(zerosets).render())
+    explorer = AnalyticalCacheExplorer(trace)
+    result = explorer.explore(0)
+    print("Optimal pairs for K=0:", [str(i) for i in result])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Analytical cache design space exploration (Ghosh & Givargis, DATE 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="run & verify the benchmark kernels")
+    p.add_argument("--scale", default="default", help="tiny/small/default/large")
+    p.add_argument(
+        "--extras",
+        action="store_true",
+        help="include the PowerStone kernels beyond the paper's 12",
+    )
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("emit", help="write a workload trace to a file")
+    p.add_argument("name", help="workload name (e.g. crc)")
+    p.add_argument(
+        "--kind", choices=["inst", "data", "unified"], default="data"
+    )
+    p.add_argument("--scale", default="default")
+    p.add_argument("-o", "--output", required=True, help="output trace file")
+    p.set_defaults(func=_cmd_emit)
+
+    p = sub.add_parser("stats", help="trace statistics (paper Tables 5/6)")
+    p.add_argument("traces", nargs="+", help="trace files")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("explore", help="analytical exploration of a trace")
+    p.add_argument("trace", help="trace file")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--budget", type=int, help="absolute miss budget K")
+    group.add_argument(
+        "--percent", type=float, help="K as percent of max misses"
+    )
+    p.add_argument("--max-depth", type=int, default=0, help="largest depth to report")
+    p.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("simulate", help="simulate one cache configuration")
+    p.add_argument("trace", help="trace file")
+    p.add_argument("--depth", type=int, required=True)
+    p.add_argument("--assoc", type=int, required=True)
+    p.add_argument("--line", type=int, default=1, help="line size in words")
+    p.add_argument(
+        "--replacement",
+        default="lru",
+        choices=[kind.value for kind in ReplacementKind],
+    )
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("compare", help="analytical vs traditional DSE")
+    p.add_argument("trace", help="trace file")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--budget", type=int)
+    group.add_argument("--percent", type=float)
+    p.add_argument("--max-depth", type=int, default=0)
+    p.add_argument("--max-assoc", type=int, default=8)
+    p.set_defaults(func=_cmd_compare)
+
+    def add_budget_group(p):
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("--budget", type=int, help="absolute miss budget K")
+        group.add_argument(
+            "--percent", type=float, help="K as percent of max misses"
+        )
+
+    p = sub.add_parser("linesize", help="line-size sweep (paper future work)")
+    p.add_argument("trace", help="trace file")
+    add_budget_group(p)
+    p.add_argument(
+        "--lines",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="line sizes in words (powers of two)",
+    )
+    p.set_defaults(func=_cmd_linesize)
+
+    p = sub.add_parser("compact", help="Puzak trace stripping [14][15]")
+    p.add_argument("trace", help="input trace file")
+    p.add_argument("-o", "--output", required=True, help="output trace file")
+    p.add_argument(
+        "--filter-depth",
+        type=int,
+        default=2,
+        help="direct-mapped filter depth (validity floor)",
+    )
+    p.set_defaults(func=_cmd_compact)
+
+    p = sub.add_parser(
+        "robustness", help="LRU instances under FIFO/PLRU/random"
+    )
+    p.add_argument("trace", help="trace file")
+    add_budget_group(p)
+    p.set_defaults(func=_cmd_robustness)
+
+    p = sub.add_parser("cost", help="CACTI-style cost ranking of solutions")
+    p.add_argument("trace", help="trace file")
+    add_budget_group(p)
+    p.set_defaults(func=_cmd_cost)
+
+    p = sub.add_parser("phases", help="per-phase optima vs static")
+    p.add_argument("trace", help="trace file")
+    add_budget_group(p)
+    p.add_argument("--phases", type=int, default=4, help="number of phases")
+    p.set_defaults(func=_cmd_phases)
+
+    p = sub.add_parser("hierarchy", help="explore L2 behind a fixed L1")
+    p.add_argument("trace", help="trace file")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--budget", type=int, help="L2 miss budget K")
+    group.add_argument(
+        "--percent", type=float, help="K as percent of L2's own max misses"
+    )
+    p.add_argument("--l1-depth", type=int, default=64)
+    p.add_argument("--l1-assoc", type=int, default=1)
+    p.set_defaults(func=_cmd_hierarchy)
+
+    p = sub.add_parser("conflicts", help="diagnose conflicting cache rows")
+    p.add_argument("trace", help="trace file")
+    p.add_argument("--depth", type=int, required=True)
+    p.add_argument("--assoc", type=int, default=1)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_conflicts)
+
+    p = sub.add_parser("curves", help="miss curves as CSV")
+    p.add_argument("trace", help="trace file")
+    p.add_argument(
+        "--depth",
+        type=int,
+        default=0,
+        help="fixed depth: emit the associativity curve (default: capacity curve)",
+    )
+    p.add_argument(
+        "--max-capacity", type=int, default=0, help="capacity-curve ceiling"
+    )
+    p.add_argument("-o", "--output", help="write CSV to a file")
+    p.set_defaults(func=_cmd_curves)
+
+    p = sub.add_parser("disasm", help="disassemble a workload kernel")
+    p.add_argument("name", help="workload name (e.g. crc)")
+    p.add_argument("--scale", default="default")
+    p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("report", help="full markdown design report")
+    p.add_argument("trace", help="trace file")
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.add_argument(
+        "--percent",
+        type=float,
+        default=10.0,
+        help="focus budget for sensitivity/cost sections",
+    )
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("paper-example", help="the paper's running example")
+    p.set_defaults(func=_cmd_paper_example)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

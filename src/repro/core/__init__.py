@@ -1,0 +1,85 @@
+"""The paper's primary contribution: analytical cache design space exploration.
+
+Given a memory-reference trace and a miss budget ``K`` (non-cold misses),
+compute — without any per-configuration simulation — the minimum degree of
+associativity ``A`` for every cache depth ``D`` such that a ``D x A`` LRU
+cache misses at most ``K`` times beyond its cold misses.
+
+The pipeline follows the paper's Figure 2:
+
+1. strip the trace (:mod:`repro.trace.strip`),
+2. build the per-bit zero/one sets (:mod:`repro.core.zerosets`),
+3. build the Binary Cache Allocation Tree (:mod:`repro.core.bcat`,
+   Algorithm 1),
+4. build the Memory Reference Conflict Table (:mod:`repro.core.mrct`,
+   Algorithm 2),
+5. run the postlude (:mod:`repro.core.postlude`, Algorithm 3) to obtain
+   the optimal ``(D, A)`` pairs.
+
+:class:`~repro.core.explorer.AnalyticalCacheExplorer` wires the phases
+together behind one call.
+"""
+
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
+from repro.core.bcat import BCAT, BCATNode, build_bcat, walk_bcat_sets
+from repro.core.mrct import MRCT, build_mrct, build_mrct_naive
+from repro.core.postlude import (
+    LevelHistogram,
+    compute_level_histograms,
+    misses_at_node,
+    node_distance_histogram,
+    optimal_pairs,
+    optimal_pairs_algorithm3,
+)
+from repro.core.explorer import AnalyticalCacheExplorer, explore
+from repro.core.linesize import (
+    LineInstance,
+    LineSizeExplorer,
+    LineSweepResult,
+    explore_line_sizes,
+)
+from repro.core.multi import MultiTraceExplorer, MultiTraceResult
+from repro.core.parallel import compute_level_histograms_parallel
+from repro.core.streaming import compute_level_histograms_streaming
+from repro.core.sensitivity import (
+    SensitivityStep,
+    budget_sensitivity,
+    marginal_budget_for_cheaper_cache,
+)
+from repro.core.validation import ValidationRecord, validate_instances
+
+__all__ = [
+    "CacheInstance",
+    "ExplorationResult",
+    "ZeroOneSets",
+    "build_zero_one_sets",
+    "BCAT",
+    "BCATNode",
+    "build_bcat",
+    "walk_bcat_sets",
+    "MRCT",
+    "build_mrct",
+    "build_mrct_naive",
+    "LevelHistogram",
+    "compute_level_histograms",
+    "misses_at_node",
+    "node_distance_histogram",
+    "optimal_pairs",
+    "optimal_pairs_algorithm3",
+    "AnalyticalCacheExplorer",
+    "explore",
+    "LineInstance",
+    "LineSizeExplorer",
+    "LineSweepResult",
+    "explore_line_sizes",
+    "compute_level_histograms_parallel",
+    "compute_level_histograms_streaming",
+    "MultiTraceExplorer",
+    "MultiTraceResult",
+    "SensitivityStep",
+    "budget_sensitivity",
+    "marginal_budget_for_cheaper_cache",
+    "ValidationRecord",
+    "validate_instances",
+]

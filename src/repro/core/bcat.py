@@ -1,0 +1,188 @@
+"""The Binary Cache Allocation Tree (BCAT) — paper Algorithm 1 / Figure 3.
+
+Level ``l`` of the tree (root at level 0) partitions the unique references
+into the ``2**l`` rows of a depth-``2**l`` cache: a node's left child
+holds the members whose bit ``l`` is 0, the right child those whose bit
+``l`` is 1.  The tree stops growing below nodes with fewer than two
+members, because a row holding at most one unique reference can never
+produce a non-cold miss.
+
+Two implementations are provided, as discussed in the paper's section 2.4:
+
+* :func:`build_bcat` materializes the whole tree (exponential space in the
+  worst case) — convenient for inspection, display and the paper's running
+  example;
+* :func:`walk_bcat_sets` streams the node sets level-tagged via an
+  explicit-stack depth-first traversal without ever storing the tree
+  (linear space), which is what the production postlude uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.zerosets import ZeroOneSets, bitset_members
+
+
+@dataclass
+class BCATNode:
+    """One node of the BCAT.
+
+    Attributes:
+        members: bit-vector set of reference identifiers mapped to this
+            node's cache row.
+        level: tree level (0 = root; level ``l`` <=> cache depth ``2**l``).
+        left: child holding members with bit ``level`` = 0 (or None).
+        right: child holding members with bit ``level`` = 1 (or None).
+    """
+
+    members: int
+    level: int
+    left: Optional["BCATNode"] = None
+    right: Optional["BCATNode"] = None
+
+    @property
+    def cardinality(self) -> int:
+        """Number of references mapped to this row."""
+        return self.members.bit_count()
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the tree stopped growing below this node."""
+        return self.left is None and self.right is None
+
+    def member_ids(self) -> set:
+        """Members as a Python set of identifiers (display/tests)."""
+        return bitset_members(self.members)
+
+
+@dataclass
+class BCAT:
+    """A fully materialized BCAT.
+
+    Attributes:
+        root: the level-0 node containing every reference.
+        address_bits: number of address bits available as index bits; the
+            tree never grows deeper than this.
+    """
+
+    root: BCATNode
+    address_bits: int
+
+    @property
+    def depth(self) -> int:
+        """Deepest level with at least one node (the paper's BCAT.depth)."""
+
+        def _depth(node: Optional[BCATNode]) -> int:
+            if node is None:
+                return -1
+            if node.is_leaf:
+                return node.level
+            return max(_depth(node.left), _depth(node.right))
+
+        return _depth(self.root)
+
+    def level_nodes(self, level: int) -> List[BCATNode]:
+        """All nodes at ``level`` in left-to-right order.
+
+        Note that pruned subtrees (below nodes with < 2 members) simply do
+        not appear; their rows can never conflict.
+        """
+        if level < 0:
+            raise ValueError(f"level must be non-negative, got {level}")
+        current = [self.root]
+        for _ in range(level):
+            nxt: List[BCATNode] = []
+            for node in current:
+                if node.left is not None:
+                    nxt.append(node.left)
+                if node.right is not None:
+                    nxt.append(node.right)
+            current = nxt
+        return current
+
+    def level_sets(self, level: int) -> List[int]:
+        """Member bit-vectors of all nodes at ``level``."""
+        return [node.members for node in self.level_nodes(level)]
+
+    def render(self) -> str:
+        """ASCII rendering of the tree (one node per line, indented)."""
+        lines: List[str] = []
+
+        def _render(node: Optional[BCATNode], indent: int) -> None:
+            if node is None:
+                return
+            ids = sorted(node.member_ids())
+            lines.append("  " * indent + f"L{node.level} {{{','.join(map(str, ids))}}}")
+            _render(node.left, indent + 1)
+            _render(node.right, indent + 1)
+
+        _render(self.root, 0)
+        return "\n".join(lines)
+
+
+def build_bcat(zerosets: ZeroOneSets) -> BCAT:
+    """Materialize the BCAT (paper Algorithm 1).
+
+    The root holds every identifier; a node at level ``l`` with at least
+    two members is split by bit ``l`` into ``members & Z_l`` and
+    ``members & O_l``.  Children are created even when empty (the paper's
+    Figure 3 shows empty rows), but nothing grows *below* a node with
+    fewer than two members.
+    """
+    bits = zerosets.address_bits
+
+    def _grow(node: BCATNode) -> None:
+        if node.level >= bits or node.cardinality < 2:
+            return
+        zero_mask, one_mask = zerosets.pair(node.level)
+        node.left = BCATNode(node.members & zero_mask, node.level + 1)
+        node.right = BCATNode(node.members & one_mask, node.level + 1)
+        _grow(node.left)
+        _grow(node.right)
+
+    root = BCATNode(zerosets.universe, 0)
+    _grow(root)
+    return BCAT(root=root, address_bits=bits)
+
+
+def walk_bcat_sets(
+    zerosets: ZeroOneSets, max_level: Optional[int] = None
+) -> Iterator[Tuple[int, int]]:
+    """Stream ``(level, members)`` pairs depth-first without storing the tree.
+
+    This is the linear-space traversal of the paper's section 2.4.  Only
+    nodes with at least two members are yielded below the root — rows with
+    fewer can never conflict, so the postlude does not need them.  Yields
+    include the root (level 0, all members).
+
+    Args:
+        zerosets: the per-bit zero/one sets.
+        max_level: deepest level to descend to (default: all address bits).
+    """
+    bits = zerosets.address_bits
+    limit = bits if max_level is None else min(max_level, bits)
+    stack: List[Tuple[int, int]] = [(0, zerosets.universe)]
+    while stack:
+        level, members = stack.pop()
+        yield level, members
+        if level >= limit or members.bit_count() < 2:
+            continue
+        zero_mask, one_mask = zerosets.pair(level)
+        left = members & zero_mask
+        right = members & one_mask
+        if right:
+            stack.append((level + 1, right))
+        if left:
+            stack.append((level + 1, left))
+
+
+def level_set_map(
+    zerosets: ZeroOneSets, max_level: Optional[int] = None
+) -> Dict[int, List[int]]:
+    """Group the streamed sets by level: ``{level: [members, ...]}``."""
+    grouped: Dict[int, List[int]] = {}
+    for level, members in walk_bcat_sets(zerosets, max_level):
+        grouped.setdefault(level, []).append(members)
+    return grouped

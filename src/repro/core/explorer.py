@@ -1,0 +1,218 @@
+"""High-level facade over the analytical exploration pipeline.
+
+:class:`AnalyticalCacheExplorer` owns the prelude products (stripped
+trace, zero/one sets, MRCT) and the per-level conflict histograms, all
+built lazily and cached, so that exploring many miss budgets K — as the
+paper does at 5/10/15/20% of max misses — costs one prelude plus one
+histogram pass in total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.instance import ExplorationResult
+from repro.core.mrct import MRCT, build_mrct
+from repro.core.postlude import (
+    LevelHistogram,
+    compute_level_histograms,
+    optimal_pairs,
+)
+from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
+from repro.trace.stats import TraceStatistics, compute_statistics
+from repro.trace.strip import StrippedTrace, strip_trace
+from repro.trace.trace import Trace
+
+
+class AnalyticalCacheExplorer:
+    """Analytical cache design-space explorer (the paper's Figure 1(b)).
+
+    Args:
+        trace: the word-addressed memory-reference trace to optimize for.
+        max_depth: largest cache depth to report, as a power of two.
+            Defaults to the smallest depth at which every row is
+            conflict-free (one level past the BCAT's deepest conflicts) —
+            all larger depths trivially report ``A = 1``.
+        engine: which histogram implementation to use —
+            ``"bitmask"`` (default; the paper's BCAT/MRCT pipeline with
+            bit-vector sets, fastest in Python), ``"streaming"`` (single
+            LRU-stack pass, O(N') memory, for traces that dwarf RAM) or
+            ``"parallel"`` (BCAT subtrees across worker processes, for
+            very large N·N').
+        processes: worker count for the ``"parallel"`` engine.
+
+    All engines produce bit-identical histograms, hence identical
+    exploration results (tested).
+
+    Example:
+        >>> from repro.trace import loop_nest_trace
+        >>> from repro.core import AnalyticalCacheExplorer
+        >>> explorer = AnalyticalCacheExplorer(loop_nest_trace(8, 10))
+        >>> result = explorer.explore(budget=0)
+        >>> result.as_dict()[8]
+        1
+    """
+
+    ENGINES = ("bitmask", "streaming", "parallel")
+
+    def __init__(
+        self,
+        trace: Trace,
+        max_depth: Optional[int] = None,
+        engine: str = "bitmask",
+        processes: int = 2,
+    ) -> None:
+        if max_depth is not None:
+            if max_depth < 1 or (max_depth & (max_depth - 1)) != 0:
+                raise ValueError(
+                    f"max_depth must be a power of two, got {max_depth}"
+                )
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}"
+            )
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.trace = trace
+        self.engine = engine
+        self.processes = processes
+        self._max_depth = max_depth
+        self._stripped: Optional[StrippedTrace] = None
+        self._zerosets: Optional[ZeroOneSets] = None
+        self._mrct: Optional[MRCT] = None
+        self._histograms: Optional[Dict[int, LevelHistogram]] = None
+        self._statistics: Optional[TraceStatistics] = None
+
+    # -- cached pipeline stages -------------------------------------------------
+
+    @property
+    def stripped(self) -> StrippedTrace:
+        """The stripped trace (prelude step 1)."""
+        if self._stripped is None:
+            self._stripped = strip_trace(self.trace)
+        return self._stripped
+
+    @property
+    def zerosets(self) -> ZeroOneSets:
+        """The per-bit zero/one sets (prelude step 2)."""
+        if self._zerosets is None:
+            self._zerosets = build_zero_one_sets(self.stripped)
+        return self._zerosets
+
+    @property
+    def mrct(self) -> MRCT:
+        """The memory-reference conflict table (prelude step 3)."""
+        if self._mrct is None:
+            self._mrct = build_mrct(self.stripped)
+        return self._mrct
+
+    @property
+    def histograms(self) -> Dict[int, LevelHistogram]:
+        """Per-level conflict histograms, from the configured engine."""
+        if self._histograms is None:
+            max_level = None
+            if self._max_depth is not None:
+                max_level = self._max_depth.bit_length() - 1
+            if self.engine == "streaming":
+                from repro.core.streaming import (
+                    compute_level_histograms_streaming,
+                )
+
+                self._histograms = compute_level_histograms_streaming(
+                    self.trace, max_level=max_level
+                )
+            elif self.engine == "parallel":
+                from repro.core.parallel import (
+                    compute_level_histograms_parallel,
+                )
+
+                self._histograms = compute_level_histograms_parallel(
+                    self.zerosets,
+                    self.mrct,
+                    max_level=max_level,
+                    processes=self.processes,
+                )
+            else:
+                self._histograms = compute_level_histograms(
+                    self.zerosets, self.mrct, max_level=max_level
+                )
+        return self._histograms
+
+    @property
+    def statistics(self) -> TraceStatistics:
+        """Trace statistics (N, N', max misses) for budget scaling."""
+        if self._statistics is None:
+            self._statistics = compute_statistics(self.trace)
+        return self._statistics
+
+    # -- depth bookkeeping ---------------------------------------------------------
+
+    @property
+    def report_level(self) -> int:
+        """Deepest BCAT level reported by :meth:`explore`.
+
+        One past the deepest level that still has conflicts (so the first
+        all-direct-mapped depth appears in the output), clamped to the
+        trace's address width, and overridden by ``max_depth`` when given.
+        """
+        if self._max_depth is not None:
+            return self._max_depth.bit_length() - 1
+        conflict_levels = [
+            level for level, h in self.histograms.items() if h.counts
+        ]
+        deepest = max(conflict_levels, default=0)
+        return min(deepest + 1, self.trace.address_bits)
+
+    def misses(self, depth: int, associativity: int) -> int:
+        """Exact analytical non-cold miss count of a ``depth x A`` cache."""
+        if depth < 1 or (depth & (depth - 1)) != 0:
+            raise ValueError(f"depth must be a power of two, got {depth}")
+        level = depth.bit_length() - 1
+        histogram = self.histograms.get(level)
+        if histogram is None:
+            if level > max(self.histograms, default=0):
+                return 0  # beyond the BCAT: every row conflict-free
+            raise ValueError(f"depth {depth} outside the explored range")
+        return histogram.misses(associativity)
+
+    # -- exploration entry points -----------------------------------------------------
+
+    def explore(
+        self, budget: int, include_depth_one: bool = False
+    ) -> ExplorationResult:
+        """Compute the optimal ``(D, A)`` set for an absolute miss budget K."""
+        instances = optimal_pairs(
+            self.histograms,
+            budget,
+            max_level=self.report_level,
+            include_depth_one=include_depth_one,
+        )
+        misses = [self.misses(i.depth, i.associativity) for i in instances]
+        return ExplorationResult(
+            budget=budget,
+            instances=instances,
+            misses=misses,
+            trace_name=self.trace.name,
+        )
+
+    def explore_percent(
+        self, percent: float, include_depth_one: bool = False
+    ) -> ExplorationResult:
+        """Explore with K set to ``percent`` % of the trace's max misses.
+
+        This is how the paper parameterizes its evaluation (K at 5, 10,
+        15 and 20 percent of the depth-1 direct-mapped miss count).
+        """
+        budget = self.statistics.budget(percent)
+        return self.explore(budget, include_depth_one=include_depth_one)
+
+    def explore_many(
+        self, budgets: Sequence[int], include_depth_one: bool = False
+    ) -> List[ExplorationResult]:
+        """Explore several absolute budgets, reusing all cached stages."""
+        return [self.explore(k, include_depth_one=include_depth_one) for k in budgets]
+
+
+def explore(trace: Trace, budget: int, max_depth: Optional[int] = None) -> ExplorationResult:
+    """One-shot convenience wrapper around :class:`AnalyticalCacheExplorer`."""
+    return AnalyticalCacheExplorer(trace, max_depth=max_depth).explore(budget)

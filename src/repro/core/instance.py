@@ -1,0 +1,143 @@
+"""Cache design points produced by the analytical explorer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.config import CacheConfig, ReplacementKind, WritePolicy, is_power_of_two
+
+
+@dataclass(frozen=True, order=True)
+class CacheInstance:
+    """One optimal ``(D, A)`` pair output by the algorithm.
+
+    Attributes:
+        depth: cache depth ``D`` (rows); power of two.
+        associativity: minimum degree of associativity ``A`` meeting the
+            miss budget at this depth.
+    """
+
+    depth: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.depth):
+            raise ValueError(f"depth must be a power of two, got {self.depth}")
+        if self.associativity < 1:
+            raise ValueError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
+
+    @property
+    def size_words(self) -> int:
+        """Total capacity in words (the paper's ``2**log2(D) * A``)."""
+        return self.depth * self.associativity
+
+    def to_config(
+        self,
+        replacement: ReplacementKind = ReplacementKind.LRU,
+        write_policy: WritePolicy = WritePolicy.WRITE_BACK,
+    ) -> CacheConfig:
+        """Materialize as a simulator :class:`CacheConfig` (one-word lines)."""
+        return CacheConfig(
+            depth=self.depth,
+            associativity=self.associativity,
+            line_words=1,
+            replacement=replacement,
+            write_policy=write_policy,
+        )
+
+    def __str__(self) -> str:
+        return f"(D={self.depth}, A={self.associativity})"
+
+
+@dataclass
+class ExplorationResult:
+    """Full output of one analytical exploration run.
+
+    Attributes:
+        budget: the miss budget K the run satisfied (non-cold misses).
+        instances: one :class:`CacheInstance` per explored depth, in
+            increasing depth order — the paper's output set.
+        misses: achieved non-cold miss count for each instance (same
+            order); always ``<= budget``.
+        trace_name: label of the analyzed trace.
+    """
+
+    budget: int
+    instances: List[CacheInstance]
+    misses: List[int] = field(default_factory=list)
+    trace_name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.misses and len(self.misses) != len(self.instances):
+            raise ValueError("misses and instances must have matching lengths")
+
+    def associativity_for(self, depth: int) -> Optional[int]:
+        """Minimum associativity at ``depth``, or None if not explored."""
+        for inst in self.instances:
+            if inst.depth == depth:
+                return inst.associativity
+        return None
+
+    def as_dict(self) -> Dict[int, int]:
+        """``{depth: associativity}`` mapping."""
+        return {inst.depth: inst.associativity for inst in self.instances}
+
+    def smallest(self) -> Optional[CacheInstance]:
+        """The instance with the smallest total size (ties -> lower depth)."""
+        if not self.instances:
+            return None
+        return min(self.instances, key=lambda inst: (inst.size_words, inst.depth))
+
+    def to_json_dict(self) -> Dict:
+        """A JSON-serializable representation (see :meth:`from_json_dict`)."""
+        return {
+            "budget": self.budget,
+            "trace_name": self.trace_name,
+            "instances": [
+                {
+                    "depth": inst.depth,
+                    "associativity": inst.associativity,
+                    "size_words": inst.size_words,
+                    "misses": misses,
+                }
+                for inst, misses in zip(
+                    self.instances, self.misses or [None] * len(self.instances)
+                )
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "ExplorationResult":
+        """Rebuild a result from :meth:`to_json_dict` output.
+
+        Raises:
+            KeyError/TypeError/ValueError: on malformed payloads.
+        """
+        instances = [
+            CacheInstance(
+                depth=int(entry["depth"]),
+                associativity=int(entry["associativity"]),
+            )
+            for entry in payload["instances"]
+        ]
+        raw_misses = [entry.get("misses") for entry in payload["instances"]]
+        misses = (
+            [int(m) for m in raw_misses]
+            if all(m is not None for m in raw_misses) and raw_misses
+            else []
+        )
+        return cls(
+            budget=int(payload["budget"]),
+            instances=instances,
+            misses=misses,
+            trace_name=str(payload.get("trace_name", "")),
+        )
+
+    def __iter__(self):
+        return iter(self.instances)
+
+    def __len__(self) -> int:
+        return len(self.instances)

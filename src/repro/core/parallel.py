@@ -1,0 +1,126 @@
+"""Parallel postlude — the paper's section 2.4 distribution note, realized.
+
+The paper observes that bit-vector sets "allow for execution of the
+algorithm on a cluster of machines by utilizing a distributed set
+library, enabling the processing of very large trace files".  The same
+decomposition works on one machine with worker processes: the BCAT is
+cut at a *split level*; each subtree rooted there is independent (its
+member sets never interact with another subtree's), so workers can
+histogram whole subtrees in parallel and the main process merges the
+per-level results and handles the levels above the cut.
+
+Results are bit-identical to the serial
+:func:`repro.core.postlude.compute_level_histograms` — enforced by tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mrct import MRCT
+from repro.core.postlude import LevelHistogram, node_distance_histogram
+from repro.core.zerosets import ZeroOneSets
+
+# A worker's job: one subtree root plus everything needed to walk it.
+_WorkerJob = Tuple[int, int, Tuple[int, ...], Tuple[int, ...], List[List[int]], int]
+
+
+def _subtree_histograms(job: _WorkerJob) -> Dict[int, Dict[int, int]]:
+    """Histogram one BCAT subtree (runs in a worker process).
+
+    Args:
+        job: (root_members, root_level, zero_sets, one_sets, mrct_sets,
+            max_level).
+    """
+    root_members, root_level, zero, one, mrct_sets, max_level = job
+    mrct = MRCT(sets=mrct_sets, n_unique=0)  # n_unique unused here
+    histograms: Dict[int, Dict[int, int]] = {}
+    stack = [(root_level, root_members)]
+    while stack:
+        level, members = stack.pop()
+        if members.bit_count() < 2:
+            continue
+        counts = node_distance_histogram(members, mrct)
+        if counts:
+            bucket = histograms.setdefault(level, {})
+            for distance, count in counts.items():
+                bucket[distance] = bucket.get(distance, 0) + count
+        if level >= max_level:
+            continue
+        left = members & zero[level]
+        right = members & one[level]
+        if left:
+            stack.append((level + 1, left))
+        if right:
+            stack.append((level + 1, right))
+    return histograms
+
+
+def compute_level_histograms_parallel(
+    zerosets: ZeroOneSets,
+    mrct: MRCT,
+    max_level: Optional[int] = None,
+    processes: int = 2,
+    split_level: int = 2,
+) -> Dict[int, LevelHistogram]:
+    """Parallel drop-in for :func:`~repro.core.postlude.compute_level_histograms`.
+
+    Args:
+        zerosets: per-bit zero/one sets.
+        mrct: the conflict table.
+        max_level: deepest level to histogram (default: all address bits).
+        processes: worker process count (1 short-circuits to serial work
+            in-process).
+        split_level: BCAT level whose nodes become work units; clamped to
+            ``max_level``.  Deeper cuts yield more, smaller units.
+    """
+    if processes < 1:
+        raise ValueError("processes must be >= 1")
+    if split_level < 0:
+        raise ValueError("split_level must be >= 0")
+    limit = zerosets.address_bits if max_level is None else max_level
+    limit = min(limit, zerosets.address_bits)
+    split = min(split_level, limit)
+
+    histograms: Dict[int, LevelHistogram] = {
+        level: LevelHistogram(level) for level in range(limit + 1)
+    }
+
+    # Levels above the cut, plus discovery of the work units at the cut.
+    jobs: List[_WorkerJob] = []
+    stack: List[Tuple[int, int]] = [(0, zerosets.universe)]
+    while stack:
+        level, members = stack.pop()
+        if members.bit_count() < 2:
+            continue
+        if level == split:
+            jobs.append(
+                (members, level, zerosets.zero, zerosets.one, mrct.sets, limit)
+            )
+            continue
+        counts = node_distance_histogram(members, mrct)
+        histogram = histograms[level]
+        for distance, count in counts.items():
+            histogram.add(distance, count)
+        if level >= limit:
+            continue
+        left = members & zerosets.zero[level]
+        right = members & zerosets.one[level]
+        if left:
+            stack.append((level + 1, left))
+        if right:
+            stack.append((level + 1, right))
+
+    if processes == 1 or len(jobs) <= 1:
+        partials = [_subtree_histograms(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
+            partials = pool.map(_subtree_histograms, jobs)
+
+    for partial in partials:
+        for level, counts in partial.items():
+            histogram = histograms[level]
+            for distance, count in counts.items():
+                histogram.add(distance, count)
+    return histograms

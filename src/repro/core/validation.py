@@ -1,0 +1,86 @@
+"""Cross-validation of the analytical algorithm against simulation.
+
+For LRU caches with one-word lines the analytical miss counts are exact,
+so every instance the explorer emits must, when simulated, (a) achieve
+exactly the predicted non-cold miss count and (b) stay within the budget.
+These helpers package that check for tests, examples and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.result import SimulationResult
+from repro.cache.simulator import simulate_trace
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """Outcome of simulating one analytically derived instance.
+
+    Attributes:
+        instance: the ``(D, A)`` pair under test.
+        predicted_misses: the explorer's non-cold miss count.
+        simulated: the full simulation result.
+        budget: the miss budget the instance was derived for.
+    """
+
+    instance: CacheInstance
+    predicted_misses: int
+    simulated: SimulationResult
+    budget: int
+
+    @property
+    def exact(self) -> bool:
+        """True when prediction equals simulation, miss for miss."""
+        return self.predicted_misses == self.simulated.non_cold_misses
+
+    @property
+    def within_budget(self) -> bool:
+        """True when the simulated non-cold misses respect the budget."""
+        return self.simulated.non_cold_misses <= self.budget
+
+    @property
+    def ok(self) -> bool:
+        """Exact *and* within budget."""
+        return self.exact and self.within_budget
+
+
+def validate_instances(
+    trace: Trace, result: ExplorationResult
+) -> List[ValidationRecord]:
+    """Simulate every instance of an exploration result against its trace."""
+    records: List[ValidationRecord] = []
+    predicted = result.misses or [None] * len(result.instances)
+    for instance, prediction in zip(result.instances, predicted):
+        simulated = simulate_trace(trace, instance.to_config())
+        if prediction is None:
+            prediction = simulated.non_cold_misses
+        records.append(
+            ValidationRecord(
+                instance=instance,
+                predicted_misses=prediction,
+                simulated=simulated,
+                budget=result.budget,
+            )
+        )
+    return records
+
+
+def assert_all_valid(records: List[ValidationRecord]) -> None:
+    """Raise :class:`AssertionError` describing the first failing record."""
+    for record in records:
+        if not record.exact:
+            raise AssertionError(
+                f"{record.instance}: predicted {record.predicted_misses} "
+                f"non-cold misses but simulation measured "
+                f"{record.simulated.non_cold_misses}"
+            )
+        if not record.within_budget:
+            raise AssertionError(
+                f"{record.instance}: simulated {record.simulated.non_cold_misses} "
+                f"non-cold misses exceeds budget {record.budget}"
+            )

@@ -1,0 +1,67 @@
+"""Design-space exploration framework around both of the paper's Figure 1 flows.
+
+* :mod:`repro.explore.exhaustive` — the traditional approach taken to its
+  limit: simulate every configuration in the space.
+* :mod:`repro.explore.heuristic` — the traditional iterative
+  design-simulate-analyze loop (simulate, inspect misses, adjust, repeat).
+* :mod:`repro.explore.pareto` — Pareto filtering of (size, misses)
+  trade-offs.
+* :mod:`repro.explore.compare` — head-to-head agreement and cost
+  comparison of the traditional flows against the analytical algorithm.
+"""
+
+from repro.explore.space import DesignSpace
+from repro.explore.exhaustive import ExhaustiveResult, exhaustive_explore
+from repro.explore.heuristic import HeuristicResult, iterative_heuristic_explore
+from repro.explore.pareto import pareto_filter, pareto_instances
+from repro.explore.compare import MethodComparison, compare_methods
+from repro.explore.hierarchy import (
+    HierarchyExplorer,
+    HierarchyResult,
+    explore_hierarchy,
+    split_cache_misses,
+)
+from repro.explore.phases import (
+    PhaseExploration,
+    PhaseResult,
+    explore_phases,
+)
+from repro.explore.policies import (
+    PolicyOutcome,
+    RobustnessRecord,
+    policy_robustness,
+)
+from repro.explore.selection import (
+    CostedInstance,
+    cheapest,
+    cost_exploration,
+    cost_line_sweep,
+    cost_pareto,
+)
+
+__all__ = [
+    "DesignSpace",
+    "ExhaustiveResult",
+    "exhaustive_explore",
+    "HeuristicResult",
+    "iterative_heuristic_explore",
+    "pareto_filter",
+    "pareto_instances",
+    "MethodComparison",
+    "compare_methods",
+    "HierarchyExplorer",
+    "HierarchyResult",
+    "explore_hierarchy",
+    "split_cache_misses",
+    "PhaseExploration",
+    "PhaseResult",
+    "explore_phases",
+    "PolicyOutcome",
+    "RobustnessRecord",
+    "policy_robustness",
+    "CostedInstance",
+    "cheapest",
+    "cost_exploration",
+    "cost_line_sweep",
+    "cost_pareto",
+]

@@ -1,0 +1,104 @@
+"""Head-to-head comparison of exploration methods (Figure 1(a) vs 1(b)).
+
+Runs the analytical explorer, the exhaustive sweep and the iterative
+heuristic on the same trace and budget, checks that all three agree on
+the per-depth minimum associativity, and reports the cost of each — the
+quantitative version of the paper's motivation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import ExplorationResult
+from repro.explore.exhaustive import ExhaustiveResult, exhaustive_explore
+from repro.explore.heuristic import HeuristicResult, iterative_heuristic_explore
+from repro.explore.space import DesignSpace
+from repro.trace.trace import Trace
+
+
+@dataclass
+class MethodComparison:
+    """Results and costs of the three exploration methods on one problem.
+
+    Attributes:
+        analytical: the analytical result (Figure 1(b)).
+        analytical_seconds: its wall-clock cost (prelude + postlude).
+        exhaustive: the full-sweep baseline.
+        heuristic: the iterative-loop baseline.
+        budget: the miss budget all methods targeted.
+    """
+
+    analytical: ExplorationResult
+    analytical_seconds: float
+    exhaustive: ExhaustiveResult
+    heuristic: HeuristicResult
+    budget: int
+
+    def agreement(self) -> bool:
+        """True when all methods agree wherever they both report a depth.
+
+        The simulation-based methods omit depths whose minimum
+        associativity exceeds the searched space, so agreement is checked
+        on the intersection of reported depths.
+        """
+        analytical = self.analytical.as_dict()
+        for other in (self.exhaustive.result, self.heuristic.result):
+            for depth, assoc in other.as_dict().items():
+                if depth in analytical and analytical[depth] != assoc:
+                    return False
+        return True
+
+    def disagreements(self) -> List[str]:
+        """Human-readable description of any disagreements."""
+        analytical = self.analytical.as_dict()
+        problems: List[str] = []
+        for label, other in (
+            ("exhaustive", self.exhaustive.result),
+            ("heuristic", self.heuristic.result),
+        ):
+            for depth, assoc in other.as_dict().items():
+                if depth in analytical and analytical[depth] != assoc:
+                    problems.append(
+                        f"depth {depth}: analytical says A={analytical[depth]}, "
+                        f"{label} says A={assoc}"
+                    )
+        return problems
+
+    @property
+    def speedup_vs_exhaustive(self) -> float:
+        """Wall-clock speedup of analytical over the exhaustive sweep."""
+        if self.analytical_seconds <= 0:
+            return float("inf")
+        return self.exhaustive.elapsed_seconds / self.analytical_seconds
+
+    @property
+    def speedup_vs_heuristic(self) -> float:
+        """Wall-clock speedup of analytical over the iterative loop."""
+        if self.analytical_seconds <= 0:
+            return float("inf")
+        return self.heuristic.elapsed_seconds / self.analytical_seconds
+
+
+def compare_methods(
+    trace: Trace, budget: int, space: Optional[DesignSpace] = None
+) -> MethodComparison:
+    """Run all three methods on one trace/budget and package the outcome."""
+    if space is None:
+        space = DesignSpace.for_trace_bits(trace.address_bits)
+    start = time.perf_counter()
+    explorer = AnalyticalCacheExplorer(trace, max_depth=space.max_depth)
+    analytical = explorer.explore(budget)
+    analytical_seconds = time.perf_counter() - start
+    exhaustive = exhaustive_explore(trace, budget, space)
+    heuristic = iterative_heuristic_explore(trace, budget, space)
+    return MethodComparison(
+        analytical=analytical,
+        analytical_seconds=analytical_seconds,
+        exhaustive=exhaustive,
+        heuristic=heuristic,
+        budget=budget,
+    )

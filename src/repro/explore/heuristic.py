@@ -1,0 +1,117 @@
+"""The iterative design-simulate-analyze loop — Figure 1(a)'s feedback cycle.
+
+A designer following the traditional methodology does not sweep the whole
+grid; they simulate a candidate, look at the miss count, adjust a
+parameter and repeat.  This module reproduces that loop mechanically:
+per depth, the smallest sufficient associativity is located by doubling
+then binary search, each probe costing one full trace simulation.  The
+interesting output is the *number of simulations* the loop needed — the
+cost the analytical method eliminates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.explore.space import DesignSpace
+from repro.trace.trace import Trace
+
+
+@dataclass
+class HeuristicResult:
+    """Outcome of the iterative loop.
+
+    Attributes:
+        result: per-depth minimal instances found (identical to exhaustive
+            for this monotone space — the loop is exact, just cheaper).
+        simulations: number of simulate-analyze iterations used.
+        probes: every (depth, associativity, misses) triple probed, in
+            order — the designer's audit trail.
+        elapsed_seconds: wall-clock cost.
+    """
+
+    result: ExplorationResult
+    simulations: int
+    probes: List[Tuple[int, int, int]]
+    elapsed_seconds: float
+
+
+def _probe(
+    trace: Trace,
+    depth: int,
+    associativity: int,
+    cache: Dict[Tuple[int, int], int],
+    probes: List[Tuple[int, int, int]],
+) -> int:
+    """Simulate one candidate (memoized) and log the iteration."""
+    key = (depth, associativity)
+    if key not in cache:
+        config = CacheConfig(depth=depth, associativity=associativity)
+        cache[key] = simulate_trace(trace, config).non_cold_misses
+        probes.append((depth, associativity, cache[key]))
+    return cache[key]
+
+
+def iterative_heuristic_explore(
+    trace: Trace, budget: int, space: DesignSpace
+) -> HeuristicResult:
+    """Run the design-simulate-analyze loop over every depth.
+
+    Per depth: probe A=1; while over budget, double A (galloping); then
+    binary-search the gap.  Misses are non-increasing in A under LRU, so
+    the result is exact.  Depths where even ``max_associativity`` fails
+    are omitted, mirroring :func:`~repro.explore.exhaustive.exhaustive_explore`.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    start = time.perf_counter()
+    cache: Dict[Tuple[int, int], int] = {}
+    probes: List[Tuple[int, int, int]] = []
+    instances: List[CacheInstance] = []
+    achieved: List[int] = []
+
+    for depth in space.depths:
+        # Gallop upward until the budget is met (or the space is exhausted).
+        low = 1
+        high = 1
+        while _probe(trace, depth, high, cache, probes) > budget:
+            low = high + 1
+            high *= 2
+            if high > space.max_associativity:
+                high = space.max_associativity
+                if (
+                    low > high
+                    or _probe(trace, depth, high, cache, probes) > budget
+                ):
+                    high = None
+                break
+        if high is None:
+            continue  # this depth cannot meet the budget within the space
+        # Binary search in (low-1, high]; invariant: high meets the budget.
+        while low < high:
+            mid = (low + high) // 2
+            if _probe(trace, depth, mid, cache, probes) <= budget:
+                high = mid
+            else:
+                low = mid + 1
+        instances.append(CacheInstance(depth=depth, associativity=high))
+        achieved.append(cache[(depth, high)])
+
+    elapsed = time.perf_counter() - start
+    result = ExplorationResult(
+        budget=budget,
+        instances=instances,
+        misses=achieved,
+        trace_name=trace.name,
+    )
+    return HeuristicResult(
+        result=result,
+        simulations=len(probes),
+        probes=probes,
+        elapsed_seconds=elapsed,
+    )

@@ -1,0 +1,151 @@
+"""Two-level hierarchy exploration — the paper's "SoC artifacts" future work.
+
+An L2 cache services exactly the miss stream of the L1 in front of it,
+so the analytical algorithm applies one level down: simulate the L1
+once to obtain its miss trace
+(:func:`repro.cache.simulator.miss_stream`), then explore L2 depths and
+associativities analytically on that trace.  One L1 simulation replaces
+the entire per-L2-configuration simulation sweep a traditional
+methodology would run.
+
+Global miss accounting: an access misses the whole hierarchy iff it
+misses L1 *and* the resulting L2 access misses; the L2's non-cold-miss
+budget therefore bounds the memory traffic beyond the compulsory
+(first-touch) fills, which no hierarchy can avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.config import CacheConfig
+from repro.cache.result import SimulationResult
+from repro.cache.simulator import miss_stream
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.trace.trace import Trace
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome of exploring L2 behind a fixed L1.
+
+    Attributes:
+        l1_config: the fixed first-level cache.
+        l1_result: its simulation result on the full trace.
+        miss_trace: the L1 miss stream (L2's input, L1-line granularity).
+        l2_result: analytical exploration of the miss stream at the
+            given budget.
+    """
+
+    l1_config: CacheConfig
+    l1_result: SimulationResult
+    miss_trace: Trace
+    l2_result: ExplorationResult
+
+    @property
+    def l1_misses(self) -> int:
+        """All L1 misses = L2 accesses."""
+        return self.l1_result.misses
+
+    def memory_accesses(self, l2_instance: CacheInstance) -> int:
+        """Accesses that fall through to main memory for one L2 choice.
+
+        Compulsory L2 misses (unique lines) plus the analytical non-cold
+        count of the chosen instance.
+        """
+        assoc = self.l2_result.associativity_for(l2_instance.depth)
+        if assoc is None or assoc > l2_instance.associativity:
+            raise ValueError(
+                f"{l2_instance} was not derived from this exploration"
+            )
+        index = [i.depth for i in self.l2_result.instances].index(
+            l2_instance.depth
+        )
+        non_cold = self.l2_result.misses[index]
+        return self.miss_trace.unique_count() + non_cold
+
+
+class HierarchyExplorer:
+    """Explore second-level caches behind a fixed L1.
+
+    Args:
+        trace: the processor-side reference trace.
+        l1_config: the fixed L1 cache configuration.
+
+    Example:
+        >>> from repro.trace import loop_nest_trace
+        >>> from repro.cache import CacheConfig
+        >>> explorer = HierarchyExplorer(
+        ...     loop_nest_trace(64, 10), CacheConfig(depth=8, associativity=1)
+        ... )
+        >>> explorer.explore(0).l2_result.budget
+        0
+    """
+
+    def __init__(self, trace: Trace, l1_config: CacheConfig) -> None:
+        self.trace = trace
+        self.l1_config = l1_config
+        self._miss_trace: Optional[Trace] = None
+        self._l1_result: Optional[SimulationResult] = None
+        self._explorer: Optional[AnalyticalCacheExplorer] = None
+
+    @property
+    def miss_trace(self) -> Trace:
+        """The (cached) L1 miss stream."""
+        if self._miss_trace is None:
+            self._miss_trace, self._l1_result = miss_stream(
+                self.trace, self.l1_config
+            )
+        return self._miss_trace
+
+    @property
+    def l1_result(self) -> SimulationResult:
+        """The (cached) L1 simulation result."""
+        self.miss_trace  # force the single L1 simulation
+        assert self._l1_result is not None
+        return self._l1_result
+
+    @property
+    def l2_explorer(self) -> AnalyticalCacheExplorer:
+        """Analytical explorer over the miss stream."""
+        if self._explorer is None:
+            self._explorer = AnalyticalCacheExplorer(self.miss_trace)
+        return self._explorer
+
+    def explore(self, budget: int) -> HierarchyResult:
+        """Optimal L2 (D, A) per depth for an L2 non-cold miss budget."""
+        return HierarchyResult(
+            l1_config=self.l1_config,
+            l1_result=self.l1_result,
+            miss_trace=self.miss_trace,
+            l2_result=self.l2_explorer.explore(budget),
+        )
+
+    def l2_misses(self, depth: int, associativity: int) -> int:
+        """Exact non-cold L2 miss count for one L2 geometry."""
+        return self.l2_explorer.misses(depth, associativity)
+
+
+def explore_hierarchy(
+    trace: Trace, l1_config: CacheConfig, budget: int
+) -> HierarchyResult:
+    """One-shot helper around :class:`HierarchyExplorer`."""
+    return HierarchyExplorer(trace, l1_config).explore(budget)
+
+
+def split_cache_misses(
+    instruction_trace: Trace,
+    data_trace: Trace,
+    depth: int,
+    associativity: int,
+) -> int:
+    """Non-cold misses of a split I/D pair, each of the given geometry.
+
+    Split caches do not interact, so the total is the sum of the two
+    analytical counts — used by the unified-vs-split experiment.
+    """
+    inst = AnalyticalCacheExplorer(instruction_trace).misses(depth, associativity)
+    data = AnalyticalCacheExplorer(data_trace).misses(depth, associativity)
+    return inst + data

@@ -1,0 +1,58 @@
+"""Pareto filtering of cache design points.
+
+The analytical explorer emits one instance per depth; a designer usually
+wants the non-dominated subset — no other instance is both smaller and
+misses less.  :func:`pareto_filter` is the generic minimizer;
+:func:`pareto_instances` applies it to (size, misses) pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from repro.core.instance import CacheInstance, ExplorationResult
+
+T = TypeVar("T")
+
+
+def pareto_filter(
+    items: Sequence[T], metrics: Callable[[T], Tuple[float, ...]]
+) -> List[T]:
+    """Return the non-dominated items, minimizing every metric component.
+
+    Item ``x`` dominates ``y`` when ``metrics(x) <= metrics(y)``
+    component-wise with at least one strict inequality.  Of items with
+    identical metrics, the first is kept.
+
+    Cost is ``O(n^2)`` comparisons — design spaces here are tiny.
+    """
+    values = [metrics(item) for item in items]
+    kept: List[T] = []
+    for i, item in enumerate(items):
+        dominated = False
+        for j, other in enumerate(values):
+            if j == i:
+                continue
+            le = all(o <= v for o, v in zip(other, values[i]))
+            lt = any(o < v for o, v in zip(other, values[i]))
+            if le and (lt or (other == values[i] and j < i)):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(item)
+    return kept
+
+
+def pareto_instances(result: ExplorationResult) -> List[CacheInstance]:
+    """Non-dominated (size, misses) instances of an exploration result.
+
+    Requires the result to carry achieved miss counts (the analytical
+    explorer always fills them in).
+    """
+    if not result.misses:
+        raise ValueError("result carries no miss counts to trade off against size")
+    paired = list(zip(result.instances, result.misses))
+    kept = pareto_filter(
+        paired, lambda pair: (pair[0].size_words, pair[1])
+    )
+    return [instance for instance, _ in kept]

@@ -1,0 +1,144 @@
+"""Phase-based exploration for reconfigurable caches.
+
+The paper's research group followed this work with *adaptive* caches
+that reconfigure at runtime (Nacul & Givargis, "Adaptive Online Cache
+Reconfiguration for Low Power Systems").  The analytical algorithm
+supports that style of design directly: split the trace into phases,
+explore each phase independently, and compare the per-phase optima
+against the single best static configuration — the difference is the
+*reconfiguration benefit* an adaptive cache could harvest.
+
+Phase boundaries here are equal-length windows (program phases in
+embedded kernels are loop-aligned, so window counts of 4–16 work well);
+callers with better phase knowledge can pass explicit boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import ExplorationResult
+from repro.trace.trace import Trace
+
+
+@dataclass
+class PhaseResult:
+    """One phase's exploration.
+
+    Attributes:
+        index: phase number (0-based).
+        start, end: trace positions (half-open interval).
+        result: the phase's analytical exploration at the shared budget.
+    """
+
+    index: int
+    start: int
+    end: int
+    result: ExplorationResult
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class PhaseExploration:
+    """Outcome of a phase-based exploration.
+
+    Attributes:
+        budget: per-phase miss budget K.
+        phases: per-phase results, in order.
+        static_result: the whole-trace exploration at the same budget
+            (what a non-reconfigurable cache must satisfy).
+    """
+
+    budget: int
+    phases: List[PhaseResult]
+    static_result: ExplorationResult
+
+    def phase_instances(self, depth: int) -> List[Optional[int]]:
+        """Per-phase minimum associativity at one depth (None = unreported)."""
+        return [p.result.associativity_for(depth) for p in self.phases]
+
+    def reconfiguration_benefit(self, depth: int) -> Optional[int]:
+        """Capacity saved by per-phase reconfiguration at one depth.
+
+        The static cache needs the whole-trace minimum A; a
+        reconfigurable one needs each phase's own minimum while that
+        phase runs, so its *peak* requirement is the max over phases —
+        which can be smaller than the static requirement because the
+        static run also pays for *cross-phase* conflicts.  Returns the
+        word savings of (static A - max per-phase A) rows, or None when
+        the depth is unreported anywhere.
+        """
+        static_assoc = self.static_result.associativity_for(depth)
+        per_phase = self.phase_instances(depth)
+        if static_assoc is None or any(a is None for a in per_phase):
+            return None
+        peak = max(per_phase)
+        return (static_assoc - peak) * depth
+
+
+def explore_phases(
+    trace: Trace,
+    budget: int,
+    phase_count: int = 8,
+    boundaries: Optional[Sequence[int]] = None,
+    max_depth: Optional[int] = None,
+) -> PhaseExploration:
+    """Explore per-phase optima plus the static whole-trace answer.
+
+    Args:
+        trace: the trace to split.
+        budget: miss budget K, applied per phase *and* to the static run
+            (phases see fewer references, so per-phase budgets are the
+            conservative choice).
+        phase_count: number of equal windows when ``boundaries`` is None.
+        boundaries: explicit ascending split positions (without 0 and
+            ``len(trace)``).
+        max_depth: forwarded to every explorer so all results share the
+            same depth range.
+    """
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    n = len(trace)
+    if boundaries is None:
+        if phase_count < 1:
+            raise ValueError("phase_count must be >= 1")
+        step = max(1, n // phase_count)
+        boundaries = list(range(step, n, step))[: phase_count - 1]
+    else:
+        boundaries = list(boundaries)
+        if boundaries != sorted(boundaries):
+            raise ValueError("boundaries must be ascending")
+        if boundaries and (boundaries[0] <= 0 or boundaries[-1] >= n):
+            raise ValueError("boundaries must lie strictly inside the trace")
+
+    edges = [0] + list(boundaries) + [n]
+    if max_depth is None:
+        # Share the static explorer's depth range across all phases.
+        static_explorer = AnalyticalCacheExplorer(trace)
+        max_depth = 1 << static_explorer.report_level
+    else:
+        static_explorer = AnalyticalCacheExplorer(trace, max_depth=max_depth)
+
+    static_result = AnalyticalCacheExplorer(
+        trace, max_depth=max_depth
+    ).explore(budget)
+
+    phases: List[PhaseResult] = []
+    for index in range(len(edges) - 1):
+        start, end = edges[index], edges[index + 1]
+        window = trace[start:end]
+        window.name = f"{trace.name}/phase{index}" if trace.name else ""
+        result = AnalyticalCacheExplorer(window, max_depth=max_depth).explore(
+            budget
+        )
+        phases.append(
+            PhaseResult(index=index, start=start, end=end, result=result)
+        )
+    return PhaseExploration(
+        budget=budget, phases=phases, static_result=static_result
+    )

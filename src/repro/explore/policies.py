@@ -1,0 +1,120 @@
+"""Replacement-policy robustness — future work "cache management policies".
+
+The analytical model is exact for LRU, which the paper fixes as "the
+most common and often optimal" choice (section 2.1) and names as a
+future design axis (section 4).  This module quantifies how far that
+assumption carries: every LRU-derived instance is re-simulated under
+FIFO, PLRU and seeded-random replacement, reporting the miss deltas and
+whether the budget still holds.
+
+(PLRU needs power-of-two ways; instances with other associativities are
+skipped for that policy and marked as such.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.config import CacheConfig, ReplacementKind, is_power_of_two
+from repro.cache.simulator import simulate_trace
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.trace.trace import Trace
+
+DEFAULT_POLICIES = (
+    ReplacementKind.FIFO,
+    ReplacementKind.PLRU,
+    ReplacementKind.RANDOM,
+)
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """One instance simulated under one alternative policy.
+
+    Attributes:
+        policy: the replacement policy simulated.
+        non_cold_misses: its non-cold miss count (None when the policy
+            cannot implement the instance, e.g. PLRU with 3 ways).
+    """
+
+    policy: ReplacementKind
+    non_cold_misses: Optional[int]
+
+    @property
+    def applicable(self) -> bool:
+        """False when the policy cannot realize this geometry."""
+        return self.non_cold_misses is not None
+
+
+@dataclass(frozen=True)
+class RobustnessRecord:
+    """All policy outcomes for one LRU-derived instance.
+
+    Attributes:
+        instance: the (D, A) point under test.
+        lru_misses: the (exact) LRU miss count it was derived with.
+        budget: the miss budget it was derived for.
+        outcomes: per-policy simulation outcomes.
+    """
+
+    instance: CacheInstance
+    lru_misses: int
+    budget: int
+    outcomes: Dict[ReplacementKind, PolicyOutcome]
+
+    def within_budget(self, policy: ReplacementKind) -> Optional[bool]:
+        """Does the instance still meet K under ``policy``? (None = n/a)"""
+        outcome = self.outcomes[policy]
+        if not outcome.applicable:
+            return None
+        return outcome.non_cold_misses <= self.budget
+
+    def worst_misses(self) -> int:
+        """Largest miss count across all applicable policies (incl. LRU)."""
+        counts = [self.lru_misses] + [
+            o.non_cold_misses for o in self.outcomes.values() if o.applicable
+        ]
+        return max(counts)
+
+    @property
+    def robust(self) -> bool:
+        """True when every applicable policy stays within the budget."""
+        return self.worst_misses() <= self.budget
+
+
+def policy_robustness(
+    trace: Trace,
+    result: ExplorationResult,
+    policies: Sequence[ReplacementKind] = DEFAULT_POLICIES,
+    seed: int = 0,
+) -> List[RobustnessRecord]:
+    """Simulate every instance of a result under alternative policies."""
+    if not result.misses:
+        raise ValueError("result carries no LRU miss counts")
+    records: List[RobustnessRecord] = []
+    for instance, lru_misses in zip(result.instances, result.misses):
+        outcomes: Dict[ReplacementKind, PolicyOutcome] = {}
+        for policy in policies:
+            if policy is ReplacementKind.PLRU and not is_power_of_two(
+                instance.associativity
+            ):
+                outcomes[policy] = PolicyOutcome(policy, None)
+                continue
+            config = CacheConfig(
+                depth=instance.depth,
+                associativity=instance.associativity,
+                replacement=policy,
+                seed=seed,
+            )
+            misses = simulate_trace(trace, config).non_cold_misses
+            outcomes[policy] = PolicyOutcome(policy, misses)
+        records.append(
+            RobustnessRecord(
+                instance=instance,
+                lru_misses=lru_misses,
+                budget=result.budget,
+                outcomes=outcomes,
+            )
+        )
+    return records

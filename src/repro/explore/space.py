@@ -1,0 +1,75 @@
+"""Cache design spaces.
+
+The paper's space is depth x associativity with one-word lines; a
+:class:`DesignSpace` enumerates exactly that grid as simulator configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.cache.config import CacheConfig, ReplacementKind, is_power_of_two
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A depth x associativity grid.
+
+    Attributes:
+        min_depth: smallest cache depth (power of two).
+        max_depth: largest cache depth (power of two).
+        max_associativity: associativities explored are ``1 .. this``.
+        replacement: replacement policy for every point (paper: LRU).
+    """
+
+    min_depth: int = 2
+    max_depth: int = 1024
+    max_associativity: int = 8
+    replacement: ReplacementKind = ReplacementKind.LRU
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.min_depth):
+            raise ValueError(f"min_depth must be a power of two, got {self.min_depth}")
+        if not is_power_of_two(self.max_depth):
+            raise ValueError(f"max_depth must be a power of two, got {self.max_depth}")
+        if self.min_depth > self.max_depth:
+            raise ValueError("min_depth must not exceed max_depth")
+        if self.max_associativity < 1:
+            raise ValueError("max_associativity must be >= 1")
+
+    @property
+    def depths(self) -> List[int]:
+        """All depths in the space, ascending."""
+        out = []
+        depth = self.min_depth
+        while depth <= self.max_depth:
+            out.append(depth)
+            depth *= 2
+        return out
+
+    @property
+    def associativities(self) -> List[int]:
+        """All associativities in the space, ascending."""
+        return list(range(1, self.max_associativity + 1))
+
+    def __len__(self) -> int:
+        return len(self.depths) * self.max_associativity
+
+    def __iter__(self) -> Iterator[CacheConfig]:
+        for depth in self.depths:
+            for associativity in self.associativities:
+                yield CacheConfig(
+                    depth=depth,
+                    associativity=associativity,
+                    replacement=self.replacement,
+                )
+
+    @classmethod
+    def for_trace_bits(cls, address_bits: int, max_associativity: int = 8) -> "DesignSpace":
+        """Space covering all depths a trace of given width can index."""
+        return cls(
+            min_depth=2,
+            max_depth=1 << max(1, address_bits - 1),
+            max_associativity=max_associativity,
+        )

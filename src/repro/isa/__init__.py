@@ -1,0 +1,35 @@
+"""A small word-addressed RISC virtual machine with an assembler.
+
+This package stands in for the paper's instrumented MIPS R3000 simulator:
+the 12 PowerStone-style workloads (:mod:`repro.workloads`) are written in
+its assembly language, executed by :class:`~repro.isa.machine.Machine`,
+and the machine's fetch/load/store hooks emit the separate instruction
+and data address traces the paper's experiments consume.
+
+The ISA is deliberately MIPS-flavoured — 16 general registers (``r0``
+hardwired to zero), three-address register ALU ops, ``lw``/``sw`` with
+register+offset addressing, compare-and-branch, ``jal``/``jr`` linkage —
+but word-addressed and unencoded: one instruction occupies one word of
+the address space, so the program counter sequence *is* the instruction
+trace.
+"""
+
+from repro.isa.errors import AssemblerError, MachineError, MachineFault
+from repro.isa.instructions import Opcode, Instruction, REGISTER_ALIASES
+from repro.isa.program import Program
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.machine import Machine, MachineState
+
+__all__ = [
+    "AssemblerError",
+    "MachineError",
+    "MachineFault",
+    "Opcode",
+    "Instruction",
+    "REGISTER_ALIASES",
+    "Program",
+    "Assembler",
+    "assemble",
+    "Machine",
+    "MachineState",
+]

@@ -1,0 +1,440 @@
+"""Two-pass assembler for the repro ISA.
+
+Source format (MIPS-flavoured, one statement per line)::
+
+    ; comment            # comment
+            .equ  SIZE, 64          ; named constant
+            .data
+    table:  .word 1, 2, 3, 0x10     ; initialized words
+    buf:    .space SIZE             ; zero-filled words
+            .text
+    main:   li    r1, 0
+    loop:   lw    r2, table(r1)     ; register + symbol offset
+            add   r3, r3, r2
+            addi  r1, r1, 1
+            blt   r1, r4, loop
+            sw    r3, result
+            halt
+
+Labels defined in ``.text`` resolve to fetch addresses (``code_base`` +
+instruction index); labels in ``.data`` resolve to data word addresses.
+Operand expressions may combine integers, constants and labels with
+``+``/``-``.
+
+Pseudo-instructions (each expands to exactly one machine instruction):
+``mv``, ``nop``, ``neg``, ``not``, ``b``, ``beqz``, ``bnez``, ``bltz``,
+``bgez``, ``bgtz``, ``blez``, ``bgt``, ``ble``, ``call``, ``ret``,
+``inc``, ``dec``, ``subi``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Tuple
+
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    REGISTER_ALIASES,
+    SHAPES,
+    Shape,
+)
+from repro.isa.program import CODE_BASE, DATA_BASE, DEFAULT_ADDRESS_BITS, Program
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_OPERAND_RE = re.compile(r"^(?P<offset>[^()]*)\((?P<reg>[^()]+)\)$")
+
+
+def _split_statement(line: str) -> str:
+    """Strip comments (``;`` or ``#``) and surrounding whitespace."""
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand field on commas outside parentheses."""
+    operands: List[str] = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        operands.append(current.strip())
+    return operands
+
+
+class _Statement:
+    """A parsed source line awaiting pass-2 encoding."""
+
+    __slots__ = ("mnemonic", "operands", "line")
+
+    def __init__(self, mnemonic: str, operands: List[str], line: int) -> None:
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line = line
+
+
+# Pseudo-instruction rewriters: operands -> (opcode-name, operands)
+_PSEUDOS: Dict[str, Callable[[List[str]], Tuple[str, List[str]]]] = {
+    "mv": lambda ops: ("add", [ops[0], ops[1], "r0"]),
+    "nop": lambda ops: ("add", ["r0", "r0", "r0"]),
+    "neg": lambda ops: ("sub", [ops[0], "r0", ops[1]]),
+    "not": lambda ops: ("nor", [ops[0], ops[1], "r0"]),
+    "b": lambda ops: ("j", ops),
+    "beqz": lambda ops: ("beq", [ops[0], "r0", ops[1]]),
+    "bnez": lambda ops: ("bne", [ops[0], "r0", ops[1]]),
+    "bltz": lambda ops: ("blt", [ops[0], "r0", ops[1]]),
+    "bgez": lambda ops: ("bge", [ops[0], "r0", ops[1]]),
+    "bgtz": lambda ops: ("blt", ["r0", ops[0], ops[1]]),
+    "blez": lambda ops: ("bge", ["r0", ops[0], ops[1]]),
+    "bgt": lambda ops: ("blt", [ops[1], ops[0], ops[2]]),
+    "ble": lambda ops: ("bge", [ops[1], ops[0], ops[2]]),
+    "call": lambda ops: ("jal", ops),
+    "ret": lambda ops: ("jr", ["ra"]),
+    "inc": lambda ops: ("addi", [ops[0], ops[0], "1"]),
+    "dec": lambda ops: ("addi", [ops[0], ops[0], "-1"]),
+    "subi": lambda ops: ("addi", [ops[0], ops[1], f"-({ops[2]})"]),
+}
+
+_PSEUDO_OPERAND_COUNT = {
+    "mv": 2, "nop": 0, "neg": 2, "not": 2, "b": 1, "beqz": 2, "bnez": 2,
+    "bltz": 2, "bgez": 2, "bgtz": 2, "blez": 2, "bgt": 3, "ble": 3,
+    "call": 1, "ret": 0, "inc": 1, "dec": 1, "subi": 3,
+}
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(
+        self,
+        code_base: int = CODE_BASE,
+        data_base: int = DATA_BASE,
+        address_bits: int = DEFAULT_ADDRESS_BITS,
+    ) -> None:
+        if code_base < 0 or data_base < 0:
+            raise ValueError("code_base and data_base must be non-negative")
+        self.code_base = code_base
+        self.data_base = data_base
+        self.address_bits = address_bits
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _lookup(self, token: str, symbols: Dict[str, int], line: int) -> int:
+        token = token.strip()
+        if not token:
+            raise AssemblerError("empty expression term", line)
+        negative = False
+        while token and token[0] in "+-":
+            if token[0] == "-":
+                negative = not negative
+            token = token[1:].strip()
+        if token.startswith("("):
+            if not token.endswith(")"):
+                raise AssemblerError(f"unbalanced parentheses in {token!r}", line)
+            value = self._evaluate(token[1:-1], symbols, line)
+        elif token.startswith("0x") or token.startswith("0X"):
+            value = int(token, 16)
+        elif token.startswith("0b") or token.startswith("0B"):
+            value = int(token, 2)
+        elif token.lstrip("-").isdigit():
+            value = int(token)
+        elif token.startswith("'") and token.endswith("'") and len(token) == 3:
+            value = ord(token[1])
+        elif _LABEL_RE.match(token):
+            if token not in symbols:
+                raise AssemblerError(f"undefined symbol {token!r}", line)
+            value = symbols[token]
+        else:
+            raise AssemblerError(f"cannot parse expression term {token!r}", line)
+        return -value if negative else value
+
+    def _evaluate(self, expr: str, symbols: Dict[str, int], line: int) -> int:
+        """Evaluate ``term (+|- term)*`` with parenthesized sub-expressions."""
+        expr = expr.strip()
+        if not expr:
+            raise AssemblerError("empty expression", line)
+        terms: List[str] = []
+        signs: List[int] = []
+        depth = 0
+        current = ""
+        sign = 1
+        for ch in expr:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            if depth == 0 and ch in "+-" and current.strip():
+                terms.append(current)
+                signs.append(sign)
+                sign = 1 if ch == "+" else -1
+                current = ""
+            else:
+                current += ch
+        terms.append(current)
+        signs.append(sign)
+        return sum(s * self._lookup(t, symbols, line) for s, t in zip(signs, terms))
+
+    def _register(self, token: str, line: int) -> int:
+        token = token.strip().lower()
+        if token not in REGISTER_ALIASES:
+            raise AssemblerError(f"unknown register {token!r}", line)
+        return REGISTER_ALIASES[token]
+
+    # -- passes -------------------------------------------------------------------
+
+    def assemble(self, source: str, name: str = "") -> Program:
+        """Assemble a source string into a :class:`Program`."""
+        statements, data_items, symbols = self._pass_one(source)
+        instructions = [self._encode(stmt, symbols) for stmt in statements]
+        data = self._layout_data(data_items, symbols)
+        return Program(
+            instructions=instructions,
+            data=data,
+            symbols=symbols,
+            code_base=self.code_base,
+            data_base=self.data_base,
+            address_bits=self.address_bits,
+            name=name,
+        )
+
+    def _pass_one(self, source: str):
+        """Collect statements, data items and the symbol table."""
+        statements: List[_Statement] = []
+        # data item: (kind, payload, line) where kind is "word" or "space"
+        data_items: List[Tuple[str, object, int]] = []
+        symbols: Dict[str, int] = {}
+        section = "text"
+        data_cursor = self.data_base
+
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            text = _split_statement(raw)
+            if not text:
+                continue
+            # Peel off any leading labels.
+            while True:
+                match = re.match(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.*)$", text)
+                if not match:
+                    break
+                label, text = match.group(1), match.group(2)
+                if label in symbols:
+                    raise AssemblerError(f"duplicate label {label!r}", lineno)
+                if section == "text":
+                    symbols[label] = self.code_base + len(statements)
+                else:
+                    symbols[label] = data_cursor
+                if not text:
+                    break
+            if not text:
+                continue
+
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+
+            if mnemonic == ".text":
+                section = "text"
+            elif mnemonic == ".data":
+                section = "data"
+            elif mnemonic == ".equ":
+                operands = _split_operands(rest)
+                if len(operands) != 2:
+                    raise AssemblerError(".equ needs NAME, VALUE", lineno)
+                const_name = operands[0]
+                if not _LABEL_RE.match(const_name):
+                    raise AssemblerError(
+                        f"bad constant name {const_name!r}", lineno
+                    )
+                if const_name in symbols:
+                    raise AssemblerError(
+                        f"duplicate symbol {const_name!r}", lineno
+                    )
+                symbols[const_name] = self._evaluate(operands[1], symbols, lineno)
+            elif mnemonic == ".word":
+                if section != "data":
+                    raise AssemblerError(".word outside .data section", lineno)
+                values = _split_operands(rest)
+                if not values:
+                    raise AssemblerError(".word needs at least one value", lineno)
+                data_items.append(("word", (data_cursor, values), lineno))
+                data_cursor += len(values)
+            elif mnemonic == ".space":
+                if section != "data":
+                    raise AssemblerError(".space outside .data section", lineno)
+                count = self._evaluate(rest, symbols, lineno)
+                if count < 0:
+                    raise AssemblerError(".space size must be >= 0", lineno)
+                data_cursor += count
+            elif mnemonic == ".align":
+                if section != "data":
+                    raise AssemblerError(".align outside .data section", lineno)
+                boundary = self._evaluate(rest, symbols, lineno)
+                if boundary < 1 or (boundary & (boundary - 1)) != 0:
+                    raise AssemblerError(
+                        ".align boundary must be a power of two", lineno
+                    )
+                data_cursor = (data_cursor + boundary - 1) & ~(boundary - 1)
+            elif mnemonic == ".ascii":
+                if section != "data":
+                    raise AssemblerError(".ascii outside .data section", lineno)
+                text_value = rest.strip()
+                if (
+                    len(text_value) < 2
+                    or text_value[0] != '"'
+                    or text_value[-1] != '"'
+                ):
+                    raise AssemblerError('.ascii needs a "quoted string"', lineno)
+                chars = [str(ord(ch)) for ch in text_value[1:-1]]
+                if not chars:
+                    raise AssemblerError(".ascii string must be non-empty", lineno)
+                # One character per word: this machine is word-addressed.
+                data_items.append(("word", (data_cursor, chars), lineno))
+                data_cursor += len(chars)
+            elif mnemonic.startswith("."):
+                raise AssemblerError(f"unknown directive {mnemonic!r}", lineno)
+            else:
+                if section != "text":
+                    raise AssemblerError(
+                        f"instruction {mnemonic!r} outside .text section", lineno
+                    )
+                statements.append(
+                    _Statement(mnemonic, _split_operands(rest), lineno)
+                )
+        return statements, data_items, symbols
+
+    def _layout_data(self, data_items, symbols) -> List[Tuple[int, int]]:
+        """Resolve .word expressions now that all symbols are known."""
+        image: List[Tuple[int, int]] = []
+        for kind, payload, lineno in data_items:
+            if kind != "word":
+                continue
+            base, values = payload
+            for offset, expr in enumerate(values):
+                image.append((base + offset, self._evaluate(expr, symbols, lineno)))
+        return image
+
+    def _encode(self, stmt: _Statement, symbols: Dict[str, int]) -> Instruction:
+        """Pass 2: encode one statement into an :class:`Instruction`."""
+        mnemonic, operands, line = stmt.mnemonic, stmt.operands, stmt.line
+        if mnemonic in _PSEUDOS:
+            expected = _PSEUDO_OPERAND_COUNT[mnemonic]
+            if len(operands) != expected:
+                raise AssemblerError(
+                    f"{mnemonic} expects {expected} operand(s), got {len(operands)}",
+                    line,
+                )
+            mnemonic, operands = _PSEUDOS[mnemonic](operands)
+        try:
+            opcode = Opcode[mnemonic.upper()]
+        except KeyError:
+            raise AssemblerError(f"unknown instruction {mnemonic!r}", line) from None
+
+        shape = SHAPES[opcode]
+        if shape is Shape.R:
+            self._expect(operands, 3, mnemonic, line)
+            return Instruction(
+                opcode,
+                self._register(operands[0], line),
+                self._register(operands[1], line),
+                self._register(operands[2], line),
+                source_line=line,
+            )
+        if shape is Shape.I:
+            self._expect(operands, 3, mnemonic, line)
+            return Instruction(
+                opcode,
+                self._register(operands[0], line),
+                self._register(operands[1], line),
+                self._evaluate(operands[2], symbols, line),
+                source_line=line,
+            )
+        if shape is Shape.LI:
+            self._expect(operands, 2, mnemonic, line)
+            return Instruction(
+                opcode,
+                self._register(operands[0], line),
+                self._evaluate(operands[1], symbols, line),
+                source_line=line,
+            )
+        if shape is Shape.MEM:
+            self._expect(operands, 2, mnemonic, line)
+            reg = self._register(operands[0], line)
+            offset, base_reg = self._memory_operand(operands[1], symbols, line)
+            return Instruction(opcode, reg, offset, base_reg, source_line=line)
+        if shape is Shape.BR:
+            self._expect(operands, 3, mnemonic, line)
+            target = self._code_target(operands[2], symbols, line)
+            return Instruction(
+                opcode,
+                self._register(operands[0], line),
+                self._register(operands[1], line),
+                target,
+                source_line=line,
+            )
+        if shape is Shape.J:
+            self._expect(operands, 1, mnemonic, line)
+            return Instruction(
+                opcode, self._code_target(operands[0], symbols, line), source_line=line
+            )
+        if shape is Shape.JR:
+            self._expect(operands, 1, mnemonic, line)
+            return Instruction(
+                opcode, self._register(operands[0], line), source_line=line
+            )
+        self._expect(operands, 0, mnemonic, line)
+        return Instruction(opcode, source_line=line)
+
+    @staticmethod
+    def _expect(operands: List[str], count: int, mnemonic: str, line: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}", line
+            )
+
+    def _memory_operand(
+        self, text: str, symbols: Dict[str, int], line: int
+    ) -> Tuple[int, int]:
+        """Parse ``offset(reg)``, ``(reg)`` or a bare absolute expression."""
+        match = _MEM_OPERAND_RE.match(text.strip())
+        if match:
+            offset_text = match.group("offset").strip()
+            offset = (
+                self._evaluate(offset_text, symbols, line) if offset_text else 0
+            )
+            return offset, self._register(match.group("reg"), line)
+        return self._evaluate(text, symbols, line), 0
+
+    def _code_target(self, text: str, symbols: Dict[str, int], line: int) -> int:
+        """Resolve a branch/jump target to an instruction index."""
+        address = self._evaluate(text, symbols, line)
+        index = address - self.code_base
+        if index < 0:
+            raise AssemblerError(
+                f"branch target {text!r} resolves below the code base", line
+            )
+        return index
+
+
+def assemble(
+    source: str,
+    name: str = "",
+    code_base: int = CODE_BASE,
+    data_base: int = DATA_BASE,
+    address_bits: int = DEFAULT_ADDRESS_BITS,
+) -> Program:
+    """Assemble source text with default memory layout (module-level helper)."""
+    return Assembler(
+        code_base=code_base, data_base=data_base, address_bits=address_bits
+    ).assemble(source, name=name)

@@ -1,0 +1,37 @@
+"""Errors raised by the assembler and the virtual machine."""
+
+from __future__ import annotations
+
+
+class AssemblerError(Exception):
+    """A syntax or semantic error in assembly source.
+
+    Attributes:
+        line: 1-based source line the error was detected on (0 if unknown).
+    """
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        prefix = f"line {line}: " if line else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+class MachineError(Exception):
+    """Base class for runtime errors in the virtual machine."""
+
+
+class MachineFault(MachineError):
+    """A fault during execution (bad address, division by zero, ...).
+
+    Attributes:
+        pc: program counter (instruction index) at the faulting instruction.
+    """
+
+    def __init__(self, message: str, pc: int = -1) -> None:
+        prefix = f"pc={pc}: " if pc >= 0 else ""
+        super().__init__(prefix + message)
+        self.pc = pc
+
+
+class CycleLimitExceeded(MachineError):
+    """The machine ran longer than its configured cycle limit."""

@@ -1,0 +1,183 @@
+"""Instruction set definition.
+
+Every instruction is stored fully decoded as an :class:`Instruction` —
+an opcode plus up to three integer operands whose meaning depends on the
+opcode's *shape*:
+
+=========  =======================  =====================================
+shape      operands (a, b, c)       semantics
+=========  =======================  =====================================
+R          rd, rs, rt               ``rd <- rs OP rt``
+I          rd, rs, imm              ``rd <- rs OP imm``
+LI         rd, imm, -               ``rd <- imm``
+MEM        reg, imm, rs             ``lw: reg <- M[rs + imm]``;
+                                    ``sw: M[rs + imm] <- reg``
+BR         rs, rt, target           branch to instruction index ``target``
+J          target, -, -             jump / jump-and-link
+JR         rs, -, -                 jump to register
+HALT       -, -, -                  stop
+=========  =======================  =====================================
+
+Registers are ``r0`` ... ``r15``; ``r0`` reads as zero and ignores
+writes.  Conventional aliases: ``zero`` = r0, ``sp`` = r14, ``ra`` = r15.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+NUM_REGISTERS = 16
+WORD_MASK = 0xFFFFFFFF
+WORD_SIGN = 0x80000000
+
+REGISTER_ALIASES: Dict[str, int] = {
+    **{f"r{i}": i for i in range(NUM_REGISTERS)},
+    "zero": 0,
+    "sp": 14,
+    "ra": 15,
+}
+
+
+class Opcode(enum.IntEnum):
+    """All machine opcodes (pseudo-instructions expand to these)."""
+
+    # R-type ALU
+    ADD = enum.auto()
+    SUB = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    NOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SRA = enum.auto()
+    SLT = enum.auto()
+    SLTU = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    # I-type ALU
+    ADDI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLTI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SRAI = enum.auto()
+    LI = enum.auto()
+    # memory
+    LW = enum.auto()
+    SW = enum.auto()
+    # control
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    BLTU = enum.auto()
+    BGEU = enum.auto()
+    J = enum.auto()
+    JAL = enum.auto()
+    JR = enum.auto()
+    HALT = enum.auto()
+
+
+class Shape(enum.Enum):
+    """Operand shape of an opcode (drives assembler parsing)."""
+
+    R = "r"          # op rd, rs, rt
+    I = "i"          # op rd, rs, imm
+    LI = "li"        # op rd, imm
+    MEM = "mem"      # op reg, imm(rs)
+    BR = "br"        # op rs, rt, label
+    J = "j"          # op label
+    JR = "jr"        # op rs
+    HALT = "halt"    # op
+
+
+SHAPES: Dict[Opcode, Shape] = {
+    Opcode.ADD: Shape.R,
+    Opcode.SUB: Shape.R,
+    Opcode.AND: Shape.R,
+    Opcode.OR: Shape.R,
+    Opcode.XOR: Shape.R,
+    Opcode.NOR: Shape.R,
+    Opcode.SLL: Shape.R,
+    Opcode.SRL: Shape.R,
+    Opcode.SRA: Shape.R,
+    Opcode.SLT: Shape.R,
+    Opcode.SLTU: Shape.R,
+    Opcode.MUL: Shape.R,
+    Opcode.DIV: Shape.R,
+    Opcode.REM: Shape.R,
+    Opcode.ADDI: Shape.I,
+    Opcode.ANDI: Shape.I,
+    Opcode.ORI: Shape.I,
+    Opcode.XORI: Shape.I,
+    Opcode.SLTI: Shape.I,
+    Opcode.SLLI: Shape.I,
+    Opcode.SRLI: Shape.I,
+    Opcode.SRAI: Shape.I,
+    Opcode.LI: Shape.LI,
+    Opcode.LW: Shape.MEM,
+    Opcode.SW: Shape.MEM,
+    Opcode.BEQ: Shape.BR,
+    Opcode.BNE: Shape.BR,
+    Opcode.BLT: Shape.BR,
+    Opcode.BGE: Shape.BR,
+    Opcode.BLTU: Shape.BR,
+    Opcode.BGEU: Shape.BR,
+    Opcode.J: Shape.J,
+    Opcode.JAL: Shape.J,
+    Opcode.JR: Shape.JR,
+    Opcode.HALT: Shape.HALT,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Attributes:
+        op: the opcode.
+        a, b, c: operands; meaning is shape-dependent (see module doc).
+        source_line: 1-based line in the assembly source (0 if synthetic).
+    """
+
+    op: Opcode
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    source_line: int = 0
+
+    def __str__(self) -> str:
+        shape = SHAPES[self.op]
+        name = self.op.name.lower()
+        if shape is Shape.R:
+            return f"{name} r{self.a}, r{self.b}, r{self.c}"
+        if shape is Shape.I:
+            return f"{name} r{self.a}, r{self.b}, {self.c}"
+        if shape is Shape.LI:
+            return f"{name} r{self.a}, {self.b}"
+        if shape is Shape.MEM:
+            return f"{name} r{self.a}, {self.b}(r{self.c})"
+        if shape is Shape.BR:
+            return f"{name} r{self.a}, r{self.b}, @{self.c}"
+        if shape is Shape.J:
+            return f"{name} @{self.a}"
+        if shape is Shape.JR:
+            return f"{name} r{self.a}"
+        return name
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit word as a signed integer."""
+    value &= WORD_MASK
+    return value - (1 << 32) if value & WORD_SIGN else value
+
+
+def to_unsigned(value: int) -> int:
+    """Mask a Python int to a 32-bit word."""
+    return value & WORD_MASK

@@ -1,0 +1,82 @@
+"""Assembled programs.
+
+A :class:`Program` is the loadable output of the assembler: the decoded
+instruction list, the initial data image, the symbol table and the memory
+layout constants.  Code occupies word addresses ``[code_base,
+code_base + len(instructions))``; the program counter is an index into
+``instructions`` and the fetch address is ``code_base + pc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.isa.instructions import Instruction
+
+CODE_BASE = 0x0000
+DATA_BASE = 0x4000
+DEFAULT_ADDRESS_BITS = 16
+
+
+@dataclass
+class Program:
+    """An assembled program ready to load into a :class:`~repro.isa.machine.Machine`.
+
+    Attributes:
+        instructions: decoded instructions; index = program counter.
+        data: initial data image as ``(word_address, value)`` pairs.
+        symbols: label -> word address (data labels) or instruction index
+            (code labels, stored as absolute fetch addresses).
+        code_base: word address of instruction 0.
+        data_base: word address where the data section starts.
+        address_bits: width of the machine address space this program
+            assumes.
+        name: optional program label.
+    """
+
+    instructions: List[Instruction]
+    data: List[Tuple[int, int]] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    code_base: int = CODE_BASE
+    data_base: int = DATA_BASE
+    address_bits: int = DEFAULT_ADDRESS_BITS
+    name: str = ""
+
+    @property
+    def code_words(self) -> int:
+        """Size of the code segment in words."""
+        return len(self.instructions)
+
+    @property
+    def data_words(self) -> int:
+        """Highest data word used, relative to ``data_base`` (0 if none)."""
+        if not self.data:
+            return 0
+        return max(addr for addr, _ in self.data) - self.data_base + 1
+
+    def symbol(self, name: str) -> int:
+        """Resolve a symbol to its word address.
+
+        Raises:
+            KeyError: with the close-match candidates when unknown.
+        """
+        try:
+            return self.symbols[name]
+        except KeyError:
+            close = [s for s in self.symbols if s.startswith(name[:3])]
+            hint = f" (did you mean one of {close}?)" if close else ""
+            raise KeyError(f"unknown symbol {name!r}{hint}") from None
+
+    def disassemble(self) -> str:
+        """Textual listing: address, instruction, symbols as comments."""
+        by_address: Dict[int, List[str]] = {}
+        for sym, addr in self.symbols.items():
+            by_address.setdefault(addr, []).append(sym)
+        lines: List[str] = []
+        for pc, instruction in enumerate(self.instructions):
+            addr = self.code_base + pc
+            for sym in by_address.get(addr, []):
+                lines.append(f"{sym}:")
+            lines.append(f"  {addr:#06x}  {instruction}")
+        return "\n".join(lines)

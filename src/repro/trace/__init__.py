@@ -1,0 +1,84 @@
+"""Memory-reference trace substrate.
+
+Everything in :mod:`repro` consumes traces of word addresses.  This package
+provides the trace container (:class:`~repro.trace.trace.Trace`), the
+stripping step of the paper's prelude phase
+(:class:`~repro.trace.strip.StrippedTrace`), trace statistics matching the
+paper's Tables 5 and 6 (:mod:`repro.trace.stats`), file I/O in several
+common trace formats (:mod:`repro.trace.io`) and a collection of synthetic
+trace generators used by tests and benchmarks
+(:mod:`repro.trace.synthetic`).
+"""
+
+from repro.trace.reference import AccessKind, MemoryReference
+from repro.trace.trace import Trace
+from repro.trace.strip import StrippedTrace, strip_trace
+from repro.trace.stats import TraceStatistics, compute_statistics
+from repro.trace.io import (
+    read_trace,
+    write_trace,
+    read_text_trace,
+    write_text_trace,
+    read_dinero_trace,
+    write_dinero_trace,
+    read_csv_trace,
+    write_csv_trace,
+    read_binary_trace,
+    write_binary_trace,
+)
+from repro.trace.compaction import (
+    CompactedTrace,
+    CompactionStats,
+    compact_trace,
+)
+from repro.trace.transform import (
+    filter_address_range,
+    map_addresses,
+    offset_addresses,
+    remap_addresses,
+    split_at_address,
+)
+from repro.trace.synthetic import (
+    sequential_trace,
+    strided_trace,
+    random_trace,
+    loop_nest_trace,
+    zipf_trace,
+    markov_trace,
+    interleaved_trace,
+)
+
+__all__ = [
+    "AccessKind",
+    "MemoryReference",
+    "Trace",
+    "StrippedTrace",
+    "strip_trace",
+    "TraceStatistics",
+    "compute_statistics",
+    "read_trace",
+    "write_trace",
+    "read_text_trace",
+    "write_text_trace",
+    "read_dinero_trace",
+    "write_dinero_trace",
+    "read_csv_trace",
+    "write_csv_trace",
+    "read_binary_trace",
+    "write_binary_trace",
+    "CompactedTrace",
+    "CompactionStats",
+    "compact_trace",
+    "filter_address_range",
+    "map_addresses",
+    "offset_addresses",
+    "remap_addresses",
+    "split_at_address",
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "loop_nest_trace",
+    "zipf_trace",
+    "markov_trace",
+    "interleaved_trace",
+]

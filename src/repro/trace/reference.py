@@ -1,0 +1,63 @@
+"""Single memory references.
+
+A trace is fundamentally a sequence of word addresses; the access *kind*
+(instruction fetch, data read, data write) matters only when splitting a
+combined processor trace into the separate instruction and data traces that
+the paper analyzes, and when replaying a trace through the cache simulator
+with a write policy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessKind(enum.Enum):
+    """Kind of a memory access.
+
+    The integer values follow the classic dinero ``din`` convention:
+    0 = data read, 1 = data write, 2 = instruction fetch.
+    """
+
+    READ = 0
+    WRITE = 1
+    FETCH = 2
+
+    @classmethod
+    def from_din(cls, label: int) -> "AccessKind":
+        """Map a dinero access-type label to an :class:`AccessKind`."""
+        try:
+            return cls(label)
+        except ValueError:
+            raise ValueError(f"unknown dinero access label: {label!r}") from None
+
+    @property
+    def is_data(self) -> bool:
+        """True for data reads and writes, False for instruction fetches."""
+        return self is not AccessKind.FETCH
+
+    @property
+    def is_instruction(self) -> bool:
+        """True for instruction fetches."""
+        return self is AccessKind.FETCH
+
+
+@dataclass(frozen=True)
+class MemoryReference:
+    """One memory access: a word address plus its access kind.
+
+    Attributes:
+        address: non-negative word address.
+        kind: what kind of access this is (read/write/fetch).
+    """
+
+    address: int
+    kind: AccessKind = AccessKind.READ
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+
+    def __int__(self) -> int:
+        return self.address

@@ -1,0 +1,159 @@
+"""Synthetic trace generators.
+
+These produce traces with controlled locality structure.  They are used by
+the unit tests (small, fully predictable patterns), by the property-based
+tests (random but seeded), and by ablation benchmarks where trace size must
+be swept independently of the workload substrate.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.trace.trace import Trace
+
+
+def sequential_trace(
+    length: int, start: int = 0, address_bits: Optional[int] = None
+) -> Trace:
+    """Addresses ``start, start+1, ...`` — pure streaming, no reuse."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return Trace(
+        range(start, start + length), address_bits=address_bits, name="sequential"
+    )
+
+
+def strided_trace(
+    length: int,
+    stride: int,
+    start: int = 0,
+    address_bits: Optional[int] = None,
+) -> Trace:
+    """Addresses ``start, start+stride, ...`` — models column-major sweeps."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    return Trace(
+        (start + i * stride for i in range(length)),
+        address_bits=address_bits,
+        name=f"strided-{stride}",
+    )
+
+
+def loop_nest_trace(
+    footprint: int,
+    iterations: int,
+    address_bits: Optional[int] = None,
+    start: int = 0,
+) -> Trace:
+    """Repeat a sequential sweep of ``footprint`` addresses ``iterations`` times.
+
+    This is the canonical embedded-kernel pattern: a small working set
+    revisited many times, where every revisit hits once the cache covers
+    the footprint.
+    """
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    body = list(range(start, start + footprint))
+    return Trace(
+        body * iterations,
+        address_bits=address_bits,
+        name=f"loop-{footprint}x{iterations}",
+    )
+
+
+def random_trace(
+    length: int,
+    footprint: int,
+    seed: int = 0,
+    address_bits: Optional[int] = None,
+) -> Trace:
+    """Uniformly random addresses drawn from ``[0, footprint)``."""
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    rng = random.Random(seed)
+    return Trace(
+        (rng.randrange(footprint) for _ in range(length)),
+        address_bits=address_bits,
+        name=f"random-{footprint}",
+    )
+
+
+def zipf_trace(
+    length: int,
+    footprint: int,
+    exponent: float = 1.0,
+    seed: int = 0,
+    address_bits: Optional[int] = None,
+) -> Trace:
+    """Zipf-distributed addresses — a few hot words, a long cold tail.
+
+    Models table-driven codecs where some table entries dominate.
+    """
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**exponent) for rank in range(1, footprint + 1)]
+    addresses = rng.choices(range(footprint), weights=weights, k=length)
+    return Trace(addresses, address_bits=address_bits, name=f"zipf-{exponent}")
+
+
+def markov_trace(
+    length: int,
+    footprint: int,
+    locality: float = 0.8,
+    seed: int = 0,
+    address_bits: Optional[int] = None,
+) -> Trace:
+    """First-order Markov walk: with probability ``locality`` step to a
+    neighbouring address, otherwise jump uniformly.
+
+    Produces tunable spatial locality, useful for sweeping the N'/N ratio.
+    """
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError("locality must be in [0, 1]")
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    rng = random.Random(seed)
+    addresses: List[int] = []
+    current = rng.randrange(footprint)
+    for _ in range(length):
+        addresses.append(current)
+        if rng.random() < locality:
+            current = (current + rng.choice((-1, 1))) % footprint
+        else:
+            current = rng.randrange(footprint)
+    return Trace(addresses, address_bits=address_bits, name=f"markov-{locality}")
+
+
+def interleaved_trace(
+    traces: Sequence[Trace],
+    address_bits: Optional[int] = None,
+    name: str = "interleaved",
+) -> Trace:
+    """Round-robin interleave several traces (models multi-stream access).
+
+    Streams that run out simply drop out of the rotation.
+    """
+    if not traces:
+        raise ValueError("at least one trace is required")
+    iters = [iter(t) for t in traces]
+    out: List[int] = []
+    while iters:
+        alive = []
+        for it in iters:
+            try:
+                out.append(next(it))
+            except StopIteration:
+                continue
+            alive.append(it)
+        iters = alive
+    bits = address_bits or max(t.address_bits for t in traces)
+    return Trace(out, address_bits=bits, name=name)

@@ -1,0 +1,49 @@
+"""The 12 PowerStone-style benchmark kernels.
+
+Re-implementations, for the :mod:`repro.isa` virtual machine, of the 12
+PowerStone applications the paper evaluates: ``adpcm``, ``bcnt``,
+``blit``, ``compress``, ``crc``, ``des``, ``engine``, ``fir``, ``g3fax``,
+``pocsag``, ``qurt`` and ``ucbqsort``.  Each kernel ships with a
+pure-Python golden model; a run is only trusted (and its traces only
+used) when the kernel's checksum matches the golden result.
+
+Use :func:`repro.workloads.registry.run_workload_by_name` (or
+:func:`~repro.workloads.registry.run_all`) to obtain verified
+instruction/data traces.
+"""
+
+from repro.workloads.common import (
+    LCG,
+    SCALES,
+    Workload,
+    WorkloadRun,
+    run_workload,
+    scaled,
+    words_directive,
+)
+from repro.workloads.registry import (
+    ALL_WORKLOAD_NAMES,
+    EXTRA_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    get_workload,
+    list_workloads,
+    run_all,
+    run_workload_by_name,
+)
+
+__all__ = [
+    "LCG",
+    "SCALES",
+    "Workload",
+    "WorkloadRun",
+    "run_workload",
+    "scaled",
+    "words_directive",
+    "ALL_WORKLOAD_NAMES",
+    "EXTRA_WORKLOAD_NAMES",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "list_workloads",
+    "run_all",
+    "run_workload_by_name",
+]

@@ -1,0 +1,158 @@
+"""``adpcm`` — IMA ADPCM speech encoder (PowerStone ``adpcm``).
+
+The standard IMA/DVI ADPCM step-size adaptation: per 16-bit sample the
+encoder quantizes the prediction error to a 4-bit code using the 89-entry
+step table, updates the predictor and the step index, and emits the code.
+Access pattern: two small hot tables indexed by adapting state, a
+streaming sample buffer, and dense data-dependent branching.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_DEFAULT_SAMPLES = 384
+
+STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def golden(samples: List[int]) -> int:
+    """Checksum over the emitted 4-bit codes (matches the kernel exactly)."""
+    predictor = 0
+    index = 0
+    checksum = 0
+    for sample in samples:
+        diff = sample - predictor
+        sign = 8 if diff < 0 else 0
+        if sign:
+            diff = -diff
+        step = STEP_TABLE[index]
+        vpdiff = step >> 3
+        delta = 0
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        predictor = predictor - vpdiff if sign else predictor + vpdiff
+        predictor = max(-32768, min(32767, predictor))
+        delta |= sign
+        index = max(0, min(88, index + INDEX_TABLE[delta]))
+        checksum = (checksum * 31 + delta) & WORD_MASK
+    return checksum
+
+
+def make_samples(count: int) -> List[int]:
+    """A noisy-waveform sample stream in [-32768, 32767]."""
+    rng = LCG(seed=0xADC)
+    samples = []
+    value = 0
+    for _ in range(count):
+        # Random walk with occasional jumps: exercises all delta codes.
+        value += rng.below(4096) - 2048
+        if rng.below(16) == 0:
+            value = rng.below(65536) - 32768
+        value = max(-32768, min(32767, value))
+        samples.append(value)
+    return samples
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the adpcm workload at a given scale."""
+    count = scaled(_DEFAULT_SAMPLES, scale)
+    samples = make_samples(count)
+    source = f"""
+; adpcm: IMA ADPCM encode of {count} samples
+        .equ N, {count}
+        .data
+steptab:
+{words_directive(STEP_TABLE)}
+idxtab:
+{words_directive(INDEX_TABLE)}
+samples:
+{words_directive(samples)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; sample index
+        li   r2, 0              ; checksum
+        li   r3, 0              ; predictor
+        li   r4, 0              ; step index
+        li   r10, N
+sloop:  lw   r5, samples(r1)
+        sub  r6, r5, r3         ; diff
+        li   r7, 0              ; sign
+        bgez r6, pos
+        li   r7, 8
+        neg  r6, r6
+pos:    lw   r8, steptab(r4)    ; step
+        srli r9, r8, 3          ; vpdiff = step >> 3
+        li   r12, 0             ; delta
+        blt  r6, r8, d2
+        addi r12, r12, 4
+        sub  r6, r6, r8
+        add  r9, r9, r8
+d2:     srli r8, r8, 1
+        blt  r6, r8, d1
+        addi r12, r12, 2
+        sub  r6, r6, r8
+        add  r9, r9, r8
+d1:     srli r8, r8, 1
+        blt  r6, r8, dd
+        addi r12, r12, 1
+        add  r9, r9, r8
+dd:     beqz r7, plus
+        sub  r3, r3, r9
+        j    clamphi
+plus:   add  r3, r3, r9
+clamphi:
+        li   r8, 32767
+        ble  r3, r8, clamplo
+        mv   r3, r8
+clamplo:
+        li   r8, -32768
+        bge  r3, r8, emit
+        mv   r3, r8
+emit:   or   r12, r12, r7       ; delta |= sign
+        lw   r8, idxtab(r12)
+        add  r4, r4, r8
+        bgez r4, idxhi
+        li   r4, 0
+idxhi:  li   r8, 88
+        ble  r4, r8, accum
+        mv   r4, r8
+accum:  li   r8, 31
+        mul  r2, r2, r8
+        add  r2, r2, r12
+        inc  r1
+        blt  r1, r10, sloop
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="adpcm",
+        description="IMA ADPCM speech encoder",
+        source=source,
+        expected=golden(samples),
+        scale=scale,
+        params={"samples": count},
+    )

@@ -1,0 +1,71 @@
+"""``bcnt`` — bit counting via byte lookup table (PowerStone ``bcnt``).
+
+Counts the set bits of a word buffer by splitting each word into four
+bytes and summing a 256-entry population-count table — the pattern the
+original PowerStone kernel uses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_DEFAULT_WORDS = 512
+
+
+def popcount_table() -> List[int]:
+    """256-entry byte population-count table."""
+    return [bin(i).count("1") for i in range(256)]
+
+
+def golden(data: List[int]) -> int:
+    """Total set bits across all words."""
+    return sum(bin(word & WORD_MASK).count("1") for word in data) & WORD_MASK
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the bcnt workload at a given scale."""
+    count = scaled(_DEFAULT_WORDS, scale)
+    data = LCG(seed=0xBC7).words(count)
+    source = f"""
+; bcnt: population count of {count} words via byte lookup table
+        .equ N, {count}
+        .data
+tab:
+{words_directive(popcount_table())}
+data:
+{words_directive(data)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; word index
+        li   r2, 0              ; total
+        li   r8, N
+loop:   lw   r3, data(r1)
+        andi r4, r3, 0xFF       ; byte 0
+        lw   r5, tab(r4)
+        add  r2, r2, r5
+        srli r3, r3, 8
+        andi r4, r3, 0xFF       ; byte 1
+        lw   r5, tab(r4)
+        add  r2, r2, r5
+        srli r3, r3, 8
+        andi r4, r3, 0xFF       ; byte 2
+        lw   r5, tab(r4)
+        add  r2, r2, r5
+        srli r3, r3, 8          ; byte 3
+        lw   r5, tab(r3)
+        add  r2, r2, r5
+        inc  r1
+        blt  r1, r8, loop
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="bcnt",
+        description="bit counting via byte lookup table",
+        source=source,
+        expected=golden(data),
+        scale=scale,
+        params={"words": count},
+    )

@@ -1,0 +1,100 @@
+"""``blit`` — bit-block transfer (PowerStone ``blit``).
+
+ORs a source bitmap into a destination bitmap at a sub-word bit offset:
+every destination word combines the tail of one source word with the head
+of the next, the classic shift-and-merge blit inner loop.  Access
+pattern: two parallel streaming buffers with short-distance reuse of the
+carry word.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_DEFAULT_ROWS = 48
+_ROW_WORDS = 16
+_SHIFT = 5
+
+
+def golden(src: List[int], dst: List[int], rows: int, row_words: int, shift: int) -> int:
+    """Checksum of the destination bitmap after the OR-blit."""
+    dst = list(dst)
+    for row in range(rows):
+        base = row * row_words
+        carry = 0
+        for col in range(row_words):
+            value = src[base + col]
+            dst[base + col] |= carry | (value >> shift)
+            carry = (value << (32 - shift)) & WORD_MASK
+        # Final carry word of the row spills into the row's extra slot.
+        dst[rows * row_words + row] |= carry
+    checksum = 0
+    for word in dst:
+        checksum = (checksum + word) & WORD_MASK
+    return checksum
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the blit workload at a given scale."""
+    rows = scaled(_DEFAULT_ROWS, scale)
+    src = LCG(seed=0xB117).words(rows * _ROW_WORDS)
+    dst = LCG(seed=0xD57).words(rows * _ROW_WORDS + rows)
+    total_dst = rows * _ROW_WORDS + rows
+    source = f"""
+; blit: OR-merge a {rows}x{_ROW_WORDS}-word bitmap shifted by {_SHIFT} bits
+        .equ ROWS, {rows}
+        .equ ROWWORDS, {_ROW_WORDS}
+        .equ SHIFT, {_SHIFT}
+        .equ TOTALDST, {total_dst}
+        .data
+src:
+{words_directive(src)}
+dst:
+{words_directive(dst)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; row
+        li   r10, ROWS
+        li   r11, ROWWORDS
+rowlp:  mul  r2, r1, r11        ; row base
+        li   r3, 0              ; col
+        li   r4, 0              ; carry
+collp:  add  r5, r2, r3         ; word index
+        lw   r6, src(r5)
+        srli r7, r6, SHIFT
+        or   r7, r7, r4         ; merged word
+        lw   r8, dst(r5)
+        or   r8, r8, r7
+        sw   r8, dst(r5)
+        slli r4, r6, 32-SHIFT   ; next carry
+        inc  r3
+        blt  r3, r11, collp
+        ; spill the final carry into the row's overflow slot
+        mul  r5, r10, r11
+        add  r5, r5, r1
+        lw   r8, dst(r5)
+        or   r8, r8, r4
+        sw   r8, dst(r5)
+        inc  r1
+        blt  r1, r10, rowlp
+        ; checksum the destination
+        li   r1, 0
+        li   r2, 0
+        li   r10, TOTALDST
+chklp:  lw   r3, dst(r1)
+        add  r2, r2, r3
+        inc  r1
+        blt  r1, r10, chklp
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="blit",
+        description="shift-and-merge bit-block transfer",
+        source=source,
+        expected=golden(src, dst, rows, _ROW_WORDS, _SHIFT),
+        scale=scale,
+        params={"rows": rows, "row_words": _ROW_WORDS, "shift": _SHIFT},
+    )

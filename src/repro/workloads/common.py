@@ -1,0 +1,150 @@
+"""Shared infrastructure for the PowerStone-style workloads.
+
+Each workload module provides ``build(scale) -> Workload``: an assembly
+program, a golden result computed by a pure-Python model of the same
+algorithm, and the data label where the kernel deposits its checksum.
+Running the kernel on the VM and comparing against the golden result
+proves the machine executed the algorithm faithfully — only then are its
+traces trusted as experiment inputs.
+
+Input data is generated with a deterministic 32-bit LCG so every build of
+a workload is bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.trace.trace import Trace
+
+WORD_MASK = 0xFFFFFFFF
+
+#: Scale factors applied to each workload's default input size.
+SCALES: Dict[str, float] = {"tiny": 0.125, "small": 0.5, "default": 1.0, "large": 2.0}
+
+
+class LCG:
+    """Deterministic 32-bit linear congruential generator (Numerical Recipes)."""
+
+    def __init__(self, seed: int = 2003) -> None:
+        self.state = seed & WORD_MASK
+
+    def next(self) -> int:
+        """Next raw 32-bit value."""
+        self.state = (self.state * 1664525 + 1013904223) & WORD_MASK
+        return self.state
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish value in ``[0, bound)``."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next() % bound
+
+    def words(self, count: int, bound: int = 1 << 32) -> List[int]:
+        """A list of ``count`` values in ``[0, bound)``."""
+        return [self.below(bound) for _ in range(count)]
+
+
+def scaled(value: int, scale: str, minimum: int = 4) -> int:
+    """Apply a named scale factor to a default size."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    return max(minimum, int(value * SCALES[scale]))
+
+
+def words_directive(values: Iterable[int], per_line: int = 8) -> str:
+    """Render values as ``.word`` lines (wrapping for readability)."""
+    values = [v & WORD_MASK for v in values]
+    if not values:
+        raise ValueError("at least one word is required")
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v) for v in values[start : start + per_line])
+        lines.append(f"        .word {chunk}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Workload:
+    """One benchmark kernel: program source plus its golden result.
+
+    Attributes:
+        name: kernel name (matches the paper's benchmark names).
+        description: one-line summary of what the kernel computes.
+        source: assembly source text.
+        expected: golden checksum the kernel must deposit at
+            ``result_symbol``.
+        result_symbol: data label holding the kernel's checksum.
+        scale: the scale the workload was built at.
+        params: input-size parameters, for reporting.
+    """
+
+    name: str
+    description: str
+    source: str
+    expected: int
+    result_symbol: str = "result"
+    scale: str = "default"
+    params: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class WorkloadRun:
+    """A verified execution of a workload on the VM.
+
+    Attributes:
+        workload: the workload that ran.
+        machine: the halted machine (registers/memory inspectable).
+        instruction_trace: fetch-address trace.
+        data_trace: data-address trace (kinds preserved).
+        checksum: the value the kernel deposited.
+    """
+
+    workload: Workload
+    machine: Machine
+    instruction_trace: Trace
+    data_trace: Trace
+    checksum: int
+
+    @property
+    def verified(self) -> bool:
+        """True when the kernel's checksum matches the golden model."""
+        return self.checksum == self.workload.expected
+
+    @property
+    def unified_trace(self) -> Trace:
+        """Instruction and data accesses merged in program order."""
+        return self.machine.combined_trace(f"{self.workload.name}.unified")
+
+
+def run_workload(
+    workload: Workload,
+    cycle_limit: int = 20_000_000,
+    trace: bool = True,
+) -> WorkloadRun:
+    """Assemble, execute and verify a workload.
+
+    Raises:
+        AssertionError: when the kernel's checksum disagrees with the
+            golden model — the traces of a mis-executing kernel are
+            meaningless, so this is fatal by design.
+    """
+    program = assemble(workload.source, name=workload.name)
+    machine = Machine(program, cycle_limit=cycle_limit, trace=trace)
+    machine.run()
+    checksum = machine.read_symbol(workload.result_symbol)
+    if checksum != workload.expected:
+        raise AssertionError(
+            f"workload {workload.name!r} checksum mismatch: kernel produced "
+            f"{checksum:#010x}, golden model expects {workload.expected:#010x}"
+        )
+    return WorkloadRun(
+        workload=workload,
+        machine=machine,
+        instruction_trace=machine.instruction_trace(f"{workload.name}.inst"),
+        data_trace=machine.data_trace(f"{workload.name}.data"),
+        checksum=checksum,
+    )

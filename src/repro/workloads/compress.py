@@ -1,0 +1,123 @@
+"""``compress`` — LZW compression (PowerStone / Unix ``compress``).
+
+LZW with a linear-probed hash table of (prefix, char) pairs, the data
+structure at the heart of Unix ``compress`` (which uses open hashing with
+double probing; linear probing preserves the same table-churn access
+pattern).  Codes are capped at 10 bits so the table never fills.  Access
+pattern: streaming input, data-dependent probe chains over a 1K-entry
+table, and append-only table growth — strongly input-dependent locality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_TABLE_SIZE = 1024
+_HASH_MASK = _TABLE_SIZE - 1
+_FIRST_CODE = 256
+_MAX_CODE = 1024  # table stays at most 3/4 full: probes always terminate
+_EMPTY = 0xFFFFFFFF
+_ALPHABET = 16
+_DEFAULT_INPUT_BYTES = 768
+
+
+def golden(data: List[int]) -> Tuple[int, int]:
+    """LZW-compress; returns (checksum over emitted codes, codes emitted)."""
+    keys = [_EMPTY] * _TABLE_SIZE
+    codes = [0] * _TABLE_SIZE
+    next_code = _FIRST_CODE
+    prefix = data[0]
+    checksum = 0
+    emitted = 0
+
+    def emit(code: int) -> None:
+        nonlocal checksum, emitted
+        checksum = (checksum * 33 + code) & WORD_MASK
+        emitted += 1
+
+    for char in data[1:]:
+        key = (prefix << 8) | char
+        h = ((prefix << 4) ^ char) & _HASH_MASK
+        while keys[h] != _EMPTY and keys[h] != key:
+            h = (h + 1) & _HASH_MASK
+        if keys[h] == key:
+            prefix = codes[h]
+        else:
+            emit(prefix)
+            if next_code < _MAX_CODE:
+                keys[h] = key
+                codes[h] = next_code
+                next_code += 1
+            prefix = char
+    emit(prefix)
+    return checksum, emitted
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the compress workload at a given scale."""
+    length = scaled(_DEFAULT_INPUT_BYTES, scale)
+    # Small alphabet gives the dictionary real reuse, like text input.
+    data = LCG(seed=0xC03F).words(length, bound=_ALPHABET)
+    checksum, emitted = golden(data)
+    source = f"""
+; compress: LZW over {length} bytes, {_TABLE_SIZE}-entry hash table
+        .equ N, {length}
+        .equ HMASK, {_HASH_MASK}
+        .equ MAXCODE, {_MAX_CODE}
+        .data
+input:
+{words_directive(data)}
+htkey:
+{words_directive([_EMPTY] * _TABLE_SIZE)}
+htcode: .space {_TABLE_SIZE}
+result: .word 0
+        .text
+main:   lw   r3, input          ; prefix = input[0]
+        li   r1, 1              ; input index
+        li   r2, 0              ; checksum
+        li   r4, {_FIRST_CODE}  ; next_code
+        li   r10, N
+        li   r12, 0xFFFFFFFF    ; EMPTY
+loop:   bge  r1, r10, done
+        lw   r5, input(r1)      ; c
+        slli r6, r3, 8
+        or   r6, r6, r5         ; key = (prefix << 8) | c
+        slli r7, r3, 4
+        xor  r7, r7, r5
+        andi r7, r7, HMASK      ; h
+probe:  lw   r8, htkey(r7)
+        beq  r8, r12, miss
+        beq  r8, r6, hit
+        addi r7, r7, 1
+        andi r7, r7, HMASK
+        j    probe
+hit:    lw   r3, htcode(r7)     ; prefix = code of (prefix, c)
+        j    next
+miss:   li   r9, 33             ; emit prefix
+        mul  r2, r2, r9
+        add  r2, r2, r3
+        li   r9, MAXCODE
+        bge  r4, r9, noinsert
+        sw   r6, htkey(r7)
+        sw   r4, htcode(r7)
+        inc  r4
+noinsert:
+        mv   r3, r5             ; prefix = c
+next:   inc  r1
+        j    loop
+done:   li   r9, 33             ; emit the final prefix
+        mul  r2, r2, r9
+        add  r2, r2, r3
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="compress",
+        description="LZW compression with linear-probed hash table",
+        source=source,
+        expected=checksum,
+        scale=scale,
+        params={"input_bytes": length, "codes_emitted": emitted},
+    )

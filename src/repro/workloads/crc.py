@@ -1,0 +1,79 @@
+"""``crc`` — table-driven CRC-32 checksum (PowerStone ``crc``).
+
+The classic reflected CRC-32 (polynomial ``0xEDB88320``) over a message
+buffer, one table lookup per byte.  Access pattern: a hot 256-word lookup
+table indexed by data-dependent bytes plus a streaming read of the
+message — the canonical mixed temporal/spatial-locality kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_POLY = 0xEDB88320
+_DEFAULT_MESSAGE_BYTES = 1024
+
+
+def crc_table() -> List[int]:
+    """The 256-entry reflected CRC-32 table."""
+    table = []
+    for byte in range(256):
+        value = byte
+        for _ in range(8):
+            if value & 1:
+                value = (value >> 1) ^ _POLY
+            else:
+                value >>= 1
+        table.append(value)
+    return table
+
+
+def golden(message: List[int]) -> int:
+    """Reference CRC-32 of a byte sequence."""
+    table = crc_table()
+    crc = 0xFFFFFFFF
+    for byte in message:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the crc workload at a given scale."""
+    length = scaled(_DEFAULT_MESSAGE_BYTES, scale)
+    message = LCG(seed=0xC0C).words(length, bound=256)
+    source = f"""
+; crc: table-driven CRC-32 over {length} message bytes
+        .equ N, {length}
+        .data
+crctab:
+{words_directive(crc_table())}
+msg:
+{words_directive(message)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; i
+        li   r2, 0xFFFFFFFF     ; crc
+        li   r6, N
+loop:   lw   r3, msg(r1)        ; next message byte
+        xor  r4, r2, r3
+        andi r4, r4, 0xFF
+        lw   r4, crctab(r4)     ; table[(crc ^ byte) & 0xFF]
+        srli r5, r2, 8
+        xor  r2, r4, r5
+        inc  r1
+        blt  r1, r6, loop
+        li   r6, 0xFFFFFFFF
+        xor  r2, r2, r6
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="crc",
+        description="table-driven CRC-32 checksum",
+        source=source,
+        expected=golden(message) & WORD_MASK,
+        scale=scale,
+        params={"message_bytes": length},
+    )

@@ -1,0 +1,130 @@
+"""``engine`` — engine controller (PowerStone ``engine``).
+
+Models a spark-advance controller: for each (rpm, load) operating-point
+sample the kernel bilinearly interpolates a 16x16 calibration map in
+8.8 fixed point, then takes a knock-limit branch that either accumulates
+the advance or counts a retard event.  Access pattern: data-dependent 2D
+table walks plus a streaming sample buffer — typical control-code
+locality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_MAP_DIM = 16
+_DEFAULT_SAMPLES = 256
+_KNOCK_LIMIT = 700
+
+
+def golden(spark_map: List[int], samples: List[Tuple[int, int]]) -> int:
+    """(retard count << 24) + accumulated advance, 32-bit wrapped."""
+    advance_total = 0
+    retards = 0
+    for rpm, load in samples:
+        i, fi = rpm >> 8, rpm & 0xFF
+        j, fj = load >> 8, load & 0xFF
+        v00 = spark_map[i * _MAP_DIM + j]
+        v01 = spark_map[i * _MAP_DIM + j + 1]
+        v10 = spark_map[(i + 1) * _MAP_DIM + j]
+        v11 = spark_map[(i + 1) * _MAP_DIM + j + 1]
+        top = (v00 * (256 - fj) + v01 * fj) >> 8
+        bottom = (v10 * (256 - fj) + v11 * fj) >> 8
+        value = (top * (256 - fi) + bottom * fi) >> 8
+        if value > _KNOCK_LIMIT:
+            retards += 1
+        else:
+            advance_total = (advance_total + value) & WORD_MASK
+    return ((retards << 24) + advance_total) & WORD_MASK
+
+
+def make_inputs(count: int) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """Calibration map and operating-point samples."""
+    rng = LCG(seed=0xE61E)
+    spark_map = rng.words(_MAP_DIM * _MAP_DIM, bound=1024)
+    limit = (_MAP_DIM - 1) * 256  # keep i+1, j+1 inside the map
+    samples = [(rng.below(limit), rng.below(limit)) for _ in range(count)]
+    return spark_map, samples
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the engine workload at a given scale."""
+    count = scaled(_DEFAULT_SAMPLES, scale)
+    spark_map, samples = make_inputs(count)
+    flat = [v for pair in samples for v in pair]
+    source = f"""
+; engine: bilinear spark-advance interpolation for {count} samples
+        .equ N, {count}
+        .equ DIM, {_MAP_DIM}
+        .equ KNOCK, {_KNOCK_LIMIT}
+        .data
+map:
+{words_directive(spark_map)}
+samples:
+{words_directive(flat)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; sample index
+        li   r2, 0              ; advance total
+        li   r3, 0              ; retard count
+        li   r10, N
+sloop:  slli r4, r1, 1
+        lw   r5, samples(r4)    ; rpm
+        addi r4, r4, 1
+        lw   r6, samples(r4)    ; load
+        srli r7, r5, 8          ; i
+        andi r5, r5, 0xFF       ; fi
+        srli r8, r6, 8          ; j
+        andi r6, r6, 0xFF       ; fj
+        ; v00/v01 row base = i*DIM + j
+        li   r9, DIM
+        mul  r9, r7, r9
+        add  r9, r9, r8
+        lw   r11, map(r9)       ; v00
+        addi r9, r9, 1
+        lw   r12, map(r9)       ; v01
+        addi r9, r9, DIM-1
+        lw   r13, map(r9)       ; v10
+        addi r9, r9, 1
+        lw   r9, map(r9)        ; v11
+        ; top = (v00*(256-fj) + v01*fj) >> 8
+        li   r4, 256
+        sub  r4, r4, r6         ; 256-fj
+        mul  r11, r11, r4
+        mul  r12, r12, r6
+        add  r11, r11, r12
+        srli r11, r11, 8        ; top
+        ; bottom = (v10*(256-fj) + v11*fj) >> 8
+        mul  r13, r13, r4
+        mul  r9, r9, r6
+        add  r13, r13, r9
+        srli r13, r13, 8        ; bottom
+        ; value = (top*(256-fi) + bottom*fi) >> 8
+        li   r4, 256
+        sub  r4, r4, r5         ; 256-fi
+        mul  r11, r11, r4
+        mul  r13, r13, r5
+        add  r11, r11, r13
+        srli r11, r11, 8        ; value
+        li   r4, KNOCK
+        bgt  r11, r4, knock
+        add  r2, r2, r11
+        j    snext
+knock:  inc  r3
+snext:  inc  r1
+        blt  r1, r10, sloop
+        slli r3, r3, 24
+        add  r2, r2, r3
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="engine",
+        description="engine controller with bilinear map interpolation",
+        source=source,
+        expected=golden(spark_map, samples),
+        scale=scale,
+        params={"samples": count, "map_dim": _MAP_DIM},
+    )

@@ -1,0 +1,74 @@
+"""``fir`` — finite impulse response filter (PowerStone ``fir``).
+
+A ``TAPS``-tap integer FIR over a sampled signal: the inner loop streams
+``TAPS`` adjacent samples against the coefficient vector — a small, hot
+coefficient array against a sliding window of the signal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_DEFAULT_SAMPLES = 256
+_TAPS = 16
+
+
+def golden(signal: List[int], coefficients: List[int]) -> int:
+    """Checksum of all filter outputs (32-bit wrap-around arithmetic)."""
+    taps = len(coefficients)
+    checksum = 0
+    for n in range(len(signal) - taps):
+        acc = 0
+        for k in range(taps):
+            acc = (acc + coefficients[k] * signal[n + k]) & WORD_MASK
+        checksum = (checksum + acc) & WORD_MASK
+    return checksum
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the fir workload at a given scale."""
+    samples = scaled(_DEFAULT_SAMPLES, scale, minimum=_TAPS + 4)
+    rng = LCG(seed=0xF13)
+    signal = rng.words(samples + _TAPS, bound=1 << 16)
+    coefficients = rng.words(_TAPS, bound=256)
+    outputs = samples
+    source = f"""
+; fir: {_TAPS}-tap FIR filter over {outputs} outputs
+        .equ N, {outputs}
+        .equ TAPS, {_TAPS}
+        .data
+coef:
+{words_directive(coefficients)}
+x:
+{words_directive(signal)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; n (output index)
+        li   r9, 0              ; checksum
+        li   r10, N
+        li   r11, TAPS
+outer:  li   r2, 0              ; k (tap index)
+        li   r3, 0              ; acc
+inner:  add  r4, r1, r2         ; signal index n + k
+        lw   r5, x(r4)
+        lw   r6, coef(r2)
+        mul  r7, r5, r6
+        add  r3, r3, r7
+        inc  r2
+        blt  r2, r11, inner
+        add  r9, r9, r3
+        inc  r1
+        blt  r1, r10, outer
+        sw   r9, result
+        halt
+"""
+    return Workload(
+        name="fir",
+        description=f"{_TAPS}-tap integer FIR filter",
+        source=source,
+        expected=golden(signal, coefficients),
+        scale=scale,
+        params={"outputs": outputs, "taps": _TAPS},
+    )

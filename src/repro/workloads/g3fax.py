@@ -1,0 +1,148 @@
+"""``g3fax`` — Group 3 fax run-length decoder (PowerStone ``g3fax``).
+
+Decodes run-length codes into 1728-bit scanlines: each code indexes a
+run-length table, and black runs are painted into the line buffer with
+word-granular mask fills.  Access pattern: a streaming code buffer, a hot
+run table, and repeated read-modify-write sweeps over a small line
+buffer — the structure of the real modified-Huffman decoder with the
+Huffman bit-unpacking replaced by table codes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_WIDTH = 1728  # standard G3 scanline width in pixels
+_LINE_WORDS = _WIDTH // 32
+_RUN_TABLE_SIZE = 64
+_DEFAULT_LINES = 24
+
+
+def make_run_table() -> List[int]:
+    """Run lengths 1..63 addressed by code (code 0 -> 1 pixel)."""
+    return [max(1, code) for code in range(_RUN_TABLE_SIZE)]
+
+
+def golden(lines: int, code_pool: List[int]) -> Tuple[int, int]:
+    """Decode ``lines`` scanlines; returns (checksum, codes consumed)."""
+    run_table = make_run_table()
+    buffer = [0] * _LINE_WORDS
+    checksum = 0
+    cursor = 0
+    for _ in range(lines):
+        pos = 0
+        color = 0  # 0 = white, 1 = black
+        while pos < _WIDTH:
+            code = code_pool[cursor]
+            cursor += 1
+            run = run_table[code]
+            run = min(run, _WIDTH - pos)
+            if color:
+                remaining = run
+                while remaining > 0:
+                    word = pos >> 5
+                    bit = pos & 31
+                    n = min(32 - bit, remaining)
+                    mask = (0xFFFFFFFF >> (32 - n)) << bit
+                    buffer[word] |= mask
+                    pos += n
+                    remaining -= n
+            else:
+                pos += run
+            color ^= 1
+        for i in range(_LINE_WORDS):
+            checksum = (checksum + buffer[i] * (i + 1)) & WORD_MASK
+            buffer[i] = 0
+    return checksum, cursor
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the g3fax workload at a given scale."""
+    lines = scaled(_DEFAULT_LINES, scale)
+    # Generous pool; the golden model tells us how much the kernel consumes.
+    pool = LCG(seed=0x63FA).words(lines * 256, bound=_RUN_TABLE_SIZE)
+    checksum, consumed = golden(lines, pool)
+    codes = pool[:consumed]
+    source = f"""
+; g3fax: run-length decode of {lines} scanlines of {_WIDTH} pixels
+        .equ LINES, {lines}
+        .equ WIDTH, {_WIDTH}
+        .equ LINEWORDS, {_LINE_WORDS}
+        .data
+runtab:
+{words_directive(make_run_table())}
+codes:
+{words_directive(codes)}
+linebuf: .space LINEWORDS
+result: .word 0
+        .text
+main:   li   r1, 0              ; line
+        li   r2, 0              ; checksum
+        li   r3, 0              ; code stream cursor
+lineloop:
+        li   r4, 0              ; pos
+        li   r5, 0              ; color (0 white, 1 black)
+runloop:
+        lw   r6, codes(r3)
+        inc  r3
+        lw   r6, runtab(r6)     ; run length
+        add  r7, r4, r6
+        li   r8, WIDTH
+        ble  r7, r8, notrunc
+        sub  r6, r8, r4         ; clip run at end of line
+notrunc:
+        beqz r5, advance        ; white runs just move the cursor
+fill:   beqz r6, colorflip
+        srli r9, r4, 5          ; word index
+        andi r11, r4, 31        ; bit offset
+        li   r12, 32
+        sub  r12, r12, r11      ; space left in this word
+        ble  r6, r12, usedrun
+        mv   r13, r12           ; n = space
+        j    gotn
+usedrun:
+        mv   r13, r6            ; n = run
+gotn:   li   r7, 32
+        sub  r7, r7, r13
+        li   r8, 0xFFFFFFFF
+        srl  r8, r8, r7
+        sll  r8, r8, r11        ; mask of n bits at bit offset
+        lw   r12, linebuf(r9)
+        or   r12, r12, r8
+        sw   r12, linebuf(r9)
+        add  r4, r4, r13
+        sub  r6, r6, r13
+        j    fill
+advance:
+        add  r4, r4, r6
+colorflip:
+        xori r5, r5, 1
+        li   r8, WIDTH
+        blt  r4, r8, runloop
+        ; line complete: fold into checksum and clear the buffer
+        li   r9, 0
+chkloop:
+        lw   r12, linebuf(r9)
+        addi r7, r9, 1
+        mul  r12, r12, r7
+        add  r2, r2, r12
+        sw   r0, linebuf(r9)
+        inc  r9
+        li   r7, LINEWORDS
+        blt  r9, r7, chkloop
+        inc  r1
+        li   r7, LINES
+        blt  r1, r7, lineloop
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="g3fax",
+        description="G3 fax run-length scanline decoder",
+        source=source,
+        expected=checksum,
+        scale=scale,
+        params={"lines": lines, "width": _WIDTH, "codes": consumed},
+    )

@@ -1,0 +1,191 @@
+"""``jpeg`` — JPEG forward DCT + quantization (PowerStone ``jpeg``).
+
+The compute core of the PowerStone JPEG encoder: a separable 8x8
+integer discrete cosine transform (two passes of 8-point transforms via
+a fixed-point cosine matrix) followed by quantization-table division.
+Access pattern: block-strided pixel reads, a hot 64-entry coefficient
+matrix, a 64-entry quantization table, and an in-place temp block —
+dense small-matrix reuse, unlike any of the streaming kernels.
+
+Fixed point: Q12 cosine coefficients; products are accumulated in
+32-bit wrap-around arithmetic and arithmetically shifted back, exactly
+as the kernel does it, so the golden model matches bit for bit.
+
+This kernel is an *extra* (the paper's evaluation uses 12 PowerStone
+programs; jpeg is part of the wider suite) — see
+``repro.workloads.registry.EXTRA_WORKLOAD_NAMES``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_DEFAULT_BLOCKS = 6
+_Q = 12  # fixed-point fraction bits
+
+
+def _sra32(value: int, shift: int) -> int:
+    """Arithmetic shift right of a 32-bit two's-complement word."""
+    value &= WORD_MASK
+    if value & 0x80000000:
+        value -= 1 << 32
+    return (value >> shift) & WORD_MASK
+
+
+def cosine_matrix() -> List[int]:
+    """The 8x8 DCT-II basis in Q12 fixed point (row-major, masked)."""
+    matrix = []
+    for u in range(8):
+        scale = math.sqrt(1.0 / 8.0) if u == 0 else math.sqrt(2.0 / 8.0)
+        for x in range(8):
+            value = scale * math.cos((2 * x + 1) * u * math.pi / 16.0)
+            matrix.append(round(value * (1 << _Q)) & WORD_MASK)
+    return matrix
+
+
+def quant_table() -> List[int]:
+    """A luminance-like quantization table (values 8..121)."""
+    rng = LCG(seed=0x09E6)
+    return [8 + rng.below(16) + 3 * (i // 8 + i % 8) for i in range(64)]
+
+
+def golden(blocks: List[List[int]]) -> int:
+    """Checksum of all quantized DCT coefficients."""
+    cos = cosine_matrix()
+    quant = quant_table()
+    checksum = 0
+    for block in blocks:
+        temp = [0] * 64
+        # Pass 1: temp = C x block  (rows of C against columns of block).
+        for u in range(8):
+            for y in range(8):
+                acc = 0
+                for x in range(8):
+                    acc = (acc + cos[u * 8 + x] * block[x * 8 + y]) & WORD_MASK
+                temp[u * 8 + y] = _sra32(acc, _Q)
+        # Pass 2: out = temp x C^T.
+        for u in range(8):
+            for v in range(8):
+                acc = 0
+                for y in range(8):
+                    acc = (acc + temp[u * 8 + y] * cos[v * 8 + y]) & WORD_MASK
+                coeff = _sra32(acc, _Q)
+                # Quantize: signed division truncating toward zero.
+                signed = coeff - (1 << 32) if coeff & 0x80000000 else coeff
+                q = int(signed / quant[u * 8 + v])
+                checksum = (checksum * 17 + q) & WORD_MASK
+    return checksum
+
+
+def make_blocks(count: int) -> List[List[int]]:
+    """Pixel blocks with smooth gradients plus noise (centered at 0)."""
+    rng = LCG(seed=0x3BE6)
+    blocks = []
+    for _ in range(count):
+        base = rng.below(128)
+        block = []
+        for x in range(8):
+            for y in range(8):
+                pixel = base + 4 * x + 2 * y + rng.below(32) - 128
+                block.append(pixel & WORD_MASK)
+        blocks.append(block)
+    return blocks
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the jpeg workload at a given scale."""
+    count = scaled(_DEFAULT_BLOCKS, scale, minimum=1)
+    blocks = make_blocks(count)
+    flat = [v for block in blocks for v in block]
+    source = f"""
+; jpeg: separable 8x8 integer DCT + quantization over {count} blocks
+        .equ NBLOCKS, {count}
+        .equ Q, {_Q}
+        .data
+cosmat:
+{words_directive(cosine_matrix())}
+quant:
+{words_directive(quant_table())}
+pixels:
+{words_directive(flat)}
+temp:   .space 64
+result: .word 0
+        .text
+main:   li   r1, 0              ; block index
+        li   r2, 0              ; checksum
+        li   r10, NBLOCKS
+blklp:  li   r11, 64
+        mul  r11, r1, r11       ; block base in pixels[]
+        ; ---- pass 1: temp[u][y] = sra(sum_x cos[u][x]*pix[x][y], Q)
+        li   r3, 0              ; u
+p1u:    li   r4, 0              ; y
+p1y:    li   r5, 0              ; acc
+        li   r6, 0              ; x
+p1x:    slli r7, r3, 3
+        add  r7, r7, r6
+        lw   r7, cosmat(r7)     ; cos[u][x]
+        slli r8, r6, 3
+        add  r8, r8, r4
+        add  r8, r8, r11
+        lw   r8, pixels(r8)     ; pix[x][y]
+        mul  r7, r7, r8
+        add  r5, r5, r7
+        inc  r6
+        li   r9, 8
+        blt  r6, r9, p1x
+        srai r5, r5, Q
+        slli r7, r3, 3
+        add  r7, r7, r4
+        sw   r5, temp(r7)
+        inc  r4
+        li   r9, 8
+        blt  r4, r9, p1y
+        inc  r3
+        li   r9, 8
+        blt  r3, r9, p1u
+        ; ---- pass 2: out[u][v] = sra(sum_y temp[u][y]*cos[v][y], Q) / quant
+        li   r3, 0              ; u
+p2u:    li   r4, 0              ; v
+p2v:    li   r5, 0              ; acc
+        li   r6, 0              ; y
+p2y:    slli r7, r3, 3
+        add  r7, r7, r6
+        lw   r7, temp(r7)       ; temp[u][y]
+        slli r8, r4, 3
+        add  r8, r8, r6
+        lw   r8, cosmat(r8)     ; cos[v][y]
+        mul  r7, r7, r8
+        add  r5, r5, r7
+        inc  r6
+        li   r9, 8
+        blt  r6, r9, p2y
+        srai r5, r5, Q
+        slli r7, r3, 3
+        add  r7, r7, r4
+        lw   r8, quant(r7)      ; quant[u][v]
+        div  r5, r5, r8         ; quantized coefficient
+        li   r9, 17
+        mul  r2, r2, r9
+        add  r2, r2, r5
+        inc  r4
+        li   r9, 8
+        blt  r4, r9, p2v
+        inc  r3
+        li   r9, 8
+        blt  r3, r9, p2u
+        inc  r1
+        blt  r1, r10, blklp
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="jpeg",
+        description="8x8 integer DCT with quantization",
+        source=source,
+        expected=golden(blocks),
+        scale=scale,
+        params={"blocks": count},
+    )

@@ -1,0 +1,123 @@
+"""``pocsag`` — POCSAG paging protocol BCH decoder (PowerStone ``pocsag``).
+
+POCSAG codewords are BCH(31,21) protected: 21 message bits, 10 check bits
+from the generator polynomial ``x^10+x^9+x^8+x^6+x^5+x^3+1`` (0x769).
+The kernel computes the syndrome of each received codeword by bit-serial
+polynomial division and counts corrupted words — a branchy shift/XOR
+inner loop over a streaming buffer, faithful to the PowerStone original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_GENERATOR = 0x769  # x^10+x^9+x^8+x^6+x^5+x^3+1
+_DEFAULT_CODEWORDS = 192
+
+
+def bch_encode(message: int) -> int:
+    """Append the 10 BCH check bits to a 21-bit message."""
+    if not 0 <= message < (1 << 21):
+        raise ValueError("message must be 21 bits")
+    remainder = message << 10
+    for bit in range(30, 9, -1):
+        if remainder & (1 << bit):
+            remainder ^= _GENERATOR << (bit - 10)
+    return (message << 10) | (remainder & 0x3FF)
+
+
+def syndrome(codeword: int) -> int:
+    """Bit-serial BCH syndrome of a 31-bit codeword (0 when valid)."""
+    remainder = codeword
+    for bit in range(30, 9, -1):
+        if remainder & (1 << bit):
+            remainder ^= _GENERATOR << (bit - 10)
+    return remainder & 0x3FF
+
+
+def make_codewords(count: int) -> List[int]:
+    """Valid BCH codewords with every third one corrupted by a bit flip."""
+    rng = LCG(seed=0x9C5A)
+    words = []
+    for i in range(count):
+        codeword = bch_encode(rng.below(1 << 21))
+        if i % 3 == 2:
+            codeword ^= 1 << rng.below(31)
+        words.append(codeword)
+    return words
+
+
+def golden(codewords: List[int]) -> int:
+    """(error count << 16) XOR running syndrome mix."""
+    errors = 0
+    mix = 0
+    for codeword in codewords:
+        s = syndrome(codeword)
+        if s:
+            errors += 1
+        mix = (mix * 5 + s) & 0xFFFF
+    return ((errors << 16) ^ mix) & WORD_MASK
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the pocsag workload at a given scale."""
+    count = scaled(_DEFAULT_CODEWORDS, scale)
+    codewords = make_codewords(count)
+    source = f"""
+; pocsag: BCH(31,21) syndrome check of {count} codewords
+; phase 1 stores per-word syndromes, phase 2 scans them for errors --
+; the two-pass structure a batch pager decoder uses per frame.
+        .equ N, {count}
+        .equ GEN, {_GENERATOR}
+        .data
+words:
+{words_directive(codewords)}
+synd:   .space N
+result: .word 0
+        .text
+main:   li   r1, 0              ; codeword index
+        li   r3, 0              ; syndrome mix
+        li   r10, N
+        li   r11, GEN
+wloop:  lw   r4, words(r1)      ; remainder
+        li   r5, 30             ; bit index
+bloop:  srl  r6, r4, r5
+        andi r6, r6, 1
+        beqz r6, skip
+        addi r7, r5, -10
+        sll  r8, r11, r7
+        xor  r4, r4, r8
+skip:   dec  r5
+        li   r9, 10
+        bge  r5, r9, bloop
+        andi r4, r4, 0x3FF      ; syndrome
+        sw   r4, synd(r1)
+        li   r9, 5
+        mul  r3, r3, r9
+        add  r3, r3, r4
+        andi r3, r3, 0xFFFF
+        inc  r1
+        blt  r1, r10, wloop
+        ; phase 2: count corrupted codewords from the syndrome array
+        li   r1, 0
+        li   r2, 0              ; error count
+errlp:  lw   r4, synd(r1)
+        beqz r4, errok
+        inc  r2
+errok:  inc  r1
+        blt  r1, r10, errlp
+        slli r2, r2, 16
+        xor  r2, r2, r3
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="pocsag",
+        description="POCSAG BCH(31,21) syndrome decoder",
+        source=source,
+        expected=golden(codewords),
+        scale=scale,
+        params={"codewords": count},
+    )

@@ -1,0 +1,128 @@
+"""Workload registry — the reproduction's PowerStone suite.
+
+The paper evaluates 12 PowerStone applications; this registry exposes our
+re-implementations under the same names.  Workload builds are cached per
+(name, scale) because building regenerates input data and assembles
+nothing twice; :func:`run_workload_by_name` additionally caches verified
+runs so tests and benchmarks can share traces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.workloads import (
+    adpcm,
+    bcnt,
+    blit,
+    compress,
+    crc,
+    des,
+    engine,
+    fir,
+    g3fax,
+    jpeg,
+    pocsag,
+    qurt,
+    summin,
+    ucbqsort,
+    v42,
+    whet,
+)
+from repro.workloads.common import Workload, WorkloadRun, run_workload
+
+#: The paper's 12 PowerStone benchmarks, in its Table 5/6 order.
+WORKLOAD_NAMES: Tuple[str, ...] = (
+    "adpcm",
+    "bcnt",
+    "blit",
+    "compress",
+    "crc",
+    "des",
+    "engine",
+    "fir",
+    "g3fax",
+    "pocsag",
+    "qurt",
+    "ucbqsort",
+)
+
+#: Additional PowerStone programs beyond the paper's evaluation set.
+EXTRA_WORKLOAD_NAMES: Tuple[str, ...] = ("jpeg", "summin", "v42", "whet")
+
+#: Every available workload.
+ALL_WORKLOAD_NAMES: Tuple[str, ...] = WORKLOAD_NAMES + EXTRA_WORKLOAD_NAMES
+
+_BUILDERS: Dict[str, Callable[[str], Workload]] = {
+    "adpcm": adpcm.build,
+    "bcnt": bcnt.build,
+    "blit": blit.build,
+    "compress": compress.build,
+    "crc": crc.build,
+    "des": des.build,
+    "engine": engine.build,
+    "fir": fir.build,
+    "g3fax": g3fax.build,
+    "jpeg": jpeg.build,
+    "pocsag": pocsag.build,
+    "qurt": qurt.build,
+    "summin": summin.build,
+    "ucbqsort": ucbqsort.build,
+    "v42": v42.build,
+    "whet": whet.build,
+}
+
+_workload_cache: Dict[Tuple[str, str], Workload] = {}
+_run_cache: Dict[Tuple[str, str], WorkloadRun] = {}
+
+
+def list_workloads(include_extras: bool = False) -> List[str]:
+    """Names of available workloads, in the paper's table order.
+
+    Args:
+        include_extras: also list the PowerStone programs beyond the
+            paper's 12-benchmark evaluation set.
+    """
+    if include_extras:
+        return list(ALL_WORKLOAD_NAMES)
+    return list(WORKLOAD_NAMES)
+
+
+def get_workload(name: str, scale: str = "default") -> Workload:
+    """Build (and cache) a workload by name.
+
+    Raises:
+        KeyError: for unknown workload names, listing the valid ones.
+    """
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(ALL_WORKLOAD_NAMES)}"
+        )
+    key = (name, scale)
+    if key not in _workload_cache:
+        _workload_cache[key] = builder(scale)
+    return _workload_cache[key]
+
+
+def run_workload_by_name(
+    name: str, scale: str = "default", cycle_limit: int = 20_000_000
+) -> WorkloadRun:
+    """Run (and cache) a verified workload execution."""
+    key = (name, scale)
+    if key not in _run_cache:
+        _run_cache[key] = run_workload(
+            get_workload(name, scale), cycle_limit=cycle_limit
+        )
+    return _run_cache[key]
+
+
+def run_all(scale: str = "default") -> Dict[str, WorkloadRun]:
+    """Run every workload; returns ``{name: run}`` in table order."""
+    return {name: run_workload_by_name(name, scale) for name in WORKLOAD_NAMES}
+
+
+def clear_caches() -> None:
+    """Drop all cached builds and runs (mainly for tests)."""
+    _workload_cache.clear()
+    _run_cache.clear()

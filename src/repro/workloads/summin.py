@@ -1,0 +1,128 @@
+"""``summin`` — vector-quantization nearest-codeword search (PowerStone ``summin``).
+
+For each input vector, scan a codebook and find the entry minimizing
+the sum of absolute differences — the handwriting-recognition /
+VQ-encoding pattern of the PowerStone original.  Access pattern: the
+whole codebook is re-scanned per input (strong reuse of a mid-sized
+table) against a streaming input buffer, with a data-dependent early
+exit when a running sum exceeds the best-so-far.
+
+This kernel is an *extra* beyond the paper's 12 (see
+``repro.workloads.registry.EXTRA_WORKLOAD_NAMES``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_VECTOR_LEN = 16
+_CODEBOOK = 48
+_DEFAULT_INPUTS = 40
+
+
+def golden(codebook: List[List[int]], inputs: List[List[int]]) -> int:
+    """Checksum over (best index, best distance) of every input vector.
+
+    Mirrors the kernel exactly, including the early-exit: a candidate is
+    abandoned as soon as its partial sum reaches the current minimum, so
+    the reported distance is the true minimum either way.
+    """
+    checksum = 0
+    for vector in inputs:
+        best_index = 0
+        best_distance = None
+        for index, candidate in enumerate(codebook):
+            distance = 0
+            for a, b in zip(vector, candidate):
+                distance += abs(a - b)
+                if best_distance is not None and distance >= best_distance:
+                    break
+            if best_distance is None or distance < best_distance:
+                best_distance = distance
+                best_index = index
+        checksum = (checksum * 31 + best_index) & WORD_MASK
+        checksum = (checksum + best_distance) & WORD_MASK
+    return checksum
+
+
+def make_inputs(count: int) -> Tuple[List[List[int]], List[List[int]]]:
+    """Codebook and input vectors (small positive components)."""
+    rng = LCG(seed=0x5311)
+    codebook = [rng.words(_VECTOR_LEN, bound=256) for _ in range(_CODEBOOK)]
+    inputs = []
+    for _ in range(count):
+        # Perturb a random codeword so searches have near matches.
+        base = codebook[rng.below(_CODEBOOK)]
+        inputs.append([(v + rng.below(32)) & 0xFF for v in base])
+    return codebook, inputs
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the summin workload at a given scale."""
+    count = scaled(_DEFAULT_INPUTS, scale)
+    codebook, inputs = make_inputs(count)
+    flat_code = [v for vec in codebook for v in vec]
+    flat_in = [v for vec in inputs for v in vec]
+    source = f"""
+; summin: nearest-codeword search, {count} vectors x {_CODEBOOK} codewords
+        .equ NIN, {count}
+        .equ NCODE, {_CODEBOOK}
+        .equ VLEN, {_VECTOR_LEN}
+        .equ BIG, 0x7FFFFFFF
+        .data
+codebook:
+{words_directive(flat_code)}
+inputs:
+{words_directive(flat_in)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; input index
+        li   r2, 0              ; checksum
+        li   r10, NIN
+inlp:   li   r11, VLEN
+        mul  r11, r1, r11       ; input vector base
+        li   r3, 0              ; candidate index
+        li   r4, BIG            ; best distance
+        li   r5, 0              ; best index
+cand:   li   r12, VLEN
+        mul  r12, r3, r12       ; candidate base
+        li   r6, 0              ; component
+        li   r7, 0              ; distance accumulator
+comp:   add  r8, r11, r6
+        lw   r8, inputs(r8)
+        add  r9, r12, r6
+        lw   r9, codebook(r9)
+        sub  r8, r8, r9         ; a - b
+        bgez r8, posd
+        neg  r8, r8
+posd:   add  r7, r7, r8
+        bge  r7, r4, abandon    ; early exit: cannot beat the best
+        inc  r6
+        li   r9, VLEN
+        blt  r6, r9, comp
+        ; full scan finished with r7 < best
+        mv   r4, r7
+        mv   r5, r3
+abandon:
+        inc  r3
+        li   r9, NCODE
+        blt  r3, r9, cand
+        li   r9, 31
+        mul  r2, r2, r9
+        add  r2, r2, r5
+        add  r2, r2, r4
+        inc  r1
+        blt  r1, r10, inlp
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="summin",
+        description="sum-of-absolute-differences nearest-codeword search",
+        source=source,
+        expected=golden(codebook, inputs),
+        scale=scale,
+        params={"inputs": count, "codebook": _CODEBOOK, "vector_len": _VECTOR_LEN},
+    )

@@ -1,0 +1,110 @@
+"""``ucbqsort`` — the Berkeley quicksort (PowerStone ``ucbqsort``).
+
+An in-place quicksort with an explicit stack of (lo, hi) ranges (the
+recursion of the BSD libc qsort turned iterative) and Lomuto
+partitioning.  Access pattern: partition sweeps over shrinking array
+slices plus stack push/pop traffic — the classic divide-and-conquer
+locality profile.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_DEFAULT_ELEMENTS = 256
+
+
+def golden(data: List[int]) -> int:
+    """Positional checksum of the sorted array (verifies sortedness)."""
+    ordered = sorted(data)
+    checksum = 0
+    for i, value in enumerate(ordered):
+        checksum = (checksum + (i + 1) * value) & WORD_MASK
+    return checksum
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the ucbqsort workload at a given scale."""
+    count = scaled(_DEFAULT_ELEMENTS, scale)
+    data = LCG(seed=0x5047).words(count, bound=10000)
+    stack_words = 2 * count + 8
+    source = f"""
+; ucbqsort: iterative quicksort of {count} elements
+        .equ N, {count}
+        .data
+arr:
+{words_directive(data)}
+stack:  .space {stack_words}
+result: .word 0
+        .text
+main:   li   r12, 0             ; stack pointer (word offset into stack)
+        ; push initial range (0, N-1)
+        sw   r0, stack(r12)     ; lo = 0
+        addi r12, r12, 1
+        li   r4, N-1
+        sw   r4, stack(r12)
+        addi r12, r12, 1
+mainloop:
+        beqz r12, sorted        ; stack empty -> done
+        dec  r12
+        lw   r4, stack(r12)     ; hi
+        dec  r12
+        lw   r3, stack(r12)     ; lo
+        bge  r3, r4, mainloop   ; ranges of length < 2 are sorted
+        ; Lomuto partition with pivot = arr[hi]
+        lw   r5, arr(r4)        ; pivot
+        addi r1, r3, -1         ; i = lo - 1
+        mv   r2, r3             ; j = lo
+partloop:
+        bge  r2, r4, partdone
+        lw   r6, arr(r2)
+        bgt  r6, r5, noswap
+        inc  r1
+        lw   r7, arr(r1)        ; swap arr[i] <-> arr[j]
+        sw   r6, arr(r1)
+        sw   r7, arr(r2)
+noswap: inc  r2
+        j    partloop
+partdone:
+        inc  r1                 ; p = i + 1
+        lw   r7, arr(r1)        ; swap arr[p] <-> arr[hi]
+        lw   r6, arr(r4)
+        sw   r6, arr(r1)
+        sw   r7, arr(r4)
+        ; push (lo, p-1)
+        sw   r3, stack(r12)
+        addi r12, r12, 1
+        addi r7, r1, -1
+        sw   r7, stack(r12)
+        addi r12, r12, 1
+        ; push (p+1, hi)
+        addi r7, r1, 1
+        sw   r7, stack(r12)
+        addi r12, r12, 1
+        sw   r4, stack(r12)
+        addi r12, r12, 1
+        j    mainloop
+sorted: ; positional checksum
+        li   r1, 0
+        li   r2, 0
+        li   r10, N
+chkloop:
+        lw   r3, arr(r1)
+        addi r4, r1, 1
+        mul  r3, r3, r4
+        add  r2, r2, r3
+        inc  r1
+        blt  r1, r10, chkloop
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="ucbqsort",
+        description="iterative quicksort with explicit range stack",
+        source=source,
+        expected=golden(data),
+        scale=scale,
+        params={"elements": count},
+    )

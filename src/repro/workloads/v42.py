@@ -1,0 +1,133 @@
+"""``v42`` — V.42bis-style dictionary compression (PowerStone ``v42``).
+
+V.42bis (the modem compression standard) builds its dictionary as a
+*trie*: each node's children form a linked sibling list that the
+matcher walks character by character.  That pointer-chasing access
+pattern — first-child / next-sibling arrays traversed data-dependently —
+is what distinguishes this kernel from the hash-probing ``compress``
+kernel, and is faithfully reproduced here.
+
+Algorithm: longest-match against the trie; on mismatch, emit the code
+of the matched node, add one new node extending the match, restart at
+the mismatching character's root node.  Codes are capped so the
+dictionary never overflows its arrays.
+
+This kernel is an *extra* beyond the paper's 12 (see
+``repro.workloads.registry.EXTRA_WORKLOAD_NAMES``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_ALPHABET = 16
+_MAX_NODES = 1024
+_DEFAULT_INPUT = 640
+
+
+def golden(data: List[int]) -> Tuple[int, int]:
+    """Trie-based longest-match compression; returns (checksum, codes)."""
+    # Node arrays: the first _ALPHABET nodes are the single-char roots.
+    first_child = [0] * _MAX_NODES  # 0 = none (node 0 is unused/reserved)
+    next_sibling = [0] * _MAX_NODES
+    char_of = [0] * _MAX_NODES
+    node_count = _ALPHABET + 1  # nodes 1.._ALPHABET are roots
+    checksum = 0
+    emitted = 0
+
+    def root(char: int) -> int:
+        return char + 1
+
+    def emit(code: int) -> None:
+        nonlocal checksum, emitted
+        checksum = (checksum * 33 + code) & WORD_MASK
+        emitted += 1
+
+    current = root(data[0])
+    for char in data[1:]:
+        # Walk the sibling list of current's children looking for char.
+        child = first_child[current]
+        while child and char_of[child] != char:
+            child = next_sibling[child]
+        if child:
+            current = child
+            continue
+        emit(current)
+        if node_count < _MAX_NODES:
+            node = node_count
+            node_count += 1
+            char_of[node] = char
+            next_sibling[node] = first_child[current]
+            first_child[current] = node
+        current = root(char)
+    emit(current)
+    return checksum, emitted
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the v42 workload at a given scale."""
+    length = scaled(_DEFAULT_INPUT, scale)
+    data = LCG(seed=0x42B15).words(length, bound=_ALPHABET)
+    checksum, emitted = golden(data)
+    source = f"""
+; v42: trie-based longest-match compression of {length} symbols
+        .equ N, {length}
+        .equ ALPHA, {_ALPHABET}
+        .equ MAXNODES, {_MAX_NODES}
+        .data
+input:
+{words_directive(data)}
+firstchild: .space MAXNODES
+nextsib:    .space MAXNODES
+charof:     .space MAXNODES
+result: .word 0
+        .text
+main:   li   r1, 1              ; input index (symbol 0 seeds `current`)
+        li   r2, 0              ; checksum
+        li   r4, ALPHA+1        ; node_count
+        li   r10, N
+        lw   r3, input          ; current = root(data[0]) = data[0] + 1
+        addi r3, r3, 1
+loop:   bge  r1, r10, done
+        lw   r5, input(r1)      ; char
+        ; walk sibling list of current's children
+        lw   r6, firstchild(r3)
+walk:   beqz r6, nomatch
+        lw   r7, charof(r6)
+        beq  r7, r5, match
+        lw   r6, nextsib(r6)
+        j    walk
+match:  mv   r3, r6             ; descend
+        j    next
+nomatch:
+        li   r9, 33             ; emit current
+        mul  r2, r2, r9
+        add  r2, r2, r3
+        li   r9, MAXNODES
+        bge  r4, r9, noinsert
+        ; insert new node r4 as current's first child
+        sw   r5, charof(r4)
+        lw   r7, firstchild(r3)
+        sw   r7, nextsib(r4)
+        sw   r4, firstchild(r3)
+        inc  r4
+noinsert:
+        addi r3, r5, 1          ; current = root(char)
+next:   inc  r1
+        j    loop
+done:   li   r9, 33             ; emit the final match
+        mul  r2, r2, r9
+        add  r2, r2, r3
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="v42",
+        description="V.42bis-style trie compression",
+        source=source,
+        expected=checksum,
+        scale=scale,
+        params={"input_symbols": length, "codes_emitted": emitted},
+    )

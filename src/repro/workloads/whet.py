@@ -1,0 +1,176 @@
+"""``whet`` — Whetstone-style synthetic mix, fixed point (PowerStone ``whet``).
+
+Whetstone is a synthetic benchmark cycling through arithmetic modules:
+array arithmetic, trigonometric evaluation, polynomial evaluation and
+division-heavy loops.  The original is floating point; since this ISA
+is integer-only, the kernel is a faithful *fixed-point* restatement
+(Q12) with the transcendental module served by a 256-entry quarter-wave
+sine table with linear interpolation — the standard embedded
+substitution, recorded in DESIGN.md.  Access pattern: a rotating mix of
+small-array sweeps, hot-table interpolation and pure register loops.
+
+This kernel is an *extra* beyond the paper's 12 (see
+``repro.workloads.registry.EXTRA_WORKLOAD_NAMES``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.workloads.common import LCG, WORD_MASK, Workload, scaled, words_directive
+
+_Q = 12
+_ONE = 1 << _Q
+_SINE_ENTRIES = 256
+_ARRAY_LEN = 32
+_DEFAULT_CYCLES = 24
+
+
+def sine_table() -> List[int]:
+    """Quarter-wave sine in Q12: sin(pi/2 * i / 256) scaled to [0, 4096]."""
+    return [
+        round(math.sin(math.pi / 2 * i / _SINE_ENTRIES) * _ONE)
+        for i in range(_SINE_ENTRIES + 1)
+    ]
+
+
+def _interp_sine(table: List[int], phase: int) -> int:
+    """Linear interpolation into the quarter-wave table (8-bit index)."""
+    index = (phase >> 4) & 0xFF
+    frac = phase & 0xF
+    a = table[index]
+    b = table[index + 1]
+    return a + (((b - a) * frac) >> 4)
+
+
+def golden(seeds: List[int], cycles: int) -> int:
+    """Fixed-point Whetstone mix, matching the kernel exactly."""
+    table = sine_table()
+    array = list(seeds)
+    checksum = 0
+    x = _ONE // 2
+    for cycle in range(cycles):
+        # Module 1: array arithmetic a[i] = (a[i] + a[j]) * k >> Q.
+        k = (cycle % 7) + 1
+        for i in range(_ARRAY_LEN):
+            j = (i + k) % _ARRAY_LEN
+            array[i] = ((array[i] + array[j]) * k) & WORD_MASK
+            array[i] = (array[i] >> 3) & WORD_MASK
+        # Module 2: trig via table interpolation.
+        phase = (x + cycle * 37) & 0xFFF
+        s = _interp_sine(table, phase)
+        x = (x + s) & WORD_MASK
+        # Module 3: Horner polynomial p(s) = ((s*c3>>Q + c2)*s>>Q + c1).
+        c1, c2, c3 = 0x400, 0x200, 0x100
+        p = (s * c3) & WORD_MASK
+        p = (p >> _Q) + c2
+        p = (p * s) & WORD_MASK
+        p = (p >> _Q) + c1
+        x = (x ^ p) & WORD_MASK
+        # Module 4: division loop (32-bit wrap add, signed truncating div,
+        # matching the machine's semantics exactly).
+        x1 = x | 1  # never zero
+        d = x1
+        for _ in range(8):
+            total = (d + x1) & WORD_MASK
+            signed = total - (1 << 32) if total & 0x80000000 else total
+            d = int(signed / 2) & WORD_MASK
+            d = d | 1
+        checksum = (checksum + x + d + array[cycle % _ARRAY_LEN]) & WORD_MASK
+    return checksum
+
+
+def build(scale: str = "default") -> Workload:
+    """Build the whet workload at a given scale."""
+    cycles = scaled(_DEFAULT_CYCLES, scale)
+    seeds = LCG(seed=0x3E7).words(_ARRAY_LEN, bound=_ONE)
+    source = f"""
+; whet: fixed-point Whetstone-style module mix, {cycles} cycles
+        .equ CYCLES, {cycles}
+        .equ ALEN, {_ARRAY_LEN}
+        .equ Q, {_Q}
+        .data
+sintab:
+{words_directive(sine_table())}
+arr:
+{words_directive(seeds)}
+result: .word 0
+        .text
+main:   li   r1, 0              ; cycle
+        li   r2, 0              ; checksum
+        li   r3, {_ONE // 2}    ; x
+        li   r10, CYCLES
+cyc:    ; ---- module 1: array arithmetic, k = cycle % 7 + 1
+        li   r4, 7
+        rem  r4, r1, r4
+        addi r4, r4, 1          ; k
+        li   r5, 0              ; i
+m1:     add  r6, r5, r4
+        li   r7, ALEN
+        rem  r6, r6, r7         ; j
+        lw   r7, arr(r5)
+        lw   r8, arr(r6)
+        add  r7, r7, r8
+        mul  r7, r7, r4
+        srli r7, r7, 3
+        sw   r7, arr(r5)
+        inc  r5
+        li   r7, ALEN
+        blt  r5, r7, m1
+        ; ---- module 2: sine interpolation
+        li   r5, 37
+        mul  r5, r1, r5
+        add  r5, r3, r5
+        andi r5, r5, 0xFFF      ; phase
+        srli r6, r5, 4
+        andi r6, r6, 0xFF       ; index
+        andi r5, r5, 0xF        ; frac
+        lw   r7, sintab(r6)     ; a
+        addi r6, r6, 1
+        lw   r8, sintab(r6)     ; b
+        sub  r8, r8, r7
+        mul  r8, r8, r5
+        srai r8, r8, 4
+        add  r7, r7, r8         ; s
+        add  r3, r3, r7         ; x += s
+        ; ---- module 3: Horner polynomial
+        li   r9, 0x100
+        mul  r8, r7, r9
+        srli r8, r8, Q
+        addi r8, r8, 0x200
+        mul  r8, r8, r7
+        srli r8, r8, Q
+        addi r8, r8, 0x400
+        xor  r3, r3, r8
+        ; ---- module 4: division loop
+        ori  r5, r3, 1          ; x|1
+        mv   r6, r5             ; d
+        li   r7, 0              ; iteration
+m4:     add  r6, r6, r5
+        li   r9, 2
+        div  r6, r6, r9
+        ori  r6, r6, 1
+        inc  r7
+        li   r9, 8
+        blt  r7, r9, m4
+        ; ---- accumulate
+        li   r9, ALEN
+        rem  r9, r1, r9
+        lw   r9, arr(r9)
+        add  r2, r2, r3
+        add  r2, r2, r6
+        add  r2, r2, r9
+        inc  r1
+        blt  r1, r10, cyc
+        sw   r2, result
+        halt
+"""
+    return Workload(
+        name="whet",
+        description="fixed-point Whetstone-style synthetic mix",
+        source=source,
+        expected=golden(seeds, cycles),
+        scale=scale,
+        params={"cycles": cycles, "array_len": _ARRAY_LEN},
+    )

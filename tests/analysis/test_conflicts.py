@@ -1,0 +1,64 @@
+"""Unit tests for conflict diagnosis."""
+
+import pytest
+
+from repro.analysis.conflicts import conflict_report, total_conflict_misses
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+class TestConflictReport:
+    def test_thrash_pair_identified(self):
+        # 0 and 4 share row 0 of a depth-4 cache and thrash at A=1.
+        trace = Trace([0, 4, 0, 4, 1], address_bits=4)
+        explorer = AnalyticalCacheExplorer(trace)
+        rows = conflict_report(explorer, depth=4, associativity=1)
+        assert len(rows) == 1
+        assert rows[0].addresses == [0, 4]
+        assert rows[0].row_index == 0
+        assert rows[0].misses == 2
+
+    def test_row_misses_sum_to_explorer_total(self):
+        trace = zipf_trace(500, 80, seed=0)
+        explorer = AnalyticalCacheExplorer(trace)
+        for depth in (4, 16):
+            for assoc in (1, 2):
+                rows = conflict_report(
+                    explorer, depth, assoc, top=10**9
+                )
+                assert total_conflict_misses(rows) == explorer.misses(
+                    depth, assoc
+                )
+
+    def test_rows_ranked_by_miss_contribution(self):
+        trace = zipf_trace(500, 80, seed=1)
+        explorer = AnalyticalCacheExplorer(trace)
+        rows = conflict_report(explorer, depth=8, associativity=1, top=5)
+        misses = [row.misses for row in rows]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_top_limits_output(self):
+        trace = zipf_trace(400, 60, seed=2)
+        explorer = AnalyticalCacheExplorer(trace)
+        assert len(conflict_report(explorer, 2, 1, top=1)) <= 1
+
+    def test_conflict_free_cache_reports_nothing(self):
+        explorer = AnalyticalCacheExplorer(loop_nest_trace(8, 10))
+        assert conflict_report(explorer, depth=8, associativity=1) == []
+
+    def test_addresses_share_the_row(self):
+        trace = zipf_trace(400, 60, seed=3)
+        explorer = AnalyticalCacheExplorer(trace)
+        for row in conflict_report(explorer, depth=16, associativity=1):
+            assert {addr % 16 for addr in row.addresses} == {row.row_index}
+            assert row.occupancy == len(row.addresses)
+
+    def test_validation(self):
+        explorer = AnalyticalCacheExplorer(Trace([0, 1]))
+        with pytest.raises(ValueError):
+            conflict_report(explorer, depth=3)
+        with pytest.raises(ValueError):
+            conflict_report(explorer, depth=2, associativity=0)
+        with pytest.raises(ValueError):
+            conflict_report(explorer, depth=2, top=0)

@@ -1,0 +1,70 @@
+"""Unit tests for miss-ratio curves."""
+
+import pytest
+
+from repro.analysis.curves import associativity_curve, capacity_curve
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+
+
+@pytest.fixture
+def explorer():
+    return AnalyticalCacheExplorer(zipf_trace(500, 80, seed=0))
+
+
+class TestAssociativityCurve:
+    def test_monotone_and_ends_at_zero(self, explorer):
+        curve = associativity_curve(explorer, depth=8)
+        misses = [p.misses for p in curve]
+        assert misses == sorted(misses, reverse=True)
+        assert misses[-1] == 0
+        assert [p.x for p in curve] == list(range(1, len(curve) + 1))
+
+    def test_single_point_when_direct_mapped_suffices(self):
+        explorer = AnalyticalCacheExplorer(loop_nest_trace(8, 5))
+        curve = associativity_curve(explorer, depth=8)
+        assert len(curve) == 1
+        assert curve[0].misses == 0
+
+    def test_instances_match_geometry(self, explorer):
+        for point in associativity_curve(explorer, depth=4):
+            assert point.instance.depth == 4
+            assert point.instance.associativity == point.x
+
+
+class TestCapacityCurve:
+    def test_monotone_in_capacity(self, explorer):
+        curve = capacity_curve(explorer, max_capacity=1024)
+        misses = [p.misses for p in curve]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_capacities_are_powers_of_two(self, explorer):
+        curve = capacity_curve(explorer, max_capacity=256, min_capacity=4)
+        assert [p.x for p in curve] == [4, 8, 16, 32, 64, 128, 256]
+
+    def test_instance_capacity_matches_x(self, explorer):
+        for point in capacity_curve(explorer, max_capacity=128):
+            assert point.instance.size_words == point.x
+
+    def test_best_is_no_worse_than_any_factorization(self, explorer):
+        curve = capacity_curve(explorer, max_capacity=64)
+        for point in curve:
+            depth = 2
+            while depth <= point.x:
+                assoc = point.x // depth
+                assert point.misses <= explorer.misses(depth, assoc)
+                depth *= 2
+
+    def test_big_enough_capacity_reaches_zero(self, explorer):
+        n_unique = explorer.stripped.n_unique
+        capacity = 2
+        while capacity < 2 * n_unique:
+            capacity *= 2
+        curve = capacity_curve(explorer, max_capacity=capacity)
+        assert curve[-1].misses == 0
+
+    def test_validation(self, explorer):
+        with pytest.raises(ValueError):
+            capacity_curve(explorer, max_capacity=4, min_capacity=1)
+        with pytest.raises(ValueError):
+            capacity_curve(explorer, max_capacity=2, min_capacity=8)

@@ -1,0 +1,72 @@
+"""Unit tests for CSV export."""
+
+import csv
+import io
+
+from repro.analysis.curves import associativity_curve, capacity_curve
+from repro.analysis.export import (
+    curve_to_csv,
+    exploration_to_csv,
+    histograms_to_csv,
+    measurements_to_csv,
+)
+from repro.analysis.runtime import RuntimeMeasurement
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.trace.synthetic import zipf_trace
+
+
+def _parse(text):
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestExplorationCsv:
+    def test_rows_match_result(self):
+        trace = zipf_trace(300, 40, seed=0)
+        result = AnalyticalCacheExplorer(trace).explore(5)
+        rows = _parse(exploration_to_csv(result))
+        assert len(rows) == len(result.instances)
+        assert int(rows[0]["depth"]) == result.instances[0].depth
+        assert int(rows[0]["misses"]) == result.misses[0]
+
+    def test_missing_misses_render_empty(self):
+        result = ExplorationResult(budget=0, instances=[CacheInstance(2, 1)])
+        rows = _parse(exploration_to_csv(result))
+        assert rows[0]["misses"] == ""
+
+
+class TestCurveCsv:
+    def test_associativity_curve(self):
+        explorer = AnalyticalCacheExplorer(zipf_trace(300, 40, seed=1))
+        points = associativity_curve(explorer, depth=4)
+        rows = _parse(curve_to_csv(points, x_name="associativity"))
+        assert [int(r["associativity"]) for r in rows] == [p.x for p in points]
+
+    def test_capacity_curve(self):
+        explorer = AnalyticalCacheExplorer(zipf_trace(300, 40, seed=2))
+        points = capacity_curve(explorer, max_capacity=64)
+        rows = _parse(curve_to_csv(points, x_name="capacity_words"))
+        assert [int(r["misses"]) for r in rows] == [p.misses for p in points]
+
+
+class TestHistogramCsv:
+    def test_flat_rows_sorted_by_level_then_distance(self):
+        explorer = AnalyticalCacheExplorer(zipf_trace(300, 40, seed=3))
+        rows = _parse(histograms_to_csv(explorer.histograms))
+        keys = [(int(r["level"]), int(r["distance"])) for r in rows]
+        assert keys == sorted(keys)
+        # Depth column is 2**level throughout.
+        assert all(
+            int(r["depth"]) == 1 << int(r["level"]) for r in rows
+        )
+
+
+class TestMeasurementsCsv:
+    def test_figure4_points(self):
+        measurements = [
+            RuntimeMeasurement(name="a", n=10, n_unique=5, seconds=0.5),
+            RuntimeMeasurement(name="b", n=20, n_unique=10, seconds=1.0),
+        ]
+        rows = _parse(measurements_to_csv(measurements))
+        assert rows[0]["name"] == "a"
+        assert int(rows[1]["work_product"]) == 200

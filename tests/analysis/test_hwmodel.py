@@ -1,0 +1,73 @@
+"""Unit tests for the CACTI-style hardware cost model."""
+
+import pytest
+
+from repro.analysis.hwmodel import estimate_hardware
+from repro.cache.config import CacheConfig
+
+
+def _config(depth=64, assoc=2, line=1):
+    return CacheConfig(depth=depth, associativity=assoc, line_words=line)
+
+
+class TestMonotonicity:
+    def test_area_grows_with_every_axis(self):
+        base = estimate_hardware(_config()).area_bits
+        assert estimate_hardware(_config(depth=128)).area_bits > base
+        assert estimate_hardware(_config(assoc=4)).area_bits > base
+        assert estimate_hardware(_config(line=4)).area_bits > base
+
+    def test_energy_grows_with_ways_and_line(self):
+        base = estimate_hardware(_config()).access_energy
+        assert estimate_hardware(_config(assoc=4)).access_energy > base
+        assert estimate_hardware(_config(line=4)).access_energy > base
+
+    def test_energy_nearly_flat_in_depth(self):
+        """Depth adds rows, not bits-per-access; only tag width shrinks."""
+        shallow = estimate_hardware(_config(depth=16)).access_energy
+        deep = estimate_hardware(_config(depth=1024)).access_energy
+        assert deep <= shallow  # narrower tags
+        assert deep > 0.8 * shallow
+
+    def test_access_time_grows_with_depth_and_ways(self):
+        base = estimate_hardware(_config()).access_time
+        assert estimate_hardware(_config(depth=256)).access_time > base
+        assert estimate_hardware(_config(assoc=8)).access_time > base
+
+
+class TestAbsolutes:
+    def test_data_array_dominates_area(self):
+        estimate = estimate_hardware(_config(depth=256, assoc=1))
+        assert estimate.area_bits >= 256 * 32  # at least the data bits
+
+    def test_tag_width_follows_address_bits(self):
+        wide = estimate_hardware(_config(), address_bits=40)
+        narrow = estimate_hardware(_config(), address_bits=20)
+        assert wide.area_bits > narrow.area_bits
+
+    def test_bad_address_bits(self):
+        with pytest.raises(ValueError):
+            estimate_hardware(_config(), address_bits=0)
+
+
+class TestTotalEnergy:
+    def test_misses_add_refill_energy(self):
+        estimate = estimate_hardware(_config(line=4))
+        no_misses = estimate.total_energy(accesses=1000, misses=0)
+        with_misses = estimate.total_energy(accesses=1000, misses=10)
+        assert with_misses > no_misses
+        # Each miss refills line_words=4 words.
+        assert with_misses - no_misses == pytest.approx(10 * 4 * 8.0)
+
+    def test_scales_with_accesses(self):
+        estimate = estimate_hardware(_config())
+        assert estimate.total_energy(2000, 0) == pytest.approx(
+            2 * estimate.total_energy(1000, 0)
+        )
+
+    def test_negative_inputs_rejected(self):
+        estimate = estimate_hardware(_config())
+        with pytest.raises(ValueError):
+            estimate.total_energy(-1, 0)
+        with pytest.raises(ValueError):
+            estimate.total_energy(0, -1)

@@ -1,0 +1,56 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+
+
+@pytest.fixture
+def report():
+    trace = zipf_trace(400, 60, seed=0)
+    trace.name = "demo"
+    return generate_report(trace)
+
+
+class TestGenerateReport:
+    def test_has_all_sections(self, report):
+        for heading in (
+            "# Cache design report: demo",
+            "## Trace statistics",
+            "## Optimal cache instances",
+            "## Best-achievable misses per capacity",
+            "## Budget sensitivity",
+            "## Hardware costs",
+        ):
+            assert heading in report
+
+    def test_statistics_values_present(self, report):
+        assert "references (N): **400**" in report
+        assert "unique references (N'): **55**" in report
+
+    def test_budget_grid_rows(self, report):
+        for label in ("5%", "10%", "15%", "20%"):
+            assert label in report
+
+    def test_cost_picks_named(self, report):
+        assert "energy-optimal" in report
+        assert "area-optimal" in report
+        assert "latency-optimal" in report
+
+    def test_unnamed_trace_gets_placeholder_title(self):
+        from repro.trace.trace import Trace
+
+        unnamed = Trace(list(zipf_trace(200, 30, seed=1)))
+        report = generate_report(unnamed)
+        assert "# Cache design report: trace" in report
+
+    def test_explicit_focus_depth(self):
+        trace = loop_nest_trace(16, 10)
+        report = generate_report(trace, focus_depth=8)
+        assert "## Budget sensitivity at depth 8" in report
+
+    def test_custom_percent_grid(self):
+        trace = loop_nest_trace(16, 10)
+        report = generate_report(trace, percents=(50.0,), focus_percent=50.0)
+        assert "50%" in report

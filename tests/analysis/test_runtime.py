@@ -1,0 +1,69 @@
+"""Unit tests for runtime measurement and the Figure 4 fit."""
+
+import pytest
+
+from repro.analysis.runtime import (
+    RuntimeMeasurement,
+    fit_scaling,
+    measure_runtime,
+)
+from repro.trace.synthetic import loop_nest_trace, random_trace
+
+
+class TestMeasureRuntime:
+    def test_fields_filled_in(self):
+        trace = loop_nest_trace(16, 10)
+        trace.name = "loop16"
+        measurement = measure_runtime(trace, budgets=(0, 2))
+        assert measurement.name == "loop16"
+        assert measurement.n == 160
+        assert measurement.n_unique == 16
+        assert measurement.seconds > 0
+        assert measurement.work_product == 160 * 16
+
+    def test_repeats_keep_minimum(self):
+        trace = random_trace(300, 30, seed=0)
+        single = measure_runtime(trace, repeats=1)
+        multi = measure_runtime(trace, repeats=3)
+        # The min over repeats cannot exceed a fresh single run by much;
+        # just check it is a valid positive measurement.
+        assert 0 < multi.seconds
+        assert multi.n == single.n
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure_runtime(loop_nest_trace(4, 2), repeats=0)
+
+
+class TestFitScaling:
+    def _measurement(self, work, seconds):
+        return RuntimeMeasurement(name="m", n=work, n_unique=1, seconds=seconds)
+
+    def test_perfect_line_recovered(self):
+        points = [self._measurement(x, 2e-6 * x + 0.5) for x in (10, 100, 1000)]
+        fit = fit_scaling(points)
+        assert fit.slope == pytest.approx(2e-6)
+        assert fit.intercept == pytest.approx(0.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        points = [self._measurement(x, 3.0 * x) for x in (1, 2, 3)]
+        fit = fit_scaling(points)
+        assert fit.predict(10) == pytest.approx(30.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match="two measurements"):
+            fit_scaling([self._measurement(1, 1.0)])
+
+    def test_degenerate_x_rejected(self):
+        points = [self._measurement(5, 1.0), self._measurement(5, 2.0)]
+        with pytest.raises(ValueError, match="same N"):
+            fit_scaling(points)
+
+    def test_real_measurements_fit_positively(self):
+        measurements = [
+            measure_runtime(random_trace(n, max(8, n // 8), seed=n))
+            for n in (200, 800, 2000)
+        ]
+        fit = fit_scaling(measurements)
+        assert fit.slope > 0

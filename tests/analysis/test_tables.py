@@ -1,0 +1,93 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import (
+    format_table,
+    miss_grid_table,
+    optimal_instances_table,
+    runtime_table,
+    trace_stats_table,
+)
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.stats import compute_statistics
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["A", "BB"], [[1, 2], [33, 44]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "-+-" in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row width"):
+            format_table(["a", "b"], [[1]])
+
+
+class TestTraceStatsTable:
+    def test_matches_paper_columns(self):
+        stats = [compute_statistics(loop_nest_trace(4, 10), name="loop")]
+        text = trace_stats_table(stats, title="Table 5")
+        assert "Benchmark" in text
+        assert "Size N" in text
+        assert "Unique References N'" in text
+        assert "Max. Misses" in text
+        assert "loop" in text
+        assert "40" in text
+
+
+class TestOptimalInstancesTable:
+    def test_rows_are_percentages_columns_depths(self):
+        trace = zipf_trace(300, 40, seed=0)
+        explorer = AnalyticalCacheExplorer(trace)
+        results = {p: explorer.explore_percent(p) for p in (5, 10, 20)}
+        text = optimal_instances_table(results)
+        lines = text.splitlines()
+        assert lines[0].startswith("K")
+        assert "5%" in text and "10%" in text and "20%" in text
+
+    def test_explicit_depth_selection(self):
+        trace = loop_nest_trace(8, 10)
+        explorer = AnalyticalCacheExplorer(trace)
+        results = {5.0: explorer.explore_percent(5)}
+        text = optimal_instances_table(results, depths=[2, 4])
+        header = text.splitlines()[0]
+        assert "2" in header and "4" in header and "8" not in header
+
+    def test_missing_depth_shown_as_dash(self):
+        trace = loop_nest_trace(8, 10)
+        explorer = AnalyticalCacheExplorer(trace)
+        results = {5.0: explorer.explore_percent(5)}
+        text = optimal_instances_table(results, depths=[1 << 20])
+        assert "-" in text.splitlines()[-1]
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_instances_table({})
+
+
+class TestRuntimeTable:
+    def test_contents(self):
+        text = runtime_table({"crc": 0.123456, "des": 2.0})
+        assert "crc" in text and "0.1235" in text
+        assert "des" in text and "2" in text
+
+
+class TestMissGridTable:
+    def test_grid_layout(self):
+        grid = {(2, 1): 10, (2, 2): 0, (4, 1): 5, (4, 2): 0}
+        text = miss_grid_table(grid, depths=[2, 4], associativities=[1, 2])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "10" in lines[2] and "5" in lines[2]
+
+    def test_missing_cells_dashed(self):
+        text = miss_grid_table({}, depths=[2], associativities=[1])
+        assert "-" in text.splitlines()[-1]

@@ -1,0 +1,79 @@
+"""Unit tests for working-set analysis."""
+
+import pytest
+
+from repro.analysis.workingset import (
+    locality_score,
+    reuse_distance_histogram,
+    working_set_curve,
+)
+from repro.trace.synthetic import loop_nest_trace, sequential_trace
+from repro.trace.trace import Trace
+
+
+class TestWorkingSetCurve:
+    def test_loop_working_set_saturates_at_footprint(self):
+        trace = loop_nest_trace(8, 20)
+        points = {p.window: p for p in working_set_curve(trace, (4, 8, 64))}
+        assert points[4].mean_unique == 4
+        assert points[8].mean_unique == 8
+        assert points[64].mean_unique == 8  # never exceeds the footprint
+        assert points[64].max_unique == 8
+
+    def test_streaming_working_set_equals_window(self):
+        trace = sequential_trace(128)
+        points = working_set_curve(trace, (16, 32))
+        for point in points:
+            assert point.mean_unique == point.window
+
+    def test_window_longer_than_trace(self):
+        trace = Trace([1, 2, 1])
+        (point,) = working_set_curve(trace, (100,))
+        assert point.mean_unique == 2
+
+    def test_empty_trace(self):
+        (point,) = working_set_curve(Trace([]), (8,))
+        assert point.mean_unique == 0.0
+        assert point.max_unique == 0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            working_set_curve(Trace([1]), (0,))
+
+
+class TestReuseDistances:
+    def test_hand_example(self):
+        # 0,1,0: the second 0 has one distinct intervening reference.
+        assert reuse_distance_histogram(Trace([0, 1, 0])) == {1: 1}
+
+    def test_immediate_reuse_distance_zero(self):
+        assert reuse_distance_histogram(Trace([5, 5, 5])) == {0: 2}
+
+    def test_no_reuse_gives_empty_histogram(self):
+        assert reuse_distance_histogram(Trace([1, 2, 3])) == {}
+
+    def test_matches_explorer_level_zero(self):
+        from repro.core.explorer import AnalyticalCacheExplorer
+        from repro.trace.synthetic import zipf_trace
+
+        trace = zipf_trace(300, 50, seed=0)
+        histogram = reuse_distance_histogram(trace)
+        assert histogram == AnalyticalCacheExplorer(trace).histograms[0].counts
+
+
+class TestLocalityScore:
+    def test_tight_loop_scores_high(self):
+        assert locality_score(loop_nest_trace(4, 50)) == 1.0
+
+    def test_streaming_scores_zero(self):
+        assert locality_score(sequential_trace(100)) == 0.0
+
+    def test_large_loop_scores_low(self):
+        # Footprint 64 > threshold 16: every reuse distance is 63.
+        assert locality_score(loop_nest_trace(64, 10)) == 0.0
+
+    def test_in_unit_interval(self):
+        from repro.trace.synthetic import markov_trace
+
+        score = locality_score(markov_trace(500, 100, seed=1))
+        assert 0.0 <= score <= 1.0

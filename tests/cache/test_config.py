@@ -1,0 +1,94 @@
+"""Unit tests for CacheConfig."""
+
+import pytest
+
+from repro.cache.config import (
+    CacheConfig,
+    ReplacementKind,
+    WritePolicy,
+    is_power_of_two,
+)
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024])
+    def test_powers(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 12, 1023])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+
+class TestValidation:
+    def test_depth_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="depth"):
+            CacheConfig(depth=3, associativity=1)
+
+    def test_associativity_must_be_positive(self):
+        with pytest.raises(ValueError, match="associativity"):
+            CacheConfig(depth=4, associativity=0)
+
+    def test_line_words_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="line_words"):
+            CacheConfig(depth=4, associativity=1, line_words=3)
+
+    def test_plru_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError, match="PLRU"):
+            CacheConfig(depth=4, associativity=3, replacement=ReplacementKind.PLRU)
+        CacheConfig(depth=4, associativity=4, replacement=ReplacementKind.PLRU)
+
+    def test_non_power_of_two_associativity_allowed_for_lru(self):
+        CacheConfig(depth=4, associativity=3)
+
+
+class TestDerivedFields:
+    def test_index_and_offset_bits(self):
+        config = CacheConfig(depth=64, associativity=2, line_words=4)
+        assert config.index_bits == 6
+        assert config.offset_bits == 2
+
+    def test_depth_one_has_zero_index_bits(self):
+        assert CacheConfig(depth=1, associativity=4).index_bits == 0
+
+    def test_size_words(self):
+        config = CacheConfig(depth=8, associativity=2, line_words=4)
+        assert config.size_words == 64
+
+    def test_paper_size_formula_with_unit_lines(self):
+        # The paper computes the cache size as 2**log2(D) * A.
+        config = CacheConfig(depth=512, associativity=2)
+        assert config.size_words == 1024
+
+
+class TestAddressMath:
+    def test_unit_line_index_is_low_bits(self):
+        config = CacheConfig(depth=16, associativity=1)
+        assert config.set_index(0b1011_0101) == 0b0101
+        assert config.tag(0b1011_0101) == 0b1011
+        assert config.line_address(77) == 77
+
+    def test_multiword_line_shifts_out_offset(self):
+        config = CacheConfig(depth=4, associativity=1, line_words=4)
+        # address 0b...yyxx -> offset xx, index yy
+        assert config.set_index(0b011110) == 0b11
+        assert config.tag(0b011110) == 0b01
+        assert config.line_address(0b011110) == 0b0111
+
+    def test_tag_index_line_reconstruction(self):
+        config = CacheConfig(depth=8, associativity=2, line_words=2)
+        address = 0x1A7
+        rebuilt = (
+            (config.tag(address) << config.index_bits | config.set_index(address))
+            << config.offset_bits
+        ) | (address & (config.line_words - 1))
+        assert rebuilt == address
+
+    def test_describe_mentions_everything(self):
+        config = CacheConfig(
+            depth=4,
+            associativity=2,
+            write_policy=WritePolicy.WRITE_THROUGH,
+        )
+        text = config.describe()
+        assert "D=4" in text and "A=2" in text and "write-through" in text

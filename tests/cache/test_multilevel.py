@@ -1,0 +1,73 @@
+"""Unit tests for the composed two-level simulator."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.multilevel import TwoLevelSimulator, simulate_two_level
+from repro.cache.simulator import miss_stream, simulate_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+L1 = CacheConfig(depth=4, associativity=1)
+L2 = CacheConfig(depth=16, associativity=2)
+
+
+class TestComposition:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_l2_equals_simulation_over_miss_stream(self, seed):
+        """The composed run must equal miss-stream replay, counter for counter."""
+        trace = zipf_trace(500, 90, seed=seed)
+        composed = simulate_two_level(trace, L1, L2)
+        stream, l1_result = miss_stream(trace, L1)
+        l2_direct = simulate_trace(stream, L2)
+        assert composed.l1.misses == l1_result.misses
+        assert composed.l2.non_cold_misses == l2_direct.non_cold_misses
+        assert composed.l2.cold_misses == l2_direct.cold_misses
+
+    def test_l2_sees_exactly_the_l1_misses(self):
+        trace = random_trace(300, 60, seed=3)
+        composed = simulate_two_level(trace, L1, L2)
+        assert composed.l2.accesses == composed.l1.misses
+
+    def test_l1_line_granularity_at_l2(self):
+        l1 = CacheConfig(depth=2, associativity=1, line_words=4)
+        l2 = CacheConfig(depth=8, associativity=1)
+        trace = Trace([0, 16, 0, 16])  # two L1 lines thrash set 0
+        composed = simulate_two_level(trace, l1, l2)
+        # L2 is indexed by L1-line address: lines 0 and 4.
+        assert composed.l2.accesses == 4
+        assert composed.l2.hits == 2  # both re-references hit in L2
+
+
+class TestDerivedMetrics:
+    def test_memory_accesses_and_global_rate(self):
+        trace = loop_nest_trace(8, 10)
+        perfect_l1 = CacheConfig(depth=8, associativity=1)
+        composed = simulate_two_level(trace, perfect_l1, L2)
+        # L1 captures everything after its cold fills.
+        assert composed.l1.non_cold_misses == 0
+        assert composed.memory_accesses == composed.l2.misses
+        assert 0.0 <= composed.global_miss_rate <= 1.0
+
+    def test_amat_ordering(self):
+        """A bigger L2 can only lower (or keep) the AMAT."""
+        trace = zipf_trace(600, 120, seed=4)
+        small = simulate_two_level(
+            trace, L1, CacheConfig(depth=8, associativity=1)
+        )
+        large = simulate_two_level(
+            trace, L1, CacheConfig(depth=256, associativity=2)
+        )
+        assert large.amat <= small.amat
+
+    def test_empty_trace(self):
+        composed = simulate_two_level(Trace([]), L1, L2)
+        assert composed.amat == 0.0
+        assert composed.global_miss_rate == 0.0
+
+
+class TestStatefulAPI:
+    def test_access_returns_l1_hit(self):
+        sim = TwoLevelSimulator(L1, L2)
+        assert sim.access(0) is False  # cold
+        assert sim.access(0) is True

@@ -1,0 +1,124 @@
+"""Unit tests for the Mattson one-pass stack-distance simulator."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.onepass import (
+    profile_all_depths,
+    stack_distance_profile,
+)
+from repro.cache.simulator import simulate_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+class TestProfileBasics:
+    def test_simple_distances(self):
+        # Single set (depth 1): 0,1,0 -> distance of final 0 is 1.
+        profile = stack_distance_profile(Trace([0, 1, 0]), depth=1)
+        assert profile.cold == 2
+        assert profile.histogram == {1: 1}
+
+    def test_immediate_reuse_has_distance_zero(self):
+        profile = stack_distance_profile(Trace([4, 4, 4]), depth=1)
+        assert profile.histogram == {0: 2}
+
+    def test_per_set_distances_ignore_other_sets(self):
+        # depth 2: addresses 0,1 alternate but live in different sets.
+        profile = stack_distance_profile(Trace([0, 1, 0, 1]), depth=2)
+        assert profile.histogram == {0: 2}
+
+    def test_depth_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            stack_distance_profile(Trace([0]), depth=3)
+
+    def test_all_cold_trace(self):
+        profile = stack_distance_profile(Trace([1, 2, 3]), depth=1)
+        assert profile.cold == 3
+        assert profile.histogram == {}
+        assert profile.max_distance == -1
+        assert profile.zero_miss_associativity == 1
+
+
+class TestMissQueries:
+    def test_misses_by_associativity(self):
+        # depth 1, trace 0,1,2,0: distance of final 0 is 2.
+        profile = stack_distance_profile(Trace([0, 1, 2, 0]), depth=1)
+        assert profile.non_cold_misses(1) == 1
+        assert profile.non_cold_misses(2) == 1
+        assert profile.non_cold_misses(3) == 0
+
+    def test_hits_complement_misses(self):
+        trace = random_trace(300, 24, seed=1)
+        profile = stack_distance_profile(trace, depth=2)
+        for assoc in (1, 2, 4):
+            assert (
+                profile.hits(assoc)
+                + profile.cold
+                + profile.non_cold_misses(assoc)
+                == len(trace)
+            )
+
+    def test_invalid_associativity_rejected(self):
+        profile = stack_distance_profile(Trace([0]), depth=1)
+        with pytest.raises(ValueError):
+            profile.non_cold_misses(0)
+
+    def test_min_associativity(self):
+        profile = stack_distance_profile(Trace([0, 1, 2, 0, 1, 2]), depth=1)
+        # distances: each revisit sees 2 distinct others -> all misses at A<=2
+        assert profile.min_associativity(0) == 3
+        assert profile.min_associativity(2) == 3
+        assert profile.min_associativity(3) == 1
+
+    def test_min_associativity_rejects_negative_budget(self):
+        profile = stack_distance_profile(Trace([0]), depth=1)
+        with pytest.raises(ValueError):
+            profile.min_associativity(-1)
+
+    def test_zero_miss_associativity_gives_zero_misses(self):
+        trace = zipf_trace(500, 40, seed=2)
+        profile = stack_distance_profile(trace, depth=4)
+        assert profile.non_cold_misses(profile.zero_miss_associativity) == 0
+
+
+class TestAgreementWithSimulator:
+    """The inclusion property: one pass must equal per-config simulation."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("assoc", [1, 2, 3, 4])
+    def test_random_trace(self, depth, assoc):
+        trace = random_trace(400, 48, seed=depth * 10 + assoc)
+        profile = stack_distance_profile(trace, depth)
+        simulated = simulate_trace(
+            trace, CacheConfig(depth=depth, associativity=assoc)
+        )
+        assert profile.non_cold_misses(assoc) == simulated.non_cold_misses
+        assert profile.cold == simulated.cold_misses
+
+    def test_loop_trace(self):
+        trace = loop_nest_trace(20, 10)
+        for depth in (1, 4, 16):
+            profile = stack_distance_profile(trace, depth)
+            for assoc in (1, 2, 8):
+                simulated = simulate_trace(
+                    trace, CacheConfig(depth=depth, associativity=assoc)
+                )
+                assert profile.non_cold_misses(assoc) == simulated.non_cold_misses
+
+
+class TestProfileAllDepths:
+    def test_covers_every_power_of_two(self):
+        trace = random_trace(100, 30, seed=0)
+        profiles = profile_all_depths(trace, max_depth=8)
+        assert sorted(profiles) == [1, 2, 4, 8]
+
+    def test_rejects_non_power_max_depth(self):
+        with pytest.raises(ValueError):
+            profile_all_depths(Trace([0]), max_depth=6)
+
+    def test_cold_count_is_depth_invariant(self):
+        trace = random_trace(200, 25, seed=4)
+        profiles = profile_all_depths(trace, max_depth=16)
+        colds = {p.cold for p in profiles.values()}
+        assert len(colds) == 1

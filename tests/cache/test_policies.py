@@ -1,0 +1,148 @@
+"""Unit tests for replacement policies."""
+
+import random
+
+import pytest
+
+from repro.cache.config import CacheConfig, ReplacementKind
+from repro.cache.policies import (
+    FIFOSet,
+    LRUSet,
+    PLRUSet,
+    RandomSet,
+    make_set_policy,
+)
+
+
+class TestLRU:
+    def test_fills_until_capacity_without_eviction(self):
+        policy = LRUSet(2)
+        assert policy.lookup(1) == (False, None)
+        assert policy.lookup(2) == (False, None)
+
+    def test_evicts_least_recently_used(self):
+        policy = LRUSet(2)
+        policy.lookup(1)
+        policy.lookup(2)
+        hit, evicted = policy.lookup(3)
+        assert not hit and evicted == 1
+
+    def test_hit_refreshes_recency(self):
+        policy = LRUSet(2)
+        policy.lookup(1)
+        policy.lookup(2)
+        policy.lookup(1)  # 1 becomes most recent
+        _, evicted = policy.lookup(3)
+        assert evicted == 2
+
+    def test_hit_reports_true_and_no_eviction(self):
+        policy = LRUSet(2)
+        policy.lookup(9)
+        assert policy.lookup(9) == (True, None)
+
+    def test_contains_has_no_side_effects(self):
+        policy = LRUSet(2)
+        policy.lookup(1)
+        policy.lookup(2)
+        assert policy.contains(1)
+        _, evicted = policy.lookup(3)
+        assert evicted == 1  # contains() did not refresh 1
+
+
+class TestFIFO:
+    def test_evicts_oldest_fill_even_if_recently_hit(self):
+        policy = FIFOSet(2)
+        policy.lookup(1)
+        policy.lookup(2)
+        policy.lookup(1)  # hit: must NOT refresh
+        _, evicted = policy.lookup(3)
+        assert evicted == 1
+
+    def test_differs_from_lru_on_same_sequence(self):
+        fifo, lru = FIFOSet(2), LRUSet(2)
+        for tag in (1, 2, 1):
+            fifo.lookup(tag)
+            lru.lookup(tag)
+        assert fifo.lookup(3)[1] == 1
+        assert lru.lookup(3)[1] == 2
+
+
+class TestRandom:
+    def test_deterministic_given_seeded_rng(self):
+        def evictions(seed):
+            policy = RandomSet(2, random.Random(seed))
+            out = []
+            for tag in range(10):
+                out.append(policy.lookup(tag)[1])
+            return out
+
+        assert evictions(42) == evictions(42)
+
+    def test_fills_empty_ways_before_evicting(self):
+        policy = RandomSet(3, random.Random(0))
+        assert policy.lookup(1)[1] is None
+        assert policy.lookup(2)[1] is None
+        assert policy.lookup(3)[1] is None
+        assert policy.lookup(4)[1] is not None
+
+    def test_victim_is_resident(self):
+        policy = RandomSet(2, random.Random(1))
+        policy.lookup(10)
+        policy.lookup(20)
+        _, evicted = policy.lookup(30)
+        assert evicted in (10, 20)
+
+
+class TestPLRU:
+    def test_two_way_plru_is_exactly_lru(self):
+        plru, lru = PLRUSet(2), LRUSet(2)
+        rng = random.Random(3)
+        for _ in range(300):
+            tag = rng.randrange(5)
+            hit_p, ev_p = plru.lookup(tag)
+            hit_l, ev_l = lru.lookup(tag)
+            assert hit_p == hit_l
+            assert ev_p == ev_l
+
+    def test_one_way_plru_degenerates_to_direct(self):
+        policy = PLRUSet(1)
+        policy.lookup(1)
+        hit, evicted = policy.lookup(2)
+        assert not hit and evicted == 1
+
+    def test_four_way_never_evicts_most_recent(self):
+        policy = PLRUSet(4)
+        rng = random.Random(9)
+        last = None
+        for _ in range(500):
+            tag = rng.randrange(8)
+            _, evicted = policy.lookup(tag)
+            if evicted is not None:
+                assert evicted != last  # PLRU protects the MRU way
+            last = tag
+
+    def test_resident_tags_tracks_contents(self):
+        policy = PLRUSet(2)
+        policy.lookup(5)
+        policy.lookup(6)
+        assert sorted(policy.resident_tags()) == [5, 6]
+        policy.lookup(7)
+        assert 7 in policy.resident_tags()
+        assert len(policy.resident_tags()) == 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            (ReplacementKind.LRU, LRUSet),
+            (ReplacementKind.FIFO, FIFOSet),
+            (ReplacementKind.RANDOM, RandomSet),
+            (ReplacementKind.PLRU, PLRUSet),
+        ],
+    )
+    def test_make_set_policy(self, kind, cls):
+        config = CacheConfig(depth=2, associativity=2, replacement=kind)
+        policy = make_set_policy(config, random.Random(0))
+        assert isinstance(policy, cls)
+        assert policy.associativity == 2

@@ -1,0 +1,194 @@
+"""Unit tests for the cache simulator."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, ReplacementKind, WritePolicy
+from repro.cache.result import SimulationResult
+from repro.cache.simulator import CacheSimulator, simulate_many, simulate_trace
+from repro.trace.reference import AccessKind
+from repro.trace.trace import Trace
+
+
+class TestBasicBehaviour:
+    def test_first_access_is_cold_miss(self):
+        sim = CacheSimulator(CacheConfig(depth=2, associativity=1))
+        assert sim.access(0) is False
+        assert sim.cold_misses == 1
+        assert sim.non_cold_misses == 0
+
+    def test_repeat_access_hits(self):
+        sim = CacheSimulator(CacheConfig(depth=2, associativity=1))
+        sim.access(0)
+        assert sim.access(0) is True
+        assert sim.hits == 1
+
+    def test_direct_mapped_conflict(self):
+        # depth 2: addresses 0 and 2 share set 0 and thrash each other.
+        sim = CacheSimulator(CacheConfig(depth=2, associativity=1))
+        for addr in (0, 2, 0, 2):
+            sim.access(addr)
+        result = sim.result()
+        assert result.cold_misses == 2
+        assert result.non_cold_misses == 2
+        assert result.hits == 0
+
+    def test_two_way_absorbs_the_same_conflict(self):
+        sim = CacheSimulator(CacheConfig(depth=2, associativity=2))
+        for addr in (0, 2, 0, 2):
+            sim.access(addr)
+        result = sim.result()
+        assert result.non_cold_misses == 0
+        assert result.hits == 2
+
+    def test_distinct_sets_do_not_conflict(self):
+        sim = CacheSimulator(CacheConfig(depth=2, associativity=1))
+        for addr in (0, 1, 0, 1):
+            sim.access(addr)
+        assert sim.result().hits == 2
+
+    def test_contains_is_side_effect_free(self):
+        sim = CacheSimulator(CacheConfig(depth=2, associativity=1))
+        assert not sim.contains(0)
+        sim.access(0)
+        assert sim.contains(0)
+        assert sim.accesses == 1  # contains did not count as an access
+
+
+class TestColdMissAccounting:
+    def test_cold_misses_equal_unique_lines(self):
+        trace = Trace([5, 9, 5, 13, 9, 5])
+        result = simulate_trace(trace, CacheConfig(depth=4, associativity=1))
+        assert result.cold_misses == 3
+
+    def test_re_reference_after_eviction_is_non_cold(self):
+        sim = CacheSimulator(CacheConfig(depth=1, associativity=1))
+        sim.access(0)
+        sim.access(1)  # evicts 0
+        sim.access(0)  # miss, but not cold
+        assert sim.cold_misses == 2
+        assert sim.non_cold_misses == 1
+
+    def test_multiword_lines_make_neighbours_share_cold_miss(self):
+        config = CacheConfig(depth=2, associativity=1, line_words=4)
+        result = simulate_trace(Trace([0, 1, 2, 3]), config)
+        assert result.cold_misses == 1
+        assert result.hits == 3
+
+
+class TestWritePolicies:
+    def test_write_back_counts_writeback_on_dirty_eviction(self):
+        config = CacheConfig(depth=1, associativity=1)
+        sim = CacheSimulator(config)
+        sim.access(0, AccessKind.WRITE)  # dirty line 0
+        sim.access(1)                    # evicts dirty line 0
+        assert sim.writebacks == 1
+        assert sim.write_throughs == 0
+
+    def test_clean_eviction_does_not_write_back(self):
+        sim = CacheSimulator(CacheConfig(depth=1, associativity=1))
+        sim.access(0)
+        sim.access(1)
+        assert sim.writebacks == 0
+
+    def test_write_through_counts_every_store(self):
+        config = CacheConfig(
+            depth=2, associativity=1, write_policy=WritePolicy.WRITE_THROUGH
+        )
+        sim = CacheSimulator(config)
+        sim.access(0, AccessKind.WRITE)
+        sim.access(0, AccessKind.WRITE)
+        assert sim.write_throughs == 2
+        assert sim.writebacks == 0
+
+    def test_flush_writes_all_dirty_lines(self):
+        sim = CacheSimulator(CacheConfig(depth=4, associativity=1))
+        sim.access(0, AccessKind.WRITE)
+        sim.access(1, AccessKind.WRITE)
+        assert sim.flush() == 2
+        assert sim.writebacks == 2
+        assert sim.flush() == 0  # idempotent
+
+    def test_rewriting_same_line_stays_one_dirty_entry(self):
+        sim = CacheSimulator(CacheConfig(depth=1, associativity=1))
+        sim.access(0, AccessKind.WRITE)
+        sim.access(0, AccessKind.WRITE)
+        assert sim.flush() == 1
+
+
+class TestSimulateTrace:
+    def test_counts_are_consistent(self):
+        trace = Trace([1, 2, 1, 3, 1, 2], address_bits=4)
+        result = simulate_trace(trace, CacheConfig(depth=2, associativity=1))
+        assert result.accesses == len(trace)
+        assert result.hits + result.misses == result.accesses
+
+    def test_kinds_are_replayed(self):
+        trace = Trace(
+            [0, 0], kinds=[AccessKind.WRITE, AccessKind.READ]
+        )
+        config = CacheConfig(depth=1, associativity=1)
+        sim = CacheSimulator(config)
+        for i, addr in enumerate(trace):
+            sim.access(addr, trace.kind(i))
+        assert sim.flush() == 1
+
+    def test_empty_trace(self):
+        result = simulate_trace(Trace([]), CacheConfig(depth=2, associativity=1))
+        assert result.accesses == 0
+        assert result.miss_rate == 0.0
+
+    def test_simulate_many_covers_all_configs(self):
+        trace = Trace([0, 2, 0, 2])
+        configs = [
+            CacheConfig(depth=2, associativity=1),
+            CacheConfig(depth=2, associativity=2),
+        ]
+        results = simulate_many(trace, configs)
+        assert results[configs[0]].non_cold_misses == 2
+        assert results[configs[1]].non_cold_misses == 0
+
+
+class TestReplacementInteraction:
+    def test_fifo_vs_lru_differ_on_crafted_trace(self):
+        # 0,2,0,4: LRU evicts 2 for 4 (keeps hot 0); FIFO evicts 0.
+        trace = Trace([0, 2, 0, 4, 0])
+        lru = simulate_trace(
+            trace, CacheConfig(depth=2, associativity=2)
+        )
+        fifo = simulate_trace(
+            trace,
+            CacheConfig(
+                depth=2, associativity=2, replacement=ReplacementKind.FIFO
+            ),
+        )
+        assert lru.hits == 2
+        assert fifo.hits == 1
+
+    def test_random_is_reproducible_via_seed(self):
+        trace = Trace(list(range(8)) * 4)
+        config = CacheConfig(
+            depth=2, associativity=2, replacement=ReplacementKind.RANDOM, seed=5
+        )
+        first = simulate_trace(trace, config)
+        second = simulate_trace(trace, config)
+        assert first.hits == second.hits
+
+
+class TestSimulationResult:
+    def test_inconsistent_counts_rejected(self):
+        config = CacheConfig(depth=2, associativity=1)
+        with pytest.raises(ValueError, match="inconsistent"):
+            SimulationResult(
+                config=config, accesses=5, hits=1, cold_misses=1, non_cold_misses=1
+            )
+
+    def test_rates_and_budget(self):
+        config = CacheConfig(depth=2, associativity=1)
+        result = SimulationResult(
+            config=config, accesses=10, hits=6, cold_misses=3, non_cold_misses=1
+        )
+        assert result.misses == 4
+        assert result.miss_rate == pytest.approx(0.4)
+        assert result.non_cold_miss_rate == pytest.approx(0.1)
+        assert result.meets_budget(1)
+        assert not result.meets_budget(0)

@@ -1,0 +1,97 @@
+"""Unit tests for the victim-buffer simulator."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.cache.victim import VictimCacheSimulator, simulate_victim
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+DM = CacheConfig(depth=4, associativity=1)
+
+
+class TestBasics:
+    def test_zero_entries_equals_plain_cache(self):
+        trace = zipf_trace(400, 60, seed=0)
+        with_victim = simulate_victim(trace, DM, victim_entries=0)
+        plain = simulate_trace(trace, DM)
+        assert with_victim.non_cold_misses == plain.non_cold_misses
+        assert with_victim.cold_misses == plain.cold_misses
+        assert with_victim.victim_hits == 0
+
+    def test_counters_are_consistent(self):
+        trace = random_trace(300, 50, seed=1)
+        result = simulate_victim(trace, DM, victim_entries=2)
+        assert (
+            result.main_hits
+            + result.victim_hits
+            + result.cold_misses
+            + result.non_cold_misses
+            == result.accesses
+            == len(trace)
+        )
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            VictimCacheSimulator(DM, victim_entries=-1)
+
+    def test_access_return_value(self):
+        sim = VictimCacheSimulator(DM, victim_entries=1)
+        assert sim.access(0) is False  # cold
+        assert sim.access(0) is True   # main hit
+
+
+class TestVictimBehaviour:
+    def test_thrash_pair_caught_by_one_entry(self):
+        # 0 and 4 thrash set 0 of the DM cache; one victim entry catches
+        # every bounce after the cold pair.
+        trace = Trace([0, 4] * 10)
+        result = simulate_victim(trace, DM, victim_entries=1)
+        assert result.cold_misses == 2
+        assert result.non_cold_misses == 0
+        assert result.victim_hits == 18
+
+    def test_swap_promotes_hot_line(self):
+        sim = VictimCacheSimulator(DM, victim_entries=1)
+        sim.access(0)   # cold
+        sim.access(4)   # cold, evicts 0 to victim
+        sim.access(0)   # victim hit, swap: 0 in main, 4 in victim
+        assert sim.access(0) is True  # now a MAIN hit
+        assert sim.main_hits == 1
+
+    def test_victim_capacity_limits_coverage(self):
+        # Three-way thrash needs two victim entries, not one.
+        trace = Trace([0, 4, 8] * 8)
+        one = simulate_victim(trace, DM, victim_entries=1)
+        two = simulate_victim(trace, DM, victim_entries=2)
+        assert one.non_cold_misses > 0
+        assert two.non_cold_misses == 0
+
+    def test_never_worse_than_plain_cache(self):
+        for seed in range(3):
+            trace = zipf_trace(400, 80, seed=seed)
+            plain = simulate_trace(trace, DM).non_cold_misses
+            for entries in (1, 2, 4):
+                buffered = simulate_victim(trace, DM, entries)
+                assert buffered.non_cold_misses <= plain
+
+    def test_dm_plus_victim_tracks_two_way(self):
+        """DM + big victim buffer catches at least what 2-way LRU catches.
+
+        A victim buffer of >= depth entries holds every set's most recent
+        victim, so it covers (at least) the second way of every set.
+        """
+        trace = zipf_trace(500, 90, seed=3)
+        config = CacheConfig(depth=8, associativity=1)
+        two_way = simulate_trace(
+            trace, CacheConfig(depth=8, associativity=2)
+        ).non_cold_misses
+        buffered = simulate_victim(trace, config, victim_entries=8)
+        assert buffered.non_cold_misses <= two_way * 1.5  # same ballpark
+
+    def test_memory_fetches_property(self):
+        trace = loop_nest_trace(12, 5)
+        result = simulate_victim(trace, DM, 2)
+        assert result.memory_fetches == result.cold_misses + result.non_cold_misses
+        assert result.hits == result.main_hits + result.victim_hits

@@ -1,0 +1,123 @@
+"""Unit tests for the BCAT (Algorithm 1) and its streaming traversal."""
+
+import pytest
+
+from repro.core.bcat import build_bcat, level_set_map, walk_bcat_sets
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace
+from repro.trace.trace import Trace
+
+
+def _zerosets(trace):
+    return build_zero_one_sets(strip_trace(trace))
+
+
+class TestBuildBCAT:
+    def test_root_contains_everything(self):
+        zerosets = _zerosets(Trace([1, 2, 3]))
+        bcat = build_bcat(zerosets)
+        assert bcat.root.members == zerosets.universe
+        assert bcat.root.level == 0
+
+    def test_children_split_by_index_bit(self):
+        zerosets = _zerosets(Trace([0, 1, 2, 3]))
+        bcat = build_bcat(zerosets)
+        left = bcat.root.left.member_ids()
+        right = bcat.root.right.member_ids()
+        # ids: 0->addr0, 1->addr1, 2->addr2, 3->addr3; bit0 even/odd split
+        assert left == {0, 2}
+        assert right == {1, 3}
+
+    def test_growth_stops_below_singletons(self):
+        zerosets = _zerosets(Trace([0, 1]))
+        bcat = build_bcat(zerosets)
+        assert bcat.root.left.is_leaf
+        assert bcat.root.right.is_leaf
+
+    def test_growth_stops_at_address_bits(self):
+        # Two references identical in all bits cannot be split: the tree
+        # must bottom out at address_bits even with cardinality 2.
+        zerosets = _zerosets(Trace([5, 5, 5], address_bits=3))
+        bcat = build_bcat(zerosets)
+        assert bcat.depth == 0  # single unique ref: root is a leaf
+
+    def test_duplicate_prefix_references(self):
+        # 0b01 and 0b11 differ only at bit 1.
+        zerosets = _zerosets(Trace([1, 3]))
+        bcat = build_bcat(zerosets)
+        assert bcat.root.left.member_ids() == set()
+        assert bcat.root.right.member_ids() == {0, 1}
+        assert bcat.root.right.left.member_ids() == {0}
+
+    def test_level_nodes_rejects_negative(self):
+        bcat = build_bcat(_zerosets(Trace([0, 1])))
+        with pytest.raises(ValueError):
+            bcat.level_nodes(-1)
+
+    def test_render_contains_all_levels(self):
+        bcat = build_bcat(_zerosets(Trace([0, 1, 2, 3])))
+        text = bcat.render()
+        assert "L0" in text and "L1" in text and "L2" in text
+
+
+class TestLevelPartition:
+    """Level l of the BCAT partitions references exactly like a depth-2^l cache."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_level_sets_match_modulo_classes(self, seed):
+        trace = random_trace(150, 33, seed=seed)
+        stripped = strip_trace(trace)
+        zerosets = build_zero_one_sets(stripped)
+        bcat = build_bcat(zerosets)
+        for level in (1, 2, 3):
+            depth = 1 << level
+            expected = {}
+            for ident, addr in enumerate(stripped.unique_addresses):
+                expected.setdefault(addr % depth, set()).add(ident)
+            got = [
+                node.member_ids()
+                for node in bcat.level_nodes(level)
+                if node.members
+            ]
+            assert sorted(map(sorted, got)) == sorted(
+                sorted(s) for s in expected.values()
+            )
+
+
+class TestStreamingWalk:
+    def test_walk_agrees_with_materialized_tree(self):
+        trace = random_trace(200, 28, seed=7)
+        zerosets = _zerosets(trace)
+        bcat = build_bcat(zerosets)
+        streamed = level_set_map(zerosets)
+        for level in range(1, 4):
+            tree_sets = sorted(
+                node.members
+                for node in bcat.level_nodes(level)
+                if node.members.bit_count() >= 1
+            )
+            walk_sets = sorted(streamed.get(level, []))
+            # The walk omits empty nodes; the tree may contain them.
+            assert walk_sets == [s for s in tree_sets if s]
+
+    def test_walk_yields_root_first_members(self):
+        zerosets = _zerosets(Trace([0, 1, 2]))
+        first = next(walk_bcat_sets(zerosets))
+        assert first == (0, zerosets.universe)
+
+    def test_max_level_limits_depth(self):
+        zerosets = _zerosets(loop_nest_trace(16, 2))
+        levels = {level for level, _ in walk_bcat_sets(zerosets, max_level=2)}
+        assert max(levels) <= 2
+
+    def test_walk_never_yields_children_of_singletons(self):
+        zerosets = _zerosets(random_trace(100, 20, seed=1))
+        seen = {}
+        for level, members in walk_bcat_sets(zerosets):
+            seen.setdefault(level, []).append(members)
+        # Every non-root set must be a subset of some parent set with >= 2 members.
+        for level in sorted(seen)[1:]:
+            parents = [m for m in seen[level - 1] if m.bit_count() >= 2]
+            for members in seen[level]:
+                assert any(members & p == members for p in parents)

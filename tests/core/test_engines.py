@@ -1,0 +1,56 @@
+"""Unit tests for the explorer's selectable histogram engines."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            AnalyticalCacheExplorer(loop_nest_trace(4, 2), engine="magic")
+
+    def test_bad_process_count_rejected(self):
+        with pytest.raises(ValueError, match="processes"):
+            AnalyticalCacheExplorer(
+                loop_nest_trace(4, 2), engine="parallel", processes=0
+            )
+
+    @pytest.mark.parametrize("engine", AnalyticalCacheExplorer.ENGINES)
+    def test_every_engine_accepted(self, engine):
+        explorer = AnalyticalCacheExplorer(
+            loop_nest_trace(8, 4), engine=engine
+        )
+        assert explorer.engine == engine
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_identical_histograms_across_engines(self, seed):
+        trace = zipf_trace(300, 60, seed=seed)
+        reference = AnalyticalCacheExplorer(trace, engine="bitmask").histograms
+        for engine in ("streaming", "parallel"):
+            other = AnalyticalCacheExplorer(trace, engine=engine).histograms
+            assert sorted(reference) == sorted(other)
+            for level in reference:
+                assert reference[level].counts == other[level].counts, (
+                    engine,
+                    level,
+                )
+
+    @pytest.mark.parametrize("engine", AnalyticalCacheExplorer.ENGINES)
+    def test_identical_exploration_results(self, engine):
+        trace = random_trace(250, 40, seed=3)
+        reference = AnalyticalCacheExplorer(trace).explore(5)
+        other = AnalyticalCacheExplorer(trace, engine=engine).explore(5)
+        assert other.as_dict() == reference.as_dict()
+        assert other.misses == reference.misses
+
+    def test_max_depth_respected_by_all_engines(self):
+        trace = random_trace(150, 30, seed=4)
+        for engine in AnalyticalCacheExplorer.ENGINES:
+            explorer = AnalyticalCacheExplorer(
+                trace, max_depth=8, engine=engine
+            )
+            assert max(explorer.histograms) == 3

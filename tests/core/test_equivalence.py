@@ -1,0 +1,91 @@
+"""Analytical = simulated, miss for miss — the repository's central invariant.
+
+For LRU caches with one-word lines, the analytical model's miss counts
+must equal the cache simulator's non-cold miss counts on every (depth,
+associativity) point, for every trace shape.  (Property-based versions
+live in tests/property/; these are deterministic grids.)
+"""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.onepass import stack_distance_profile
+from repro.cache.simulator import simulate_trace
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.synthetic import (
+    interleaved_trace,
+    loop_nest_trace,
+    markov_trace,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    zipf_trace,
+)
+
+TRACES = [
+    sequential_trace(200),
+    strided_trace(150, stride=3),
+    loop_nest_trace(24, 12),
+    random_trace(400, 48, seed=0),
+    zipf_trace(400, 64, exponent=1.3, seed=1),
+    markov_trace(400, 80, locality=0.85, seed=2),
+    interleaved_trace(
+        [loop_nest_trace(8, 20), strided_trace(160, stride=2, start=512)]
+    ),
+]
+
+DEPTHS = [1, 2, 4, 8, 16, 32]
+ASSOCS = [1, 2, 3, 5]
+
+
+@pytest.mark.parametrize("trace", TRACES, ids=lambda t: t.name)
+def test_analytical_equals_simulation(trace):
+    explorer = AnalyticalCacheExplorer(trace)
+    for depth in DEPTHS:
+        for assoc in ASSOCS:
+            analytical = explorer.misses(depth, assoc)
+            simulated = simulate_trace(
+                trace, CacheConfig(depth=depth, associativity=assoc)
+            ).non_cold_misses
+            assert analytical == simulated, (
+                f"{trace.name}: D={depth} A={assoc}: "
+                f"analytical={analytical} simulated={simulated}"
+            )
+
+
+@pytest.mark.parametrize("trace", TRACES, ids=lambda t: t.name)
+def test_analytical_equals_onepass_stack_distances(trace):
+    """Per-level histograms must aggregate to Mattson per-set profiles."""
+    explorer = AnalyticalCacheExplorer(trace)
+    for depth in (1, 4, 16):
+        profile = stack_distance_profile(trace, depth)
+        level = depth.bit_length() - 1
+        histogram = explorer.histograms[level]
+        for assoc in (1, 2, 4, 8):
+            assert histogram.misses(assoc) == profile.non_cold_misses(assoc)
+
+
+@pytest.mark.parametrize("trace", TRACES, ids=lambda t: t.name)
+def test_monotonicity_in_associativity(trace):
+    """LRU inclusion: misses never increase with associativity."""
+    explorer = AnalyticalCacheExplorer(trace)
+    for depth in DEPTHS:
+        previous = None
+        for assoc in range(1, 9):
+            misses = explorer.misses(depth, assoc)
+            if previous is not None:
+                assert misses <= previous
+            previous = misses
+
+
+@pytest.mark.parametrize("trace", TRACES, ids=lambda t: t.name)
+def test_monotonicity_in_depth_at_zero_budget(trace):
+    """The zero-miss associativity never grows when the cache deepens.
+
+    Child sets partition parent sets, so per-row conflict cardinalities
+    only shrink with depth.
+    """
+    explorer = AnalyticalCacheExplorer(trace)
+    result = explorer.explore(0)
+    assocs = [inst.associativity for inst in result]
+    assert assocs == sorted(assocs, reverse=True)

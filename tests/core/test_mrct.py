@@ -1,0 +1,86 @@
+"""Unit tests for the MRCT (Algorithm 2)."""
+
+import pytest
+
+from repro.core.mrct import build_mrct, build_mrct_naive, mrct_as_display_table
+from repro.core.zerosets import bitset_members
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+class TestStructure:
+    def test_first_occurrence_has_no_conflict_set(self):
+        mrct = build_mrct(strip_trace(Trace([7, 8, 9])))
+        assert all(sets == [] for sets in mrct.sets)
+
+    def test_conflict_set_counts_match_reoccurrences(self):
+        mrct = build_mrct(strip_trace(Trace([1, 2, 1, 2, 1])))
+        assert len(mrct.conflict_sets(0)) == 2  # address 1 recurs twice
+        assert len(mrct.conflict_sets(1)) == 1
+
+    def test_conflict_set_never_contains_self(self):
+        trace = random_trace(300, 20, seed=0)
+        mrct = build_mrct(strip_trace(trace))
+        for ident in range(mrct.n_unique):
+            for mask in mrct.conflict_sets(ident):
+                assert not (mask >> ident) & 1
+
+    def test_distinct_intervening_references(self):
+        # 1 at positions 0 and 4; between them: 2, 3, 2 -> {2, 3} distinct.
+        stripped = strip_trace(Trace([1, 2, 3, 2, 1]))
+        mrct = build_mrct(stripped)
+        ids = bitset_members(mrct.conflict_sets(0)[0])
+        addrs = {stripped.address(i) for i in ids}
+        assert addrs == {2, 3}
+
+    def test_back_to_back_occurrence_has_empty_conflict_set(self):
+        mrct = build_mrct(strip_trace(Trace([5, 5])))
+        assert mrct.conflict_sets(0) == [0]
+
+    def test_total_conflict_sets_is_n_minus_unique(self):
+        trace = zipf_trace(400, 30, seed=2)
+        mrct = build_mrct(strip_trace(trace))
+        assert mrct.total_conflict_sets == len(trace) - trace.unique_count()
+
+    def test_display_table_uses_one_based_ids(self):
+        mrct = build_mrct(strip_trace(Trace([1, 2, 1])))
+        display = mrct_as_display_table(mrct)
+        assert set(display) == {1, 2}
+        assert display[1] == [{2}]
+
+
+class TestNaiveEquivalence:
+    """Algorithm 2 verbatim must equal the single-pass LRU-stack builder."""
+
+    def test_on_paper_trace(self, paper_trace):
+        stripped = strip_trace(paper_trace)
+        assert build_mrct(stripped).sets == build_mrct_naive(stripped).sets
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_on_random_traces(self, seed):
+        stripped = strip_trace(random_trace(250, 25, seed=seed))
+        assert build_mrct(stripped).sets == build_mrct_naive(stripped).sets
+
+    def test_on_loop_trace(self):
+        stripped = strip_trace(loop_nest_trace(12, 8))
+        assert build_mrct(stripped).sets == build_mrct_naive(stripped).sets
+
+    def test_on_empty_trace(self):
+        stripped = strip_trace(Trace([]))
+        assert build_mrct(stripped).sets == build_mrct_naive(stripped).sets == []
+
+
+class TestLoopTraceShape:
+    def test_loop_conflict_sets_are_whole_footprint(self):
+        # In a loop over F addresses, every revisit sees the other F-1.
+        footprint = 6
+        stripped = strip_trace(loop_nest_trace(footprint, 4))
+        mrct = build_mrct(stripped)
+        for ident in range(footprint):
+            for mask in mrct.conflict_sets(ident):
+                assert mask.bit_count() == footprint - 1
+
+    def test_repr(self):
+        mrct = build_mrct(strip_trace(Trace([1, 1])))
+        assert "refs=1" in repr(mrct)

@@ -1,0 +1,141 @@
+"""Unit tests for multi-trace (application-set) exploration."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.multi import MultiTraceExplorer
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+
+
+def _named(trace, name):
+    trace.name = name
+    return trace
+
+
+@pytest.fixture
+def pair():
+    a = _named(zipf_trace(300, 50, seed=0), "a")
+    b = _named(random_trace(200, 40, seed=1), "b")
+    return a, b
+
+
+class TestValidation:
+    def test_requires_traces(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MultiTraceExplorer([])
+
+    def test_requires_names(self):
+        trace = loop_nest_trace(4, 2)
+        trace.name = ""
+        with pytest.raises(ValueError, match="non-empty name"):
+            MultiTraceExplorer([trace])
+
+    def test_requires_unique_names(self, pair):
+        a, _ = pair
+        with pytest.raises(ValueError, match="unique"):
+            MultiTraceExplorer([a, a])
+
+    def test_weights_length(self, pair):
+        with pytest.raises(ValueError, match="weights"):
+            MultiTraceExplorer(list(pair), weights=[1])
+
+    def test_negative_weights(self, pair):
+        with pytest.raises(ValueError, match="non-negative"):
+            MultiTraceExplorer(list(pair), weights=[1, -1])
+
+    def test_negative_budget(self, pair):
+        explorer = MultiTraceExplorer(list(pair))
+        with pytest.raises(ValueError):
+            explorer.explore_sum(-1)
+        with pytest.raises(ValueError):
+            explorer.explore_each(-1)
+
+
+class TestExploreSum:
+    def test_total_misses_meet_budget(self, pair):
+        explorer = MultiTraceExplorer(list(pair))
+        result = explorer.explore_sum(20)
+        for index in range(len(result.instances)):
+            assert result.total_misses(index) <= 20
+
+    def test_sum_equals_sum_of_individual_misses(self, pair):
+        a, b = pair
+        explorer = MultiTraceExplorer([a, b])
+        result = explorer.explore_sum(15)
+        ea, eb = AnalyticalCacheExplorer(a), AnalyticalCacheExplorer(b)
+        for index, inst in enumerate(result.instances):
+            expected = ea.misses(inst.depth, inst.associativity) + eb.misses(
+                inst.depth, inst.associativity
+            )
+            assert result.total_misses(index) == expected
+
+    def test_minimality(self, pair):
+        a, b = pair
+        explorer = MultiTraceExplorer([a, b])
+        result = explorer.explore_sum(10)
+        ea, eb = AnalyticalCacheExplorer(a), AnalyticalCacheExplorer(b)
+        for inst in result.instances:
+            if inst.associativity > 1:
+                total = ea.misses(inst.depth, inst.associativity - 1) + eb.misses(
+                    inst.depth, inst.associativity - 1
+                )
+                assert total > 10
+
+    def test_zero_weight_trace_is_ignored_in_sum(self, pair):
+        a, b = pair
+        weighted = MultiTraceExplorer([a, b], weights=[1, 0]).explore_sum(5)
+        solo = AnalyticalCacheExplorer(a).explore(5)
+        solo_map = solo.as_dict()
+        for inst in weighted.instances:
+            if inst.depth in solo_map:
+                assert inst.associativity == solo_map[inst.depth]
+
+    def test_weight_scales_contribution(self, pair):
+        a, b = pair
+        # Tripling a's weight must need at least as much associativity
+        # as the unweighted set at the same budget.
+        plain = MultiTraceExplorer([a, b]).explore_sum(30).as_dict()
+        heavy = MultiTraceExplorer([a, b], weights=[3, 1]).explore_sum(30).as_dict()
+        for depth, assoc in plain.items():
+            assert heavy[depth] >= assoc
+
+
+class TestExploreEach:
+    def test_every_trace_meets_budget(self, pair):
+        explorer = MultiTraceExplorer(list(pair))
+        result = explorer.explore_each(8)
+        for misses in result.misses_by_trace.values():
+            assert all(m <= 8 for m in misses)
+
+    def test_answer_is_max_of_individuals(self, pair):
+        a, b = pair
+        result = MultiTraceExplorer([a, b]).explore_each(5)
+        ra = AnalyticalCacheExplorer(a).explore(5).as_dict()
+        rb = AnalyticalCacheExplorer(b).explore(5).as_dict()
+        for inst in result.instances:
+            expected = max(ra.get(inst.depth, 1), rb.get(inst.depth, 1))
+            assert inst.associativity == expected
+
+    def test_each_at_least_as_strict_as_sum_per_trace(self, pair):
+        explorer = MultiTraceExplorer(list(pair))
+        each = explorer.explore_each(10).as_dict()
+        # "each" with budget B is laxer than "sum" with budget B (sum
+        # constrains the combined total), so sum needs >= associativity.
+        total = explorer.explore_sum(10).as_dict()
+        for depth, assoc in each.items():
+            assert total[depth] >= assoc
+
+    def test_single_trace_reduces_to_plain_exploration(self):
+        trace = _named(zipf_trace(300, 60, seed=3), "solo")
+        multi = MultiTraceExplorer([trace]).explore_each(7).as_dict()
+        solo = AnalyticalCacheExplorer(trace).explore(7).as_dict()
+        for depth, assoc in solo.items():
+            assert multi[depth] == assoc
+
+    def test_disjoint_traces_compose(self):
+        a = _named(loop_nest_trace(8, 10), "a")
+        b = _named(loop_nest_trace(16, 10, start=256), "b")
+        result = MultiTraceExplorer([a, b]).explore_each(0)
+        # b needs depth 16 for A=1; a needs depth 8; max dominates.
+        assert result.as_dict()[16] == 1
+        assert result.as_dict()[8] > 1 or result.as_dict()[8] == 1

@@ -1,0 +1,86 @@
+"""Unit tests for the parallel postlude (section 2.4 distribution note)."""
+
+import pytest
+
+from repro.core.mrct import build_mrct
+from repro.core.parallel import compute_level_histograms_parallel
+from repro.core.postlude import compute_level_histograms
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+def _stages(trace):
+    stripped = strip_trace(trace)
+    return build_zero_one_sets(stripped), build_mrct(stripped)
+
+
+def _assert_identical(serial, parallel):
+    assert sorted(serial) == sorted(parallel)
+    for level in serial:
+        assert serial[level].counts == parallel[level].counts, level
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_serial_on_random_traces(self, seed):
+        zerosets, mrct = _stages(random_trace(400, 70, seed=seed))
+        serial = compute_level_histograms(zerosets, mrct)
+        parallel = compute_level_histograms_parallel(
+            zerosets, mrct, processes=2
+        )
+        _assert_identical(serial, parallel)
+
+    def test_matches_on_paper_trace(self, paper_trace):
+        zerosets, mrct = _stages(paper_trace)
+        serial = compute_level_histograms(zerosets, mrct)
+        parallel = compute_level_histograms_parallel(
+            zerosets, mrct, processes=2, split_level=1
+        )
+        _assert_identical(serial, parallel)
+
+    @pytest.mark.parametrize("split_level", [0, 1, 3, 6])
+    def test_any_split_level(self, split_level):
+        zerosets, mrct = _stages(zipf_trace(300, 60, seed=1))
+        serial = compute_level_histograms(zerosets, mrct)
+        parallel = compute_level_histograms_parallel(
+            zerosets, mrct, processes=2, split_level=split_level
+        )
+        _assert_identical(serial, parallel)
+
+    def test_max_level_cap(self):
+        zerosets, mrct = _stages(loop_nest_trace(16, 4))
+        parallel = compute_level_histograms_parallel(
+            zerosets, mrct, max_level=3, processes=2
+        )
+        assert sorted(parallel) == [0, 1, 2, 3]
+
+    def test_single_process_runs_in_process(self):
+        zerosets, mrct = _stages(random_trace(200, 40, seed=5))
+        serial = compute_level_histograms(zerosets, mrct)
+        parallel = compute_level_histograms_parallel(
+            zerosets, mrct, processes=1
+        )
+        _assert_identical(serial, parallel)
+
+    def test_empty_trace(self):
+        zerosets, mrct = _stages(Trace([]))
+        parallel = compute_level_histograms_parallel(
+            zerosets, mrct, processes=2
+        )
+        assert all(h.counts == {} for h in parallel.values())
+
+
+class TestValidation:
+    def test_bad_process_count(self):
+        zerosets, mrct = _stages(Trace([0, 1]))
+        with pytest.raises(ValueError, match="processes"):
+            compute_level_histograms_parallel(zerosets, mrct, processes=0)
+
+    def test_bad_split_level(self):
+        zerosets, mrct = _stages(Trace([0, 1]))
+        with pytest.raises(ValueError, match="split_level"):
+            compute_level_histograms_parallel(
+                zerosets, mrct, split_level=-1
+            )

@@ -1,0 +1,201 @@
+"""Unit tests for the postlude (Algorithm 3) and histogram machinery."""
+
+import pytest
+
+from repro.core.bcat import build_bcat
+from repro.core.instance import CacheInstance
+from repro.core.mrct import build_mrct
+from repro.core.postlude import (
+    LevelHistogram,
+    compute_level_histograms,
+    misses_at_node,
+    node_distance_histogram,
+    optimal_pairs,
+    optimal_pairs_algorithm3,
+)
+from repro.core.zerosets import bitset_from_members, build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace
+from repro.trace.trace import Trace
+
+
+def _pipeline(trace):
+    stripped = strip_trace(trace)
+    zerosets = build_zero_one_sets(stripped)
+    mrct = build_mrct(stripped)
+    return stripped, zerosets, mrct
+
+
+class TestLevelHistogram:
+    def test_misses_sum_distances_at_or_above_assoc(self):
+        histogram = LevelHistogram(level=1, counts={0: 5, 1: 3, 2: 2})
+        assert histogram.misses(1) == 5
+        assert histogram.misses(2) == 2
+        assert histogram.misses(3) == 0
+
+    def test_depth_property(self):
+        assert LevelHistogram(level=3).depth == 8
+
+    def test_zero_miss_associativity(self):
+        assert LevelHistogram(1, {0: 4, 2: 1}).zero_miss_associativity == 3
+        assert LevelHistogram(1, {}).zero_miss_associativity == 1
+
+    def test_min_associativity(self):
+        histogram = LevelHistogram(1, {0: 5, 1: 3, 2: 2})
+        assert histogram.min_associativity(0) == 3
+        assert histogram.min_associativity(1) == 3
+        assert histogram.min_associativity(2) == 2
+        assert histogram.min_associativity(4) == 2
+        assert histogram.min_associativity(5) == 1
+
+    def test_min_associativity_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LevelHistogram(1).min_associativity(-1)
+
+    def test_merge_accumulates(self):
+        a = LevelHistogram(2, {0: 1})
+        b = LevelHistogram(2, {0: 2, 1: 1})
+        a.merge(b)
+        assert a.counts == {0: 3, 1: 1}
+
+    def test_merge_rejects_level_mismatch(self):
+        with pytest.raises(ValueError, match="level"):
+            LevelHistogram(1).merge(LevelHistogram(2))
+
+    def test_misses_rejects_bad_associativity(self):
+        with pytest.raises(ValueError):
+            LevelHistogram(1).misses(0)
+
+
+class TestNodeCounting:
+    def test_node_histogram_hand_example(self):
+        # Trace 0,1,0,1 in one set: each revisit conflicts with 1 other.
+        _, zerosets, mrct = _pipeline(Trace([0, 1, 0, 1], address_bits=1))
+        members = zerosets.universe
+        assert node_distance_histogram(members, mrct) == {1: 2}
+
+    def test_misses_at_node_thresholds(self):
+        _, zerosets, mrct = _pipeline(Trace([0, 1, 0, 1], address_bits=1))
+        members = zerosets.universe
+        assert misses_at_node(members, mrct, 1) == 2
+        assert misses_at_node(members, mrct, 2) == 0
+
+    def test_node_subset_reduces_distances(self):
+        # Conflict with references outside the node's set must not count.
+        trace = Trace([0, 1, 2, 0], address_bits=2)
+        _, zerosets, mrct = _pipeline(trace)
+        # Node containing only ids {0 (addr 0), 2 (addr 2)}: the revisit of
+        # 0 saw {1, 2} but only 2 is in-set -> distance 1.
+        members = bitset_from_members({0, 2})
+        assert node_distance_histogram(members, mrct) == {1: 1}
+
+    def test_misses_at_node_rejects_bad_assoc(self):
+        _, _, mrct = _pipeline(Trace([0, 0]))
+        with pytest.raises(ValueError):
+            misses_at_node(1, mrct, 0)
+
+
+class TestComputeLevelHistograms:
+    def test_levels_cover_zero_to_address_bits(self):
+        _, zerosets, mrct = _pipeline(loop_nest_trace(8, 3))
+        histograms = compute_level_histograms(zerosets, mrct)
+        assert sorted(histograms) == list(range(zerosets.address_bits + 1))
+
+    def test_max_level_cap(self):
+        _, zerosets, mrct = _pipeline(loop_nest_trace(8, 3))
+        histograms = compute_level_histograms(zerosets, mrct, max_level=2)
+        assert sorted(histograms) == [0, 1, 2]
+
+    def test_level_zero_is_global_stack_distance(self):
+        # Depth 1 = fully-associative single row = global LRU distances.
+        trace = Trace([0, 1, 2, 0, 1])
+        _, zerosets, mrct = _pipeline(trace)
+        histograms = compute_level_histograms(zerosets, mrct)
+        assert histograms[0].counts == {2: 2}
+
+    def test_deep_levels_become_conflict_free(self):
+        _, zerosets, mrct = _pipeline(loop_nest_trace(4, 5))
+        histograms = compute_level_histograms(zerosets, mrct)
+        assert histograms[zerosets.address_bits].counts == {}
+
+
+class TestOptimalPairs:
+    def test_depths_are_powers_of_two_ascending(self):
+        _, zerosets, mrct = _pipeline(random_trace(200, 30, seed=0))
+        histograms = compute_level_histograms(zerosets, mrct)
+        pairs = optimal_pairs(histograms, budget=5)
+        depths = [p.depth for p in pairs]
+        assert depths == sorted(depths)
+        assert all(d & (d - 1) == 0 for d in depths)
+        assert depths[0] == 2  # paper's Algorithm 3 starts at depth 2
+
+    def test_include_depth_one(self):
+        _, zerosets, mrct = _pipeline(random_trace(100, 10, seed=1))
+        histograms = compute_level_histograms(zerosets, mrct)
+        pairs = optimal_pairs(histograms, budget=0, include_depth_one=True)
+        assert pairs[0].depth == 1
+
+    def test_budget_monotonicity(self):
+        """A bigger budget never needs more associativity at any depth."""
+        _, zerosets, mrct = _pipeline(random_trace(300, 40, seed=2))
+        histograms = compute_level_histograms(zerosets, mrct)
+        small = {p.depth: p.associativity for p in optimal_pairs(histograms, 0)}
+        large = {p.depth: p.associativity for p in optimal_pairs(histograms, 20)}
+        for depth in small:
+            assert large[depth] <= small[depth]
+
+    def test_levels_beyond_histograms_get_direct_mapped(self):
+        _, zerosets, mrct = _pipeline(Trace([0, 1, 0, 1], address_bits=1))
+        histograms = compute_level_histograms(zerosets, mrct)
+        pairs = optimal_pairs(histograms, budget=0, max_level=4)
+        mapping = {p.depth: p.associativity for p in pairs}
+        assert mapping[16] == 1
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_pairs({}, budget=-1)
+
+
+class TestAlgorithm3Oracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("budget", [0, 3, 10])
+    def test_streaming_matches_literal_algorithm(self, seed, budget):
+        trace = random_trace(150, 20, seed=seed)
+        stripped, zerosets, mrct = _pipeline(trace)
+        bcat = build_bcat(zerosets)
+        literal = {
+            p.depth: p.associativity
+            for p in optimal_pairs_algorithm3(bcat, mrct, budget)
+        }
+        histograms = compute_level_histograms(zerosets, mrct)
+        streaming = {
+            p.depth: p.associativity
+            for p in optimal_pairs(histograms, budget, max_level=bcat.depth)
+        }
+        for depth, assoc in literal.items():
+            assert streaming[depth] == assoc
+
+    def test_algorithm3_rejects_negative_budget(self):
+        _, zerosets, mrct = _pipeline(Trace([0, 1]))
+        with pytest.raises(ValueError):
+            optimal_pairs_algorithm3(build_bcat(zerosets), mrct, -1)
+
+
+class TestCacheInstance:
+    def test_size_words(self):
+        assert CacheInstance(depth=8, associativity=3).size_words == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheInstance(depth=3, associativity=1)
+        with pytest.raises(ValueError):
+            CacheInstance(depth=4, associativity=0)
+
+    def test_to_config_defaults_to_paper_choices(self):
+        config = CacheInstance(depth=4, associativity=2).to_config()
+        assert config.line_words == 1
+        assert config.replacement.value == "lru"
+        assert config.write_policy.value == "write-back"
+
+    def test_str(self):
+        assert str(CacheInstance(2, 3)) == "(D=2, A=3)"

@@ -1,0 +1,82 @@
+"""Unit tests for budget-sensitivity analysis."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.sensitivity import (
+    budget_sensitivity,
+    marginal_budget_for_cheaper_cache,
+)
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def explorer():
+    return AnalyticalCacheExplorer(zipf_trace(500, 80, seed=0))
+
+
+class TestBudgetSensitivity:
+    def test_staircase_structure(self, explorer):
+        steps = budget_sensitivity(explorer, depth=8)
+        # Strictly decreasing associativity, contiguous budget intervals.
+        assocs = [s.associativity for s in steps]
+        assert assocs == sorted(assocs, reverse=True)
+        assert len(set(assocs)) == len(assocs)
+        assert steps[0].min_budget == 0
+        for prev, nxt in zip(steps, steps[1:]):
+            assert nxt.min_budget == prev.max_budget + 1
+        assert steps[-1].associativity == 1
+        assert steps[-1].unbounded
+
+    def test_steps_agree_with_explorer(self, explorer):
+        for step in budget_sensitivity(explorer, depth=16):
+            result = explorer.explore(step.min_budget)
+            assert result.as_dict()[16] == step.associativity
+            if not step.unbounded:
+                at_max = explorer.explore(step.max_budget)
+                assert at_max.as_dict()[16] == step.associativity
+                beyond = explorer.explore(step.max_budget + 1)
+                assert beyond.as_dict()[16] < step.associativity
+
+    def test_conflict_free_depth_is_single_step(self):
+        explorer = AnalyticalCacheExplorer(loop_nest_trace(8, 10))
+        steps = budget_sensitivity(explorer, depth=8)
+        assert steps == [type(steps[0])(associativity=1, min_budget=0)]
+
+    def test_invalid_depth(self, explorer):
+        with pytest.raises(ValueError):
+            budget_sensitivity(explorer, depth=3)
+
+    def test_single_reference_trace(self):
+        explorer = AnalyticalCacheExplorer(Trace([5, 5, 5]))
+        steps = budget_sensitivity(explorer, depth=2)
+        assert steps[0].associativity == 1
+
+
+class TestMarginalBudget:
+    def test_zero_when_already_direct_mapped(self, explorer):
+        steps = budget_sensitivity(explorer, depth=8)
+        final = steps[-1]
+        assert (
+            marginal_budget_for_cheaper_cache(
+                explorer, 8, final.min_budget
+            )
+            == 0
+        )
+
+    def test_marginal_reaches_next_step(self, explorer):
+        steps = budget_sensitivity(explorer, depth=8)
+        if len(steps) < 2:
+            pytest.skip("trace has no staircase at this depth")
+        first = steps[0]
+        extra = marginal_budget_for_cheaper_cache(explorer, 8, first.min_budget)
+        assert extra == first.max_budget + 1 - first.min_budget
+        # Spending exactly that much must drop the associativity.
+        before = explorer.explore(first.min_budget).as_dict()[8]
+        after = explorer.explore(first.min_budget + extra).as_dict()[8]
+        assert after < before
+
+    def test_negative_budget_rejected(self, explorer):
+        with pytest.raises(ValueError):
+            marginal_budget_for_cheaper_cache(explorer, 8, -1)

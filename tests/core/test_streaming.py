@@ -1,0 +1,83 @@
+"""Unit tests for the streaming (O(N') memory) histogram engine."""
+
+import pytest
+
+from repro.core.mrct import build_mrct
+from repro.core.postlude import compute_level_histograms
+from repro.core.streaming import compute_level_histograms_streaming
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import (
+    loop_nest_trace,
+    markov_trace,
+    random_trace,
+    sequential_trace,
+    zipf_trace,
+)
+from repro.trace.trace import Trace
+
+
+def _bcat_histograms(trace, max_level=None):
+    stripped = strip_trace(trace)
+    return compute_level_histograms(
+        build_zero_one_sets(stripped), build_mrct(stripped), max_level=max_level
+    )
+
+
+TRACES = [
+    sequential_trace(100),
+    loop_nest_trace(12, 8),
+    random_trace(300, 50, seed=0),
+    zipf_trace(300, 60, seed=1),
+    markov_trace(300, 40, seed=2),
+]
+
+
+@pytest.mark.parametrize("trace", TRACES, ids=lambda t: t.name)
+def test_bit_identical_to_bcat_path(trace):
+    serial = _bcat_histograms(trace)
+    streaming = compute_level_histograms_streaming(trace)
+    assert sorted(serial) == sorted(streaming)
+    for level in serial:
+        assert serial[level].counts == streaming[level].counts, level
+
+
+def test_paper_example(paper_trace):
+    serial = _bcat_histograms(paper_trace)
+    streaming = compute_level_histograms_streaming(paper_trace)
+    for level in serial:
+        assert serial[level].counts == streaming[level].counts
+
+
+def test_max_level_cap():
+    trace = random_trace(100, 20, seed=3)
+    streaming = compute_level_histograms_streaming(trace, max_level=2)
+    assert sorted(streaming) == [0, 1, 2]
+    serial = _bcat_histograms(trace, max_level=2)
+    for level in streaming:
+        assert streaming[level].counts == serial[level].counts
+
+
+def test_empty_trace():
+    histograms = compute_level_histograms_streaming(Trace([]))
+    assert all(h.counts == {} for h in histograms.values())
+
+
+def test_single_address_trace():
+    # Repeated single address: singleton rows everywhere, so the BCAT
+    # path records nothing; the streaming post-filter must agree.
+    histograms = compute_level_histograms_streaming(Trace([5] * 10))
+    assert all(h.counts == {} for h in histograms.values())
+
+
+def test_answers_queryable_like_any_histogram():
+    trace = zipf_trace(400, 70, seed=4)
+    histograms = compute_level_histograms_streaming(trace)
+    from repro.core.explorer import AnalyticalCacheExplorer
+
+    explorer = AnalyticalCacheExplorer(trace)
+    for level, histogram in histograms.items():
+        for assoc in (1, 2, 4):
+            assert histogram.misses(assoc) == explorer.misses(
+                1 << level, assoc
+            )

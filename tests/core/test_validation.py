@@ -1,0 +1,69 @@
+"""Unit tests for analytical-vs-simulation validation helpers."""
+
+import pytest
+
+from repro.cache.simulator import simulate_trace
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.core.validation import (
+    ValidationRecord,
+    assert_all_valid,
+    validate_instances,
+)
+from repro.trace.synthetic import random_trace, zipf_trace
+
+
+class TestValidateInstances:
+    def test_all_explorer_outputs_validate(self):
+        trace = zipf_trace(400, 50, seed=0)
+        result = AnalyticalCacheExplorer(trace).explore(5)
+        records = validate_instances(trace, result)
+        assert len(records) == len(result.instances)
+        assert all(r.ok for r in records)
+        assert_all_valid(records)  # must not raise
+
+    def test_exactness_flag(self):
+        trace = random_trace(200, 30, seed=1)
+        result = AnalyticalCacheExplorer(trace).explore(0)
+        for record in validate_instances(trace, result):
+            assert record.exact
+            assert record.predicted_misses == record.simulated.non_cold_misses
+
+    def test_missing_predictions_fall_back_to_simulation(self):
+        trace = random_trace(100, 10, seed=2)
+        bare = ExplorationResult(
+            budget=1000,
+            instances=[CacheInstance(depth=2, associativity=1)],
+        )
+        records = validate_instances(trace, bare)
+        assert records[0].exact  # prediction defaulted to simulated value
+
+
+class TestAssertAllValid:
+    def test_raises_on_wrong_prediction(self):
+        trace = random_trace(100, 12, seed=3)
+        instance = CacheInstance(depth=2, associativity=1)
+        simulated = simulate_trace(trace, instance.to_config())
+        record = ValidationRecord(
+            instance=instance,
+            predicted_misses=simulated.non_cold_misses + 1,
+            simulated=simulated,
+            budget=10**9,
+        )
+        with pytest.raises(AssertionError, match="predicted"):
+            assert_all_valid([record])
+
+    def test_raises_on_budget_violation(self):
+        trace = random_trace(200, 12, seed=4)
+        instance = CacheInstance(depth=2, associativity=1)
+        simulated = simulate_trace(trace, instance.to_config())
+        assert simulated.non_cold_misses > 0
+        record = ValidationRecord(
+            instance=instance,
+            predicted_misses=simulated.non_cold_misses,
+            simulated=simulated,
+            budget=0,
+        )
+        assert not record.within_budget
+        with pytest.raises(AssertionError, match="budget"):
+            assert_all_valid([record])

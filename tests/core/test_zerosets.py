@@ -1,0 +1,67 @@
+"""Unit tests for zero/one set construction."""
+
+import pytest
+
+from repro.core.zerosets import (
+    bitset_from_members,
+    bitset_members,
+    build_zero_one_sets,
+)
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import random_trace
+from repro.trace.trace import Trace
+
+
+class TestBitsetHelpers:
+    def test_roundtrip(self):
+        members = {0, 3, 7}
+        assert bitset_members(bitset_from_members(members)) == members
+
+    def test_empty(self):
+        assert bitset_from_members(set()) == 0
+        assert bitset_members(0) == set()
+
+    def test_negative_identifier_rejected(self):
+        with pytest.raises(ValueError):
+            bitset_from_members({-1})
+
+    def test_bit_positions(self):
+        assert bitset_from_members({2}) == 0b100
+
+
+class TestBuildZeroOneSets:
+    def test_bit_membership(self):
+        # addresses: 0b01 (id 0), 0b10 (id 1)
+        zerosets = build_zero_one_sets(strip_trace(Trace([1, 2])))
+        assert zerosets.zero_members(0) == {1}
+        assert zerosets.one_members(0) == {0}
+        assert zerosets.zero_members(1) == {0}
+        assert zerosets.one_members(1) == {1}
+
+    def test_covers_declared_address_bits(self):
+        zerosets = build_zero_one_sets(
+            strip_trace(Trace([1], address_bits=6))
+        )
+        assert zerosets.address_bits == 6
+        # Address 1 has zeros at bits 1..5.
+        for bit in range(1, 6):
+            assert zerosets.zero_members(bit) == {0}
+
+    def test_universe_has_one_bit_per_unique_reference(self):
+        trace = random_trace(100, 17, seed=3)
+        zerosets = build_zero_one_sets(strip_trace(trace))
+        assert zerosets.universe.bit_count() == trace.unique_count()
+        assert zerosets.n_unique == trace.unique_count()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_partition_property(self, seed):
+        trace = random_trace(200, 40, seed=seed)
+        zerosets = build_zero_one_sets(strip_trace(trace))
+        for bit in range(zerosets.address_bits):
+            zero, one = zerosets.pair(bit)
+            assert zero & one == 0
+            assert zero | one == zerosets.universe
+
+    def test_empty_trace(self):
+        zerosets = build_zero_one_sets(strip_trace(Trace([])))
+        assert zerosets.universe == 0

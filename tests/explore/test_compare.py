@@ -1,0 +1,51 @@
+"""Unit tests for the three-way method comparison."""
+
+from repro.explore.compare import compare_methods
+from repro.explore.space import DesignSpace
+from repro.trace.synthetic import random_trace, zipf_trace
+
+SPACE = DesignSpace(min_depth=2, max_depth=32, max_associativity=8)
+
+
+class TestCompareMethods:
+    def test_all_methods_agree(self):
+        trace = zipf_trace(300, 40, seed=0)
+        comparison = compare_methods(trace, budget=5, space=SPACE)
+        assert comparison.agreement()
+        assert comparison.disagreements() == []
+
+    def test_costs_are_recorded(self):
+        trace = random_trace(200, 25, seed=1)
+        comparison = compare_methods(trace, budget=3, space=SPACE)
+        assert comparison.analytical_seconds > 0
+        assert comparison.exhaustive.elapsed_seconds > 0
+        assert comparison.heuristic.elapsed_seconds > 0
+        assert comparison.speedup_vs_exhaustive > 0
+        assert comparison.speedup_vs_heuristic > 0
+
+    def test_default_space_derived_from_trace(self):
+        trace = random_trace(150, 20, seed=2)
+        comparison = compare_methods(trace, budget=2)
+        assert comparison.agreement()
+
+    def test_heuristic_cheaper_than_exhaustive(self):
+        trace = zipf_trace(250, 35, seed=3)
+        comparison = compare_methods(trace, budget=4, space=SPACE)
+        assert (
+            comparison.heuristic.simulations
+            < comparison.exhaustive.simulations
+        )
+
+    def test_disagreements_detected_when_forced(self):
+        """Tampering with the analytical answer must surface a disagreement."""
+        trace = zipf_trace(250, 35, seed=4)
+        comparison = compare_methods(trace, budget=4, space=SPACE)
+        from repro.core.instance import CacheInstance
+
+        tampered = [
+            CacheInstance(inst.depth, inst.associativity + 1)
+            for inst in comparison.analytical.instances
+        ]
+        comparison.analytical.instances = tampered
+        assert not comparison.agreement()
+        assert comparison.disagreements()

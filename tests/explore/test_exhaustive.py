@@ -1,0 +1,48 @@
+"""Unit tests for the exhaustive simulation DSE baseline."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.explore.exhaustive import exhaustive_explore
+from repro.explore.space import DesignSpace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+
+
+SPACE = DesignSpace(min_depth=2, max_depth=32, max_associativity=6)
+
+
+class TestExhaustive:
+    def test_simulates_every_point(self):
+        trace = random_trace(150, 30, seed=0)
+        outcome = exhaustive_explore(trace, budget=3, space=SPACE)
+        assert outcome.simulations == len(SPACE)
+        assert len(outcome.grid) == len(SPACE)
+
+    def test_agrees_with_analytical(self):
+        trace = zipf_trace(300, 40, seed=1)
+        outcome = exhaustive_explore(trace, budget=5, space=SPACE)
+        analytical = AnalyticalCacheExplorer(trace, max_depth=32).explore(5)
+        analytical_map = analytical.as_dict()
+        for inst in outcome.result:
+            assert analytical_map[inst.depth] == inst.associativity
+
+    def test_grid_is_queryable(self):
+        trace = loop_nest_trace(8, 5)
+        outcome = exhaustive_explore(trace, budget=0, space=SPACE)
+        assert outcome.misses(8, 1) == 0
+        assert outcome.misses(4, 1) > 0
+
+    def test_depths_exceeding_space_are_omitted(self):
+        # A trace needing more ways than the space offers at small depths.
+        trace = loop_nest_trace(40, 5)  # footprint 40 > 32 sets * 1 way
+        small = DesignSpace(min_depth=2, max_depth=4, max_associativity=2)
+        outcome = exhaustive_explore(trace, budget=0, space=small)
+        assert outcome.result.instances == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            exhaustive_explore(loop_nest_trace(4, 2), budget=-1, space=SPACE)
+
+    def test_elapsed_time_recorded(self):
+        outcome = exhaustive_explore(loop_nest_trace(4, 2), budget=0, space=SPACE)
+        assert outcome.elapsed_seconds > 0

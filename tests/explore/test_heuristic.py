@@ -1,0 +1,52 @@
+"""Unit tests for the iterative design-simulate-analyze heuristic."""
+
+import pytest
+
+from repro.explore.exhaustive import exhaustive_explore
+from repro.explore.heuristic import iterative_heuristic_explore
+from repro.explore.space import DesignSpace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+
+SPACE = DesignSpace(min_depth=2, max_depth=32, max_associativity=8)
+
+
+class TestHeuristic:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("budget", [0, 4, 15])
+    def test_agrees_with_exhaustive(self, seed, budget):
+        trace = random_trace(200, 35, seed=seed)
+        heuristic = iterative_heuristic_explore(trace, budget, SPACE)
+        exhaustive = exhaustive_explore(trace, budget, SPACE)
+        assert heuristic.result.as_dict() == exhaustive.result.as_dict()
+
+    def test_uses_fewer_simulations_than_exhaustive(self):
+        trace = zipf_trace(300, 50, seed=3)
+        heuristic = iterative_heuristic_explore(trace, 5, SPACE)
+        assert heuristic.simulations < len(SPACE)
+
+    def test_probe_log_matches_simulation_count(self):
+        trace = loop_nest_trace(12, 6)
+        outcome = iterative_heuristic_explore(trace, 0, SPACE)
+        assert len(outcome.probes) == outcome.simulations
+
+    def test_probes_respect_space_bounds(self):
+        trace = random_trace(150, 25, seed=5)
+        outcome = iterative_heuristic_explore(trace, 0, SPACE)
+        for depth, assoc, _ in outcome.probes:
+            assert depth in SPACE.depths
+            assert 1 <= assoc <= SPACE.max_associativity
+
+    def test_unreachable_budget_omits_depth(self):
+        trace = loop_nest_trace(40, 5)
+        small = DesignSpace(min_depth=2, max_depth=4, max_associativity=2)
+        outcome = iterative_heuristic_explore(trace, 0, small)
+        assert outcome.result.instances == []
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            iterative_heuristic_explore(loop_nest_trace(4, 2), -1, SPACE)
+
+    def test_achieved_misses_within_budget(self):
+        trace = zipf_trace(250, 45, seed=7)
+        outcome = iterative_heuristic_explore(trace, 10, SPACE)
+        assert all(m <= 10 for m in outcome.result.misses)

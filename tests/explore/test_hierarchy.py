@@ -1,0 +1,124 @@
+"""Unit tests for miss streams and two-level hierarchy exploration."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import miss_stream, simulate_trace
+from repro.core.instance import CacheInstance
+from repro.explore.hierarchy import (
+    HierarchyExplorer,
+    explore_hierarchy,
+    split_cache_misses,
+)
+from repro.trace.reference import AccessKind
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+class TestMissStream:
+    def test_length_equals_all_misses(self):
+        trace = zipf_trace(400, 80, seed=0)
+        config = CacheConfig(depth=8, associativity=1)
+        stream, result = miss_stream(trace, config)
+        assert len(stream) == result.misses
+
+    def test_stream_preserves_order_of_first_misses(self):
+        trace = Trace([0, 2, 0, 2])  # depth-2 DM thrash on set 0
+        stream, _ = miss_stream(trace, CacheConfig(depth=2, associativity=1))
+        assert list(stream) == [0, 2, 0, 2]
+
+    def test_hits_are_excluded(self):
+        trace = Trace([5, 5, 5])
+        stream, result = miss_stream(trace, CacheConfig(depth=2, associativity=1))
+        assert list(stream) == [5]
+        assert result.hits == 2
+
+    def test_line_granularity(self):
+        trace = Trace([0, 1, 2, 3, 8])
+        config = CacheConfig(depth=2, associativity=1, line_words=4)
+        stream, _ = miss_stream(trace, config)
+        # words 0-3 share line 0; 8 is line 2.
+        assert list(stream) == [0, 2]
+
+    def test_kinds_preserved(self):
+        trace = Trace([0, 4], kinds=[AccessKind.WRITE, AccessKind.READ])
+        stream, _ = miss_stream(trace, CacheConfig(depth=2, associativity=1))
+        assert stream.kind(0) is AccessKind.WRITE
+
+    def test_perfect_l1_produces_cold_only_stream(self):
+        trace = loop_nest_trace(8, 20)
+        stream, _ = miss_stream(trace, CacheConfig(depth=8, associativity=1))
+        assert len(stream) == 8  # footprint fits: only cold misses remain
+
+    def test_name_tagged(self):
+        trace = loop_nest_trace(4, 2)
+        trace.name = "demo"
+        stream, _ = miss_stream(trace, CacheConfig(depth=2, associativity=1))
+        assert stream.name == "demo/missL1"
+
+
+class TestHierarchyExplorer:
+    def test_l2_analytical_equals_l2_simulation(self):
+        """Replaying the miss stream through a simulated L2 must match."""
+        trace = zipf_trace(600, 120, seed=1)
+        l1 = CacheConfig(depth=4, associativity=1)
+        explorer = HierarchyExplorer(trace, l1)
+        for depth in (2, 8, 32):
+            for assoc in (1, 2):
+                analytical = explorer.l2_misses(depth, assoc)
+                simulated = simulate_trace(
+                    explorer.miss_trace,
+                    CacheConfig(depth=depth, associativity=assoc),
+                ).non_cold_misses
+                assert analytical == simulated
+
+    def test_l1_simulated_once_and_cached(self):
+        trace = random_trace(200, 40, seed=2)
+        explorer = HierarchyExplorer(trace, CacheConfig(depth=2, associativity=1))
+        assert explorer.miss_trace is explorer.miss_trace
+        assert explorer.l1_result.accesses == len(trace)
+
+    def test_explore_meets_budget(self):
+        trace = zipf_trace(500, 90, seed=3)
+        result = explore_hierarchy(
+            trace, CacheConfig(depth=4, associativity=2), budget=5
+        )
+        assert all(m <= 5 for m in result.l2_result.misses)
+
+    def test_memory_accesses_accounting(self):
+        trace = zipf_trace(500, 90, seed=4)
+        outcome = explore_hierarchy(
+            trace, CacheConfig(depth=4, associativity=1), budget=3
+        )
+        instance = outcome.l2_result.instances[0]
+        memory = outcome.memory_accesses(instance)
+        cold = outcome.miss_trace.unique_count()
+        assert cold <= memory <= cold + 3
+
+    def test_memory_accesses_rejects_foreign_instance(self):
+        trace = loop_nest_trace(16, 4)
+        outcome = explore_hierarchy(
+            trace, CacheConfig(depth=2, associativity=1), budget=0
+        )
+        with pytest.raises(ValueError):
+            outcome.memory_accesses(CacheInstance(depth=1 << 20, associativity=1))
+
+    def test_bigger_l1_shrinks_l2_problem(self):
+        trace = zipf_trace(800, 150, seed=5)
+        small = HierarchyExplorer(trace, CacheConfig(depth=2, associativity=1))
+        large = HierarchyExplorer(trace, CacheConfig(depth=32, associativity=2))
+        assert len(large.miss_trace) < len(small.miss_trace)
+
+
+class TestSplitCaches:
+    def test_split_misses_are_additive(self):
+        inst = loop_nest_trace(12, 10)
+        data = zipf_trace(300, 40, seed=6)
+        from repro.core.explorer import AnalyticalCacheExplorer
+
+        total = split_cache_misses(inst, data, depth=8, associativity=2)
+        expected = (
+            AnalyticalCacheExplorer(inst).misses(8, 2)
+            + AnalyticalCacheExplorer(data).misses(8, 2)
+        )
+        assert total == expected

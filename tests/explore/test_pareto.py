@@ -1,0 +1,59 @@
+"""Unit tests for Pareto filtering."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.explore.pareto import pareto_filter, pareto_instances
+from repro.trace.synthetic import zipf_trace
+
+
+class TestParetoFilter:
+    def test_dominated_point_removed(self):
+        items = [("a", (1, 1)), ("b", (2, 2))]
+        kept = pareto_filter(items, lambda item: item[1])
+        assert [k[0] for k in kept] == ["a"]
+
+    def test_incomparable_points_kept(self):
+        items = [("a", (1, 3)), ("b", (3, 1))]
+        kept = pareto_filter(items, lambda item: item[1])
+        assert len(kept) == 2
+
+    def test_duplicates_keep_first(self):
+        items = [("a", (1, 1)), ("b", (1, 1))]
+        kept = pareto_filter(items, lambda item: item[1])
+        assert [k[0] for k in kept] == ["a"]
+
+    def test_empty_input(self):
+        assert pareto_filter([], lambda item: item) == []
+
+    def test_single_metric(self):
+        items = [3, 1, 2]
+        assert pareto_filter(items, lambda v: (v,)) == [1]
+
+
+class TestParetoInstances:
+    def test_requires_miss_counts(self):
+        result = ExplorationResult(
+            budget=0, instances=[CacheInstance(2, 1)]
+        )
+        with pytest.raises(ValueError, match="miss counts"):
+            pareto_instances(result)
+
+    def test_kept_instances_are_non_dominated(self):
+        trace = zipf_trace(400, 60, seed=0)
+        result = AnalyticalCacheExplorer(trace).explore(10)
+        kept = pareto_instances(result)
+        assert kept  # never empty for a non-empty result
+        pairs = {
+            inst.depth: (inst.size_words, misses)
+            for inst, misses in zip(result.instances, result.misses)
+        }
+        kept_metrics = [pairs[inst.depth] for inst in kept]
+        for size, misses in kept_metrics:
+            dominated = any(
+                (o_size <= size and o_misses <= misses)
+                and (o_size < size or o_misses < misses)
+                for o_size, o_misses in pairs.values()
+            )
+            assert not dominated

@@ -1,0 +1,89 @@
+"""Unit tests for phase-based exploration."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.explore.phases import explore_phases
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+def _two_phase_trace():
+    """Phase 0 loops over 8 addresses, phase 1 over 32 different ones."""
+    a = loop_nest_trace(8, 20)
+    b = loop_nest_trace(32, 10, start=64)
+    return a.concat(b, name="two-phase")
+
+
+class TestPhaseSplitting:
+    def test_phases_cover_the_trace(self):
+        trace = zipf_trace(400, 60, seed=0)
+        outcome = explore_phases(trace, budget=5, phase_count=4)
+        assert outcome.phases[0].start == 0
+        assert outcome.phases[-1].end == len(trace)
+        for prev, nxt in zip(outcome.phases, outcome.phases[1:]):
+            assert prev.end == nxt.start
+
+    def test_explicit_boundaries(self):
+        trace = _two_phase_trace()
+        outcome = explore_phases(trace, budget=0, boundaries=[160])
+        assert len(outcome.phases) == 2
+        assert outcome.phases[0].length == 160
+
+    def test_bad_boundaries_rejected(self):
+        trace = zipf_trace(100, 20, seed=1)
+        with pytest.raises(ValueError, match="ascending"):
+            explore_phases(trace, 0, boundaries=[50, 30])
+        with pytest.raises(ValueError, match="inside"):
+            explore_phases(trace, 0, boundaries=[0])
+
+    def test_bad_phase_count(self):
+        with pytest.raises(ValueError):
+            explore_phases(Trace([1, 2]), 0, phase_count=0)
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError):
+            explore_phases(Trace([1, 2]), -1)
+
+
+class TestReconfigurationBenefit:
+    def test_distinct_phases_show_benefit(self):
+        trace = _two_phase_trace()
+        outcome = explore_phases(trace, budget=0, boundaries=[160])
+        # Static: loop footprints collide across phases at shallow depths;
+        # per-phase: phase 0 needs little at depth 8 (footprint 8 fits).
+        per_phase = outcome.phase_instances(8)
+        static = outcome.static_result.associativity_for(8)
+        assert static is not None and all(a is not None for a in per_phase)
+        assert max(per_phase) <= static
+        benefit = outcome.reconfiguration_benefit(8)
+        assert benefit is not None and benefit >= 0
+
+    def test_benefit_zero_for_homogeneous_trace(self):
+        trace = loop_nest_trace(16, 40)
+        outcome = explore_phases(trace, budget=0, phase_count=4)
+        benefit = outcome.reconfiguration_benefit(16)
+        assert benefit == 0
+
+    def test_unreported_depth_returns_none(self):
+        trace = loop_nest_trace(8, 10)
+        outcome = explore_phases(trace, budget=0, phase_count=2)
+        assert outcome.reconfiguration_benefit(1 << 20) is None
+
+
+class TestPhaseResults:
+    def test_phase_results_match_standalone_windows(self):
+        trace = zipf_trace(300, 50, seed=2)
+        outcome = explore_phases(trace, budget=3, phase_count=3)
+        for phase in outcome.phases:
+            window = trace[phase.start : phase.end]
+            solo = AnalyticalCacheExplorer(
+                window, max_depth=max(i.depth for i in phase.result.instances)
+            ).explore(3)
+            assert phase.result.as_dict() == solo.as_dict()
+
+    def test_budgets_met_per_phase(self):
+        trace = zipf_trace(400, 80, seed=3)
+        outcome = explore_phases(trace, budget=4, phase_count=4)
+        for phase in outcome.phases:
+            assert all(m <= 4 for m in phase.result.misses)

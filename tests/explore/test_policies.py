@@ -1,0 +1,85 @@
+"""Unit tests for replacement-policy robustness analysis."""
+
+import pytest
+
+from repro.cache.config import ReplacementKind
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.explore.policies import (
+    DEFAULT_POLICIES,
+    policy_robustness,
+)
+from repro.trace.synthetic import random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+class TestPolicyRobustness:
+    def test_records_cover_every_instance(self):
+        trace = zipf_trace(400, 60, seed=0)
+        result = AnalyticalCacheExplorer(trace).explore(10)
+        records = policy_robustness(trace, result)
+        assert len(records) == len(result.instances)
+        for record in records:
+            assert set(record.outcomes) == set(DEFAULT_POLICIES)
+
+    def test_plru_skipped_for_non_power_of_two_ways(self):
+        trace = random_trace(200, 30, seed=1)
+        result = ExplorationResult(
+            budget=10**9,
+            instances=[CacheInstance(depth=2, associativity=3)],
+            misses=[0],
+        )
+        records = policy_robustness(trace, result)
+        outcome = records[0].outcomes[ReplacementKind.PLRU]
+        assert not outcome.applicable
+        assert records[0].within_budget(ReplacementKind.PLRU) is None
+
+    def test_within_budget_reflects_simulation(self):
+        trace = zipf_trace(500, 80, seed=2)
+        result = AnalyticalCacheExplorer(trace).explore(5)
+        for record in policy_robustness(trace, result):
+            for policy, outcome in record.outcomes.items():
+                if outcome.applicable:
+                    assert record.within_budget(policy) == (
+                        outcome.non_cold_misses <= 5
+                    )
+
+    def test_worst_misses_at_least_lru(self):
+        trace = zipf_trace(300, 50, seed=3)
+        result = AnalyticalCacheExplorer(trace).explore(8)
+        for record in policy_robustness(trace, result):
+            assert record.worst_misses() >= record.lru_misses
+
+    def test_fifo_thrash_pattern_breaks_lru_instance(self):
+        """A crafted pattern where LRU meets K=1 but FIFO does not."""
+        # Set 0 of a depth-1, 2-way cache; LRU keeps hot 0 alive, FIFO
+        # ages it out (same pattern as the simulator unit test).
+        trace = Trace([0, 2, 0, 4, 0, 6, 0, 8, 0])
+        result = ExplorationResult(
+            budget=1,
+            instances=[CacheInstance(depth=1, associativity=2)],
+            misses=[0],
+        )
+        records = policy_robustness(
+            trace, result, policies=[ReplacementKind.FIFO]
+        )
+        outcome = records[0].outcomes[ReplacementKind.FIFO]
+        assert outcome.non_cold_misses > 1
+        assert not records[0].robust
+
+    def test_direct_mapped_instances_are_policy_invariant(self):
+        """With A=1 there is nothing for the policy to decide."""
+        trace = random_trace(300, 40, seed=4)
+        explorer = AnalyticalCacheExplorer(trace)
+        result = explorer.explore(explorer.statistics.max_misses)  # all A=1
+        for record in policy_robustness(trace, result):
+            if record.instance.associativity == 1:
+                for outcome in record.outcomes.values():
+                    if outcome.applicable:
+                        assert outcome.non_cold_misses == record.lru_misses
+
+    def test_requires_miss_counts(self):
+        trace = Trace([0, 1])
+        bare = ExplorationResult(budget=0, instances=[CacheInstance(2, 1)])
+        with pytest.raises(ValueError, match="miss counts"):
+            policy_robustness(trace, bare)

@@ -1,0 +1,94 @@
+"""Unit tests for cost-aware instance selection."""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.linesize import LineSizeExplorer
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.explore.selection import (
+    cheapest,
+    cost_exploration,
+    cost_line_sweep,
+    cost_pareto,
+)
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def costed():
+    trace = zipf_trace(500, 80, seed=0)
+    explorer = AnalyticalCacheExplorer(trace)
+    result = explorer.explore(10)
+    return cost_exploration(explorer, result)
+
+
+class TestCostExploration:
+    def test_one_record_per_instance(self, costed):
+        depths = [c.instance.depth for c in costed]
+        assert depths == sorted(set(depths))
+
+    def test_line_words_default_one(self, costed):
+        assert all(c.line_words == 1 for c in costed)
+
+    def test_run_energy_includes_cold_refills(self):
+        trace = loop_nest_trace(8, 10)
+        explorer = AnalyticalCacheExplorer(trace)
+        result = explorer.explore(0)
+        costed = cost_exploration(explorer, result)
+        # Zero non-cold misses, but 8 cold fills still cost energy.
+        zero_miss = next(c for c in costed if c.non_cold_misses == 0)
+        pure_access = zero_miss.estimate.total_energy(len(trace), 0)
+        assert zero_miss.run_energy > pure_access
+
+    def test_requires_miss_counts(self):
+        trace = Trace([0, 1])
+        explorer = AnalyticalCacheExplorer(trace)
+        bare = ExplorationResult(budget=0, instances=[CacheInstance(2, 1)])
+        with pytest.raises(ValueError, match="miss counts"):
+            cost_exploration(explorer, bare)
+
+
+class TestCostLineSweep:
+    def test_covers_all_points(self):
+        trace = zipf_trace(400, 60, seed=1)
+        sweep = LineSizeExplorer(trace).explore(5)
+        costed = cost_line_sweep(sweep, accesses=len(trace))
+        assert len(costed) == len(sweep.instances)
+        assert {c.line_words for c in costed} == set(sweep.line_sizes())
+
+    def test_negative_accesses_rejected(self):
+        trace = loop_nest_trace(4, 3)
+        sweep = LineSizeExplorer(trace).explore(0)
+        with pytest.raises(ValueError):
+            cost_line_sweep(sweep, accesses=-1)
+
+
+class TestSelection:
+    def test_cheapest_minimizes_default_key(self, costed):
+        best = cheapest(costed)
+        assert all(best.run_energy <= c.run_energy for c in costed)
+
+    def test_cheapest_custom_key(self, costed):
+        smallest = cheapest(costed, key=lambda c: c.estimate.area_bits)
+        assert all(
+            smallest.estimate.area_bits <= c.estimate.area_bits for c in costed
+        )
+
+    def test_cheapest_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cheapest([])
+
+    def test_pareto_front_is_nonempty_subset(self, costed):
+        front = cost_pareto(costed)
+        assert front
+        assert all(c in costed for c in front)
+
+    def test_pareto_front_contains_cheapest_by_each_axis(self, costed):
+        front = cost_pareto(costed)
+        for key in (
+            lambda c: c.estimate.area_bits,
+            lambda c: c.run_energy,
+            lambda c: c.estimate.access_time,
+        ):
+            assert cheapest(costed, key=key) in front

@@ -1,0 +1,58 @@
+"""Unit tests for DesignSpace."""
+
+import pytest
+
+from repro.cache.config import ReplacementKind
+from repro.explore.space import DesignSpace
+
+
+class TestValidation:
+    def test_depth_bounds_must_be_powers_of_two(self):
+        with pytest.raises(ValueError):
+            DesignSpace(min_depth=3)
+        with pytest.raises(ValueError):
+            DesignSpace(max_depth=48)
+
+    def test_min_not_above_max(self):
+        with pytest.raises(ValueError):
+            DesignSpace(min_depth=64, max_depth=32)
+
+    def test_associativity_positive(self):
+        with pytest.raises(ValueError):
+            DesignSpace(max_associativity=0)
+
+
+class TestEnumeration:
+    def test_depths_double(self):
+        space = DesignSpace(min_depth=2, max_depth=16, max_associativity=2)
+        assert space.depths == [2, 4, 8, 16]
+
+    def test_associativities(self):
+        assert DesignSpace(max_associativity=3).associativities == [1, 2, 3]
+
+    def test_len_and_iteration_agree(self):
+        space = DesignSpace(min_depth=2, max_depth=8, max_associativity=4)
+        configs = list(space)
+        assert len(configs) == len(space) == 12
+
+    def test_configs_carry_replacement(self):
+        space = DesignSpace(
+            min_depth=2,
+            max_depth=2,
+            max_associativity=1,
+            replacement=ReplacementKind.FIFO,
+        )
+        assert next(iter(space)).replacement is ReplacementKind.FIFO
+
+    def test_single_point_space(self):
+        space = DesignSpace(min_depth=4, max_depth=4, max_associativity=1)
+        assert len(space) == 1
+
+
+class TestForTraceBits:
+    def test_covers_up_to_half_the_address_space(self):
+        space = DesignSpace.for_trace_bits(10)
+        assert space.max_depth == 512
+
+    def test_tiny_traces_still_valid(self):
+        assert DesignSpace.for_trace_bits(1).max_depth == 2

@@ -1,0 +1,257 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.trace.io import write_trace
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "demo.din"
+    write_trace(zipf_trace(300, 40, seed=0), path)
+    return str(path)
+
+
+class TestStats:
+    def test_prints_table(self, trace_file, capsys):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark" in out and "Max. Misses" in out
+
+
+class TestExplore:
+    def test_absolute_budget(self, trace_file, capsys):
+        assert main(["explore", trace_file, "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "K=5" in out
+        assert "Depth D" in out
+
+    def test_percent_budget(self, trace_file, capsys):
+        assert main(["explore", trace_file, "--percent", "10"]) == 0
+        assert "miss budget" in capsys.readouterr().out
+
+    def test_max_depth(self, trace_file, capsys):
+        assert main(["explore", trace_file, "--budget", "0", "--max-depth", "8"]) == 0
+        out = capsys.readouterr().out
+        assert " 16 " not in out
+
+
+class TestSimulate:
+    def test_reports_counters(self, trace_file, capsys):
+        assert main(
+            ["simulate", trace_file, "--depth", "4", "--assoc", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "non-cold misses" in out
+        assert "D=4 A=2" in out
+
+    def test_alternate_replacement(self, trace_file, capsys):
+        assert main(
+            [
+                "simulate", trace_file,
+                "--depth", "4", "--assoc", "2", "--replacement", "fifo",
+            ]
+        ) == 0
+        assert "fifo" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_agreement_reported(self, trace_file, capsys):
+        assert main(
+            [
+                "compare", trace_file,
+                "--budget", "5", "--max-depth", "16", "--max-assoc", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "agreement: True" in out
+        assert "speedup" in out
+
+
+class TestEmitAndWorkloads:
+    def test_emit_writes_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "crc.din"
+        assert main(
+            ["emit", "crc", "--kind", "data", "--scale", "tiny", "-o", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_workloads_table(self, capsys):
+        assert main(["workloads", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adpcm", "crc", "ucbqsort"):
+            assert name in out
+        assert "jpeg" not in out
+        assert "MISMATCH" not in out
+
+    def test_workloads_with_extras(self, capsys):
+        assert main(["workloads", "--scale", "tiny", "--extras"]) == 0
+        out = capsys.readouterr().out
+        for name in ("jpeg", "summin", "v42", "whet"):
+            assert name in out
+        assert "MISMATCH" not in out
+
+    def test_explore_json_output(self, tmp_path, capsys):
+        import json
+
+        from repro.core.instance import ExplorationResult
+        from repro.trace.io import write_trace
+        from repro.trace.synthetic import zipf_trace
+
+        path = tmp_path / "j.din"
+        write_trace(zipf_trace(200, 30, seed=5), path)
+        assert main(["explore", str(path), "--budget", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rebuilt = ExplorationResult.from_json_dict(payload)
+        assert rebuilt.budget == 3
+        assert all(m <= 3 for m in rebuilt.misses)
+
+
+class TestLineSize:
+    def test_sweep_table(self, trace_file, capsys):
+        assert main(
+            ["linesize", trace_file, "--budget", "5", "--lines", "1", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "line-size sweep" in out
+        assert "least traffic" in out
+
+
+class TestCompact:
+    def test_writes_stripped_trace(self, tmp_path, trace_file, capsys):
+        out_file = tmp_path / "stripped.din"
+        assert main(
+            ["compact", trace_file, "-o", str(out_file), "--filter-depth", "2"]
+        ) == 0
+        assert out_file.exists()
+        out = capsys.readouterr().out
+        assert "depths >= 2" in out
+
+
+class TestRobustness:
+    def test_policy_table(self, trace_file, capsys):
+        assert main(["robustness", trace_file, "--percent", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo" in out and "plru" in out and "random" in out
+
+
+class TestCost:
+    def test_cost_table(self, trace_file, capsys):
+        assert main(["cost", trace_file, "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Run energy" in out
+        assert "min energy" in out
+
+
+class TestEmitUnified:
+    def test_unified_kind(self, tmp_path, capsys):
+        out_file = tmp_path / "u.din"
+        assert main(
+            ["emit", "crc", "--kind", "unified", "--scale", "tiny",
+             "-o", str(out_file)]
+        ) == 0
+        from repro.trace.io import read_trace
+        from repro.trace.reference import AccessKind
+
+        trace = read_trace(out_file)
+        kinds = {trace.kind(i) for i in range(len(trace))}
+        assert AccessKind.FETCH in kinds
+        assert AccessKind.READ in kinds
+
+
+class TestPhases:
+    def test_phase_table(self, trace_file, capsys):
+        assert main(
+            ["phases", trace_file, "--percent", "10", "--phases", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "phase exploration: 3 phases" in out
+        assert "Words saved" in out
+
+
+class TestHierarchy:
+    def test_l2_table(self, trace_file, capsys):
+        assert main(
+            [
+                "hierarchy", trace_file,
+                "--percent", "10", "--l1-depth", "8",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "L1 (D=8" in out
+        assert "optimal L2 instances" in out
+
+
+class TestConflicts:
+    def test_conflict_table(self, trace_file, capsys):
+        assert main(["conflicts", trace_file, "--depth", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "conflicting rows" in out or "conflict-free" in out
+
+    def test_conflict_free_message(self, tmp_path, capsys):
+        from repro.trace.io import write_trace
+        from repro.trace.synthetic import loop_nest_trace
+
+        path = tmp_path / "loop.din"
+        write_trace(loop_nest_trace(8, 5), path)
+        assert main(["conflicts", str(path), "--depth", "8"]) == 0
+        assert "conflict-free" in capsys.readouterr().out
+
+
+class TestCurves:
+    def test_capacity_curve_csv(self, trace_file, capsys):
+        assert main(["curves", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("capacity_words,misses,depth,associativity")
+
+    def test_associativity_curve_to_file(self, tmp_path, trace_file, capsys):
+        out_file = tmp_path / "c.csv"
+        assert main(
+            ["curves", trace_file, "--depth", "4", "-o", str(out_file)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out_file.read_text().startswith("associativity,misses")
+
+
+class TestDisasm:
+    def test_lists_kernel(self, capsys):
+        assert main(["disasm", "crc", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "crc:" in out
+        assert "halt" in out
+        assert "expected checksum" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, trace_file, capsys):
+        assert main(["report", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "# Cache design report" in out
+        assert "energy-optimal" in out
+
+    def test_report_to_file(self, tmp_path, trace_file, capsys):
+        out_file = tmp_path / "r.md"
+        assert main(["report", trace_file, "-o", str(out_file)]) == 0
+        assert "wrote report" in capsys.readouterr().out
+        assert "## Trace statistics" in out_file.read_text()
+
+
+class TestPaperExample:
+    def test_prints_all_artifacts(self, capsys):
+        assert main(["paper-example"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "(D=2, A=3)" in out
+
+
+class TestParser:
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_explore_requires_a_budget_flag(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["explore", trace_file])

@@ -1,0 +1,30 @@
+"""Run the usage examples embedded in module docstrings.
+
+Several public classes carry ``Example:`` doctest blocks; this test
+executes every doctest in the package so documented examples can never
+drift from the code.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def test_all_module_doctests_pass():
+    total_tests = 0
+    for module in _iter_modules():
+        results = doctest.testmod(
+            module, verbose=False, report=True, raise_on_error=False
+        )
+        assert results.failed == 0, f"doctest failure in {module.__name__}"
+        total_tests += results.attempted
+    # Guard against the doctests silently disappearing.
+    assert total_tests >= 5, f"expected at least 5 doctests, ran {total_tests}"

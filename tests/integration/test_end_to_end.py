@@ -1,0 +1,56 @@
+"""End-to-end: kernel execution -> traces -> analytical DSE -> simulation check.
+
+This is the paper's whole flow on real (VM-generated) traces, at tiny
+scale so it stays fast.
+"""
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.validation import assert_all_valid, validate_instances
+from repro.explore.compare import compare_methods
+from repro.explore.space import DesignSpace
+from repro.trace.stats import compute_statistics
+
+KERNELS = ["crc", "fir", "ucbqsort", "engine"]
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_data_trace_exploration_validates_against_simulator(tiny_runs, name):
+    trace = tiny_runs[name].data_trace
+    explorer = AnalyticalCacheExplorer(trace)
+    for percent in (5, 20):
+        result = explorer.explore_percent(percent)
+        assert_all_valid(validate_instances(trace, result))
+
+
+@pytest.mark.parametrize("name", KERNELS)
+def test_instruction_trace_exploration_validates(tiny_runs, name):
+    trace = tiny_runs[name].instruction_trace
+    explorer = AnalyticalCacheExplorer(trace)
+    result = explorer.explore_percent(10)
+    records = validate_instances(trace, result)
+    assert all(r.ok for r in records)
+
+
+def test_methods_agree_on_a_real_kernel_trace(tiny_runs):
+    trace = tiny_runs["qurt"].data_trace
+    budget = compute_statistics(trace).budget(10)
+    space = DesignSpace(min_depth=2, max_depth=64, max_associativity=8)
+    comparison = compare_methods(trace, budget, space)
+    assert comparison.agreement(), comparison.disagreements()
+
+
+def test_instruction_traces_prefer_direct_mapped_quickly(tiny_runs):
+    """Code is loop-dominated: modest depths reach A=1 within small budgets."""
+    trace = tiny_runs["crc"].instruction_trace
+    result = AnalyticalCacheExplorer(trace).explore_percent(5)
+    final = result.instances[-1]
+    assert final.associativity == 1
+
+
+def test_stats_reflect_trace_shape(tiny_runs):
+    run = tiny_runs["bcnt"]
+    stats = compute_statistics(run.instruction_trace)
+    # Instruction working sets are tiny relative to trace length.
+    assert stats.n_unique < stats.n / 10

@@ -1,0 +1,281 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.errors import AssemblerError
+from repro.isa.instructions import Opcode
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("halt")
+        assert len(program.instructions) == 1
+        assert program.instructions[0].op is Opcode.HALT
+
+    def test_r_type_operands(self):
+        program = assemble("add r1, r2, r3\nhalt")
+        inst = program.instructions[0]
+        assert (inst.op, inst.a, inst.b, inst.c) == (Opcode.ADD, 1, 2, 3)
+
+    def test_register_aliases_accepted(self):
+        program = assemble("add zero, sp, ra\nhalt")
+        inst = program.instructions[0]
+        assert (inst.a, inst.b, inst.c) == (0, 14, 15)
+
+    def test_comments_both_styles(self):
+        program = assemble("halt ; one\n# whole line\nhalt # two\n")
+        assert len(program.instructions) == 2
+
+    def test_immediates_in_many_bases(self):
+        program = assemble("li r1, 0x10\nli r2, 0b101\nli r3, -9\nli r4, 'A'\nhalt")
+        values = [program.instructions[i].b for i in range(4)]
+        assert values == [16, 5, -9, 65]
+
+    def test_source_lines_recorded(self):
+        program = assemble("nop\n\nhalt")
+        assert program.instructions[0].source_line == 1
+        assert program.instructions[1].source_line == 3
+
+
+class TestLabelsAndSections:
+    def test_code_label_resolves_to_fetch_address(self):
+        program = assemble("start: nop\nj start\nhalt")
+        assert program.symbols["start"] == program.code_base
+        assert program.instructions[1].a == 0  # instruction index
+
+    def test_data_label_and_word_directive(self):
+        program = assemble(
+            """
+            .data
+            tab: .word 10, 20, 30
+            .text
+            halt
+            """
+        )
+        base = program.data_base
+        assert program.symbols["tab"] == base
+        assert program.data == [(base, 10), (base + 1, 20), (base + 2, 30)]
+
+    def test_space_directive_advances_cursor(self):
+        program = assemble(
+            """
+            .data
+            a: .space 5
+            b: .word 1
+            .text
+            halt
+            """
+        )
+        assert program.symbols["b"] == program.symbols["a"] + 5
+
+    def test_label_on_its_own_line(self):
+        program = assemble("here:\nnop\nj here\nhalt")
+        assert program.instructions[1].a == 0
+
+    def test_multiple_labels_same_statement(self):
+        program = assemble("a: b: nop\nhalt")
+        assert program.symbols["a"] == program.symbols["b"]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x: nop\nx: halt")
+
+    def test_equ_constants(self):
+        program = assemble(
+            """
+            .equ SIZE, 8
+            .equ DOUBLE, SIZE+SIZE
+            li r1, DOUBLE
+            halt
+            """
+        )
+        assert program.instructions[0].b == 16
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblerError, match="outside .data"):
+            assemble(".word 1")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError, match="outside .text"):
+            assemble(".data\nnop")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".bogus 1")
+
+    def test_align_pads_to_power_of_two_boundary(self):
+        program = assemble(
+            """
+            .data
+            a: .word 1
+            .align 8
+            b: .word 2
+            .text
+            halt
+            """
+        )
+        assert program.symbols["b"] % 8 == 0
+        assert program.symbols["b"] > program.symbols["a"]
+
+    def test_align_is_noop_when_already_aligned(self):
+        # data_base is itself aligned, so a leading .align adds no padding.
+        program = assemble(
+            ".data\n.align 4\nx: .word 1\n.text\nhalt"
+        )
+        assert program.symbols["x"] == program.data_base
+
+    def test_align_rejects_non_power_of_two(self):
+        with pytest.raises(AssemblerError, match="power of two"):
+            assemble(".data\n.align 3\n.text\nhalt")
+
+    def test_ascii_stores_one_char_per_word(self):
+        program = assemble(
+            '.data\nmsg: .ascii "Hi!"\n.text\nhalt'
+        )
+        base = program.symbols["msg"]
+        assert program.data == [
+            (base, ord("H")), (base + 1, ord("i")), (base + 2, ord("!")),
+        ]
+
+    def test_ascii_requires_quotes(self):
+        with pytest.raises(AssemblerError, match="quoted"):
+            assemble(".data\n.ascii hello\n.text\nhalt")
+
+    def test_ascii_rejects_empty_string(self):
+        with pytest.raises(AssemblerError, match="non-empty"):
+            assemble('.data\n.ascii ""\n.text\nhalt')
+
+    def test_word_values_may_reference_labels(self):
+        program = assemble(
+            """
+            .data
+            a: .word 0
+            ptr: .word a
+            .text
+            halt
+            """
+        )
+        assert program.data[1][1] == program.symbols["a"]
+
+
+class TestExpressions:
+    def test_label_arithmetic(self):
+        program = assemble(
+            """
+            .data
+            buf: .space 4
+            .text
+            lw r1, buf+2
+            halt
+            """
+        )
+        assert program.instructions[0].b == program.symbols["buf"] + 2
+
+    def test_parenthesized_negation(self):
+        program = assemble("subi r1, r2, 3\nhalt")
+        inst = program.instructions[0]
+        assert inst.op is Opcode.ADDI
+        assert inst.c == -3
+
+    def test_undefined_symbol_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 1.*undefined"):
+            assemble("li r1, missing")
+
+    def test_garbage_expression_rejected(self):
+        with pytest.raises(AssemblerError, match="cannot parse"):
+            assemble("li r1, 12abc")
+
+
+class TestMemoryOperands:
+    def test_offset_register_form(self):
+        program = assemble("lw r1, 8(r2)\nhalt")
+        inst = program.instructions[0]
+        assert (inst.a, inst.b, inst.c) == (1, 8, 2)
+
+    def test_bare_register_form(self):
+        program = assemble("lw r1, (r2)\nhalt")
+        assert program.instructions[0].b == 0
+
+    def test_absolute_symbol_form_uses_r0_base(self):
+        program = assemble(
+            ".data\nv: .word 0\n.text\nsw r3, v\nhalt"
+        )
+        inst = program.instructions[0]
+        assert inst.b == program.symbols["v"]
+        assert inst.c == 0
+
+    def test_symbol_plus_register(self):
+        program = assemble(
+            ".data\ntab: .space 4\n.text\nlw r1, tab(r5)\nhalt"
+        )
+        inst = program.instructions[0]
+        assert (inst.b, inst.c) == (program.symbols["tab"], 5)
+
+
+class TestPseudoInstructions:
+    @pytest.mark.parametrize(
+        "source,opcode,operands",
+        [
+            ("mv r1, r2", Opcode.ADD, (1, 2, 0)),
+            ("nop", Opcode.ADD, (0, 0, 0)),
+            ("neg r1, r2", Opcode.SUB, (1, 0, 2)),
+            ("not r1, r2", Opcode.NOR, (1, 2, 0)),
+            ("inc r3", Opcode.ADDI, (3, 3, 1)),
+            ("dec r3", Opcode.ADDI, (3, 3, -1)),
+        ],
+    )
+    def test_alu_pseudos(self, source, opcode, operands):
+        inst = assemble(source + "\nhalt").instructions[0]
+        assert inst.op is opcode
+        assert (inst.a, inst.b, inst.c) == operands
+
+    def test_branch_pseudos_swap_operands(self):
+        program = assemble("x: bgt r1, r2, x\nble r3, r4, x\nhalt")
+        bgt = program.instructions[0]
+        assert bgt.op is Opcode.BLT and (bgt.a, bgt.b) == (2, 1)
+        ble = program.instructions[1]
+        assert ble.op is Opcode.BGE and (ble.a, ble.b) == (4, 3)
+
+    def test_zero_compare_pseudos(self):
+        program = assemble("x: beqz r1, x\nbnez r2, x\nbltz r3, x\nbgez r4, x\nhalt")
+        ops = [i.op for i in program.instructions[:4]]
+        assert ops == [Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE]
+        assert all(i.b == 0 for i in program.instructions[:4])
+
+    def test_call_and_ret(self):
+        program = assemble("f: ret\ncall f\nhalt")
+        assert program.instructions[0].op is Opcode.JR
+        assert program.instructions[0].a == 15
+        assert program.instructions[1].op is Opcode.JAL
+
+    def test_wrong_operand_count_in_pseudo(self):
+        with pytest.raises(AssemblerError, match="expects 2 operand"):
+            assemble("mv r1")
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError, match="unknown instruction"):
+            assemble("frobnicate r1")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble("add r1, r2, r77")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3 operand"):
+            assemble("add r1, r2")
+
+    def test_branch_below_code_base_rejected(self):
+        assembler = Assembler(code_base=0x100)
+        with pytest.raises(AssemblerError, match="below the code base"):
+            assembler.assemble("j 0")
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AssemblerError, match=".space"):
+            assemble(".data\n.space -1\n.text\nhalt")
+
+    def test_bad_equ(self):
+        with pytest.raises(AssemblerError, match=".equ needs"):
+            assemble(".equ ONLYNAME")

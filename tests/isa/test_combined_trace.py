@@ -1,0 +1,70 @@
+"""Unit tests for the merged (unified-cache) trace view."""
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import run_program
+from repro.trace.reference import AccessKind
+
+
+def run(source):
+    return run_program(assemble(source, name="demo"))
+
+
+class TestCombinedTrace:
+    def test_merges_in_program_order(self):
+        m = run(
+            ".data\nv: .word 7\n.text\nlw r1, v\nsw r1, v\nhalt"
+        )
+        combined = m.combined_trace()
+        kinds = [combined.kind(i) for i in range(len(combined))]
+        assert kinds == [
+            AccessKind.FETCH,   # lw fetch
+            AccessKind.READ,    # lw data
+            AccessKind.FETCH,   # sw fetch
+            AccessKind.WRITE,   # sw data
+            AccessKind.FETCH,   # halt fetch
+        ]
+
+    def test_data_access_follows_its_fetch(self):
+        m = run(".data\nv: .word 1\n.text\nlw r1, v\nhalt")
+        combined = m.combined_trace()
+        assert combined[0] == 0  # fetch of the lw
+        assert combined[1] == m.program.symbol("v")
+
+    def test_filtered_views_partition_the_merge(self):
+        m = run(
+            ".data\narr: .word 1,2,3\n.text\n"
+            "li r1, 0\nlw r2, arr(r1)\nlw r3, arr+1\nsw r2, arr+2\nhalt"
+        )
+        combined = m.combined_trace()
+        inst = m.instruction_trace()
+        data = m.data_trace()
+        assert len(combined) == len(inst) + len(data)
+        fetches = combined.filter_kind(AccessKind.FETCH)
+        assert list(fetches) == list(inst)
+        rest = combined.filter_kind(AccessKind.READ, AccessKind.WRITE)
+        assert list(rest) == list(data)
+
+    def test_code_and_data_regions_disjoint(self):
+        m = run(".data\nv: .word 0\n.text\nsw r0, v\nhalt")
+        combined = m.combined_trace()
+        code_words = m.program.code_words
+        for i, addr in enumerate(combined):
+            if combined.kind(i) is AccessKind.FETCH:
+                assert addr < code_words
+            else:
+                assert addr >= m.program.data_base
+
+    def test_name(self):
+        m = run("halt")
+        assert m.combined_trace().name == "demo.unified"
+
+    def test_unified_trace_usable_by_explorer(self):
+        from repro.core.explorer import AnalyticalCacheExplorer
+
+        m = run(
+            ".data\narr: .word 1,2,3,4\n.text\n"
+            "li r1, 0\nli r3, 4\n"
+            "loop: lw r2, arr(r1)\ninc r1\nblt r1, r3, loop\nhalt"
+        )
+        result = AnalyticalCacheExplorer(m.combined_trace()).explore(0)
+        assert len(result) > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the step/resume debugger API."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import MachineError
+from repro.isa.machine import Machine, MachineState
+
+
+@pytest.fixture
+def machine():
+    return Machine(
+        assemble("li r1, 1\nli r2, 2\nadd r3, r1, r2\nhalt")
+    )
+
+
+class TestStep:
+    def test_single_step_pauses(self, machine):
+        assert machine.step() is MachineState.PAUSED
+        assert machine.instructions_executed == 1
+        assert machine.register(1) == 1
+        assert machine.register(2) == 0  # not yet executed
+
+    def test_stepping_to_completion(self, machine):
+        states = [machine.step() for _ in range(4)]
+        assert states[:3] == [MachineState.PAUSED] * 3
+        assert states[3] is MachineState.HALTED
+        assert machine.register(3) == 3
+
+    def test_multi_instruction_step(self, machine):
+        machine.step(2)
+        assert machine.instructions_executed == 2
+        assert machine.register(2) == 2
+
+    def test_resume_with_run(self, machine):
+        machine.step()
+        assert machine.run() is MachineState.HALTED
+        assert machine.register(3) == 3
+
+    def test_pc_tracks_progress(self, machine):
+        machine.step()
+        assert machine.pc == 1
+        machine.step()
+        assert machine.pc == 2
+
+    def test_traces_accumulate_across_steps(self, machine):
+        machine.step(2)
+        machine.run()
+        assert list(machine.instruction_trace()) == [0, 1, 2, 3]
+
+    def test_step_count_validation(self, machine):
+        with pytest.raises(ValueError):
+            machine.step(0)
+
+    def test_step_beyond_halt_is_error(self, machine):
+        machine.run()
+        with pytest.raises(MachineError, match="already halted"):
+            machine.step()
+
+    def test_max_instructions_validation(self, machine):
+        with pytest.raises(ValueError):
+            machine.run(max_instructions=0)
+
+
+class TestDumpRegisters:
+    def test_contains_all_registers_and_pc(self, machine):
+        machine.step()
+        dump = machine.dump_registers()
+        assert "r1 =0x00000001" in dump
+        assert "r15" in dump
+        assert "state=paused" in dump
+
+    def test_cycle_limit_still_enforced_when_stepping(self):
+        machine = Machine(assemble("loop: j loop\nhalt"), cycle_limit=10)
+        from repro.isa.errors import CycleLimitExceeded
+
+        with pytest.raises(CycleLimitExceeded):
+            machine.run(max_instructions=50)

@@ -1,0 +1,73 @@
+"""Unit tests for ISA definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    REGISTER_ALIASES,
+    SHAPES,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestRegisters:
+    def test_sixteen_numbered_registers(self):
+        for i in range(16):
+            assert REGISTER_ALIASES[f"r{i}"] == i
+
+    def test_conventional_aliases(self):
+        assert REGISTER_ALIASES["zero"] == 0
+        assert REGISTER_ALIASES["sp"] == 14
+        assert REGISTER_ALIASES["ra"] == 15
+
+
+class TestShapes:
+    def test_every_opcode_has_a_shape(self):
+        assert set(SHAPES) == set(Opcode)
+
+
+class TestWordConversion:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, 0),
+            (1, 1),
+            (0x7FFFFFFF, 0x7FFFFFFF),
+            (0x80000000, -(1 << 31)),
+            (0xFFFFFFFF, -1),
+        ],
+    )
+    def test_to_signed(self, value, expected):
+        assert to_signed(value) == expected
+
+    def test_to_unsigned_masks(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(1 << 35) == 0
+
+    def test_roundtrip(self):
+        for value in (-5, 0, 12345, -(1 << 31)):
+            assert to_signed(to_unsigned(value)) == value
+
+
+class TestInstructionStr:
+    def test_r_type(self):
+        assert str(Instruction(Opcode.ADD, 1, 2, 3)) == "add r1, r2, r3"
+
+    def test_i_type(self):
+        assert str(Instruction(Opcode.ADDI, 1, 2, -7)) == "addi r1, r2, -7"
+
+    def test_li(self):
+        assert str(Instruction(Opcode.LI, 4, 99)) == "li r4, 99"
+
+    def test_mem(self):
+        assert str(Instruction(Opcode.LW, 1, 16, 2)) == "lw r1, 16(r2)"
+
+    def test_branch(self):
+        assert str(Instruction(Opcode.BEQ, 1, 2, 7)) == "beq r1, r2, @7"
+
+    def test_jump_and_halt(self):
+        assert str(Instruction(Opcode.J, 3)) == "j @3"
+        assert str(Instruction(Opcode.JR, 15)) == "jr r15"
+        assert str(Instruction(Opcode.HALT)) == "halt"

@@ -1,0 +1,282 @@
+"""Unit tests for the virtual machine."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.errors import CycleLimitExceeded, MachineFault
+from repro.isa.machine import Machine, MachineState, run_program
+from repro.trace.reference import AccessKind
+
+
+def run(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestALU:
+    def test_add_sub(self):
+        m = run("li r1, 7\nli r2, 5\nadd r3, r1, r2\nsub r4, r1, r2\nhalt")
+        assert m.register(3) == 12
+        assert m.register(4) == 2
+
+    def test_sub_wraps_to_twos_complement(self):
+        m = run("li r1, 3\nli r2, 5\nsub r3, r1, r2\nhalt")
+        assert m.register(3) == 0xFFFFFFFE
+
+    def test_logic_ops(self):
+        m = run(
+            "li r1, 0b1100\nli r2, 0b1010\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nnor r6, r1, r2\nhalt"
+        )
+        assert m.register(3) == 0b1000
+        assert m.register(4) == 0b1110
+        assert m.register(5) == 0b0110
+        assert m.register(6) == 0xFFFFFFF1
+
+    def test_shifts_register_and_immediate(self):
+        m = run(
+            "li r1, 0x80000000\nli r2, 4\n"
+            "srl r3, r1, r2\nsra r4, r1, r2\n"
+            "slli r5, r2, 3\nsrli r6, r1, 31\nsrai r7, r1, 31\nhalt"
+        )
+        assert m.register(3) == 0x08000000
+        assert m.register(4) == 0xF8000000
+        assert m.register(5) == 32
+        assert m.register(6) == 1
+        assert m.register(7) == 0xFFFFFFFF
+
+    def test_shift_amount_masked_to_five_bits(self):
+        m = run("li r1, 1\nli r2, 33\nsll r3, r1, r2\nhalt")
+        assert m.register(3) == 2
+
+    def test_set_less_than_signed_vs_unsigned(self):
+        m = run(
+            "li r1, -1\nli r2, 1\n"
+            "slt r3, r1, r2\nsltu r4, r1, r2\nslti r5, r1, 0\nhalt"
+        )
+        assert m.register(3) == 1   # -1 < 1 signed
+        assert m.register(4) == 0   # 0xFFFFFFFF > 1 unsigned
+        assert m.register(5) == 1
+
+    def test_mul_wraps(self):
+        m = run("li r1, 0x10000\nmul r2, r1, r1\nhalt")
+        assert m.register(2) == 0
+
+    def test_div_truncates_toward_zero(self):
+        m = run(
+            "li r1, -7\nli r2, 2\ndiv r3, r1, r2\n"
+            "li r4, 7\nli r5, -2\ndiv r6, r4, r5\nhalt"
+        )
+        assert m.register(3) == 0xFFFFFFFD  # -3, not -4
+        assert m.register(6) == 0xFFFFFFFD
+
+    def test_rem_sign_follows_dividend(self):
+        m = run(
+            "li r1, -7\nli r2, 2\nrem r3, r1, r2\n"
+            "li r4, 7\nli r5, -2\nrem r6, r4, r5\nhalt"
+        )
+        assert m.register(3) == 0xFFFFFFFF  # -1
+        assert m.register(6) == 1
+
+    def test_immediate_logic(self):
+        m = run("li r1, 0xF0\nandi r2, r1, 0x3C\nori r3, r1, 0x0F\nxori r4, r1, 0xFF\nhalt")
+        assert m.register(2) == 0x30
+        assert m.register(3) == 0xFF
+        assert m.register(4) == 0x0F
+
+    def test_r0_ignores_writes(self):
+        m = run("li r0, 99\naddi r0, r0, 1\nadd r1, r0, r0\nhalt")
+        assert m.register(0) == 0
+        assert m.register(1) == 0
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        m = run(
+            """
+            li r1, 3
+            li r2, 3
+            beq r1, r2, equal
+            li r3, 111
+            j end
+    equal:  li r3, 222
+    end:    halt
+            """
+        )
+        assert m.register(3) == 222
+
+    def test_signed_branches(self):
+        m = run(
+            """
+            li r1, -5
+            li r2, 5
+            blt r1, r2, yes
+            li r3, 0
+            j end
+    yes:    li r3, 1
+    end:    halt
+            """
+        )
+        assert m.register(3) == 1
+
+    def test_unsigned_branches(self):
+        m = run(
+            """
+            li r1, -5          ; 0xFFFFFFFB unsigned: large
+            li r2, 5
+            bltu r1, r2, yes
+            li r3, 0
+            j end
+    yes:    li r3, 1
+    end:    halt
+            """
+        )
+        assert m.register(3) == 0
+
+    def test_loop_counts(self):
+        m = run(
+            """
+            li r1, 0
+            li r2, 10
+    loop:   inc r1
+            blt r1, r2, loop
+            halt
+            """
+        )
+        assert m.register(1) == 10
+
+    def test_call_ret_linkage(self):
+        m = run(
+            """
+            li r1, 1
+            call fn
+            li r3, 5        ; must execute after return
+            halt
+    fn:     li r2, 2
+            ret
+            """
+        )
+        assert (m.register(1), m.register(2), m.register(3)) == (1, 2, 5)
+
+    def test_nested_calls_with_manual_save(self):
+        m = run(
+            """
+            call outer
+            halt
+    outer:  mv r13, ra
+            call inner
+            mv ra, r13
+            addi r1, r1, 100
+            ret
+    inner:  li r1, 5
+            ret
+            """
+        )
+        assert m.register(1) == 105
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        m = run(
+            """
+            .data
+    v:      .word 0
+            .text
+            li r1, 1234
+            sw r1, v
+            lw r2, v
+            halt
+            """
+        )
+        assert m.register(2) == 1234
+        assert m.read_symbol("v") == 1234
+
+    def test_indexed_addressing(self):
+        m = run(
+            """
+            .data
+    arr:    .word 10, 20, 30
+            .text
+            li r1, 2
+            lw r2, arr(r1)
+            halt
+            """
+        )
+        assert m.register(2) == 30
+
+    def test_data_image_loaded(self):
+        m = run(".data\nx: .word 0xDEAD\n.text\nhalt")
+        assert m.read_symbol("x") == 0xDEAD
+
+    def test_read_block(self):
+        m = run(".data\narr: .word 1, 2, 3\n.text\nhalt")
+        assert m.read_block("arr", 3) == [1, 2, 3]
+
+    def test_stack_pointer_initialized_near_top(self):
+        m = run("halt")
+        assert m.register("sp") == len(m.memory) - 16
+
+
+class TestTraces:
+    def test_instruction_trace_records_every_fetch(self):
+        m = run("nop\nnop\nhalt")
+        assert list(m.instruction_trace()) == [0, 1, 2]
+        assert m.instructions_executed == 3
+
+    def test_data_trace_kinds(self):
+        m = run(
+            ".data\nv: .word 7\n.text\nlw r1, v\nsw r1, v\nhalt"
+        )
+        dtrace = m.data_trace()
+        assert len(dtrace) == 2
+        assert dtrace.kind(0) is AccessKind.READ
+        assert dtrace.kind(1) is AccessKind.WRITE
+        assert dtrace[0] == dtrace[1]
+
+    def test_tracing_disabled(self):
+        m = run("nop\nhalt", trace=False)
+        assert len(m.instruction_trace()) == 0
+        assert m.instructions_executed == 2
+
+    def test_branch_fetches_follow_control_flow(self):
+        m = run("j skip\nnop\nskip: halt")
+        assert list(m.instruction_trace()) == [0, 2]
+
+    def test_trace_names_follow_program_name(self):
+        machine = Machine(assemble("halt", name="demo"))
+        machine.run()
+        assert machine.instruction_trace().name == "demo.inst"
+        assert machine.data_trace().name == "demo.data"
+
+
+class TestFaults:
+    def test_division_by_zero_faults(self):
+        with pytest.raises(MachineFault, match="division by zero"):
+            run("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt")
+
+    def test_remainder_by_zero_faults(self):
+        with pytest.raises(MachineFault, match="remainder by zero"):
+            run("li r1, 1\nli r2, 0\nrem r3, r1, r2\nhalt")
+
+    def test_running_off_the_end_faults(self):
+        with pytest.raises(MachineFault, match="program counter"):
+            run("nop")
+
+    def test_cycle_limit(self):
+        with pytest.raises(CycleLimitExceeded):
+            run("loop: j loop\nhalt", cycle_limit=100)
+
+    def test_cycle_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Machine(assemble("halt"), cycle_limit=0)
+
+    def test_state_after_successful_run(self):
+        m = run("halt")
+        assert m.state is MachineState.HALTED
+
+
+class TestEntryPoint:
+    def test_run_from_named_entry(self):
+        program = assemble("other: li r1, 1\nhalt\nmain: li r1, 2\nhalt")
+        machine = Machine(program)
+        machine.run(entry="main")
+        assert machine.register(1) == 2

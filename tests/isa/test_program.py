@@ -1,0 +1,49 @@
+"""Unit tests for Program metadata helpers."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+
+
+class TestSymbols:
+    def test_symbol_lookup(self):
+        program = assemble(".data\nv: .word 1\n.text\nmain: halt")
+        assert program.symbol("v") == program.data_base
+        assert program.symbol("main") == program.code_base
+
+    def test_unknown_symbol_suggests_candidates(self):
+        program = assemble(".data\nvalue: .word 1\n.text\nhalt")
+        with pytest.raises(KeyError, match="value"):
+            program.symbol("val")
+
+    def test_unknown_symbol_without_candidates(self):
+        program = assemble("halt")
+        with pytest.raises(KeyError, match="unknown symbol"):
+            program.symbol("xyz")
+
+
+class TestSegments:
+    def test_code_words(self):
+        assert assemble("nop\nnop\nhalt").code_words == 3
+
+    def test_data_words_spans_to_highest_word(self):
+        program = assemble(".data\n.space 10\nv: .word 5\n.text\nhalt")
+        assert program.data_words == 11
+
+    def test_data_words_zero_without_data(self):
+        assert assemble("halt").data_words == 0
+
+
+class TestDisassembly:
+    def test_lists_labels_and_instructions(self):
+        program = assemble("main: li r1, 5\nloop: j loop\nhalt")
+        text = program.disassemble()
+        assert "main:" in text
+        assert "loop:" in text
+        assert "li r1, 5" in text
+        assert "halt" in text
+
+    def test_addresses_are_sequential(self):
+        program = assemble("nop\nnop\nhalt")
+        lines = [l for l in program.disassemble().splitlines() if "0x" in l]
+        assert len(lines) == 3

@@ -1,0 +1,99 @@
+"""Property-based tests of the cache simulator."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig, ReplacementKind
+from repro.cache.simulator import CacheSimulator, simulate_trace
+from repro.trace.reference import AccessKind
+from repro.trace.trace import Trace
+
+addresses = st.lists(st.integers(0, 255), min_size=0, max_size=150)
+depth_logs = st.integers(0, 5)
+assocs = st.integers(1, 4)
+
+
+@given(addrs=addresses, depth_log=depth_logs, assoc=assocs)
+@settings(max_examples=150, deadline=None)
+def test_accounting_identity(addrs, depth_log, assoc):
+    trace = Trace(addrs, address_bits=8)
+    result = simulate_trace(trace, CacheConfig(depth=1 << depth_log, associativity=assoc))
+    assert result.hits + result.cold_misses + result.non_cold_misses == len(addrs)
+
+
+@given(addrs=addresses, depth_log=depth_logs, assoc=assocs)
+@settings(max_examples=150, deadline=None)
+def test_cold_misses_equal_unique_lines(addrs, depth_log, assoc):
+    trace = Trace(addrs, address_bits=8)
+    result = simulate_trace(trace, CacheConfig(depth=1 << depth_log, associativity=assoc))
+    assert result.cold_misses == len(set(addrs))
+
+
+@given(addrs=addresses, depth_log=depth_logs)
+@settings(max_examples=100, deadline=None)
+def test_lru_inclusion_property(addrs, depth_log):
+    """Misses are non-increasing in associativity for LRU caches."""
+    trace = Trace(addrs, address_bits=8)
+    previous = None
+    for assoc in (1, 2, 3, 4, 6):
+        misses = simulate_trace(
+            trace, CacheConfig(depth=1 << depth_log, associativity=assoc)
+        ).non_cold_misses
+        if previous is not None:
+            assert misses <= previous
+        previous = misses
+
+
+@given(addrs=addresses)
+@settings(max_examples=100, deadline=None)
+def test_full_capacity_cache_never_misses_twice(addrs):
+    """A cache with one way per possible address never evicts anything."""
+    trace = Trace(addrs, address_bits=8)
+    result = simulate_trace(trace, CacheConfig(depth=256, associativity=1))
+    assert result.non_cold_misses == 0
+
+
+@given(
+    addrs=addresses,
+    depth_log=depth_logs,
+    assoc=assocs,
+    kind_choices=st.lists(st.sampled_from([AccessKind.READ, AccessKind.WRITE]), max_size=150),
+)
+@settings(max_examples=100, deadline=None)
+def test_writeback_bounded_by_writes(addrs, depth_log, assoc, kind_choices):
+    """Each write-back needs a write that dirtied the line since the last one.
+
+    So total write-backs (evictions plus the final flush) never exceed the
+    number of write accesses, and with at least one write, the flush
+    guarantees at least one write-back overall only if the dirty line was
+    never already written back — hence the weaker zero-writes corollary.
+    """
+    kinds = (kind_choices + [AccessKind.READ] * len(addrs))[: len(addrs)]
+    config = CacheConfig(depth=1 << depth_log, associativity=assoc)
+    sim = CacheSimulator(config)
+    writes = 0
+    for addr, kind in zip(addrs, kinds):
+        sim.access(addr, kind)
+        if kind is AccessKind.WRITE:
+            writes += 1
+    sim.flush()
+    assert sim.writebacks <= writes
+    if writes == 0:
+        assert sim.writebacks == 0
+
+
+@given(addrs=addresses, depth_log=depth_logs, assoc=st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_plru_and_lru_agree_when_working_set_fits(addrs, depth_log, assoc):
+    """With no evictions, every sane policy produces the same hit counts."""
+    trace = Trace(addrs, address_bits=8)
+    # Choose a capacity that provably fits everything: one way per address.
+    big_lru = simulate_trace(trace, CacheConfig(depth=256, associativity=1))
+    big_plru = simulate_trace(
+        trace,
+        CacheConfig(depth=256, associativity=1, replacement=ReplacementKind.PLRU),
+    )
+    big_fifo = simulate_trace(
+        trace,
+        CacheConfig(depth=256, associativity=1, replacement=ReplacementKind.FIFO),
+    )
+    assert big_lru.hits == big_plru.hits == big_fifo.hits

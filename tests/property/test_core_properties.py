@@ -1,0 +1,118 @@
+"""Property-based tests of the analytical core (hypothesis).
+
+The central invariant — analytical miss counts equal simulated LRU miss
+counts exactly — plus the structural invariants of the prelude data
+structures, checked over arbitrary traces.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.config import CacheConfig
+from repro.cache.onepass import stack_distance_profile
+from repro.cache.simulator import simulate_trace
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.mrct import build_mrct, build_mrct_naive
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace, strip_trace_sorted
+from repro.trace.trace import Trace
+
+# Small address spaces keep shrinking effective while covering all the
+# interesting conflict structure.
+traces = st.builds(
+    Trace,
+    st.lists(st.integers(min_value=0, max_value=63), min_size=0, max_size=120),
+    address_bits=st.just(6),
+)
+nonempty_traces = st.builds(
+    Trace,
+    st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=120),
+    address_bits=st.just(6),
+)
+
+
+@given(trace=nonempty_traces, depth_log=st.integers(0, 6), assoc=st.integers(1, 5))
+@settings(max_examples=150, deadline=None)
+def test_analytical_equals_simulated_misses(trace, depth_log, assoc):
+    """THE invariant: analytical == simulated for LRU, any (D, A)."""
+    depth = 1 << depth_log
+    analytical = AnalyticalCacheExplorer(trace).misses(depth, assoc)
+    simulated = simulate_trace(
+        trace, CacheConfig(depth=depth, associativity=assoc)
+    ).non_cold_misses
+    assert analytical == simulated
+
+
+@given(trace=nonempty_traces, budget=st.integers(0, 30))
+@settings(max_examples=100, deadline=None)
+def test_explored_instances_meet_budget_and_are_minimal(trace, budget):
+    explorer = AnalyticalCacheExplorer(trace)
+    result = explorer.explore(budget)
+    for inst, misses in zip(result.instances, result.misses):
+        assert misses <= budget
+        if inst.associativity > 1:
+            assert explorer.misses(inst.depth, inst.associativity - 1) > budget
+
+
+@given(trace=traces)
+@settings(max_examples=100, deadline=None)
+def test_strip_variants_agree(trace):
+    fast = strip_trace(trace)
+    slow = strip_trace_sorted(trace)
+    assert fast.unique_addresses == slow.unique_addresses
+    assert list(fast.id_sequence) == list(slow.id_sequence)
+
+
+@given(trace=traces)
+@settings(max_examples=100, deadline=None)
+def test_mrct_builders_agree(trace):
+    stripped = strip_trace(trace)
+    assert build_mrct(stripped).sets == build_mrct_naive(stripped).sets
+
+
+@given(trace=traces)
+@settings(max_examples=100, deadline=None)
+def test_mrct_counts_non_cold_occurrences(trace):
+    stripped = strip_trace(trace)
+    mrct = build_mrct(stripped)
+    assert mrct.total_conflict_sets == len(trace) - stripped.n_unique
+
+
+@given(trace=traces)
+@settings(max_examples=100, deadline=None)
+def test_zero_one_sets_partition(trace):
+    zerosets = build_zero_one_sets(strip_trace(trace))
+    for bit in range(zerosets.address_bits):
+        zero, one = zerosets.pair(bit)
+        assert zero & one == 0
+        assert zero | one == zerosets.universe
+
+
+@given(trace=nonempty_traces, depth_log=st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_level_histogram_equals_stack_distance_profile(trace, depth_log):
+    """The MRCT/BCAT histogram must equal Mattson per-set distances."""
+    depth = 1 << depth_log
+    explorer = AnalyticalCacheExplorer(trace)
+    histogram = explorer.histograms[depth_log]
+    profile = stack_distance_profile(trace, depth)
+    for assoc in range(1, 8):
+        assert histogram.misses(assoc) == profile.non_cold_misses(assoc)
+
+
+@given(trace=nonempty_traces)
+@settings(max_examples=100, deadline=None)
+def test_zero_budget_associativities_monotone_in_depth(trace):
+    result = AnalyticalCacheExplorer(trace).explore(0)
+    assocs = [inst.associativity for inst in result]
+    assert assocs == sorted(assocs, reverse=True)
+
+
+@given(trace=nonempty_traces, depth_log=st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_misses_monotone_in_associativity(trace, depth_log):
+    explorer = AnalyticalCacheExplorer(trace)
+    depth = 1 << depth_log
+    counts = [explorer.misses(depth, a) for a in range(1, 8)]
+    assert counts == sorted(counts, reverse=True)
+    # And large-enough associativity always reaches zero misses.
+    assert explorer.misses(depth, trace.unique_count() + 1) == 0

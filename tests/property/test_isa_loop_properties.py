@@ -1,0 +1,121 @@
+"""Property-based tests: random *looping* programs vs a golden interpreter.
+
+The straight-line ALU property test cannot exercise branches, memory or
+the loop bookkeeping that real kernels live on.  Here hypothesis builds
+structured programs — an initialization, a bounded counted loop whose
+body mixes ALU ops and memory traffic, and a final store — and an
+independent Python interpreter predicts the final state and the exact
+data-trace length.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+from repro.isa.instructions import to_signed
+from repro.isa.program import DATA_BASE
+
+WORD = 0xFFFFFFFF
+
+_BODY_OPS = {
+    "add": lambda a, b: (a + b) & WORD,
+    "sub": lambda a, b: (a - b) & WORD,
+    "xor": lambda a, b: a ^ b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "mul": lambda a, b: (a * b) & WORD,
+}
+
+
+@st.composite
+def loop_programs(draw):
+    """(assembly source, expected registers, expected memory cells)."""
+    iterations = draw(st.integers(1, 12))
+    array_len = draw(st.integers(1, 8))
+    seeds = [draw(st.integers(0, WORD)) for _ in range(4)]
+    body = [
+        (
+            draw(st.sampled_from(sorted(_BODY_OPS))),
+            draw(st.integers(2, 5)),
+            draw(st.integers(2, 5)),
+            draw(st.integers(2, 5)),
+        )
+        for _ in range(draw(st.integers(0, 6)))
+    ]
+    initial_memory = [draw(st.integers(0, WORD)) for _ in range(array_len)]
+
+    lines = [
+        "        .data",
+        "arr:    .word " + ", ".join(str(v) for v in initial_memory),
+        "out:    .space %d" % array_len,
+        "        .text",
+        f"        li r10, {iterations}",
+        "        li r1, 0",
+    ]
+    for reg, value in enumerate(seeds, start=2):
+        lines.append(f"        li r{reg}, {value}")
+    lines.append("loop:")
+    # Read one array element (index = i % array_len), fold it in.
+    lines.append(f"        li r9, {array_len}")
+    lines.append("        rem r8, r1, r9")
+    lines.append("        lw r7, arr(r8)")
+    lines.append("        add r2, r2, r7")
+    for op, rd, rs, rt in body:
+        lines.append(f"        {op} r{rd}, r{rs}, r{rt}")
+    # Write a result element.
+    lines.append("        sw r2, out(r8)")
+    lines.append("        inc r1")
+    lines.append("        blt r1, r10, loop")
+    lines.append("        halt")
+    source = "\n".join(lines)
+
+    # Golden interpretation.
+    regs = [0] * 16
+    regs[10] = iterations
+    for reg, value in enumerate(seeds, start=2):
+        regs[reg] = value
+    memory = {DATA_BASE + i: v for i, v in enumerate(initial_memory)}
+    out_base = DATA_BASE + array_len
+    data_accesses = 0
+    for i in range(iterations):
+        regs[1] = i
+        regs[9] = array_len
+        regs[8] = i % array_len
+        regs[7] = memory[DATA_BASE + regs[8]]
+        data_accesses += 1
+        regs[2] = (regs[2] + regs[7]) & WORD
+        for op, rd, rs, rt in body:
+            regs[rd] = _BODY_OPS[op](regs[rs], regs[rt])
+        memory[out_base + regs[8]] = regs[2]
+        data_accesses += 1
+        regs[1] = i + 1
+    expected_out = [
+        memory.get(out_base + j, 0) for j in range(array_len)
+    ]
+    return source, regs, expected_out, data_accesses
+
+
+@given(case=loop_programs())
+@settings(max_examples=100, deadline=None)
+def test_loop_programs_match_golden_interpreter(case):
+    source, expected_regs, expected_out, data_accesses = case
+    machine = Machine(assemble(source))
+    machine.run()
+    for reg in range(1, 11):
+        assert machine.register(reg) == expected_regs[reg], (reg, source)
+    assert machine.read_block("out", len(expected_out)) == expected_out
+    assert len(machine.data_trace()) == data_accesses
+
+
+@given(case=loop_programs())
+@settings(max_examples=40, deadline=None)
+def test_loop_programs_trace_structure(case):
+    source, _, _, _ = case
+    machine = Machine(assemble(source))
+    machine.run()
+    itrace = machine.instruction_trace()
+    assert len(itrace) == machine.instructions_executed
+    # The loop head must be fetched as many times as the loop iterates.
+    head = machine.program.symbols["loop"]
+    iterations = to_signed(machine.register(10))
+    assert sum(1 for a in itrace if a == head) == iterations

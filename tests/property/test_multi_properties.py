@@ -1,0 +1,89 @@
+"""Property-based tests for multi-trace exploration and sensitivity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.multi import MultiTraceExplorer
+from repro.core.sensitivity import budget_sensitivity
+from repro.trace.trace import Trace
+
+
+def _traces(draw_lists):
+    out = []
+    for i, addrs in enumerate(draw_lists):
+        trace = Trace(addrs, address_bits=6)
+        trace.name = f"t{i}"
+        out.append(trace)
+    return out
+
+
+trace_lists = st.lists(
+    st.lists(st.integers(0, 63), min_size=1, max_size=60),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(lists=trace_lists, budget=st.integers(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_sum_mode_budget_and_minimality(lists, budget):
+    traces = _traces(lists)
+    explorer = MultiTraceExplorer(traces)
+    result = explorer.explore_sum(budget)
+    individuals = [AnalyticalCacheExplorer(t) for t in traces]
+    for index, inst in enumerate(result.instances):
+        total = sum(
+            e.misses(inst.depth, inst.associativity) for e in individuals
+        )
+        assert total <= budget
+        assert result.total_misses(index) == total
+        if inst.associativity > 1:
+            below = sum(
+                e.misses(inst.depth, inst.associativity - 1)
+                for e in individuals
+            )
+            assert below > budget
+
+
+@given(lists=trace_lists, budget=st.integers(0, 20))
+@settings(max_examples=80, deadline=None)
+def test_each_mode_is_max_of_individuals(lists, budget):
+    traces = _traces(lists)
+    result = MultiTraceExplorer(traces).explore_each(budget)
+    individuals = {
+        t.name: AnalyticalCacheExplorer(t).explore(budget).as_dict()
+        for t in traces
+    }
+    for inst in result.instances:
+        expected = max(
+            mapping.get(inst.depth, 1) for mapping in individuals.values()
+        )
+        assert inst.associativity == expected
+
+
+@given(
+    addrs=st.lists(st.integers(0, 63), min_size=1, max_size=80),
+    depth_log=st.integers(1, 6),
+)
+@settings(max_examples=80, deadline=None)
+def test_sensitivity_staircase_consistent_with_exploration(addrs, depth_log):
+    trace = Trace(addrs, address_bits=6)
+    explorer = AnalyticalCacheExplorer(trace)
+    depth = 1 << depth_log
+    steps = budget_sensitivity(explorer, depth)
+    # Contiguity and agreement at every boundary.
+    assert steps[0].min_budget == 0
+    assert steps[-1].associativity == 1
+    histogram = explorer.histograms[depth_log]
+    for step in steps:
+        # The defining property: at min_budget, this A is the answer.
+        assert histogram.min_associativity(step.min_budget) == step.associativity
+        if not step.unbounded:
+            assert (
+                histogram.min_associativity(step.max_budget)
+                == step.associativity
+            )
+            assert (
+                histogram.min_associativity(step.max_budget + 1)
+                < step.associativity
+            )

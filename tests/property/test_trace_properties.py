@@ -1,0 +1,69 @@
+"""Property-based tests of the trace substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.reference import AccessKind
+from repro.trace.stats import max_misses_depth_one
+from repro.trace.strip import strip_trace
+from repro.trace.trace import Trace
+
+addresses = st.lists(st.integers(0, 1023), min_size=0, max_size=100)
+
+
+@given(addrs=addresses)
+@settings(max_examples=150, deadline=None)
+def test_strip_identifiers_are_dense_and_consistent(addrs):
+    stripped = strip_trace(Trace(addrs, address_bits=10))
+    assert sorted(stripped.id_of.values()) == list(range(stripped.n_unique))
+    for i, addr in enumerate(addrs):
+        assert stripped.unique_addresses[stripped.id_sequence[i]] == addr
+
+
+@given(addrs=addresses)
+@settings(max_examples=150, deadline=None)
+def test_strip_preserves_order_of_first_occurrence(addrs):
+    stripped = strip_trace(Trace(addrs, address_bits=10))
+    seen = []
+    for addr in addrs:
+        if addr not in seen:
+            seen.append(addr)
+    assert stripped.unique_addresses == seen
+
+
+@given(addrs=addresses)
+@settings(max_examples=100, deadline=None)
+def test_max_misses_bounds(addrs):
+    trace = Trace(addrs, address_bits=10)
+    max_misses = max_misses_depth_one(trace)
+    assert 0 <= max_misses <= max(0, len(addrs) - trace.unique_count())
+
+
+@given(
+    addrs=st.lists(st.integers(0, 4095), min_size=0, max_size=60),
+    suffix=st.sampled_from([".trace", ".din", ".csv", ".din.gz"]),
+    kinds=st.lists(
+        st.sampled_from(list(AccessKind)), min_size=0, max_size=60
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_io_roundtrip(tmp_path_factory, addrs, suffix, kinds):
+    tmp_path = tmp_path_factory.mktemp("io")
+    kinds = (kinds + [AccessKind.READ] * len(addrs))[: len(addrs)]
+    trace = Trace(addrs, address_bits=12, kinds=kinds)
+    path = tmp_path / f"t{suffix}"
+    write_trace(trace, path)
+    loaded = read_trace(path, address_bits=12)
+    assert list(loaded) == addrs
+    if suffix != ".trace":  # text format does not carry kinds
+        assert [loaded.kind(i) for i in range(len(loaded))] == kinds
+
+
+@given(addrs=addresses, split=st.integers(0, 100))
+@settings(max_examples=100, deadline=None)
+def test_concat_of_slices_is_identity(addrs, split):
+    trace = Trace(addrs, address_bits=10)
+    split = min(split, len(trace))
+    rebuilt = trace[:split].concat(trace[split:])
+    assert list(rebuilt) == addrs
+    assert rebuilt.address_bits == 10

@@ -1,0 +1,95 @@
+"""Property-based tests for the victim buffer, 3C and traffic modules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.threec import classify_misses
+from repro.analysis.traffic import estimate_traffic
+from repro.cache.config import CacheConfig, WritePolicy
+from repro.cache.simulator import simulate_trace
+from repro.cache.victim import simulate_victim
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.reference import AccessKind
+from repro.trace.trace import Trace
+
+addresses = st.lists(st.integers(0, 127), min_size=0, max_size=100)
+
+
+@given(addrs=addresses, depth_log=st.integers(0, 4), entries=st.integers(0, 6))
+@settings(max_examples=100, deadline=None)
+def test_victim_buffer_never_hurts_and_accounts_correctly(
+    addrs, depth_log, entries
+):
+    trace = Trace(addrs, address_bits=7)
+    config = CacheConfig(depth=1 << depth_log, associativity=1)
+    plain = simulate_trace(trace, config)
+    buffered = simulate_victim(trace, config, entries)
+    # Accounting identity.
+    assert (
+        buffered.main_hits
+        + buffered.victim_hits
+        + buffered.cold_misses
+        + buffered.non_cold_misses
+        == len(addrs)
+    )
+    # Cold misses are policy-independent; the buffer never adds misses.
+    assert buffered.cold_misses == plain.cold_misses
+    assert buffered.non_cold_misses <= plain.non_cold_misses
+    if entries == 0:
+        assert buffered.non_cold_misses == plain.non_cold_misses
+
+
+@given(addrs=addresses, entries_small=st.integers(0, 3), extra=st.integers(1, 4))
+@settings(max_examples=100, deadline=None)
+def test_more_victim_entries_never_hurt(addrs, entries_small, extra):
+    trace = Trace(addrs, address_bits=7)
+    config = CacheConfig(depth=8, associativity=1)
+    small = simulate_victim(trace, config, entries_small)
+    large = simulate_victim(trace, config, entries_small + extra)
+    assert large.non_cold_misses <= small.non_cold_misses
+
+
+@given(
+    addrs=st.lists(st.integers(0, 63), min_size=1, max_size=80),
+    depth_log=st.integers(0, 4),
+    assoc=st.integers(1, 3),
+)
+@settings(max_examples=100, deadline=None)
+def test_three_c_identities(addrs, depth_log, assoc):
+    trace = Trace(addrs, address_bits=6)
+    explorer = AnalyticalCacheExplorer(trace)
+    breakdown = classify_misses(explorer, 1 << depth_log, assoc)
+    assert breakdown.compulsory == trace.unique_count()
+    assert breakdown.capacity + breakdown.conflict == explorer.misses(
+        1 << depth_log, assoc
+    )
+    assert breakdown.capacity >= 0
+
+
+@given(
+    addrs=st.lists(st.integers(0, 63), min_size=0, max_size=80),
+    writes=st.lists(st.booleans(), max_size=80),
+    depth_log=st.integers(0, 4),
+)
+@settings(max_examples=80, deadline=None)
+def test_traffic_accounting(addrs, writes, depth_log):
+    kinds = [
+        AccessKind.WRITE if (i < len(writes) and writes[i]) else AccessKind.READ
+        for i in range(len(addrs))
+    ]
+    trace = Trace(addrs, address_bits=6, kinds=kinds)
+    write_count = sum(1 for k in kinds if k is AccessKind.WRITE)
+    config = CacheConfig(depth=1 << depth_log, associativity=2)
+    estimate = estimate_traffic(trace, config)
+    # Fill traffic matches simulated misses; write-backs bounded by writes.
+    assert estimate.fill_words == simulate_trace(trace, config).misses
+    assert estimate.writeback_words <= write_count
+    assert estimate.writethrough_words == 0  # write-back policy default
+    # Under write-through, store words equal store count exactly.
+    wt_config = CacheConfig(
+        depth=1 << depth_log,
+        associativity=2,
+        write_policy=WritePolicy.WRITE_THROUGH,
+    )
+    wt = estimate_traffic(trace, wt_config)
+    assert wt.writethrough_words == write_count
+    assert wt.writeback_words == 0

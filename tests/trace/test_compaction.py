@@ -1,0 +1,109 @@
+"""Unit tests for cache-filter trace compaction (Puzak stripping)."""
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.simulator import simulate_trace
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.compaction import compact_trace
+from repro.trace.reference import AccessKind
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+
+class TestMechanics:
+    def test_consecutive_repeats_removed_at_depth_one(self):
+        result = compact_trace(Trace([5, 5, 6, 6, 5]), filter_depth=1)
+        assert list(result.trace) == [5, 6, 5]
+
+    def test_filter_hit_requires_matching_set_content(self):
+        # depth 2: 0 and 1 live in different sets, so both always kept
+        # until re-referenced while still resident.
+        result = compact_trace(Trace([0, 1, 0, 1, 2, 0]), filter_depth=2)
+        # 0,1 kept (cold); second 0,1 are filter hits; 2 evicts 0; final 0 kept.
+        assert list(result.trace) == [0, 1, 2, 0]
+
+    def test_unique_references_preserved(self):
+        trace = random_trace(400, 60, seed=0)
+        result = compact_trace(trace, filter_depth=8)
+        assert set(result.trace) == set(trace)
+
+    def test_kinds_preserved(self):
+        trace = Trace(
+            [0, 0, 1],
+            kinds=[AccessKind.WRITE, AccessKind.READ, AccessKind.FETCH],
+        )
+        result = compact_trace(trace, filter_depth=1)
+        assert [result.trace.kind(i) for i in range(2)] == [
+            AccessKind.WRITE,
+            AccessKind.FETCH,
+        ]
+
+    def test_stats(self):
+        trace = loop_nest_trace(8, 10)
+        result = compact_trace(trace, filter_depth=8)
+        assert result.stats.original_length == 80
+        assert result.stats.compacted_length == 8  # loop fits the filter
+        assert result.stats.reduction == pytest.approx(0.9)
+
+    def test_empty_trace(self):
+        result = compact_trace(Trace([]), filter_depth=4)
+        assert len(result.trace) == 0
+        assert result.stats.reduction == 0.0
+
+    def test_bad_filter_depth(self):
+        with pytest.raises(ValueError, match="power of two"):
+            compact_trace(Trace([0]), filter_depth=6)
+
+    def test_name_records_filter(self):
+        trace = Trace([0, 1], name="demo")
+        assert compact_trace(trace, 2).trace.name == "demo/strip2"
+
+
+class TestPreservationTheorem:
+    """Filter misses reproduce miss counts for every depth >= filter depth."""
+
+    @pytest.mark.parametrize("filter_depth", [1, 2, 4, 8])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_simulated_misses_preserved(self, filter_depth, seed):
+        trace = random_trace(500, 90, seed=seed)
+        compacted = compact_trace(trace, filter_depth).trace
+        depth = filter_depth
+        while depth <= 64:
+            for assoc in (1, 2, 3):
+                config = CacheConfig(depth=depth, associativity=assoc)
+                full = simulate_trace(trace, config)
+                short = simulate_trace(compacted, config)
+                assert full.non_cold_misses == short.non_cold_misses
+                assert full.cold_misses == short.cold_misses
+            depth *= 2
+
+    def test_analytical_misses_preserved(self):
+        trace = zipf_trace(800, 150, seed=2)
+        compacted = compact_trace(trace, 4).trace
+        full = AnalyticalCacheExplorer(trace)
+        short = AnalyticalCacheExplorer(compacted)
+        for depth in (4, 8, 16, 64, 256):
+            for assoc in (1, 2, 4):
+                assert full.misses(depth, assoc) == short.misses(depth, assoc)
+
+    def test_shallower_depths_not_guaranteed(self):
+        """Below the filter depth the counts may (and typically do) differ."""
+        trace = zipf_trace(800, 150, seed=3)
+        compacted = compact_trace(trace, 16).trace
+        full = AnalyticalCacheExplorer(trace)
+        short = AnalyticalCacheExplorer(compacted)
+        diffs = [
+            full.misses(d, 1) != short.misses(d, 1) for d in (1, 2, 4, 8)
+        ]
+        assert any(diffs)
+
+    def test_exploration_results_match_above_filter_depth(self):
+        trace = zipf_trace(600, 100, seed=4)
+        compacted = compact_trace(trace, 4).trace
+        budget = 10
+        full = AnalyticalCacheExplorer(trace).explore(budget).as_dict()
+        short = AnalyticalCacheExplorer(compacted).explore(budget).as_dict()
+        for depth, assoc in full.items():
+            if depth >= 4 and depth in short:
+                assert short[depth] == assoc

@@ -1,0 +1,167 @@
+"""Unit tests for trace file I/O."""
+
+import pytest
+
+from repro.trace.io import (
+    read_csv_trace,
+    read_dinero_trace,
+    read_text_trace,
+    read_trace,
+    write_csv_trace,
+    write_dinero_trace,
+    write_text_trace,
+    write_trace,
+)
+from repro.trace.reference import AccessKind
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def typed_trace():
+    return Trace(
+        [0x10, 0x2F, 0x10],
+        address_bits=12,
+        kinds=[AccessKind.READ, AccessKind.WRITE, AccessKind.FETCH],
+        name="typed",
+    )
+
+
+class TestTextFormat:
+    def test_roundtrip_preserves_addresses_and_bits(self, tmp_path, typed_trace):
+        path = tmp_path / "t.trace"
+        write_text_trace(typed_trace, path)
+        loaded = read_text_trace(path)
+        assert list(loaded) == list(typed_trace)
+        assert loaded.address_bits == 12
+
+    def test_explicit_bits_override_header(self, tmp_path, typed_trace):
+        path = tmp_path / "t.trace"
+        write_text_trace(typed_trace, path)
+        assert read_text_trace(path, address_bits=16).address_bits == 16
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# hello\n\nff\n10\n")
+        assert list(read_text_trace(path)) == [0xFF, 0x10]
+
+
+class TestDineroFormat:
+    def test_roundtrip_preserves_kinds(self, tmp_path, typed_trace):
+        path = tmp_path / "t.din"
+        write_dinero_trace(typed_trace, path)
+        loaded = read_dinero_trace(path, address_bits=12)
+        assert list(loaded) == list(typed_trace)
+        assert [loaded.kind(i) for i in range(3)] == [
+            AccessKind.READ,
+            AccessKind.WRITE,
+            AccessKind.FETCH,
+        ]
+
+    def test_file_content_is_classic_din(self, tmp_path, typed_trace):
+        path = tmp_path / "t.din"
+        write_dinero_trace(typed_trace, path)
+        assert path.read_text().splitlines() == ["0 10", "1 2f", "2 10"]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.din"
+        path.write_text("0 10\n0 10 extra\n")
+        with pytest.raises(ValueError, match="2"):
+            read_dinero_trace(path)
+
+
+class TestCsvFormat:
+    def test_roundtrip(self, tmp_path, typed_trace):
+        path = tmp_path / "t.csv"
+        write_csv_trace(typed_trace, path)
+        loaded = read_csv_trace(path, address_bits=12)
+        assert list(loaded) == list(typed_trace)
+        assert loaded.kind(2) is AccessKind.FETCH
+
+    def test_unknown_kind_raises(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("kind,address\nmaybe,0x10\n")
+        with pytest.raises(ValueError, match="unknown access kind"):
+            read_csv_trace(path)
+
+
+class TestBinaryFormat:
+    def test_roundtrip_with_kinds(self, tmp_path, typed_trace):
+        from repro.trace.io import read_binary_trace, write_binary_trace
+
+        path = tmp_path / "t.rbt"
+        write_binary_trace(typed_trace, path)
+        loaded = read_binary_trace(path)
+        assert list(loaded) == list(typed_trace)
+        assert loaded.address_bits == 12
+        assert [loaded.kind(i) for i in range(3)] == [
+            AccessKind.READ,
+            AccessKind.WRITE,
+            AccessKind.FETCH,
+        ]
+
+    def test_roundtrip_without_kinds(self, tmp_path):
+        from repro.trace.io import read_binary_trace, write_binary_trace
+
+        trace = Trace([1, 2, 3], address_bits=8)
+        path = tmp_path / "t.rbt"
+        write_binary_trace(trace, path)
+        loaded = read_binary_trace(path)
+        assert list(loaded) == [1, 2, 3]
+        assert not loaded.has_kinds
+
+    def test_bad_magic_rejected(self, tmp_path):
+        from repro.trace.io import read_binary_trace
+
+        path = tmp_path / "bad.rbt"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="magic"):
+            read_binary_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path, typed_trace):
+        from repro.trace.io import write_binary_trace, read_binary_trace
+
+        path = tmp_path / "t.rbt"
+        write_binary_trace(typed_trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-2])
+        with pytest.raises(ValueError, match="truncated"):
+            read_binary_trace(path)
+
+    def test_long_trace_roundtrip_exact(self, tmp_path):
+        from repro.trace.io import read_binary_trace, write_binary_trace
+        from repro.trace.synthetic import random_trace
+
+        trace = random_trace(5000, 4000, seed=0)
+        path = tmp_path / "t.rbt"
+        write_binary_trace(trace, path)
+        loaded = read_binary_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.address_bits == trace.address_bits
+        # Fixed-width layout: header (14 bytes) + 8 bytes per reference.
+        assert path.stat().st_size == 14 + 8 * len(trace)
+
+
+class TestGzipAndDispatch:
+    @pytest.mark.parametrize("suffix", [".trace", ".din", ".csv", ".rbt"])
+    def test_gzip_roundtrip(self, tmp_path, typed_trace, suffix):
+        path = tmp_path / f"t{suffix}.gz"
+        write_trace(typed_trace, path)
+        loaded = read_trace(path, address_bits=12)
+        assert list(loaded) == list(typed_trace)
+
+    def test_dispatch_by_suffix(self, tmp_path, typed_trace):
+        path = tmp_path / "t.din"
+        write_trace(typed_trace, path)
+        loaded = read_trace(path)
+        assert loaded.kind(1) is AccessKind.WRITE
+
+    def test_unknown_suffix_rejected(self, tmp_path, typed_trace):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            write_trace(typed_trace, tmp_path / "t.bin")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            read_trace(tmp_path / "t.bin")
+
+    def test_loaded_name_strips_gz_suffix(self, tmp_path, typed_trace):
+        path = tmp_path / "demo.trace.gz"
+        write_trace(typed_trace, path)
+        assert read_trace(path).name == "demo.trace"

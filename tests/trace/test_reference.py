@@ -1,0 +1,45 @@
+"""Unit tests for repro.trace.reference."""
+
+import pytest
+
+from repro.trace.reference import AccessKind, MemoryReference
+
+
+class TestAccessKind:
+    def test_din_labels_follow_dinero_convention(self):
+        assert AccessKind.from_din(0) is AccessKind.READ
+        assert AccessKind.from_din(1) is AccessKind.WRITE
+        assert AccessKind.from_din(2) is AccessKind.FETCH
+
+    def test_unknown_din_label_raises(self):
+        with pytest.raises(ValueError, match="unknown dinero access label"):
+            AccessKind.from_din(7)
+
+    def test_data_vs_instruction_partition(self):
+        assert AccessKind.READ.is_data
+        assert AccessKind.WRITE.is_data
+        assert not AccessKind.FETCH.is_data
+        assert AccessKind.FETCH.is_instruction
+        assert not AccessKind.READ.is_instruction
+        assert not AccessKind.WRITE.is_instruction
+
+
+class TestMemoryReference:
+    def test_defaults_to_read(self):
+        ref = MemoryReference(0x10)
+        assert ref.address == 0x10
+        assert ref.kind is AccessKind.READ
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MemoryReference(-1)
+
+    def test_int_conversion(self):
+        assert int(MemoryReference(42, AccessKind.WRITE)) == 42
+
+    def test_frozen_and_hashable(self):
+        ref = MemoryReference(5)
+        assert ref == MemoryReference(5)
+        assert hash(ref) == hash(MemoryReference(5))
+        with pytest.raises(AttributeError):
+            ref.address = 6

@@ -1,0 +1,69 @@
+"""Unit tests for trace stripping (prelude step 1)."""
+
+import pytest
+
+from repro.trace.strip import strip_trace, strip_trace_sorted
+from repro.trace.synthetic import random_trace
+from repro.trace.trace import Trace
+
+
+class TestStripTrace:
+    def test_identifiers_in_first_occurrence_order(self):
+        stripped = strip_trace(Trace([7, 3, 7, 9, 3]))
+        assert stripped.unique_addresses == [7, 3, 9]
+        assert stripped.id_of == {7: 0, 3: 1, 9: 2}
+        assert list(stripped.id_sequence) == [0, 1, 0, 2, 1]
+
+    def test_counts_match_paper_definitions(self, paper_trace):
+        stripped = strip_trace(paper_trace)
+        assert stripped.n == 10
+        assert stripped.n_unique == 5
+
+    def test_paper_table2_unique_references(self, paper_trace):
+        stripped = strip_trace(paper_trace)
+        expected = [0b1011, 0b1100, 0b0110, 0b0011, 0b0100]
+        assert stripped.unique_addresses == expected
+
+    def test_occurrences_positions(self):
+        stripped = strip_trace(Trace([5, 6, 5, 5]))
+        assert stripped.occurrences(0) == [0, 2, 3]
+        assert stripped.occurrences(1) == [1]
+
+    def test_empty_trace(self):
+        stripped = strip_trace(Trace([]))
+        assert stripped.n == 0
+        assert stripped.n_unique == 0
+
+    def test_address_bits_copied_from_trace(self):
+        stripped = strip_trace(Trace([1], address_bits=11))
+        assert stripped.address_bits == 11
+
+    def test_address_lookup(self):
+        stripped = strip_trace(Trace([9, 4]))
+        assert stripped.address(0) == 9
+        assert stripped.address(1) == 4
+
+    def test_repr(self):
+        assert "N=3" in repr(strip_trace(Trace([1, 1, 2])))
+
+
+class TestSortedStripEquivalence:
+    """The N log N sort-based variant must be interchangeable (section 2.4)."""
+
+    def test_equivalent_on_small_trace(self, paper_trace):
+        fast = strip_trace(paper_trace)
+        slow = strip_trace_sorted(paper_trace)
+        assert fast.unique_addresses == slow.unique_addresses
+        assert fast.id_of == slow.id_of
+        assert list(fast.id_sequence) == list(slow.id_sequence)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equivalent_on_random_traces(self, seed):
+        trace = random_trace(500, 60, seed=seed)
+        fast = strip_trace(trace)
+        slow = strip_trace_sorted(trace)
+        assert fast.unique_addresses == slow.unique_addresses
+        assert list(fast.id_sequence) == list(slow.id_sequence)
+
+    def test_equivalent_on_empty_trace(self):
+        assert strip_trace_sorted(Trace([])).n_unique == 0

@@ -1,0 +1,128 @@
+"""Unit tests for synthetic trace generators."""
+
+import pytest
+
+from repro.trace.synthetic import (
+    interleaved_trace,
+    loop_nest_trace,
+    markov_trace,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    zipf_trace,
+)
+
+
+class TestSequential:
+    def test_addresses(self):
+        assert list(sequential_trace(4, start=10)) == [10, 11, 12, 13]
+
+    def test_no_reuse(self):
+        trace = sequential_trace(100)
+        assert trace.unique_count() == 100
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            sequential_trace(-1)
+
+
+class TestStrided:
+    def test_addresses(self):
+        assert list(strided_trace(3, stride=4, start=1)) == [1, 5, 9]
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError, match="stride"):
+            strided_trace(3, stride=0)
+
+
+class TestLoopNest:
+    def test_repeats_footprint(self):
+        trace = loop_nest_trace(3, 2, start=5)
+        assert list(trace) == [5, 6, 7, 5, 6, 7]
+
+    def test_unique_count_is_footprint(self):
+        assert loop_nest_trace(16, 10).unique_count() == 16
+
+    def test_zero_iterations_gives_empty_trace(self):
+        assert len(loop_nest_trace(4, 0)) == 0
+
+    def test_bad_footprint_rejected(self):
+        with pytest.raises(ValueError, match="footprint"):
+            loop_nest_trace(0, 3)
+
+
+class TestRandom:
+    def test_deterministic_for_seed(self):
+        assert list(random_trace(50, 10, seed=7)) == list(
+            random_trace(50, 10, seed=7)
+        )
+
+    def test_different_seeds_differ(self):
+        assert list(random_trace(50, 10, seed=1)) != list(
+            random_trace(50, 10, seed=2)
+        )
+
+    def test_addresses_within_footprint(self):
+        assert all(a < 20 for a in random_trace(200, 20, seed=0))
+
+    def test_bad_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            random_trace(10, 0)
+
+
+class TestZipf:
+    def test_deterministic_and_bounded(self):
+        trace = zipf_trace(300, 50, exponent=1.2, seed=3)
+        assert list(trace) == list(zipf_trace(300, 50, exponent=1.2, seed=3))
+        assert all(a < 50 for a in trace)
+
+    def test_skew_concentrates_on_low_ranks(self):
+        trace = zipf_trace(2000, 100, exponent=2.0, seed=0)
+        hot = sum(1 for a in trace if a < 5)
+        assert hot > len(trace) // 2  # heavy head
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_trace(10, 10, exponent=-1)
+
+
+class TestMarkov:
+    def test_deterministic_and_bounded(self):
+        trace = markov_trace(300, 64, locality=0.9, seed=5)
+        assert list(trace) == list(markov_trace(300, 64, locality=0.9, seed=5))
+        assert all(0 <= a < 64 for a in trace)
+
+    def test_high_locality_means_small_steps(self):
+        trace = markov_trace(1000, 256, locality=1.0, seed=1)
+        addrs = list(trace)
+        steps = [
+            min((b - a) % 256, (a - b) % 256)
+            for a, b in zip(addrs, addrs[1:])
+        ]
+        assert all(s <= 1 for s in steps)
+
+    def test_invalid_locality_rejected(self):
+        with pytest.raises(ValueError, match="locality"):
+            markov_trace(10, 8, locality=1.5)
+
+
+class TestInterleaved:
+    def test_round_robin_order(self):
+        a = sequential_trace(3, start=0)
+        b = sequential_trace(3, start=100)
+        merged = interleaved_trace([a, b])
+        assert list(merged) == [0, 100, 1, 101, 2, 102]
+
+    def test_uneven_streams_drain(self):
+        a = sequential_trace(1)
+        b = sequential_trace(3, start=10)
+        assert list(interleaved_trace([a, b])) == [0, 10, 11, 12]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            interleaved_trace([])
+
+    def test_address_bits_cover_all_streams(self):
+        a = sequential_trace(2)  # 1 bit
+        b = sequential_trace(2, start=1000)
+        assert interleaved_trace([a, b]).address_bits >= 10

@@ -1,0 +1,102 @@
+"""Unit tests for trace transformations."""
+
+import pytest
+
+from repro.trace.reference import AccessKind
+from repro.trace.transform import (
+    filter_address_range,
+    map_addresses,
+    offset_addresses,
+    remap_addresses,
+    split_at_address,
+)
+from repro.trace.trace import Trace
+
+
+@pytest.fixture
+def typed_trace():
+    return Trace(
+        [10, 20, 30],
+        kinds=[AccessKind.READ, AccessKind.WRITE, AccessKind.FETCH],
+        name="t",
+    )
+
+
+class TestOffset:
+    def test_shifts_all_addresses(self, typed_trace):
+        shifted = offset_addresses(typed_trace, 5)
+        assert list(shifted) == [15, 25, 35]
+
+    def test_preserves_kinds(self, typed_trace):
+        shifted = offset_addresses(typed_trace, 1)
+        assert shifted.kind(1) is AccessKind.WRITE
+
+    def test_negative_result_rejected(self, typed_trace):
+        with pytest.raises(ValueError, match="negative"):
+            offset_addresses(typed_trace, -11)
+
+    def test_negative_offset_allowed_when_safe(self, typed_trace):
+        assert list(offset_addresses(typed_trace, -10)) == [0, 10, 20]
+
+
+class TestRemap:
+    def test_identity_where_unmapped(self, typed_trace):
+        remapped = remap_addresses(typed_trace, {20: 99})
+        assert list(remapped) == [10, 99, 30]
+
+    def test_strict_mode_requires_full_mapping(self, typed_trace):
+        with pytest.raises(KeyError, match="missing"):
+            remap_addresses(typed_trace, {10: 1}, strict=True)
+
+    def test_strict_mode_with_full_mapping(self, typed_trace):
+        remapped = remap_addresses(
+            typed_trace, {10: 1, 20: 2, 30: 3}, strict=True
+        )
+        assert list(remapped) == [1, 2, 3]
+
+    def test_negative_target_rejected(self, typed_trace):
+        with pytest.raises(ValueError):
+            remap_addresses(typed_trace, {10: -1})
+
+    def test_kinds_preserved(self, typed_trace):
+        remapped = remap_addresses(typed_trace, {30: 7})
+        assert remapped.kind(2) is AccessKind.FETCH
+
+
+class TestFilterRange:
+    def test_half_open_interval(self):
+        trace = Trace([5, 10, 15, 20])
+        kept = filter_address_range(trace, 10, 20)
+        assert list(kept) == [10, 15]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            filter_address_range(Trace([1]), 10, 5)
+
+    def test_address_bits_preserved(self):
+        trace = Trace([1, 2], address_bits=12)
+        assert filter_address_range(trace, 0, 10).address_bits == 12
+
+
+class TestSplit:
+    def test_partitions_by_boundary(self, typed_trace):
+        low, high = split_at_address(typed_trace, 25)
+        assert list(low) == [10, 20]
+        assert list(high) == [30]
+        assert high.kind(0) is AccessKind.FETCH
+
+    def test_rebuilding_order_from_parts(self):
+        trace = Trace([1, 100, 2, 200])
+        low, high = split_at_address(trace, 50)
+        assert len(low) + len(high) == len(trace)
+
+
+class TestMapAddresses:
+    def test_arbitrary_function(self):
+        trace = Trace([0, 1, 2])
+        mapped = map_addresses(trace, lambda a: a * 4)
+        assert list(mapped) == [0, 4, 8]
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(ValueError):
+            map_addresses(Trace([1]), lambda a: a - 5)

@@ -1,0 +1,77 @@
+"""Structural checks on every kernel's assembly program.
+
+Beyond checksum verification, the programs themselves must be
+well-formed: they assemble, deposit their result at a `result:` label,
+keep code and data in disjoint regions, and never touch memory outside
+the machine's address space.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode
+from repro.workloads import ALL_WORKLOAD_NAMES, get_workload, run_workload_by_name
+
+
+@pytest.fixture(scope="module", params=ALL_WORKLOAD_NAMES)
+def kernel(request):
+    workload = get_workload(request.param, scale="tiny")
+    program = assemble(workload.source, name=workload.name)
+    return workload, program
+
+
+class TestProgramStructure:
+    def test_assembles_and_has_result_label(self, kernel):
+        workload, program = kernel
+        assert workload.result_symbol in program.symbols
+
+    def test_ends_with_halt(self, kernel):
+        _, program = kernel
+        assert program.instructions[-1].op is Opcode.HALT
+
+    def test_code_and_data_regions_disjoint(self, kernel):
+        _, program = kernel
+        code_end = program.code_base + program.code_words
+        assert code_end <= program.data_base
+
+    def test_data_fits_address_space(self, kernel):
+        _, program = kernel
+        top = program.data_base + program.data_words
+        assert top <= 1 << program.address_bits
+
+    def test_all_branch_targets_inside_code(self, kernel):
+        _, program = kernel
+        count = program.code_words
+        for instruction in program.instructions:
+            if instruction.op in (
+                Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                Opcode.BLTU, Opcode.BGEU,
+            ):
+                assert 0 <= instruction.c < count
+            elif instruction.op in (Opcode.J, Opcode.JAL):
+                assert 0 <= instruction.a < count
+
+    def test_reasonable_code_size(self, kernel):
+        workload, program = kernel
+        # Real kernels, not stubs: at least a dozen instructions, and
+        # small enough to be believable embedded code.
+        assert 12 <= program.code_words <= 200, workload.name
+
+
+class TestRuntimeStructure:
+    @pytest.mark.parametrize("name", ALL_WORKLOAD_NAMES)
+    def test_memory_accesses_stay_in_data_segment(self, name):
+        run = run_workload_by_name(name, scale="tiny")
+        program = run.machine.program
+        low = program.data_base
+        high = 1 << program.address_bits
+        for addr in run.data_trace:
+            assert low <= addr < high, (name, hex(addr))
+
+    @pytest.mark.parametrize("name", ALL_WORKLOAD_NAMES)
+    def test_every_instruction_reachable_instructions_executed(self, name):
+        run = run_workload_by_name(name, scale="tiny")
+        executed = set(run.instruction_trace)
+        # At least half the static code runs on the tiny inputs (no
+        # large dead regions accidentally assembled in).
+        assert len(executed) >= run.machine.program.code_words // 2, name

@@ -1,0 +1,134 @@
+"""Unit tests for the extra PowerStone kernels (jpeg, summin, v42, whet)."""
+
+import pytest
+
+from repro.trace.reference import AccessKind
+from repro.workloads import (
+    ALL_WORKLOAD_NAMES,
+    EXTRA_WORKLOAD_NAMES,
+    WORKLOAD_NAMES,
+    list_workloads,
+    run_workload_by_name,
+)
+from repro.workloads import jpeg, summin, v42, whet
+from repro.workloads.common import LCG, WORD_MASK
+
+
+class TestRegistryExtras:
+    def test_extras_not_in_paper_set(self):
+        assert not set(EXTRA_WORKLOAD_NAMES) & set(WORKLOAD_NAMES)
+        assert set(ALL_WORKLOAD_NAMES) == set(WORKLOAD_NAMES) | set(
+            EXTRA_WORKLOAD_NAMES
+        )
+
+    def test_list_workloads_flag(self):
+        assert len(list_workloads()) == 12
+        assert len(list_workloads(include_extras=True)) == 16
+        assert "jpeg" in list_workloads(include_extras=True)
+        assert "jpeg" not in list_workloads()
+
+
+@pytest.fixture(scope="module")
+def extra_runs():
+    return {
+        name: run_workload_by_name(name, scale="tiny")
+        for name in EXTRA_WORKLOAD_NAMES
+    }
+
+
+class TestExtraKernelsVerify:
+    @pytest.mark.parametrize("name", EXTRA_WORKLOAD_NAMES)
+    def test_checksum_matches_golden(self, extra_runs, name):
+        run = extra_runs[name]
+        assert run.verified
+
+    @pytest.mark.parametrize("name", EXTRA_WORKLOAD_NAMES)
+    def test_traces_well_formed(self, extra_runs, name):
+        run = extra_runs[name]
+        assert len(run.instruction_trace) == run.machine.instructions_executed
+        assert len(run.data_trace) > 0
+        kinds = {run.data_trace.kind(i) for i in range(len(run.data_trace))}
+        assert AccessKind.READ in kinds and AccessKind.WRITE in kinds
+
+
+class TestJpegGolden:
+    def test_cosine_matrix_row_zero_is_flat(self):
+        matrix = jpeg.cosine_matrix()
+        assert len(set(matrix[:8])) == 1  # DC basis row is constant
+
+    def test_dc_coefficient_dominates_flat_block(self):
+        # A flat block has all its energy in the DC coefficient, so the
+        # checksum of a flat block equals that of any other flat block
+        # with the same level.
+        flat = [100] * 64
+        assert jpeg.golden([flat]) == jpeg.golden([list(flat)])
+
+    def test_quant_table_positive(self):
+        assert all(q > 0 for q in jpeg.quant_table())
+
+    def test_golden_sensitive_to_pixels(self):
+        a = [100] * 64
+        b = [100] * 32 + [0] * 32  # strong vertical edge
+        assert jpeg.golden([a]) != jpeg.golden([b])
+
+
+class TestSumminGolden:
+    def test_exact_match_found(self):
+        codebook = [[0] * 16, [5] * 16, [9] * 16]
+        inputs = [[5] * 16]
+        # best index 1, distance 0 -> checksum = 0*31 + 1, + 0.
+        assert summin.golden(codebook, inputs) == 1
+
+    def test_early_exit_does_not_change_answer(self):
+        codebook, inputs = summin.make_inputs(8)
+        # Recompute without any early exit.
+        def brute(vector):
+            distances = [
+                sum(abs(a - b) for a, b in zip(vector, cand))
+                for cand in codebook
+            ]
+            best = min(distances)
+            return distances.index(best), best
+
+        checksum = 0
+        for vector in inputs:
+            index, distance = brute(vector)
+            checksum = (checksum * 31 + index) & WORD_MASK
+            checksum = (checksum + distance) & WORD_MASK
+        assert checksum == summin.golden(codebook, inputs)
+
+
+class TestV42Golden:
+    def test_repetitive_input_compresses(self):
+        data = [3, 7] * 100
+        _, emitted = v42.golden(data)
+        assert emitted < 110
+
+    def test_single_symbol_stream(self):
+        checksum, emitted = v42.golden([4] * 50)
+        assert emitted < 15  # match lengths grow linearly
+
+    def test_all_distinct_pairs_emit_per_symbol(self):
+        data = list(range(16))
+        _, emitted = v42.golden(data)
+        assert emitted == 16
+
+    def test_deterministic(self):
+        data = LCG(9).words(300, bound=16)
+        assert v42.golden(data) == v42.golden(data)
+
+
+class TestWhetGolden:
+    def test_deterministic(self):
+        seeds = LCG(1).words(32, bound=4096)
+        assert whet.golden(seeds, 10) == whet.golden(seeds, 10)
+
+    def test_sine_table_monotone_quarter_wave(self):
+        table = whet.sine_table()
+        assert table[0] == 0
+        assert table[-1] == 1 << 12
+        assert all(b >= a for a, b in zip(table, table[1:]))
+
+    def test_cycles_change_result(self):
+        seeds = LCG(2).words(32, bound=4096)
+        assert whet.golden(seeds, 4) != whet.golden(seeds, 5)

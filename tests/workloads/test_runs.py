@@ -1,0 +1,101 @@
+"""Integration tests: every kernel must execute correctly on the VM.
+
+The tiny-scale runs come from a session-scoped fixture (conftest) because
+assembling + executing all 12 kernels is the expensive part.
+"""
+
+import pytest
+
+from repro.trace.reference import AccessKind
+from repro.workloads import (
+    WORKLOAD_NAMES,
+    get_workload,
+    list_workloads,
+    run_workload,
+)
+from repro.workloads.registry import clear_caches, run_workload_by_name
+
+
+class TestRegistry:
+    def test_twelve_workloads_in_paper_order(self):
+        names = list_workloads()
+        assert len(names) == 12
+        assert names == sorted(names)  # the paper lists them alphabetically
+        assert names[0] == "adpcm" and names[-1] == "ucbqsort"
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="available"):
+            get_workload("nonesuch")
+
+    def test_builds_are_cached(self):
+        assert get_workload("crc", "tiny") is get_workload("crc", "tiny")
+
+    def test_scales_produce_different_sizes(self):
+        tiny = get_workload("bcnt", "tiny")
+        default = get_workload("bcnt", "default")
+        assert tiny.params["words"] < default.params["words"]
+
+    def test_clear_caches(self):
+        first = get_workload("crc", "tiny")
+        clear_caches()
+        assert get_workload("crc", "tiny") is not first
+
+
+class TestAllKernelsVerify:
+    def test_all_twelve_ran(self, tiny_runs):
+        assert set(tiny_runs) == set(WORKLOAD_NAMES)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_checksum_matches_golden_model(self, tiny_runs, name):
+        run = tiny_runs[name]
+        assert run.verified
+        assert run.checksum == run.workload.expected
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_traces_are_nonempty_and_sized_consistently(self, tiny_runs, name):
+        run = tiny_runs[name]
+        assert len(run.instruction_trace) == run.machine.instructions_executed
+        assert len(run.instruction_trace) > 100
+        assert len(run.data_trace) > 0
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_data_trace_has_reads_and_writes(self, tiny_runs, name):
+        dtrace = tiny_runs[name].data_trace
+        kinds = {dtrace.kind(i) for i in range(len(dtrace))}
+        assert AccessKind.READ in kinds
+        assert AccessKind.WRITE in kinds  # every kernel stores its result
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_instruction_trace_addresses_are_code_addresses(self, tiny_runs, name):
+        run = tiny_runs[name]
+        code_words = run.machine.program.code_words
+        assert all(0 <= addr < code_words for addr in run.instruction_trace)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_data_trace_addresses_are_data_addresses(self, tiny_runs, name):
+        run = tiny_runs[name]
+        base = run.machine.program.data_base
+        assert all(addr >= base for addr in run.data_trace)
+
+
+class TestRunWorkload:
+    def test_checksum_mismatch_is_fatal(self):
+        workload = get_workload("crc", "tiny")
+        bad = type(workload)(
+            name=workload.name,
+            description=workload.description,
+            source=workload.source,
+            expected=workload.expected ^ 1,
+        )
+        with pytest.raises(AssertionError, match="checksum mismatch"):
+            run_workload(bad)
+
+    def test_run_cache_returns_same_object(self):
+        first = run_workload_by_name("qurt", "tiny")
+        second = run_workload_by_name("qurt", "tiny")
+        assert first is second
+
+    def test_trace_names_include_kernel_name(self, tiny_runs):
+        run = tiny_runs["fir"]
+        assert run.instruction_trace.name == "fir.inst"
+        assert run.data_trace.name == "fir.data"
