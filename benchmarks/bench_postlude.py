@@ -1,0 +1,325 @@
+"""Benchmark harness for the postlude histogram engines.
+
+Times every registered engine (``repro.core.engines``) on a panel of
+synthetic traces plus a few real workload traces, cross-checks that all
+engines produce bit-identical histograms, and writes a machine-readable
+``BENCH_postlude.json``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_postlude.py
+    PYTHONPATH=src python benchmarks/bench_postlude.py --quick  # CI smoke
+
+Timing excludes the prelude (strip / zero-one sets / MRCT are built
+once per trace before the clock starts) for the engines that consume
+prelude products; the streaming engine's single pass over the raw trace
+*is* its whole job, so its wall time covers that pass.  The streaming
+engine is skipped on traces longer than ``STREAMING_MAX_REFS`` — its
+per-reference LRU-stack cost makes multi-hundred-thousand-reference
+runs take minutes, which is exactly what the other engines are for.
+
+JSON schema (``validate_results`` enforces it)::
+
+    {
+      "schema": "repro-bench-postlude/1",
+      "python": str, "numpy": str | null, "platform": str,
+      "repeats": int,
+      "results": [
+        {"engine": str,      # concrete engine name
+         "trace": str,       # trace name
+         "N": int,           # trace length
+         "N_prime": int,     # unique addresses (the paper's N')
+         "levels": int,      # deepest BCAT level computed
+         "wall_s": float,    # best-of-repeats postlude wall time
+         "peak_mem": int,    # tracemalloc peak bytes during one run
+         "match": bool}      # histograms bit-identical to serial
+      ],
+      "summary": {
+        "largest_synthetic_trace": str,
+        "serial_wall_s": float,
+        "vectorized_wall_s": float,
+        "vectorized_speedup": float   # serial / vectorized
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+import tracemalloc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import engines
+from repro.trace.synthetic import (
+    interleaved_trace,
+    loop_nest_trace,
+    markov_trace,
+    zipf_trace,
+)
+from repro.trace.trace import Trace
+
+SCHEMA = "repro-bench-postlude/1"
+
+#: Skip the streaming engine above this trace length (see module docstring).
+STREAMING_MAX_REFS = 120_000
+
+#: Required result-row fields and their types.
+RESULT_FIELDS = {
+    "engine": str,
+    "trace": str,
+    "N": int,
+    "N_prime": int,
+    "levels": int,
+    "wall_s": float,
+    "peak_mem": int,
+    "match": bool,
+}
+
+
+def loop_mix_trace(footprint: int = 512, iterations: int = 150) -> Trace:
+    """The panel's largest synthetic trace: four interleaved loop nests.
+
+    Models an embedded steady state — code, data and stack regions each
+    looping over their own footprint concurrently.  Loop-dominated and
+    periodic, so it exercises the vectorized engine's row dedupe the way
+    real firmware would.
+    """
+    regions = [
+        loop_nest_trace(footprint, iterations, start=region << 13)
+        for region in range(4)
+    ]
+    return interleaved_trace(
+        regions, name=f"loop-mix-{footprint}x4x{iterations}"
+    )
+
+
+def synthetic_panel(quick: bool = False) -> List[Trace]:
+    """Synthetic traces, largest last."""
+    def named(trace: Trace, name: str) -> Trace:
+        trace.name = name
+        return trace
+
+    if quick:
+        return [
+            named(loop_nest_trace(16, 4), "loop-16x4"),
+            named(zipf_trace(400, 64, seed=1), "zipf-400-64"),
+            loop_mix_trace(footprint=32, iterations=8),
+        ]
+    return [
+        named(loop_nest_trace(1024, 100), "loop-1024x100"),
+        named(zipf_trace(100_000, 800, seed=1), "zipf-100000-800"),
+        named(markov_trace(60_000, 1000, locality=0.9, seed=3), "markov-60000-1000"),
+        loop_mix_trace(),
+    ]
+
+
+def workload_panel(
+    names: Sequence[str] = ("crc", "fir", "ucbqsort"), scale: str = "small"
+) -> List[Trace]:
+    """Data traces of a few real workload kernels."""
+    from repro.workloads import run_workload_by_name
+
+    return [run_workload_by_name(name, scale=scale).data_trace for name in names]
+
+
+def _time_engine(
+    spec: engines.EngineSpec,
+    inputs: engines.EngineInputs,
+    repeats: int,
+    measure_memory: bool,
+) -> Tuple[float, int, Dict]:
+    """Best-of-``repeats`` wall time, peak bytes, and the histograms."""
+    best = float("inf")
+    histograms = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        histograms = spec.compute(inputs, processes=2)
+        best = min(best, time.perf_counter() - start)
+    peak = 0
+    if measure_memory:
+        tracemalloc.start()
+        try:
+            spec.compute(inputs, processes=2)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    return best, peak, histograms
+
+
+def run_bench(
+    traces: Sequence[Trace],
+    engine_names: Optional[Sequence[str]] = None,
+    repeats: int = 2,
+    measure_memory: bool = True,
+    largest_synthetic: Optional[str] = None,
+) -> Dict:
+    """Time the engines on each trace and return the result document."""
+    if engine_names is None:
+        engine_names = engines.engine_names(include_auto=False)
+    results: List[Dict] = []
+    wall_by_key: Dict[Tuple[str, str], float] = {}
+    for trace in traces:
+        inputs = engines.EngineInputs(trace)
+        inputs.mrct  # build the prelude outside the timed region
+        reference = engines.get_engine("serial").compute(inputs)
+        levels = max(reference, default=0)
+        for name in engine_names:
+            spec = engines.get_engine(name)
+            if name == "streaming" and len(trace) > STREAMING_MAX_REFS:
+                print(
+                    f"  [skip] streaming on {trace.name} "
+                    f"(N={len(trace)} > {STREAMING_MAX_REFS})",
+                    file=sys.stderr,
+                )
+                continue
+            wall, peak, histograms = _time_engine(
+                spec, inputs, repeats, measure_memory
+            )
+            match = histograms == reference
+            wall_by_key[(name, trace.name)] = wall
+            results.append(
+                {
+                    "engine": name,
+                    "trace": trace.name,
+                    "N": len(trace),
+                    "N_prime": inputs.stripped.n_unique,
+                    "levels": levels,
+                    "wall_s": wall,
+                    "peak_mem": peak,
+                    "match": match,
+                }
+            )
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    document = {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "results": results,
+    }
+    if largest_synthetic is not None:
+        serial = wall_by_key.get(("serial", largest_synthetic))
+        vectorized = wall_by_key.get(("vectorized", largest_synthetic))
+        if serial is not None and vectorized is not None:
+            document["summary"] = {
+                "largest_synthetic_trace": largest_synthetic,
+                "serial_wall_s": serial,
+                "vectorized_wall_s": vectorized,
+                "vectorized_speedup": serial / vectorized,
+            }
+    return document
+
+
+def validate_results(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the schema above."""
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for key, kind in (("python", str), ("repeats", int), ("platform", str)):
+        if not isinstance(document.get(key), kind):
+            raise ValueError(f"missing or mistyped field {key!r}")
+    if not isinstance(document.get("numpy"), (str, type(None))):
+        raise ValueError("field 'numpy' must be a string or null")
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("'results' must be a non-empty list")
+    for row in results:
+        if set(row) != set(RESULT_FIELDS):
+            raise ValueError(f"result fields {sorted(row)} != schema")
+        for field, kind in RESULT_FIELDS.items():
+            value = row[field]
+            if not isinstance(value, kind) or (
+                kind is int and isinstance(value, bool) and field != "match"
+            ):
+                raise ValueError(f"result field {field!r} must be {kind.__name__}")
+        if row["wall_s"] < 0 or row["N"] < 0 or row["peak_mem"] < 0:
+            raise ValueError("negative measurement")
+        if not row["match"]:
+            raise ValueError(
+                f"engine {row['engine']!r} diverged from serial on "
+                f"{row['trace']!r}"
+            )
+    summary = document.get("summary")
+    if summary is not None:
+        for key in (
+            "largest_synthetic_trace",
+            "serial_wall_s",
+            "vectorized_wall_s",
+            "vectorized_speedup",
+        ):
+            if key not in summary:
+                raise ValueError(f"summary missing {key!r}")
+
+
+def _print_table(document: Dict) -> None:
+    rows = document["results"]
+    print(
+        f"{'trace':28s} {'engine':10s} {'N':>7s} {'N_prime':>7s} "
+        f"{'levels':>6s} {'wall_s':>8s} {'peak_mem':>10s}"
+    )
+    for row in rows:
+        print(
+            f"{row['trace']:28s} {row['engine']:10s} {row['N']:7d} "
+            f"{row['N_prime']:7d} {row['levels']:6d} {row['wall_s']:8.3f} "
+            f"{row['peak_mem']:10d}"
+        )
+    summary = document.get("summary")
+    if summary:
+        print(
+            f"largest synthetic ({summary['largest_synthetic_trace']}): "
+            f"serial {summary['serial_wall_s']:.3f}s, vectorized "
+            f"{summary['vectorized_wall_s']:.3f}s -> "
+            f"{summary['vectorized_speedup']:.2f}x"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_postlude.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny panel for smoke tests (seconds, not minutes)",
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--no-workloads", action="store_true", help="skip the workload traces"
+    )
+    parser.add_argument(
+        "--no-memory", action="store_true", help="skip the tracemalloc pass"
+    )
+    args = parser.parse_args(argv)
+
+    synthetic = synthetic_panel(quick=args.quick)
+    traces = list(synthetic)
+    if not args.no_workloads:
+        traces += workload_panel(scale="tiny" if args.quick else "small")
+    largest = max(synthetic, key=len).name
+    document = run_bench(
+        traces,
+        repeats=args.repeats,
+        measure_memory=not args.no_memory,
+        largest_synthetic=largest,
+    )
+    validate_results(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    _print_table(document)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Subcommands::
     repro stats TRACE [TRACE ...]          Table 5/6-style statistics
     repro explore TRACE --budget K [--json]    analytical (D, A) exploration
     repro explore TRACE --percent P        ... with K = P% of max misses
+    repro explore TRACE --budget K --engine E  ... with a specific engine
+    repro engines                          list the histogram engines
     repro simulate TRACE --depth D --assoc A   one cache simulation
     repro compare TRACE --budget K         analytical vs traditional DSE
     repro linesize TRACE --budget K        sweep line sizes (future work)
@@ -102,7 +104,9 @@ def _budget_for(args: argparse.Namespace, explorer: AnalyticalCacheExplorer) -> 
 def _cmd_explore(args: argparse.Namespace) -> int:
     trace = read_trace(args.trace)
     explorer = AnalyticalCacheExplorer(
-        trace, max_depth=args.max_depth if args.max_depth else None
+        trace,
+        max_depth=args.max_depth if args.max_depth else None,
+        engine=args.engine,
     )
     budget = _budget_for(args, explorer)
     result = explorer.explore(budget)
@@ -111,7 +115,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
         print(json.dumps(result.to_json_dict(), indent=2))
         return 0
-    print(f"trace {trace.name}: N={len(trace)} N'={trace.unique_count()}")
+    print(
+        f"trace {trace.name}: N={len(trace)} N'={trace.unique_count()} "
+        f"(engine: {explorer.resolved_engine})"
+    )
     print(f"miss budget K={budget} (beyond cold misses)")
     rows = [
         [inst.depth, inst.associativity, inst.size_words, misses]
@@ -123,6 +130,32 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             rows,
             title="optimal cache instances",
         )
+    )
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.core import engines
+
+    rows = [
+        [
+            spec.name,
+            "yes" if spec.available() else "no (NumPy missing)",
+            spec.summary,
+            spec.best_for,
+        ]
+        for spec in (engines.get_engine(n) for n in engines.engine_names(False))
+    ]
+    print(
+        format_table(
+            ["Engine", "Available", "Summary", "Best for"],
+            rows,
+            title="histogram engines (all bit-identical)",
+        )
+    )
+    print(
+        f"auto: 'vectorized' when NumPy is importable and the trace has "
+        f">= {engines.AUTO_MIN_REFS} references, else 'serial'"
     )
     return 0
 
@@ -511,7 +544,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    from repro.core import engines as _engines
+
+    p.add_argument(
+        "--engine",
+        default=_engines.AUTO_ENGINE,
+        choices=sorted(set(_engines.engine_names()) | set(_engines.ALIASES)),
+        help="histogram engine (default: auto)",
+    )
     p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("engines", help="list the histogram engines")
+    p.set_defaults(func=_cmd_engines)
 
     p = sub.add_parser("simulate", help="simulate one cache configuration")
     p.add_argument("trace", help="trace file")

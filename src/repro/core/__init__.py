@@ -32,6 +32,16 @@ from repro.core.postlude import (
     optimal_pairs,
     optimal_pairs_algorithm3,
 )
+from repro.core.engines import (
+    EngineInputs,
+    EngineSpec,
+    choose_auto,
+    compute_histograms,
+    engine_names,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
 from repro.core.explorer import AnalyticalCacheExplorer, explore
 from repro.core.linesize import (
     LineInstance,
@@ -42,6 +52,10 @@ from repro.core.linesize import (
 from repro.core.multi import MultiTraceExplorer, MultiTraceResult
 from repro.core.parallel import compute_level_histograms_parallel
 from repro.core.streaming import compute_level_histograms_streaming
+from repro.core.vectorized import (
+    compute_level_histograms_vectorized,
+    numpy_available,
+)
 from repro.core.sensitivity import (
     SensitivityStep,
     budget_sensitivity,
@@ -73,8 +87,18 @@ __all__ = [
     "LineSizeExplorer",
     "LineSweepResult",
     "explore_line_sizes",
+    "EngineInputs",
+    "EngineSpec",
+    "choose_auto",
+    "compute_histograms",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
     "compute_level_histograms_parallel",
     "compute_level_histograms_streaming",
+    "compute_level_histograms_vectorized",
+    "numpy_available",
     "MultiTraceExplorer",
     "MultiTraceResult",
     "SensitivityStep",

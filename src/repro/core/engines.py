@@ -1,0 +1,296 @@
+"""Postlude engine registry: one dispatch point for every implementation.
+
+The repo has grown four interchangeable ways to turn a trace into the
+per-level conflict histograms of the paper's Algorithm 3 — serial
+bigints, a multiprocessing splitter, a constant-memory streaming pass
+and a NumPy bit-matrix kernel.  Callers (the explorer, the CLI, the
+benchmark harness) should not hard-code that list; they select an
+engine *by name* here and new engines become visible everywhere by
+registering a single :class:`EngineSpec`.
+
+Names
+-----
+
+``serial``
+    The reference implementation
+    (:func:`repro.core.postlude.compute_level_histograms`).  Every other
+    engine is tested bit-identical against it.  ``bitmask`` is accepted
+    as a legacy alias.
+``parallel``
+    BCAT subtrees fanned out over worker processes
+    (:mod:`repro.core.parallel`); takes a ``processes`` option.
+``streaming``
+    Single LRU-stack pass over the raw trace with O(N') memory
+    (:mod:`repro.core.streaming`).
+``vectorized``
+    NumPy ``uint64`` bit-matrix kernel (:mod:`repro.core.vectorized`);
+    falls back to ``serial`` when NumPy is missing.
+``auto``
+    Picks ``vectorized`` when NumPy is importable and the trace is long
+    enough (``>= AUTO_MIN_REFS`` references) for the packing overhead to
+    amortize, else ``serial``.
+
+All engines consume the same :class:`EngineInputs` bundle, which builds
+the prelude products (stripped trace, zero/one sets, MRCT) lazily and
+exactly once, so switching engines never repeats the prelude.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.mrct import MRCT, build_mrct
+from repro.core.postlude import LevelHistogram, compute_level_histograms
+from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
+from repro.trace.strip import StrippedTrace, strip_trace
+from repro.trace.trace import Trace
+
+#: Engine selected when the caller does not choose one.
+AUTO_ENGINE = "auto"
+
+#: ``auto`` switches from ``serial`` to ``vectorized`` at this trace
+#: length: below it the NumPy kernel's pack/sort overhead eats the win.
+AUTO_MIN_REFS = 4096
+
+#: Legacy names still accepted everywhere an engine name is.
+ALIASES = {"bitmask": "serial"}
+
+
+class EngineInputs:
+    """Lazily built prelude products shared by every engine.
+
+    One instance per trace; each stage (strip, zero/one sets, MRCT) is
+    computed on first access and cached, so engines can be re-run or
+    compared without re-running the prelude.  Pre-built products may be
+    injected (the benchmark harness does this to time the postlude
+    alone).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        stripped: Optional[StrippedTrace] = None,
+        zerosets: Optional[ZeroOneSets] = None,
+        mrct: Optional[MRCT] = None,
+    ) -> None:
+        self.trace = trace
+        self._stripped = stripped
+        self._zerosets = zerosets
+        self._mrct = mrct
+
+    @property
+    def stripped(self) -> StrippedTrace:
+        if self._stripped is None:
+            self._stripped = strip_trace(self.trace)
+        return self._stripped
+
+    @property
+    def zerosets(self) -> ZeroOneSets:
+        if self._zerosets is None:
+            self._zerosets = build_zero_one_sets(self.stripped)
+        return self._zerosets
+
+    @property
+    def mrct(self) -> MRCT:
+        if self._mrct is None:
+            self._mrct = build_mrct(self.stripped)
+        return self._mrct
+
+
+Runner = Callable[..., Dict[int, LevelHistogram]]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A registered histogram engine.
+
+    Attributes:
+        name: canonical registry key.
+        summary: one-line description (shown by ``repro engines``).
+        memory: qualitative working-set note for the selection table.
+        best_for: when to pick this engine.
+        runner: callable ``runner(inputs, max_level=None, **options)``
+            returning the per-level histograms; unknown options must be
+            ignored so one option set can be passed to any engine.
+        requires_numpy: True when the fast path needs NumPy (the engine
+            must still *work* without it, falling back internally).
+    """
+
+    name: str
+    summary: str
+    memory: str
+    best_for: str
+    runner: Runner
+    requires_numpy: bool = False
+
+    def available(self) -> bool:
+        """True when the engine's fast path can run in this interpreter."""
+        if not self.requires_numpy:
+            return True
+        from repro.core.vectorized import numpy_available
+
+        return numpy_available()
+
+    def compute(
+        self,
+        inputs: EngineInputs,
+        max_level: Optional[int] = None,
+        **options: object,
+    ) -> Dict[int, LevelHistogram]:
+        """Run this engine on the given prelude products."""
+        return self.runner(inputs, max_level=max_level, **options)
+
+
+_REGISTRY: "OrderedDict[str, EngineSpec]" = OrderedDict()
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Add an engine to the registry (name must be new and not an alias)."""
+    if spec.name in _REGISTRY or spec.name in ALIASES or spec.name == AUTO_ENGINE:
+        raise ValueError(f"engine name {spec.name!r} already taken")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def engine_names(include_auto: bool = True) -> Tuple[str, ...]:
+    """Registered canonical engine names, in registration order."""
+    names = tuple(_REGISTRY)
+    return names + (AUTO_ENGINE,) if include_auto else names
+
+
+def canonical_name(name: str) -> str:
+    """Validate an engine name and resolve aliases (``auto`` stays ``auto``).
+
+    Raises:
+        ValueError: for names that are neither registered, aliased nor
+            ``auto``.
+    """
+    resolved = ALIASES.get(name, name)
+    if resolved != AUTO_ENGINE and resolved not in _REGISTRY:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {engine_names()}"
+        )
+    return resolved
+
+
+def choose_auto(trace: Optional[Trace] = None) -> str:
+    """The concrete engine ``auto`` stands for, given a trace."""
+    from repro.core.vectorized import numpy_available
+
+    if numpy_available() and trace is not None and len(trace) >= AUTO_MIN_REFS:
+        return "vectorized"
+    return "serial"
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up a concrete engine by (possibly aliased) name."""
+    resolved = canonical_name(name)
+    if resolved == AUTO_ENGINE:
+        raise ValueError(
+            "'auto' is a selection policy, not a concrete engine; "
+            "use resolve_engine() with inputs"
+        )
+    return _REGISTRY[resolved]
+
+
+def resolve_engine(name: str, inputs: Optional[EngineInputs] = None) -> EngineSpec:
+    """Resolve a name (including ``auto`` and aliases) to an engine spec."""
+    resolved = canonical_name(name)
+    if resolved == AUTO_ENGINE:
+        resolved = choose_auto(inputs.trace if inputs is not None else None)
+    return _REGISTRY[resolved]
+
+
+def compute_histograms(
+    engine: str,
+    inputs: EngineInputs,
+    max_level: Optional[int] = None,
+    **options: object,
+) -> Dict[int, LevelHistogram]:
+    """Select an engine by name and run it — the one-call dispatch path."""
+    return resolve_engine(engine, inputs).compute(
+        inputs, max_level=max_level, **options
+    )
+
+
+# -- built-in engines ----------------------------------------------------------
+
+
+def _run_serial(
+    inputs: EngineInputs, max_level: Optional[int] = None, **_: object
+) -> Dict[int, LevelHistogram]:
+    return compute_level_histograms(
+        inputs.zerosets, inputs.mrct, max_level=max_level
+    )
+
+
+def _run_parallel(
+    inputs: EngineInputs,
+    max_level: Optional[int] = None,
+    processes: int = 2,
+    **_: object,
+) -> Dict[int, LevelHistogram]:
+    from repro.core.parallel import compute_level_histograms_parallel
+
+    return compute_level_histograms_parallel(
+        inputs.zerosets, inputs.mrct, max_level=max_level, processes=processes
+    )
+
+
+def _run_streaming(
+    inputs: EngineInputs, max_level: Optional[int] = None, **_: object
+) -> Dict[int, LevelHistogram]:
+    from repro.core.streaming import compute_level_histograms_streaming
+
+    return compute_level_histograms_streaming(inputs.trace, max_level=max_level)
+
+
+def _run_vectorized(
+    inputs: EngineInputs, max_level: Optional[int] = None, **_: object
+) -> Dict[int, LevelHistogram]:
+    from repro.core.vectorized import compute_level_histograms_vectorized
+
+    return compute_level_histograms_vectorized(
+        inputs.zerosets, inputs.mrct, max_level=max_level
+    )
+
+
+register_engine(
+    EngineSpec(
+        name="serial",
+        summary="reference bigint BCAT/MRCT pipeline (pure Python)",
+        memory="O(N' bits x N') sets + O(occurrences) MRCT",
+        best_for="small/medium traces; the correctness baseline",
+        runner=_run_serial,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="parallel",
+        summary="BCAT subtrees across worker processes",
+        memory="serial's, duplicated per worker",
+        best_for="very large N x N' on multi-core hosts without NumPy",
+        runner=_run_parallel,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="streaming",
+        summary="single LRU-stack pass over the raw trace",
+        memory="O(N') — no MRCT, no zero/one sets",
+        best_for="traces that dwarf RAM",
+        runner=_run_streaming,
+    )
+)
+register_engine(
+    EngineSpec(
+        name="vectorized",
+        summary="NumPy uint64 bit-matrix kernel with weighted row dedupe",
+        memory="O(unique conflict rows x N'/64 words)",
+        best_for="long loop-dominated traces when NumPy is available",
+        runner=_run_vectorized,
+        requires_numpy=True,
+    )
+)

@@ -11,16 +11,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.core import engines as _engines
 from repro.core.instance import ExplorationResult
-from repro.core.mrct import MRCT, build_mrct
-from repro.core.postlude import (
-    LevelHistogram,
-    compute_level_histograms,
-    optimal_pairs,
-)
-from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
+from repro.core.mrct import MRCT
+from repro.core.postlude import LevelHistogram, optimal_pairs
+from repro.core.zerosets import ZeroOneSets
 from repro.trace.stats import TraceStatistics, compute_statistics
-from repro.trace.strip import StrippedTrace, strip_trace
+from repro.trace.strip import StrippedTrace
 from repro.trace.trace import Trace
 
 
@@ -33,12 +30,15 @@ class AnalyticalCacheExplorer:
             Defaults to the smallest depth at which every row is
             conflict-free (one level past the BCAT's deepest conflicts) —
             all larger depths trivially report ``A = 1``.
-        engine: which histogram implementation to use —
-            ``"bitmask"`` (default; the paper's BCAT/MRCT pipeline with
-            bit-vector sets, fastest in Python), ``"streaming"`` (single
-            LRU-stack pass, O(N') memory, for traces that dwarf RAM) or
-            ``"parallel"`` (BCAT subtrees across worker processes, for
-            very large N·N').
+        engine: which histogram engine to use, by registry name
+            (see :mod:`repro.core.engines`): ``"serial"`` (the paper's
+            BCAT/MRCT pipeline with bit-vector sets; ``"bitmask"`` is a
+            legacy alias), ``"streaming"`` (single LRU-stack pass, O(N')
+            memory, for traces that dwarf RAM), ``"parallel"`` (BCAT
+            subtrees across worker processes, for very large N·N'),
+            ``"vectorized"`` (NumPy bit-matrix kernel) or ``"auto"``
+            (default; picks ``vectorized`` for long traces when NumPy is
+            available, else ``serial``).
         processes: worker count for the ``"parallel"`` engine.
 
     All engines produce bit-identical histograms, hence identical
@@ -53,13 +53,13 @@ class AnalyticalCacheExplorer:
         1
     """
 
-    ENGINES = ("bitmask", "streaming", "parallel")
+    ENGINES = _engines.engine_names()
 
     def __init__(
         self,
         trace: Trace,
         max_depth: Optional[int] = None,
-        engine: str = "bitmask",
+        engine: str = _engines.AUTO_ENGINE,
         processes: int = 2,
     ) -> None:
         if max_depth is not None:
@@ -67,19 +67,14 @@ class AnalyticalCacheExplorer:
                 raise ValueError(
                     f"max_depth must be a power of two, got {max_depth}"
                 )
-        if engine not in self.ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; expected one of {self.ENGINES}"
-            )
+        _engines.canonical_name(engine)  # raises ValueError on unknown names
         if processes < 1:
             raise ValueError("processes must be >= 1")
         self.trace = trace
         self.engine = engine
         self.processes = processes
         self._max_depth = max_depth
-        self._stripped: Optional[StrippedTrace] = None
-        self._zerosets: Optional[ZeroOneSets] = None
-        self._mrct: Optional[MRCT] = None
+        self._inputs = _engines.EngineInputs(trace)
         self._histograms: Optional[Dict[int, LevelHistogram]] = None
         self._statistics: Optional[TraceStatistics] = None
 
@@ -88,23 +83,22 @@ class AnalyticalCacheExplorer:
     @property
     def stripped(self) -> StrippedTrace:
         """The stripped trace (prelude step 1)."""
-        if self._stripped is None:
-            self._stripped = strip_trace(self.trace)
-        return self._stripped
+        return self._inputs.stripped
 
     @property
     def zerosets(self) -> ZeroOneSets:
         """The per-bit zero/one sets (prelude step 2)."""
-        if self._zerosets is None:
-            self._zerosets = build_zero_one_sets(self.stripped)
-        return self._zerosets
+        return self._inputs.zerosets
 
     @property
     def mrct(self) -> MRCT:
         """The memory-reference conflict table (prelude step 3)."""
-        if self._mrct is None:
-            self._mrct = build_mrct(self.stripped)
-        return self._mrct
+        return self._inputs.mrct
+
+    @property
+    def resolved_engine(self) -> str:
+        """The concrete engine name this explorer runs (``auto`` resolved)."""
+        return _engines.resolve_engine(self.engine, self._inputs).name
 
     @property
     def histograms(self) -> Dict[int, LevelHistogram]:
@@ -113,29 +107,12 @@ class AnalyticalCacheExplorer:
             max_level = None
             if self._max_depth is not None:
                 max_level = self._max_depth.bit_length() - 1
-            if self.engine == "streaming":
-                from repro.core.streaming import (
-                    compute_level_histograms_streaming,
-                )
-
-                self._histograms = compute_level_histograms_streaming(
-                    self.trace, max_level=max_level
-                )
-            elif self.engine == "parallel":
-                from repro.core.parallel import (
-                    compute_level_histograms_parallel,
-                )
-
-                self._histograms = compute_level_histograms_parallel(
-                    self.zerosets,
-                    self.mrct,
-                    max_level=max_level,
-                    processes=self.processes,
-                )
-            else:
-                self._histograms = compute_level_histograms(
-                    self.zerosets, self.mrct, max_level=max_level
-                )
+            self._histograms = _engines.compute_histograms(
+                self.engine,
+                self._inputs,
+                max_level=max_level,
+                processes=self.processes,
+            )
         return self._histograms
 
     @property

@@ -60,6 +60,10 @@ class MultiTraceExplorer:
         weights: optional per-trace multipliers for ``sum`` mode
             (e.g. invocation frequencies); defaults to 1 each.
         max_depth: forwarded to the per-trace explorers.
+        engine: histogram engine name (see :mod:`repro.core.engines`),
+            forwarded to every per-trace explorer; ``"auto"`` picks the
+            best available engine per trace.
+        processes: worker count for the ``"parallel"`` engine.
 
     Example:
         >>> from repro.trace import loop_nest_trace
@@ -75,6 +79,8 @@ class MultiTraceExplorer:
         traces: Sequence[Trace],
         weights: Optional[Sequence[int]] = None,
         max_depth: Optional[int] = None,
+        engine: str = "auto",
+        processes: int = 2,
     ) -> None:
         if not traces:
             raise ValueError("at least one trace is required")
@@ -92,7 +98,9 @@ class MultiTraceExplorer:
         self.traces = list(traces)
         self.weights = weights or [1] * len(traces)
         self.explorers = [
-            AnalyticalCacheExplorer(trace, max_depth=max_depth)
+            AnalyticalCacheExplorer(
+                trace, max_depth=max_depth, engine=engine, processes=processes
+            )
             for trace in self.traces
         ]
 

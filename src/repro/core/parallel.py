@@ -11,6 +11,9 @@ per-level results and handles the levels above the cut.
 
 Results are bit-identical to the serial
 :func:`repro.core.postlude.compute_level_histograms` — enforced by tests.
+
+Registered as the ``parallel`` engine in :mod:`repro.core.engines`; its
+``processes`` option flows through the registry's dispatch call.
 """
 
 from __future__ import annotations

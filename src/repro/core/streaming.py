@@ -23,7 +23,9 @@ trace length — the variant to use when the trace dwarfs memory.
 
 Produces histograms bit-identical to
 :func:`repro.core.postlude.compute_level_histograms` (tested), so the
-explorer can use either engine.
+explorer can use either engine.  Registered as the ``streaming`` engine
+in :mod:`repro.core.engines` (it is the one engine that consumes the raw
+trace rather than the prelude products).
 """
 
 from __future__ import annotations

@@ -8,9 +8,31 @@ executing a kernel is the expensive part of the workload tests.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.trace.trace import Trace
+
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    _hypothesis_settings = None
+
+if _hypothesis_settings is not None:
+    # Deterministic by default: property tests replay the same examples on
+    # every run (and in CI), so a red bisects cleanly.  Opt into fresh
+    # randomness or more examples with REPRO_HYPOTHESIS_PROFILE.
+    _hypothesis_settings.register_profile(
+        "deterministic", derandomize=True, deadline=None
+    )
+    _hypothesis_settings.register_profile(
+        "thorough", max_examples=400, deadline=None
+    )
+    _hypothesis_settings.register_profile("random", deadline=None)
+    _hypothesis_settings.load_profile(
+        os.environ.get("REPRO_HYPOTHESIS_PROFILE", "deterministic")
+    )
 
 #: The paper's Table 1 trace: ids [1,2,3,4,1,5,2,4,1,3] over the unique
 #: references 1011, 1100, 0110, 0011, 0100.  Verified to reproduce the

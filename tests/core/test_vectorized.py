@@ -1,0 +1,130 @@
+"""The vectorized (NumPy bit-matrix) engine against the serial reference.
+
+Bit-identity on the paper's example and edge cases, both popcount code
+paths, the NumPy-less fallback (in-process and in a real subprocess with
+``import numpy`` failing), and the ``auto`` selection policy.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import engines
+from repro.core import vectorized as vec
+from repro.core.mrct import build_mrct
+from repro.core.postlude import compute_level_histograms
+from repro.core.vectorized import compute_level_histograms_vectorized
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _both(trace, max_level=None):
+    stripped = strip_trace(trace)
+    zerosets = build_zero_one_sets(stripped)
+    mrct = build_mrct(stripped)
+    serial = compute_level_histograms(zerosets, mrct, max_level=max_level)
+    fast = compute_level_histograms_vectorized(
+        zerosets, mrct, max_level=max_level
+    )
+    return serial, fast
+
+
+def test_paper_example_bit_identical(paper_trace):
+    serial, fast = _both(paper_trace)
+    assert fast == serial
+
+
+@pytest.mark.parametrize(
+    "trace",
+    [
+        Trace([]),
+        Trace([7, 7, 7, 7]),
+        Trace([3, 12, 3, 12, 3]),
+        Trace(range(64)),
+        loop_nest_trace(64, 6),
+        zipf_trace(900, 70, seed=11),
+    ],
+    ids=["empty", "single-address", "two-addresses", "no-reuse", "loop", "zipf"],
+)
+def test_bit_identical_on_edge_and_small_traces(trace):
+    serial, fast = _both(trace)
+    assert fast == serial
+
+
+@pytest.mark.parametrize("max_level", [0, 1, 3, 99])
+def test_max_level_clamped_like_serial(max_level):
+    serial, fast = _both(zipf_trace(500, 60, seed=2), max_level=max_level)
+    assert sorted(fast) == sorted(serial)
+    assert fast == serial
+
+
+@pytest.mark.skipif(not vec.numpy_available(), reason="needs numpy")
+def test_byte_table_popcount_path(monkeypatch):
+    """Forcing the pre-2.0 LUT popcount must not change any histogram."""
+    trace = zipf_trace(700, 90, seed=5)
+    serial, fast = _both(trace)
+    monkeypatch.setattr(vec, "_USE_BITWISE_COUNT", False)
+    _, table_path = _both(trace)
+    assert fast == serial
+    assert table_path == serial
+
+
+def test_fallback_when_numpy_object_missing(monkeypatch, paper_trace):
+    """With ``_np`` gone the function must delegate to the serial kernel."""
+    monkeypatch.setattr(vec, "_np", None)
+    assert not vec.numpy_available()
+    serial, fast = _both(paper_trace)
+    assert fast == serial
+
+
+def test_core_works_in_numpy_less_interpreter():
+    """Real subprocess where ``import numpy`` raises: core must still run.
+
+    ``sys.modules["numpy"] = None`` makes any ``import numpy`` raise
+    ImportError, which is how a NumPy-less install behaves.
+    """
+    script = """
+import sys
+sys.modules["numpy"] = None
+from repro.core import (
+    AnalyticalCacheExplorer,
+    compute_level_histograms_vectorized,
+    numpy_available,
+)
+from repro.core.engines import choose_auto
+from repro.trace.synthetic import loop_nest_trace
+
+assert not numpy_available()
+trace = loop_nest_trace(16, 400)  # long enough that auto would vectorize
+assert choose_auto(trace) == "serial"
+explorer = AnalyticalCacheExplorer(trace, engine="vectorized")
+reference = AnalyticalCacheExplorer(trace, engine="serial")
+assert explorer.histograms == reference.histograms
+assert explorer.explore(0).as_dict() == reference.explore(0).as_dict()
+print("ok")
+"""
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC_DIR, "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip() == "ok"
+
+
+def test_auto_prefers_vectorized_only_for_long_traces():
+    short = loop_nest_trace(8, 4)
+    long = loop_nest_trace(64, 1 + engines.AUTO_MIN_REFS // 64)
+    if vec.numpy_available():
+        assert engines.choose_auto(long) == "vectorized"
+    else:
+        assert engines.choose_auto(long) == "serial"
+    assert engines.choose_auto(short) == "serial"
+    assert engines.choose_auto(None) == "serial"

@@ -1,0 +1,125 @@
+"""The benchmark harness run in-process on a tiny panel.
+
+Loads ``benchmarks/bench_postlude.py`` by path (benchmarks/ is not a
+package), runs the quick panel, and validates the emitted JSON against
+the documented schema — including that ``validate_results`` actually
+rejects malformed documents.
+"""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    path = REPO_ROOT / "benchmarks" / "bench_postlude.py"
+    spec = importlib.util.spec_from_file_location("bench_postlude", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def document(bench, tmp_path_factory):
+    output = tmp_path_factory.mktemp("bench") / "BENCH_postlude.json"
+    exit_code = bench.main(
+        [
+            "-o",
+            str(output),
+            "--quick",
+            "--repeats",
+            "1",
+            "--no-workloads",
+            "--no-memory",
+        ]
+    )
+    assert exit_code == 0
+    with open(output, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_emitted_json_matches_schema(bench, document):
+    bench.validate_results(document)  # must not raise
+    assert document["schema"] == bench.SCHEMA
+
+
+def test_every_result_row_has_exact_schema_fields(bench, document):
+    for row in document["results"]:
+        assert set(row) == set(bench.RESULT_FIELDS)
+        for field, kind in bench.RESULT_FIELDS.items():
+            assert isinstance(row[field], kind), field
+
+
+def test_all_engines_timed_on_all_quick_traces(bench, document):
+    from repro.core import engines
+
+    expected_engines = set(engines.engine_names(include_auto=False))
+    traces = {row["trace"] for row in document["results"]}
+    assert len(traces) == len(bench.synthetic_panel(quick=True))
+    for trace in traces:
+        timed = {
+            row["engine"]
+            for row in document["results"]
+            if row["trace"] == trace
+        }
+        assert timed == expected_engines, trace
+
+
+def test_all_engines_matched_serial(document):
+    assert all(row["match"] for row in document["results"])
+    assert all(row["wall_s"] >= 0 for row in document["results"])
+
+
+def test_summary_reports_largest_synthetic_speedup(document):
+    summary = document["summary"]
+    largest = max(document["results"], key=lambda row: row["N"])
+    assert summary["largest_synthetic_trace"] == largest["trace"]
+    assert summary["vectorized_speedup"] == pytest.approx(
+        summary["serial_wall_s"] / summary["vectorized_wall_s"]
+    )
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    [
+        lambda doc: doc.update(schema="bogus/0"),
+        lambda doc: doc.pop("results"),
+        lambda doc: doc.update(results=[]),
+        lambda doc: doc["results"][0].pop("wall_s"),
+        lambda doc: doc["results"][0].update(wall_s=-1.0),
+        lambda doc: doc["results"][0].update(match=False),
+        lambda doc: doc["results"][0].update(extra_field=1),
+        lambda doc: doc["summary"].pop("vectorized_speedup"),
+    ],
+    ids=[
+        "wrong-schema",
+        "no-results",
+        "empty-results",
+        "missing-field",
+        "negative-wall",
+        "mismatch",
+        "extra-field",
+        "summary-missing-key",
+    ],
+)
+def test_validate_results_rejects_malformed_documents(bench, document, mutation):
+    broken = copy.deepcopy(document)
+    mutation(broken)
+    with pytest.raises(ValueError):
+        bench.validate_results(broken)
+
+
+def test_committed_bench_results_meet_speedup_floor(bench):
+    """The checked-in BENCH_postlude.json must validate and show the
+    >= 3x serial-to-vectorized speedup on the largest synthetic trace."""
+    path = REPO_ROOT / "BENCH_postlude.json"
+    with open(path, encoding="utf-8") as handle:
+        committed = json.load(handle)
+    bench.validate_results(committed)
+    assert committed["summary"]["vectorized_speedup"] >= 3.0
