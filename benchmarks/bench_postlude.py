@@ -10,6 +10,9 @@ Run it from the repo root::
     PYTHONPATH=src python benchmarks/bench_postlude.py
     PYTHONPATH=src python benchmarks/bench_postlude.py --quick  # CI smoke
 
+Timing and memory sampling go through :mod:`repro.obs` — the same
+recorder the pipeline itself is instrumented with (``repro profile``),
+so the harness measures exactly what a profiled production run reports.
 Timing excludes the prelude (strip / zero-one sets / MRCT are built
 once per trace before the clock starts) for the engines that consume
 prelude products; the streaming engine's single pass over the raw trace
@@ -47,13 +50,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
-import tracemalloc
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import engines
+from repro.obs import NULL_RECORDER, Recorder, environment_info
 from repro.trace.synthetic import (
     interleaved_trace,
     loop_nest_trace,
@@ -132,21 +133,30 @@ def _time_engine(
     repeats: int,
     measure_memory: bool,
 ) -> Tuple[float, int, Dict]:
-    """Best-of-``repeats`` wall time, peak bytes, and the histograms."""
+    """Best-of-``repeats`` wall time, peak bytes, and the histograms.
+
+    Each run attaches a fresh :class:`repro.obs.Recorder` to the inputs;
+    the engine's own ``engine:<name>`` phase (recorded by the registry's
+    dispatch) is the timed region, so the harness and ``repro profile``
+    report the same quantity.
+    """
+    options = spec.filter_options({"processes": 2})
     best = float("inf")
     histograms = None
-    for _ in range(max(1, repeats)):
-        start = time.perf_counter()
-        histograms = spec.compute(inputs, processes=2)
-        best = min(best, time.perf_counter() - start)
-    peak = 0
-    if measure_memory:
-        tracemalloc.start()
-        try:
-            spec.compute(inputs, processes=2)
-            _, peak = tracemalloc.get_traced_memory()
-        finally:
-            tracemalloc.stop()
+    try:
+        for _ in range(max(1, repeats)):
+            recorder = Recorder()
+            inputs.recorder = recorder
+            histograms = spec.compute(inputs, **options)
+            best = min(best, recorder.find(f"engine:{spec.name}").duration_s)
+        peak = 0
+        if measure_memory:
+            recorder = Recorder(memory=True)
+            inputs.recorder = recorder
+            spec.compute(inputs, **options)
+            peak = recorder.memory_stats.get("tracemalloc_peak_bytes", 0)
+    finally:
+        inputs.recorder = NULL_RECORDER
     return best, peak, histograms
 
 
@@ -193,17 +203,12 @@ def run_bench(
                     "match": match,
                 }
             )
-    try:
-        import numpy
-
-        numpy_version = numpy.__version__
-    except ImportError:
-        numpy_version = None
+    environment = environment_info()
     document = {
         "schema": SCHEMA,
-        "python": platform.python_version(),
-        "numpy": numpy_version,
-        "platform": platform.platform(),
+        "python": environment["python"],
+        "numpy": environment["numpy"],
+        "platform": environment["platform"],
         "repeats": repeats,
         "results": results,
     }

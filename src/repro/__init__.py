@@ -16,6 +16,7 @@ evaluation depends on:
 * :mod:`repro.core`      — the paper's contribution (BCAT, MRCT, postlude)
 * :mod:`repro.explore`   — traditional DSE baselines and comparisons
 * :mod:`repro.analysis`  — table rendering and runtime measurement
+* :mod:`repro.obs`       — per-phase telemetry (recorders, run manifests)
 
 Quickstart::
 
@@ -30,9 +31,10 @@ Quickstart::
 
 from repro.core import AnalyticalCacheExplorer, CacheInstance, ExplorationResult, explore
 from repro.cache import CacheConfig, CacheSimulator, SimulationResult, simulate_trace
+from repro.obs import NullRecorder, Recorder, RunManifest, validate_manifest
 from repro.trace import Trace, compute_statistics, read_trace, write_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalyticalCacheExplorer",
@@ -43,6 +45,10 @@ __all__ = [
     "CacheSimulator",
     "SimulationResult",
     "simulate_trace",
+    "NullRecorder",
+    "Recorder",
+    "RunManifest",
+    "validate_manifest",
     "Trace",
     "compute_statistics",
     "read_trace",

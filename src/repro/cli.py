@@ -8,6 +8,8 @@ Subcommands::
     repro explore TRACE --budget K [--json]    analytical (D, A) exploration
     repro explore TRACE --percent P        ... with K = P% of max misses
     repro explore TRACE --budget K --engine E  ... with a specific engine
+    repro explore TRACE --budget K --profile M.json  ... plus a run manifest
+    repro profile TRACE [--engine E]       per-phase timing/memory telemetry
     repro engines                          list the histogram engines
     repro simulate TRACE --depth D --assoc A   one cache simulation
     repro compare TRACE --budget K         analytical vs traditional DSE
@@ -102,14 +104,30 @@ def _budget_for(args: argparse.Namespace, explorer: AnalyticalCacheExplorer) -> 
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
-    trace = read_trace(args.trace)
+    recorder = None
+    if args.profile:
+        from repro.obs import Recorder
+
+        recorder = Recorder(memory=True)
+    if recorder is not None:
+        with recorder.phase("load-trace"):
+            trace = read_trace(args.trace)
+    else:
+        trace = read_trace(args.trace)
     explorer = AnalyticalCacheExplorer(
         trace,
         max_depth=args.max_depth if args.max_depth else None,
         engine=args.engine,
+        recorder=recorder,
     )
     budget = _budget_for(args, explorer)
     result = explorer.explore(budget)
+    if recorder is not None:
+        manifest = explorer.run_manifest()
+        with open(args.profile, "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json())
+            fh.write("\n")
+        print(f"wrote run manifest to {args.profile}", file=sys.stderr)
     if args.json:
         import json
 
@@ -134,6 +152,44 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import Recorder
+
+    recorder = Recorder(memory=not args.no_memory)
+    with recorder.phase("load-trace"):
+        trace = read_trace(args.trace)
+    explorer = AnalyticalCacheExplorer(
+        trace, engine=args.engine, processes=args.processes, recorder=recorder
+    )
+    if args.budget is not None:
+        budget = args.budget
+    else:
+        budget = explorer.statistics.budget(args.percent)
+    result = explorer.explore(budget)
+    manifest = explorer.run_manifest()  # before printing: wall time is closed
+    if args.json:
+        print(manifest.to_json())
+    else:
+        print(
+            f"trace {trace.name}: N={len(trace)} N'={trace.unique_count()} "
+            f"K={budget} -> {len(result.instances)} instances "
+            f"(engine: {manifest.engine})"
+        )
+        print(recorder.render())
+        if recorder.memory_stats:
+            pairs = ", ".join(
+                f"{name}={value}"
+                for name, value in sorted(recorder.memory_stats.items())
+            )
+            print(f"memory: {pairs}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json())
+            fh.write("\n")
+        print(f"wrote run manifest to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.core import engines
 
@@ -142,13 +198,14 @@ def _cmd_engines(args: argparse.Namespace) -> int:
             spec.name,
             "yes" if spec.available() else "no (NumPy missing)",
             spec.summary,
+            ", ".join(spec.options) or "-",
             spec.best_for,
         ]
         for spec in (engines.get_engine(n) for n in engines.engine_names(False))
     ]
     print(
         format_table(
-            ["Engine", "Available", "Summary", "Best for"],
+            ["Engine", "Available", "Summary", "Options", "Best for"],
             rows,
             title="histogram engines (all bit-identical)",
         )
@@ -552,7 +609,46 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(set(_engines.engine_names()) | set(_engines.ALIASES)),
         help="histogram engine (default: auto)",
     )
+    p.add_argument(
+        "--profile",
+        metavar="MANIFEST",
+        help="record per-phase telemetry and write a run manifest JSON here",
+    )
     p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser(
+        "profile", help="per-phase timing/memory telemetry for one run"
+    )
+    p.add_argument("trace", help="trace file")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument("--budget", type=int, help="absolute miss budget K")
+    group.add_argument(
+        "--percent",
+        type=float,
+        default=10.0,
+        help="K as percent of max misses (default: 10)",
+    )
+    p.add_argument(
+        "--engine",
+        default=_engines.AUTO_ENGINE,
+        choices=sorted(set(_engines.engine_names()) | set(_engines.ALIASES)),
+        help="histogram engine (default: auto)",
+    )
+    p.add_argument(
+        "--processes", type=int, default=2, help="parallel-engine workers"
+    )
+    p.add_argument(
+        "--no-memory",
+        action="store_true",
+        help="skip tracemalloc sampling (pure timing run)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the manifest JSON instead of the phase tree",
+    )
+    p.add_argument("-o", "--output", help="also write the manifest JSON here")
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("engines", help="list the histogram engines")
     p.set_defaults(func=_cmd_engines)

@@ -44,6 +44,7 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.core.mrct import MRCT, build_mrct
 from repro.core.postlude import LevelHistogram, compute_level_histograms
 from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
+from repro.obs.recorder import NULL_RECORDER
 from repro.trace.strip import StrippedTrace, strip_trace
 from repro.trace.trace import Trace
 
@@ -53,6 +54,13 @@ AUTO_ENGINE = "auto"
 #: ``auto`` switches from ``serial`` to ``vectorized`` at this trace
 #: length: below it the NumPy kernel's pack/sort overhead eats the win.
 AUTO_MIN_REFS = 4096
+
+#: ``auto``'s fallback threshold when only prelude products are
+#: available (no raw trace): unique-reference count N'.  A trace with
+#: this many unique references is big enough that the vectorized
+#: kernel's packing overhead amortizes even at minimal reuse (N' is a
+#: lower bound on N, and loop-dominated traces have N >> N').
+AUTO_MIN_UNIQUE = 512
 
 #: Legacy names still accepted everywhere an engine name is.
 ALIASES = {"bitmask": "serial"}
@@ -65,37 +73,69 @@ class EngineInputs:
     computed on first access and cached, so engines can be re-run or
     compared without re-running the prelude.  Pre-built products may be
     injected (the benchmark harness does this to time the postlude
-    alone).
+    alone); when every consumer's products are injected, ``trace`` may
+    be ``None``.
+
+    Args:
+        trace: the raw trace, or ``None`` when the prelude products are
+            injected (engines that consume the raw trace — e.g.
+            ``streaming`` — then refuse to run).
+        recorder: a :class:`repro.obs.Recorder` that each lazily built
+            stage reports itself to; defaults to the no-op recorder.
     """
 
     def __init__(
         self,
-        trace: Trace,
+        trace: Optional[Trace],
         stripped: Optional[StrippedTrace] = None,
         zerosets: Optional[ZeroOneSets] = None,
         mrct: Optional[MRCT] = None,
+        recorder=NULL_RECORDER,
     ) -> None:
         self.trace = trace
+        self.recorder = recorder
         self._stripped = stripped
         self._zerosets = zerosets
         self._mrct = mrct
 
+    def require_trace(self, why: str) -> Trace:
+        """The raw trace, or ``ValueError`` naming what needed it."""
+        if self.trace is None:
+            raise ValueError(f"EngineInputs has no raw trace, but {why}")
+        return self.trace
+
     @property
     def stripped(self) -> StrippedTrace:
         if self._stripped is None:
-            self._stripped = strip_trace(self.trace)
+            trace = self.require_trace("the strip prelude stage needs one")
+            with self.recorder.phase("prelude:strip"):
+                self._stripped = strip_trace(trace)
+                self.recorder.record("trace_refs", self._stripped.n)
+                self.recorder.record("unique_refs", self._stripped.n_unique)
+        return self._stripped
+
+    @property
+    def stripped_if_built(self) -> Optional[StrippedTrace]:
+        """The stripped trace only if already built/injected (no side effect)."""
         return self._stripped
 
     @property
     def zerosets(self) -> ZeroOneSets:
         if self._zerosets is None:
-            self._zerosets = build_zero_one_sets(self.stripped)
+            stripped = self.stripped
+            with self.recorder.phase("prelude:zerosets"):
+                self._zerosets = build_zero_one_sets(stripped)
         return self._zerosets
 
     @property
     def mrct(self) -> MRCT:
         if self._mrct is None:
-            self._mrct = build_mrct(self.stripped)
+            stripped = self.stripped
+            with self.recorder.phase("prelude:mrct"):
+                self._mrct = build_mrct(stripped)
+                self.recorder.record(
+                    "conflict_sets", self._mrct.total_conflict_sets
+                )
         return self._mrct
 
 
@@ -112,8 +152,10 @@ class EngineSpec:
         memory: qualitative working-set note for the selection table.
         best_for: when to pick this engine.
         runner: callable ``runner(inputs, max_level=None, **options)``
-            returning the per-level histograms; unknown options must be
-            ignored so one option set can be passed to any engine.
+            returning the per-level histograms.
+        options: the option names this engine accepts; :meth:`compute`
+            rejects anything else, so a typo'd option fails loudly
+            instead of silently running with defaults.
         requires_numpy: True when the fast path needs NumPy (the engine
             must still *work* without it, falling back internally).
     """
@@ -123,6 +165,7 @@ class EngineSpec:
     memory: str
     best_for: str
     runner: Runner
+    options: Tuple[str, ...] = ()
     requires_numpy: bool = False
 
     def available(self) -> bool:
@@ -133,14 +176,49 @@ class EngineSpec:
 
         return numpy_available()
 
+    def accepts(self, option: str) -> bool:
+        """True when this engine declares the named option."""
+        return option in self.options
+
+    def filter_options(self, options: Dict[str, object]) -> Dict[str, object]:
+        """The subset of ``options`` this engine declares.
+
+        For callers that hold one option set and dispatch to whichever
+        engine was selected (the explorer does this with ``processes``);
+        user-supplied options should instead go through :meth:`compute`
+        unfiltered so typos are caught.
+        """
+        return {k: v for k, v in options.items() if k in self.options}
+
     def compute(
         self,
         inputs: EngineInputs,
         max_level: Optional[int] = None,
         **options: object,
     ) -> Dict[int, LevelHistogram]:
-        """Run this engine on the given prelude products."""
-        return self.runner(inputs, max_level=max_level, **options)
+        """Run this engine on the given prelude products.
+
+        Raises:
+            ValueError: for option names the engine does not declare
+                (e.g. a typo'd ``proceses=8``).
+        """
+        unknown = sorted(set(options) - set(self.options))
+        if unknown:
+            accepted = ", ".join(sorted(self.options)) or "(none)"
+            raise ValueError(
+                f"unknown option(s) for engine {self.name!r}: "
+                f"{', '.join(unknown)}; accepted options: {accepted}"
+            )
+        recorder = inputs.recorder
+        with recorder.phase(f"engine:{self.name}"):
+            histograms = self.runner(inputs, max_level=max_level, **options)
+            if recorder.enabled:
+                recorder.record("histogram_levels", len(histograms))
+                recorder.record(
+                    "histogram_occurrences",
+                    sum(sum(h.counts.values()) for h in histograms.values()),
+                )
+        return histograms
 
 
 _REGISTRY: "OrderedDict[str, EngineSpec]" = OrderedDict()
@@ -175,12 +253,26 @@ def canonical_name(name: str) -> str:
     return resolved
 
 
-def choose_auto(trace: Optional[Trace] = None) -> str:
-    """The concrete engine ``auto`` stands for, given a trace."""
+def choose_auto(
+    trace: Optional[Trace] = None,
+    stripped: Optional[StrippedTrace] = None,
+) -> str:
+    """The concrete engine ``auto`` stands for, given what is known.
+
+    Sizing prefers the raw trace length (``>= AUTO_MIN_REFS`` picks
+    ``vectorized``); when the raw trace is unavailable — a caller
+    injected prelude products — it falls back to the stripped trace's
+    ``n_unique`` (``>= AUTO_MIN_UNIQUE``) rather than silently treating
+    the unknown trace as short.
+    """
     from repro.core.vectorized import numpy_available
 
-    if numpy_available() and trace is not None and len(trace) >= AUTO_MIN_REFS:
-        return "vectorized"
+    if not numpy_available():
+        return "serial"
+    if trace is not None:
+        return "vectorized" if len(trace) >= AUTO_MIN_REFS else "serial"
+    if stripped is not None:
+        return "vectorized" if stripped.n_unique >= AUTO_MIN_UNIQUE else "serial"
     return "serial"
 
 
@@ -196,10 +288,17 @@ def get_engine(name: str) -> EngineSpec:
 
 
 def resolve_engine(name: str, inputs: Optional[EngineInputs] = None) -> EngineSpec:
-    """Resolve a name (including ``auto`` and aliases) to an engine spec."""
+    """Resolve a name (including ``auto`` and aliases) to an engine spec.
+
+    ``auto`` sizes by the raw trace when the inputs carry one, else by
+    the already-built stripped trace (never triggering a prelude build
+    just to pick an engine).
+    """
     resolved = canonical_name(name)
     if resolved == AUTO_ENGINE:
-        resolved = choose_auto(inputs.trace if inputs is not None else None)
+        trace = inputs.trace if inputs is not None else None
+        stripped = inputs.stripped_if_built if inputs is not None else None
+        resolved = choose_auto(trace, stripped=stripped)
     return _REGISTRY[resolved]
 
 
@@ -219,7 +318,7 @@ def compute_histograms(
 
 
 def _run_serial(
-    inputs: EngineInputs, max_level: Optional[int] = None, **_: object
+    inputs: EngineInputs, max_level: Optional[int] = None
 ) -> Dict[int, LevelHistogram]:
     return compute_level_histograms(
         inputs.zerosets, inputs.mrct, max_level=max_level
@@ -230,25 +329,30 @@ def _run_parallel(
     inputs: EngineInputs,
     max_level: Optional[int] = None,
     processes: int = 2,
-    **_: object,
+    split_level: int = 2,
 ) -> Dict[int, LevelHistogram]:
     from repro.core.parallel import compute_level_histograms_parallel
 
     return compute_level_histograms_parallel(
-        inputs.zerosets, inputs.mrct, max_level=max_level, processes=processes
+        inputs.zerosets,
+        inputs.mrct,
+        max_level=max_level,
+        processes=processes,
+        split_level=split_level,
     )
 
 
 def _run_streaming(
-    inputs: EngineInputs, max_level: Optional[int] = None, **_: object
+    inputs: EngineInputs, max_level: Optional[int] = None
 ) -> Dict[int, LevelHistogram]:
     from repro.core.streaming import compute_level_histograms_streaming
 
-    return compute_level_histograms_streaming(inputs.trace, max_level=max_level)
+    trace = inputs.require_trace("the streaming engine consumes the raw trace")
+    return compute_level_histograms_streaming(trace, max_level=max_level)
 
 
 def _run_vectorized(
-    inputs: EngineInputs, max_level: Optional[int] = None, **_: object
+    inputs: EngineInputs, max_level: Optional[int] = None
 ) -> Dict[int, LevelHistogram]:
     from repro.core.vectorized import compute_level_histograms_vectorized
 
@@ -273,6 +377,7 @@ register_engine(
         memory="serial's, duplicated per worker",
         best_for="very large N x N' on multi-core hosts without NumPy",
         runner=_run_parallel,
+        options=("processes", "split_level"),
     )
 )
 register_engine(

@@ -16,6 +16,8 @@ from repro.core.instance import ExplorationResult
 from repro.core.mrct import MRCT
 from repro.core.postlude import LevelHistogram, optimal_pairs
 from repro.core.zerosets import ZeroOneSets
+from repro.obs.manifest import RunManifest
+from repro.obs.recorder import NULL_RECORDER
 from repro.trace.stats import TraceStatistics, compute_statistics
 from repro.trace.strip import StrippedTrace
 from repro.trace.trace import Trace
@@ -39,7 +41,12 @@ class AnalyticalCacheExplorer:
             ``"vectorized"`` (NumPy bit-matrix kernel) or ``"auto"``
             (default; picks ``vectorized`` for long traces when NumPy is
             available, else ``serial``).
-        processes: worker count for the ``"parallel"`` engine.
+        processes: worker count for the ``"parallel"`` engine (only
+            forwarded to engines that declare the option).
+        recorder: a :class:`repro.obs.Recorder` for per-phase telemetry;
+            defaults to the zero-overhead null recorder.  When given, a
+            :class:`repro.obs.RunManifest` of the run is available from
+            :meth:`run_manifest`.
 
     All engines produce bit-identical histograms, hence identical
     exploration results (tested).
@@ -61,6 +68,7 @@ class AnalyticalCacheExplorer:
         max_depth: Optional[int] = None,
         engine: str = _engines.AUTO_ENGINE,
         processes: int = 2,
+        recorder=None,
     ) -> None:
         if max_depth is not None:
             if max_depth < 1 or (max_depth & (max_depth - 1)) != 0:
@@ -73,10 +81,12 @@ class AnalyticalCacheExplorer:
         self.trace = trace
         self.engine = engine
         self.processes = processes
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
         self._max_depth = max_depth
-        self._inputs = _engines.EngineInputs(trace)
+        self._inputs = _engines.EngineInputs(trace, recorder=self.recorder)
         self._histograms: Optional[Dict[int, LevelHistogram]] = None
         self._statistics: Optional[TraceStatistics] = None
+        self._engine_options: Dict[str, object] = {}
 
     # -- cached pipeline stages -------------------------------------------------
 
@@ -107,11 +117,19 @@ class AnalyticalCacheExplorer:
             max_level = None
             if self._max_depth is not None:
                 max_level = self._max_depth.bit_length() - 1
-            self._histograms = _engines.compute_histograms(
-                self.engine,
+            # Resolution is a phase of its own: picking "auto" may import
+            # NumPy, which dominates small-trace profiles if untracked.
+            with self.recorder.phase("resolve-engine"):
+                spec = _engines.resolve_engine(self.engine, self._inputs)
+            # Only forward the worker count to engines that declare it;
+            # user-typo'd options still fail loudly inside compute().
+            self._engine_options = spec.filter_options(
+                {"processes": self.processes}
+            )
+            self._histograms = spec.compute(
                 self._inputs,
                 max_level=max_level,
-                processes=self.processes,
+                **self._engine_options,
             )
         return self._histograms
 
@@ -119,7 +137,8 @@ class AnalyticalCacheExplorer:
     def statistics(self) -> TraceStatistics:
         """Trace statistics (N, N', max misses) for budget scaling."""
         if self._statistics is None:
-            self._statistics = compute_statistics(self.trace)
+            with self.recorder.phase("statistics"):
+                self._statistics = compute_statistics(self.trace)
         return self._statistics
 
     # -- depth bookkeeping ---------------------------------------------------------
@@ -158,13 +177,15 @@ class AnalyticalCacheExplorer:
         self, budget: int, include_depth_one: bool = False
     ) -> ExplorationResult:
         """Compute the optimal ``(D, A)`` set for an absolute miss budget K."""
-        instances = optimal_pairs(
-            self.histograms,
-            budget,
-            max_level=self.report_level,
-            include_depth_one=include_depth_one,
-        )
-        misses = [self.misses(i.depth, i.associativity) for i in instances]
+        histograms = self.histograms  # prelude + engine phases record here
+        with self.recorder.phase("postlude:optimal-pairs"):
+            instances = optimal_pairs(
+                histograms,
+                budget,
+                max_level=self.report_level,
+                include_depth_one=include_depth_one,
+            )
+            misses = [self.misses(i.depth, i.associativity) for i in instances]
         return ExplorationResult(
             budget=budget,
             instances=instances,
@@ -188,6 +209,29 @@ class AnalyticalCacheExplorer:
     ) -> List[ExplorationResult]:
         """Explore several absolute budgets, reusing all cached stages."""
         return [self.explore(k, include_depth_one=include_depth_one) for k in budgets]
+
+    # -- telemetry export ---------------------------------------------------------
+
+    def run_manifest(self) -> RunManifest:
+        """Export this run's telemetry as a :class:`repro.obs.RunManifest`.
+
+        Meaningful after at least one exploration (or histogram access)
+        with a real :class:`repro.obs.Recorder`; with the default null
+        recorder the manifest carries an empty phase tree.
+        """
+        stripped = self._inputs.stripped_if_built
+        return RunManifest.from_recorder(
+            self.recorder,
+            engine=self.resolved_engine,
+            requested_engine=self.engine,
+            options=dict(self._engine_options),
+            trace={
+                "name": self.trace.name,
+                "n": len(self.trace),
+                "n_unique": stripped.n_unique if stripped is not None else None,
+                "address_bits": self.trace.address_bits,
+            },
+        )
 
 
 def explore(trace: Trace, budget: int, max_depth: Optional[int] = None) -> ExplorationResult:

@@ -64,6 +64,8 @@ class MultiTraceExplorer:
             forwarded to every per-trace explorer; ``"auto"`` picks the
             best available engine per trace.
         processes: worker count for the ``"parallel"`` engine.
+        recorder: a shared :class:`repro.obs.Recorder` forwarded to every
+            per-trace explorer, so one profile covers the whole set.
 
     Example:
         >>> from repro.trace import loop_nest_trace
@@ -81,6 +83,7 @@ class MultiTraceExplorer:
         max_depth: Optional[int] = None,
         engine: str = "auto",
         processes: int = 2,
+        recorder=None,
     ) -> None:
         if not traces:
             raise ValueError("at least one trace is required")
@@ -99,7 +102,11 @@ class MultiTraceExplorer:
         self.weights = weights or [1] * len(traces)
         self.explorers = [
             AnalyticalCacheExplorer(
-                trace, max_depth=max_depth, engine=engine, processes=processes
+                trace,
+                max_depth=max_depth,
+                engine=engine,
+                processes=processes,
+                recorder=recorder,
             )
             for trace in self.traces
         ]

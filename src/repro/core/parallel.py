@@ -9,11 +9,18 @@ member sets never interact with another subtree's), so workers can
 histogram whole subtrees in parallel and the main process merges the
 per-level results and handles the levels above the cut.
 
+The zero/one tables and the MRCT are shared by every subtree, so they
+are shipped to each worker exactly once, through the pool's
+``initializer`` — a job is just ``(root_members, root_level)``, not a
+copy of the tables (shipping them per job made large-N' runs pay the
+pickling cost once per subtree instead of once per worker).
+
 Results are bit-identical to the serial
 :func:`repro.core.postlude.compute_level_histograms` — enforced by tests.
 
 Registered as the ``parallel`` engine in :mod:`repro.core.engines`; its
-``processes`` option flows through the registry's dispatch call.
+``processes`` and ``split_level`` options flow through the registry's
+dispatch call.
 """
 
 from __future__ import annotations
@@ -25,19 +32,37 @@ from repro.core.mrct import MRCT
 from repro.core.postlude import LevelHistogram, node_distance_histogram
 from repro.core.zerosets import ZeroOneSets
 
-# A worker's job: one subtree root plus everything needed to walk it.
-_WorkerJob = Tuple[int, int, Tuple[int, ...], Tuple[int, ...], List[List[int]], int]
+# A worker's job: one subtree root.  Everything else (zero/one tables,
+# MRCT, level cap) is per-worker state installed by _init_worker.
+_WorkerJob = Tuple[int, int]
+
+#: (zero, one, mrct, max_level) for the worker process, set by
+#: :func:`_init_worker`; module-global so jobs stay tiny.
+_worker_state: Optional[Tuple[Tuple[int, ...], Tuple[int, ...], MRCT, int]] = None
+
+
+def _init_worker(
+    zero: Tuple[int, ...],
+    one: Tuple[int, ...],
+    mrct: MRCT,
+    max_level: int,
+) -> None:
+    """Install the tables shared by every subtree job (pool initializer)."""
+    global _worker_state
+    _worker_state = (zero, one, mrct, max_level)
 
 
 def _subtree_histograms(job: _WorkerJob) -> Dict[int, Dict[int, int]]:
     """Histogram one BCAT subtree (runs in a worker process).
 
     Args:
-        job: (root_members, root_level, zero_sets, one_sets, mrct_sets,
-            max_level).
+        job: ``(root_members, root_level)``; the zero/one tables, MRCT
+            and level cap come from :data:`_worker_state`.
     """
-    root_members, root_level, zero, one, mrct_sets, max_level = job
-    mrct = MRCT(sets=mrct_sets, n_unique=0)  # n_unique unused here
+    if _worker_state is None:
+        raise RuntimeError("_init_worker was not run in this process")
+    root_members, root_level = job
+    zero, one, mrct, max_level = _worker_state
     histograms: Dict[int, Dict[int, int]] = {}
     stack = [(root_level, root_members)]
     while stack:
@@ -98,9 +123,7 @@ def compute_level_histograms_parallel(
         if members.bit_count() < 2:
             continue
         if level == split:
-            jobs.append(
-                (members, level, zerosets.zero, zerosets.one, mrct.sets, limit)
-            )
+            jobs.append((members, level))
             continue
         counts = node_distance_histogram(members, mrct)
         histogram = histograms[level]
@@ -115,10 +138,20 @@ def compute_level_histograms_parallel(
         if right:
             stack.append((level + 1, right))
 
+    init_args = (zerosets.zero, zerosets.one, mrct, limit)
     if processes == 1 or len(jobs) <= 1:
-        partials = [_subtree_histograms(job) for job in jobs]
+        saved = _worker_state
+        _init_worker(*init_args)
+        try:
+            partials = [_subtree_histograms(job) for job in jobs]
+        finally:
+            globals()["_worker_state"] = saved
     else:
-        with multiprocessing.Pool(processes=min(processes, len(jobs))) as pool:
+        with multiprocessing.Pool(
+            processes=min(processes, len(jobs)),
+            initializer=_init_worker,
+            initargs=init_args,
+        ) as pool:
             partials = pool.map(_subtree_histograms, jobs)
 
     for partial in partials:

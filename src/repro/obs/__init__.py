@@ -1,0 +1,38 @@
+"""Observability layer: per-phase telemetry for the analytical pipeline.
+
+* :mod:`repro.obs.recorder` — :class:`Recorder` (nested phase timers,
+  counters, opt-in memory sampling) and the zero-overhead
+  :class:`NullRecorder` default.
+* :mod:`repro.obs.manifest` — :class:`RunManifest`, the JSON document a
+  profiled run exports, plus its schema validator.
+
+The pipeline (``EngineInputs`` prelude stages, every registered engine,
+the explorers, the CLI) carries a recorder everywhere but records
+nothing unless a real :class:`Recorder` is supplied — pass one to
+``AnalyticalCacheExplorer(recorder=...)``, or use ``repro explore
+--profile`` / ``repro profile`` from the command line.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    environment_info,
+    validate_manifest,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    PhaseRecord,
+    Recorder,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "environment_info",
+    "validate_manifest",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PhaseRecord",
+    "Recorder",
+]

@@ -1,0 +1,219 @@
+"""Run manifests: one JSON document describing one instrumented run.
+
+A manifest pins down everything needed to interpret (or reproduce) a
+profiled run: which engine actually executed (``auto`` resolved), the
+options it ran with, the trace's shape, the recorder's phase tree and
+counters, and the host environment.  ``repro explore --profile`` and
+``repro profile`` emit one; CI validates the emitted document against
+:func:`validate_manifest` so the format cannot rot silently.
+
+Document layout (schema ``repro-run-manifest/1``)::
+
+    {
+      "schema": "repro-run-manifest/1",
+      "engine": str,              # concrete engine that ran (auto resolved)
+      "requested_engine": str,    # what the caller asked for
+      "options": {str: int|str|bool},
+      "trace": {"name": str, "n": int, "n_unique": int | null,
+                "address_bits": int},
+      "wall_s": float,            # first phase open -> last phase close
+      "phases": [                 # recorder tree, recursive
+        {"name": str, "duration_s": float,
+         "counters": {str: int}, "children": [...]}
+      ],
+      "counters": {str: int},     # run-level totals
+      "memory": {str: int},       # tracemalloc peak / peak RSS, if sampled
+      "environment": {"python": str, "numpy": str | null,
+                      "platform": str}
+    }
+
+Validation enforces the structural schema *and* the timing invariant
+the whole layer exists for: at every tree node, children's durations
+must sum to no more than the parent's (within tolerance), and top-level
+phases must sum to the recorded wall time (within tolerance) — i.e. the
+profile accounts for where the run's time actually went.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.recorder import Recorder
+
+#: Manifest document schema identifier.
+MANIFEST_SCHEMA = "repro-run-manifest/1"
+
+#: Timing slack allowed by :func:`validate_manifest`: a duration sum may
+#: exceed its bound by 5% relative or 25 ms absolute (interpreter noise
+#: on sub-millisecond runs), whichever is larger.
+TIMING_TOLERANCE_REL = 0.05
+TIMING_TOLERANCE_ABS_S = 0.025
+
+
+def environment_info() -> Dict[str, Optional[str]]:
+    """Host fingerprint shared by manifests and the benchmark harness."""
+    try:
+        import numpy
+
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """A completed run's telemetry, ready for JSON export.
+
+    Attributes:
+        engine: concrete engine that executed (``auto`` already resolved).
+        requested_engine: engine name the caller asked for.
+        options: engine options the run used (only JSON-scalar values).
+        trace: trace shape (``name``, ``n``, ``n_unique``, ``address_bits``).
+        wall_s: recorder wall time (first phase open to last close).
+        phases: the recorder's phase tree, as ``PhaseRecord.as_dict()``.
+        counters: run-level counter totals.
+        memory: memory samples (empty when sampling was off).
+        environment: host fingerprint from :func:`environment_info`.
+    """
+
+    engine: str
+    requested_engine: str
+    options: Dict[str, object]
+    trace: Dict[str, object]
+    wall_s: float
+    phases: List[Dict[str, object]]
+    counters: Dict[str, int] = field(default_factory=dict)
+    memory: Dict[str, int] = field(default_factory=dict)
+    environment: Dict[str, object] = field(default_factory=environment_info)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: Recorder,
+        engine: str,
+        requested_engine: str,
+        options: Dict[str, object],
+        trace: Dict[str, object],
+    ) -> "RunManifest":
+        """Build a manifest from a recorder that has finished its run."""
+        return cls(
+            engine=engine,
+            requested_engine=requested_engine,
+            options=dict(options),
+            trace=dict(trace),
+            wall_s=recorder.wall_s,
+            phases=[record.as_dict() for record in recorder.phases],
+            counters=dict(recorder.counters),
+            memory=dict(recorder.memory_stats),
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The manifest as a plain JSON-serializable dict."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "engine": self.engine,
+            "requested_engine": self.requested_engine,
+            "options": dict(self.options),
+            "trace": dict(self.trace),
+            "wall_s": self.wall_s,
+            "phases": self.phases,
+            "counters": dict(self.counters),
+            "memory": dict(self.memory),
+            "environment": dict(self.environment),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The manifest serialized as a JSON string."""
+        return json.dumps(self.to_json_dict(), indent=indent)
+
+
+def _tolerance(bound: float) -> float:
+    return max(bound * TIMING_TOLERANCE_REL, TIMING_TOLERANCE_ABS_S)
+
+
+def _validate_phase(node: object, path: str) -> float:
+    """Validate one phase-tree node; return its duration."""
+    if not isinstance(node, dict):
+        raise ValueError(f"{path}: phase must be an object")
+    for key in ("name", "duration_s", "counters", "children"):
+        if key not in node:
+            raise ValueError(f"{path}: phase missing field {key!r}")
+    if not isinstance(node["name"], str) or not node["name"]:
+        raise ValueError(f"{path}: phase name must be a non-empty string")
+    duration = node["duration_s"]
+    if not isinstance(duration, (int, float)) or isinstance(duration, bool):
+        raise ValueError(f"{path}: duration_s must be a number")
+    if duration < 0:
+        raise ValueError(f"{path}: negative duration")
+    counters = node["counters"]
+    if not isinstance(counters, dict) or any(
+        not isinstance(k, str)
+        or not isinstance(v, int)
+        or isinstance(v, bool)
+        for k, v in counters.items()
+    ):
+        raise ValueError(f"{path}: counters must map strings to ints")
+    children = node["children"]
+    if not isinstance(children, list):
+        raise ValueError(f"{path}: children must be a list")
+    child_total = sum(
+        _validate_phase(child, f"{path}/{node['name']}")
+        for child in children
+    )
+    if child_total > duration + _tolerance(duration):
+        raise ValueError(
+            f"{path}/{node['name']}: children sum to {child_total:.6f}s, "
+            f"more than the phase's own {duration:.6f}s"
+        )
+    return float(duration)
+
+
+def validate_manifest(document: object) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid run manifest."""
+    if not isinstance(document, dict):
+        raise ValueError("manifest must be a JSON object")
+    if document.get("schema") != MANIFEST_SCHEMA:
+        raise ValueError(f"schema must be {MANIFEST_SCHEMA!r}")
+    for key, kind in (("engine", str), ("requested_engine", str)):
+        if not isinstance(document.get(key), kind) or not document[key]:
+            raise ValueError(f"missing or mistyped field {key!r}")
+    for key in ("options", "trace", "counters", "memory", "environment"):
+        if not isinstance(document.get(key), dict):
+            raise ValueError(f"field {key!r} must be an object")
+    trace = document["trace"]
+    for key in ("name", "n", "n_unique", "address_bits"):
+        if key not in trace:
+            raise ValueError(f"trace missing field {key!r}")
+    if not isinstance(trace["name"], str):
+        raise ValueError("trace.name must be a string")
+    for key in ("n", "address_bits"):
+        if not isinstance(trace[key], int) or isinstance(trace[key], bool):
+            raise ValueError(f"trace.{key} must be an int")
+    if trace["n_unique"] is not None and not isinstance(trace["n_unique"], int):
+        raise ValueError("trace.n_unique must be an int or null")
+    environment = document["environment"]
+    for key in ("python", "platform"):
+        if not isinstance(environment.get(key), str):
+            raise ValueError(f"environment.{key} must be a string")
+    if not isinstance(environment.get("numpy"), (str, type(None))):
+        raise ValueError("environment.numpy must be a string or null")
+    wall = document.get("wall_s")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        raise ValueError("wall_s must be a non-negative number")
+    phases = document.get("phases")
+    if not isinstance(phases, list) or not phases:
+        raise ValueError("'phases' must be a non-empty list")
+    top_total = sum(_validate_phase(node, "phases") for node in phases)
+    if abs(top_total - wall) > _tolerance(wall):
+        raise ValueError(
+            f"top-level phases sum to {top_total:.6f}s but wall_s is "
+            f"{wall:.6f}s — the profile does not account for the run"
+        )

@@ -1,0 +1,292 @@
+"""Phase recorder: nested monotonic timers, counters and memory sampling.
+
+The paper's selling point is that the whole design space falls out of
+*one* analytical pass, so the interesting question about any run is
+where that pass spends its time — strip vs. zero/one sets vs. MRCT vs.
+the postlude engine.  :class:`Recorder` answers it: pipeline stages wrap
+themselves in ``with recorder.phase("prelude:mrct"):`` and the recorder
+accumulates a tree of :class:`PhaseRecord` nodes with monotonic-clock
+durations, plus named counters (trace length, N', conflict sets, ...)
+attached to whichever phase was open when they were recorded.
+
+The default everywhere is :data:`NULL_RECORDER`, a :class:`NullRecorder`
+whose every method is a constant-time no-op returning a shared null
+context manager — instrumented code paths pay a single attribute call
+and nothing else when profiling is off (the benchmark harness keeps
+this honest).
+
+Memory sampling is opt-in (``Recorder(memory=True)``): ``tracemalloc``
+is started around the outermost phase and the traced peak, together
+with ``ru_maxrss`` from :mod:`resource` where available, lands in
+:attr:`Recorder.memory_stats`.  Recorders are single-run, single-thread
+objects; make a fresh one per run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PhaseRecord:
+    """One timed phase: a node in the recorder's phase tree.
+
+    Attributes:
+        name: phase label, e.g. ``"prelude:strip"`` or ``"engine:serial"``.
+        duration_s: wall-clock seconds (monotonic) the phase was open.
+        children: phases opened while this one was open, in order.
+        counters: counters recorded while this phase was innermost.
+    """
+
+    name: str
+    duration_s: float = 0.0
+    children: List["PhaseRecord"] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready ``{name, duration_s, counters, children}`` tree."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "counters": dict(self.counters),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def find(self, name: str) -> Optional["PhaseRecord"]:
+        """First phase named ``name`` in this subtree (depth-first)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _PhaseContext:
+    """Context manager for one open phase (re-entered never, used once)."""
+
+    __slots__ = ("_recorder", "_record", "_start")
+
+    def __init__(self, recorder: "Recorder", record: PhaseRecord) -> None:
+        self._recorder = recorder
+        self._record = record
+
+    def __enter__(self) -> PhaseRecord:
+        self._start = time.perf_counter()
+        return self._record
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._record.duration_s += time.perf_counter() - self._start
+        self._recorder._close_phase(self._record)
+
+
+class Recorder:
+    """Collects a tree of timed phases plus counters for one run.
+
+    Args:
+        memory: when True, sample ``tracemalloc`` around the outermost
+            phase and peak RSS at the end of it (adds tracing overhead —
+            leave off for pure timing runs).
+    """
+
+    enabled = True
+
+    def __init__(self, memory: bool = False) -> None:
+        self.phases: List[PhaseRecord] = []
+        self.counters: Dict[str, int] = {}
+        self.memory_stats: Dict[str, int] = {}
+        self._memory = memory
+        self._stack: List[PhaseRecord] = []
+        self._first_start: Optional[float] = None
+        self._last_end: Optional[float] = None
+        self._started_tracemalloc = False
+
+    # -- phases -----------------------------------------------------------------
+
+    def phase(self, name: str) -> _PhaseContext:
+        """Open a (possibly nested) timed phase: ``with recorder.phase(n):``."""
+        record = PhaseRecord(name=name)
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.phases.append(record)
+            if self._first_start is None:
+                self._first_start = time.perf_counter()
+                if self._memory:
+                    self._start_memory()
+        self._stack.append(record)
+        return _PhaseContext(self, record)
+
+    def _close_phase(self, record: PhaseRecord) -> None:
+        if not self._stack or self._stack[-1] is not record:
+            raise RuntimeError(
+                f"phase {record.name!r} closed out of order; "
+                "recorder phases must nest strictly"
+            )
+        self._stack.pop()
+        if not self._stack:
+            self._last_end = time.perf_counter()
+            if self._memory:
+                self._sample_memory()
+
+    # -- counters ---------------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` on the innermost open phase."""
+        if self._stack:
+            bucket = self._stack[-1].counters
+            bucket[name] = bucket.get(name, 0) + value
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def record(self, name: str, value: int) -> None:
+        """Set counter ``name`` to ``value`` (gauge semantics, not additive)."""
+        if self._stack:
+            self._stack[-1].counters[name] = value
+        self.counters[name] = value
+
+    # -- memory -----------------------------------------------------------------
+
+    def _start_memory(self) -> None:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+
+    def _sample_memory(self) -> None:
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.memory_stats["tracemalloc_peak_bytes"] = max(
+                peak, self.memory_stats.get("tracemalloc_peak_bytes", 0)
+            )
+            if self._started_tracemalloc:
+                tracemalloc.stop()
+                self._started_tracemalloc = False
+        try:
+            import resource
+
+            rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        except (ImportError, ValueError):  # pragma: no cover - non-POSIX
+            rss_kb = 0
+        if rss_kb:
+            self.memory_stats["peak_rss_kb"] = rss_kb
+
+    # -- results ----------------------------------------------------------------
+
+    @property
+    def wall_s(self) -> float:
+        """Wall time from the first phase opening to the last one closing."""
+        if self._first_start is None:
+            return 0.0
+        end = self._last_end
+        if end is None:  # still inside a phase
+            end = time.perf_counter()
+        return end - self._first_start
+
+    @property
+    def total_s(self) -> float:
+        """Sum of top-level phase durations (<= :attr:`wall_s` + gaps)."""
+        return sum(record.duration_s for record in self.phases)
+
+    def find(self, name: str) -> Optional[PhaseRecord]:
+        """First phase named ``name`` anywhere in the tree (depth-first)."""
+        for record in self.phases:
+            found = record.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready summary: phases tree, counters, wall time, memory."""
+        return {
+            "wall_s": self.wall_s,
+            "phases": [record.as_dict() for record in self.phases],
+            "counters": dict(self.counters),
+            "memory": dict(self.memory_stats),
+        }
+
+    def render(self, precision: int = 3) -> str:
+        """Human-readable indented phase tree with durations and counters."""
+        lines: List[str] = []
+
+        def walk(record: PhaseRecord, depth: int) -> None:
+            note = ""
+            if record.counters:
+                pairs = ", ".join(
+                    f"{k}={v}" for k, v in sorted(record.counters.items())
+                )
+                note = f"  [{pairs}]"
+            lines.append(
+                f"{'  ' * depth}{record.name:<24s} "
+                f"{record.duration_s:.{precision}f}s{note}"
+            )
+            for child in record.children:
+                walk(child, depth + 1)
+
+        for record in self.phases:
+            walk(record, 0)
+        lines.append(f"{'total':<24s} {self.wall_s:.{precision}f}s")
+        return "\n".join(lines)
+
+
+class _NullContext:
+    """Shared do-nothing context manager returned by :class:`NullRecorder`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullRecorder:
+    """No-op recorder: the default when profiling is disabled.
+
+    Every method is constant-time and allocation-free, so instrumented
+    code can call it unconditionally without measurable overhead.
+    """
+
+    enabled = False
+    phases: List[PhaseRecord] = []
+    counters: Dict[str, int] = {}
+    memory_stats: Dict[str, int] = {}
+    wall_s = 0.0
+    total_s = 0.0
+
+    __slots__ = ()
+
+    def phase(self, name: str) -> _NullContext:
+        """Return the shared null context manager (times nothing)."""
+        return _NULL_CONTEXT
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Discard the counter update."""
+
+    def record(self, name: str, value: int) -> None:
+        """Discard the gauge update."""
+
+    def find(self, name: str) -> None:
+        """Nothing is ever recorded, so nothing is ever found."""
+        return None
+
+    def as_dict(self) -> Dict[str, object]:
+        """An empty summary (kept schema-shaped for convenience)."""
+        return {"wall_s": 0.0, "phases": [], "counters": {}, "memory": {}}
+
+    def render(self, precision: int = 3) -> str:
+        """A single line saying profiling was off."""
+        return "(profiling disabled)"
+
+
+#: Shared singleton used as the default recorder everywhere.
+NULL_RECORDER = NullRecorder()

@@ -26,6 +26,13 @@ WORKLOADS = ("crc", "fir", "ucbqsort")
 ALL_ENGINE_NAMES = engines.engine_names() + tuple(engines.ALIASES)
 
 
+def _compute(engine, inputs, **options):
+    """Dispatch one shared option set to any engine, like the explorer does:
+    only the options an engine declares are forwarded."""
+    spec = engines.resolve_engine(engine, inputs)
+    return spec.compute(inputs, **spec.filter_options(options))
+
+
 def _panel(tiny_runs):
     traces = [
         Trace.from_bit_strings(PAPER_TRACE_BITS, name="paper-table-1"),
@@ -58,7 +65,7 @@ def serial_reference(panel):
 def test_histograms_bit_identical_to_serial(engine, panel, serial_reference):
     for trace in panel:
         inputs = engines.EngineInputs(trace)
-        histograms = engines.compute_histograms(engine, inputs, processes=2)
+        histograms = _compute(engine, inputs, processes=2)
         expected = serial_reference[trace.name]
         assert sorted(histograms) == sorted(expected), trace.name
         for level, reference in expected.items():
@@ -72,7 +79,7 @@ def test_min_associativity_tables_identical(engine, panel, serial_reference):
     """The exploration output — A_min per (depth, budget) — must agree."""
     for trace in panel:
         inputs = engines.EngineInputs(trace)
-        histograms = engines.compute_histograms(engine, inputs, processes=2)
+        histograms = _compute(engine, inputs, processes=2)
         expected = serial_reference[trace.name]
         for level, reference in expected.items():
             for budget in (0, 2, 10):

@@ -2,7 +2,10 @@
 
 import pytest
 
+from repro.core import engines
 from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.vectorized import numpy_available
+from repro.trace.strip import strip_trace
 from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
 
 
@@ -23,6 +26,76 @@ class TestEngineSelection:
             loop_nest_trace(8, 4), engine=engine
         )
         assert explorer.engine == engine
+
+
+class TestOptionValidation:
+    """Regression: unknown options used to be silently swallowed by
+    ``**_`` in every runner — a typo'd ``proceses=8`` ran the default
+    configuration without a whisper."""
+
+    def test_typod_option_raises(self):
+        inputs = engines.EngineInputs(loop_nest_trace(8, 4))
+        with pytest.raises(ValueError, match="proceses"):
+            engines.compute_histograms("parallel", inputs, proceses=8)
+
+    def test_option_foreign_to_engine_raises(self):
+        inputs = engines.EngineInputs(loop_nest_trace(8, 4))
+        with pytest.raises(
+            ValueError, match=r"engine 'serial'.*processes.*\(none\)"
+        ):
+            engines.compute_histograms("serial", inputs, processes=2)
+
+    def test_error_names_accepted_options(self):
+        spec = engines.get_engine("parallel")
+        with pytest.raises(ValueError, match="processes, split_level"):
+            spec.compute(engines.EngineInputs(loop_nest_trace(8, 4)), bogus=1)
+
+    def test_declared_options_per_engine(self):
+        assert engines.get_engine("parallel").options == (
+            "processes",
+            "split_level",
+        )
+        for name in ("serial", "streaming", "vectorized"):
+            assert engines.get_engine(name).options == ()
+
+    def test_filter_options_keeps_only_declared(self):
+        shared = {"processes": 3, "split_level": 1}
+        assert engines.get_engine("parallel").filter_options(shared) == shared
+        assert engines.get_engine("serial").filter_options(shared) == {}
+        assert engines.get_engine("parallel").accepts("processes")
+        assert not engines.get_engine("serial").accepts("processes")
+
+
+class TestAutoSelection:
+    """Regression: ``choose_auto`` treated trace=None as "short trace"
+    and always answered ``serial`` for injected prelude products."""
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs NumPy")
+    def test_traceless_inputs_size_by_n_unique(self):
+        big = strip_trace(random_trace(4 * engines.AUTO_MIN_UNIQUE,
+                                       2 * engines.AUTO_MIN_UNIQUE, seed=0))
+        assert big.n_unique >= engines.AUTO_MIN_UNIQUE
+        assert engines.choose_auto(None, stripped=big) == "vectorized"
+
+    def test_traceless_small_stripped_stays_serial(self):
+        small = strip_trace(loop_nest_trace(16, 4))
+        assert engines.choose_auto(None, stripped=small) == "serial"
+
+    def test_nothing_known_stays_serial(self):
+        assert engines.choose_auto(None) == "serial"
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs NumPy")
+    def test_resolve_engine_uses_injected_stripped(self):
+        trace = random_trace(4 * engines.AUTO_MIN_UNIQUE,
+                             2 * engines.AUTO_MIN_UNIQUE, seed=0)
+        stripped = strip_trace(trace)
+        inputs = engines.EngineInputs(None, stripped=stripped)
+        assert engines.resolve_engine("auto", inputs).name == "vectorized"
+
+    def test_resolve_never_triggers_prelude(self):
+        inputs = engines.EngineInputs(None)  # no trace, nothing injected
+        engines.resolve_engine("auto", inputs)  # sizes by nothing: serial
+        assert inputs.stripped_if_built is None
 
 
 class TestEngineEquivalence:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core import engines, parallel
 from repro.core.mrct import build_mrct
 from repro.core.parallel import compute_level_histograms_parallel
 from repro.core.postlude import compute_level_histograms
@@ -70,6 +71,108 @@ class TestEquivalence:
             zerosets, mrct, processes=2
         )
         assert all(h.counts == {} for h in parallel.values())
+
+
+class _RecordingPool:
+    """Stand-in for multiprocessing.Pool that runs jobs in-process while
+    capturing what would have been shipped to the workers."""
+
+    captured = {}
+
+    def __init__(self, processes=None, initializer=None, initargs=()):
+        type(self).captured = {
+            "processes": processes,
+            "initargs": initargs,
+            "jobs": None,
+        }
+        initializer(*initargs)
+
+    def map(self, func, jobs):
+        jobs = list(jobs)
+        type(self).captured["jobs"] = jobs
+        return [func(job) for job in jobs]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+class TestWorkerPayload:
+    """Regression: workers must see the *real* MRCT (once, via the pool
+    initializer), and jobs must be tiny (root, level) tuples — earlier
+    versions shipped the full tables per job around a fake
+    ``MRCT(n_unique=0)``."""
+
+    @pytest.fixture
+    def pool_run(self, monkeypatch):
+        trace = zipf_trace(400, 60, seed=3)
+        stripped = strip_trace(trace)
+        zerosets = build_zero_one_sets(stripped)
+        mrct = build_mrct(stripped)
+        monkeypatch.setattr(parallel.multiprocessing, "Pool", _RecordingPool)
+        monkeypatch.setattr(parallel, "_worker_state", None)
+        histograms = compute_level_histograms_parallel(
+            zerosets, mrct, processes=4, split_level=2
+        )
+        return stripped, zerosets, mrct, histograms, _RecordingPool.captured
+
+    def test_initializer_ships_real_mrct(self, pool_run):
+        stripped, _, mrct, _, captured = pool_run
+        _, _, shipped_mrct, _ = captured["initargs"]
+        assert shipped_mrct is mrct
+        assert shipped_mrct.n_unique == stripped.n_unique > 0
+
+    def test_initializer_ships_tables_once_not_per_job(self, pool_run):
+        _, zerosets, _, _, captured = pool_run
+        zero, one, _, limit = captured["initargs"]
+        assert zero == zerosets.zero and one == zerosets.one
+        assert limit == zerosets.address_bits
+        for job in captured["jobs"]:
+            assert isinstance(job, tuple) and len(job) == 2
+            members, level = job
+            assert isinstance(members, int) and isinstance(level, int)
+
+    def test_pool_path_still_matches_serial(self, pool_run):
+        _, zerosets, mrct, histograms, _ = pool_run
+        _assert_identical(compute_level_histograms(zerosets, mrct), histograms)
+
+    def test_in_process_path_restores_worker_state(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_worker_state", None)
+        zerosets, mrct = _stages(random_trace(200, 40, seed=5))
+        compute_level_histograms_parallel(zerosets, mrct, processes=1)
+        assert parallel._worker_state is None
+
+    def test_subtree_job_requires_initialized_worker(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_worker_state", None)
+        with pytest.raises(RuntimeError, match="_init_worker"):
+            parallel._subtree_histograms((0b11, 0))
+
+
+class TestEngineDispatch:
+    """The registry path: real worker processes and non-default splits."""
+
+    @pytest.mark.parametrize("split_level", [1, 3])
+    def test_registry_forwards_processes_and_split_level(self, split_level):
+        trace = zipf_trace(500, 70, seed=6)
+        inputs = engines.EngineInputs(trace)
+        histograms = engines.compute_histograms(
+            "parallel", inputs, processes=3, split_level=split_level
+        )
+        serial = engines.compute_histograms(
+            "serial", engines.EngineInputs(trace)
+        )
+        _assert_identical(serial, histograms)
+
+    def test_multiprocess_pool_round_trip(self):
+        """processes > 1 with enough subtrees to actually use the pool."""
+        zerosets, mrct = _stages(random_trace(600, 90, seed=7))
+        serial = compute_level_histograms(zerosets, mrct)
+        result = compute_level_histograms_parallel(
+            zerosets, mrct, processes=3, split_level=3
+        )
+        _assert_identical(serial, result)
 
 
 class TestValidation:

@@ -38,6 +38,84 @@ class TestExplore:
         assert " 16 " not in out
 
 
+class TestProfileTelemetry:
+    def _load_valid_manifest(self, path):
+        import json
+
+        from repro.obs import validate_manifest
+
+        document = json.loads(path.read_text())
+        validate_manifest(document)
+        return document
+
+    def test_explore_profile_writes_valid_manifest(
+        self, tmp_path, trace_file, capsys
+    ):
+        manifest_file = tmp_path / "m.json"
+        assert main(
+            ["explore", trace_file, "--budget", "5",
+             "--profile", str(manifest_file)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Depth D" in captured.out  # exploration output intact
+        assert "wrote run manifest" in captured.err
+        document = self._load_valid_manifest(manifest_file)
+        assert document["requested_engine"] == "auto"
+        assert document["trace"]["n"] == 300
+
+    def test_explore_profile_keeps_json_stdout_clean(
+        self, tmp_path, trace_file, capsys
+    ):
+        import json
+
+        manifest_file = tmp_path / "m.json"
+        assert main(
+            ["explore", trace_file, "--budget", "5", "--json",
+             "--profile", str(manifest_file)]
+        ) == 0
+        json.loads(capsys.readouterr().out)  # stdout is pure result JSON
+        self._load_valid_manifest(manifest_file)
+
+    def test_profile_prints_phase_tree(self, trace_file, capsys):
+        assert main(["profile", trace_file, "--budget", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "load-trace" in out
+        assert "engine:" in out
+        assert "prelude:mrct" in out
+        assert "postlude:optimal-pairs" in out
+        assert "total" in out
+        assert "memory:" in out  # tracemalloc sampling on by default
+
+    def test_profile_json_mode(self, trace_file, capsys):
+        import json
+
+        from repro.obs import MANIFEST_SCHEMA, validate_manifest
+
+        assert main(
+            ["profile", trace_file, "--budget", "5", "--no-memory", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        validate_manifest(document)
+        assert document["schema"] == MANIFEST_SCHEMA
+        assert document["memory"] == {}
+
+    def test_profile_writes_manifest_file(self, tmp_path, trace_file, capsys):
+        manifest_file = tmp_path / "profile.json"
+        assert main(
+            ["profile", trace_file, "--engine", "parallel",
+             "--processes", "2", "-o", str(manifest_file)]
+        ) == 0
+        document = self._load_valid_manifest(manifest_file)
+        assert document["engine"] == "parallel"
+        assert document["options"] == {"processes": 2}
+        assert "wrote run manifest" in capsys.readouterr().err
+
+    def test_profile_defaults_to_percent_budget(self, trace_file, capsys):
+        assert main(["profile", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "statistics" in out  # budget derivation shows as a phase
+
+
 class TestSimulate:
     def test_reports_counters(self, trace_file, capsys):
         assert main(

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core",
     "repro.explore",
     "repro.analysis",
+    "repro.obs",
 ]
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]

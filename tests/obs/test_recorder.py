@@ -1,0 +1,201 @@
+"""Unit tests for the phase recorder (repro.obs.recorder)."""
+
+import time
+
+import pytest
+
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, PhaseRecord, Recorder
+
+
+class TestPhases:
+    def test_single_phase_records_duration(self):
+        recorder = Recorder()
+        with recorder.phase("work"):
+            time.sleep(0.002)
+        assert [p.name for p in recorder.phases] == ["work"]
+        assert recorder.phases[0].duration_s >= 0.002
+        assert recorder.wall_s >= recorder.phases[0].duration_s
+
+    def test_nesting_builds_a_tree(self):
+        recorder = Recorder()
+        with recorder.phase("outer"):
+            with recorder.phase("inner-a"):
+                pass
+            with recorder.phase("inner-b"):
+                with recorder.phase("leaf"):
+                    pass
+        assert [p.name for p in recorder.phases] == ["outer"]
+        outer = recorder.phases[0]
+        assert [c.name for c in outer.children] == ["inner-a", "inner-b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_children_durations_bounded_by_parent(self):
+        recorder = Recorder()
+        with recorder.phase("outer"):
+            with recorder.phase("inner"):
+                time.sleep(0.002)
+        outer = recorder.phases[0]
+        assert outer.children[0].duration_s <= outer.duration_s
+
+    def test_sequential_top_level_phases(self):
+        recorder = Recorder()
+        with recorder.phase("one"):
+            pass
+        with recorder.phase("two"):
+            pass
+        assert [p.name for p in recorder.phases] == ["one", "two"]
+        assert recorder.total_s <= recorder.wall_s + 1e-6
+
+    def test_reentered_phase_name_accumulates_separately(self):
+        """Same name twice = two records (phases are occurrences, not keys)."""
+        recorder = Recorder()
+        for _ in range(2):
+            with recorder.phase("pass"):
+                pass
+        assert [p.name for p in recorder.phases] == ["pass", "pass"]
+
+    def test_find_is_depth_first(self):
+        recorder = Recorder()
+        with recorder.phase("outer"):
+            with recorder.phase("target"):
+                recorder.count("hits", 3)
+        assert recorder.find("target").counters == {"hits": 3}
+        assert recorder.find("missing") is None
+
+    def test_out_of_order_close_raises(self):
+        recorder = Recorder()
+        outer = recorder.phase("outer")
+        inner = recorder.phase("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_wall_s_zero_before_any_phase(self):
+        assert Recorder().wall_s == 0.0
+
+    def test_exception_still_closes_phase(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            with recorder.phase("doomed"):
+                raise ValueError("boom")
+        assert recorder.phases[0].name == "doomed"
+        assert recorder._stack == []
+
+
+class TestCounters:
+    def test_count_accumulates_on_innermost_phase(self):
+        recorder = Recorder()
+        with recorder.phase("outer"):
+            recorder.count("outer_events")
+            with recorder.phase("inner"):
+                recorder.count("rows", 5)
+                recorder.count("rows", 2)
+        assert recorder.find("inner").counters == {"rows": 7}
+        assert recorder.find("outer").counters == {"outer_events": 1}
+        # run-level totals aggregate across phases
+        assert recorder.counters == {"outer_events": 1, "rows": 7}
+
+    def test_count_outside_any_phase_is_run_level_only(self):
+        recorder = Recorder()
+        recorder.count("global", 4)
+        assert recorder.counters == {"global": 4}
+        assert recorder.phases == []
+
+    def test_record_has_gauge_semantics(self):
+        recorder = Recorder()
+        with recorder.phase("p"):
+            recorder.record("n_unique", 10)
+            recorder.record("n_unique", 12)
+        assert recorder.find("p").counters == {"n_unique": 12}
+        assert recorder.counters == {"n_unique": 12}
+
+
+class TestExport:
+    def test_as_dict_round_trips_phase_tree(self):
+        recorder = Recorder()
+        with recorder.phase("outer"):
+            with recorder.phase("inner"):
+                recorder.count("rows", 2)
+        document = recorder.as_dict()
+        assert set(document) == {"wall_s", "phases", "counters", "memory"}
+        outer = document["phases"][0]
+        assert outer["name"] == "outer"
+        assert outer["children"][0]["counters"] == {"rows": 2}
+
+    def test_render_shows_tree_and_counters(self):
+        recorder = Recorder()
+        with recorder.phase("outer"):
+            with recorder.phase("inner"):
+                recorder.count("rows", 2)
+        text = recorder.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "[rows=2]" in lines[1]
+        assert lines[-1].startswith("total")
+
+
+class TestMemorySampling:
+    def test_memory_stats_populated_when_enabled(self):
+        recorder = Recorder(memory=True)
+        with recorder.phase("alloc"):
+            _ = [object() for _ in range(1000)]
+        assert recorder.memory_stats.get("tracemalloc_peak_bytes", 0) > 0
+        # ru_maxrss is POSIX; present on the CI hosts this repo targets.
+        assert recorder.memory_stats.get("peak_rss_kb", 0) > 0
+
+    def test_memory_off_by_default(self):
+        recorder = Recorder()
+        with recorder.phase("alloc"):
+            _ = [object() for _ in range(100)]
+        assert recorder.memory_stats == {}
+
+
+class TestNullRecorder:
+    def test_singleton_is_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_phase_returns_shared_context(self):
+        # Allocation-free disabled path: every phase() call hands back the
+        # same context-manager object.
+        first = NULL_RECORDER.phase("a")
+        second = NULL_RECORDER.phase("b")
+        assert first is second
+        with first:
+            pass
+
+    def test_all_operations_are_no_ops(self):
+        recorder = NullRecorder()
+        with recorder.phase("ignored"):
+            recorder.count("ignored", 5)
+            recorder.record("ignored", 5)
+        assert recorder.phases == []
+        assert recorder.counters == {}
+        assert recorder.find("ignored") is None
+        assert recorder.wall_s == 0.0
+        assert recorder.as_dict() == {
+            "wall_s": 0.0,
+            "phases": [],
+            "counters": {},
+            "memory": {},
+        }
+        assert recorder.render() == "(profiling disabled)"
+
+
+class TestPhaseRecord:
+    def test_find_searches_subtree(self):
+        leaf = PhaseRecord("leaf")
+        root = PhaseRecord("root", children=[PhaseRecord("mid", children=[leaf])])
+        assert root.find("leaf") is leaf
+        assert root.find("other") is None
+
+    def test_as_dict_shape(self):
+        record = PhaseRecord("p", duration_s=0.5, counters={"k": 1})
+        assert record.as_dict() == {
+            "name": "p",
+            "duration_s": 0.5,
+            "counters": {"k": 1},
+            "children": [],
+        }

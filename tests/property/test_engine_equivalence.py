@@ -35,10 +35,12 @@ def reuse_traces(draw, max_length=120, max_bits=8):
 
 def _histograms_per_engine(trace, names, processes=2):
     inputs = engines.EngineInputs(trace)
-    return {
-        name: engines.compute_histograms(name, inputs, processes=processes)
-        for name in names
-    }
+    results = {}
+    for name in names:
+        spec = engines.resolve_engine(name, inputs)
+        options = spec.filter_options({"processes": processes})
+        results[name] = spec.compute(inputs, **options)
+    return results
 
 
 @given(trace=reuse_traces())
