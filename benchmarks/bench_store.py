@@ -1,0 +1,290 @@
+"""Benchmark harness for artifact-store warm-starts.
+
+Runs each panel trace through a full exploration twice against one
+artifact store: a **cold** pass on an empty store (pays the whole
+pipeline plus the serialization writes) and a **warm** pass with a fresh
+:class:`repro.store.ArtifactStore` instance pointed at the same root
+(pays only the histogram read), then cross-checks that the cold, warm,
+and store-less explorations produce byte-identical results and writes a
+machine-readable ``BENCH_store.json``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+    PYTHONPATH=src python benchmarks/bench_store.py --quick  # CI smoke
+
+A fresh store instance for the warm pass matters: it empties the
+in-process memory tier, so the measured speedup is the honest
+disk-and-decode path a second CLI invocation would see, not a dict
+lookup.  The headline number (``summary.min_speedup``) is the *worst*
+warm-start speedup across the panel; the acceptance bar is >= 5x.
+
+JSON schema (``validate_results`` enforces it)::
+
+    {
+      "schema": "repro-bench-store/1",
+      "python": str, "numpy": str | null, "platform": str,
+      "repeats": int,
+      "results": [
+        {"trace": str,         # trace name
+         "N": int,             # trace length
+         "N_prime": int,       # unique addresses (the paper's N')
+         "engine": str,        # concrete engine that ran the cold pass
+         "cold_wall_s": float, # best-of-repeats cold exploration
+         "warm_wall_s": float, # best-of-repeats warm exploration
+         "speedup": float,     # cold / warm
+         "store_bytes": int,   # artifact bytes after the cold pass
+         "warm_hits": int,     # store hits during one warm pass
+         "match": bool}        # cold == warm == store-less results
+      ],
+      "summary": {
+        "min_speedup": float, "max_speedup": float,
+        "geomean_speedup": float, "threshold": 5.0, "pass": bool
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.obs import environment_info
+from repro.store import ArtifactStore
+from repro.trace.synthetic import markov_trace, zipf_trace
+from repro.trace.trace import Trace
+
+SCHEMA = "repro-bench-store/1"
+
+#: The acceptance bar: every panel trace must warm-start this much faster.
+SPEEDUP_THRESHOLD = 5.0
+
+#: Required result-row fields and their types.
+RESULT_FIELDS = {
+    "trace": str,
+    "N": int,
+    "N_prime": int,
+    "engine": str,
+    "cold_wall_s": float,
+    "warm_wall_s": float,
+    "speedup": float,
+    "store_bytes": int,
+    "warm_hits": int,
+    "match": bool,
+}
+
+
+def synthetic_panel(quick: bool = False) -> List[Trace]:
+    """Traces big enough that the pipeline dominates process overhead."""
+    def named(trace: Trace, name: str) -> Trace:
+        trace.name = name
+        return trace
+
+    if quick:
+        return [
+            named(zipf_trace(4_000, 300, seed=1), "zipf-4000-300"),
+            named(markov_trace(3_000, 200, locality=0.9, seed=3), "markov-3000-200"),
+        ]
+    return [
+        named(zipf_trace(60_000, 900, seed=1), "zipf-60000-900"),
+        named(markov_trace(40_000, 700, locality=0.9, seed=3), "markov-40000-700"),
+    ]
+
+
+def workload_panel(
+    names: Sequence[str] = ("crc", "fir", "ucbqsort"), scale: str = "small"
+) -> List[Trace]:
+    """Data traces of a few real workload kernels."""
+    from repro.workloads import run_workload_by_name
+
+    return [run_workload_by_name(name, scale=scale).data_trace for name in names]
+
+
+def _explore(trace: Trace, budget: int, store: Optional[ArtifactStore]):
+    explorer = AnalyticalCacheExplorer(trace, store=store)
+    return explorer.explore(budget), explorer.resolved_engine
+
+
+def _bench_trace(trace: Trace, root: Path, budget: int, repeats: int) -> Dict:
+    """Cold/warm wall times for one trace against one store root."""
+    baseline, engine = _explore(trace, budget, store=None)
+    cold_wall = float("inf")
+    warm_wall = float("inf")
+    cold_result = warm_result = None
+    store_bytes = warm_hits = 0
+    for _ in range(max(1, repeats)):
+        shutil.rmtree(root, ignore_errors=True)
+        cold_store = ArtifactStore(root)
+        start = time.perf_counter()
+        cold_result, _ = _explore(trace, budget, store=cold_store)
+        cold_wall = min(cold_wall, time.perf_counter() - start)
+        store_bytes = cold_store.total_bytes()
+        # Fresh instance: empty memory tier, honest disk warm-start.
+        warm_store = ArtifactStore(root)
+        start = time.perf_counter()
+        warm_result, _ = _explore(trace, budget, store=warm_store)
+        warm_wall = min(warm_wall, time.perf_counter() - start)
+        warm_hits = warm_store.stats.hits
+    match = (
+        cold_result.to_json_dict()
+        == warm_result.to_json_dict()
+        == baseline.to_json_dict()
+    )
+    return {
+        "trace": trace.name,
+        "N": len(trace),
+        "N_prime": len(set(trace.addresses)),
+        "engine": engine,
+        "cold_wall_s": cold_wall,
+        "warm_wall_s": warm_wall,
+        "speedup": cold_wall / warm_wall if warm_wall > 0 else float("inf"),
+        "store_bytes": store_bytes,
+        "warm_hits": warm_hits,
+        "match": match,
+    }
+
+
+def run_bench(
+    traces: Sequence[Trace],
+    budget: int = 8,
+    repeats: int = 3,
+    store_root: Optional[Path] = None,
+) -> Dict:
+    """Benchmark every trace and return the result document."""
+    owns_root = store_root is None
+    root = Path(store_root or tempfile.mkdtemp(prefix="repro-bench-store-"))
+    results = []
+    try:
+        for trace in traces:
+            results.append(_bench_trace(trace, root / "store", budget, repeats))
+            row = results[-1]
+            print(
+                f"  {row['trace']:24s} cold {row['cold_wall_s']:7.3f}s  "
+                f"warm {row['warm_wall_s']:7.3f}s  {row['speedup']:6.1f}x",
+                file=sys.stderr,
+            )
+    finally:
+        if owns_root:
+            shutil.rmtree(root, ignore_errors=True)
+    speedups = [row["speedup"] for row in results]
+    environment = environment_info()
+    return {
+        "schema": SCHEMA,
+        "python": environment["python"],
+        "numpy": environment["numpy"],
+        "platform": environment["platform"],
+        "repeats": repeats,
+        "results": results,
+        "summary": {
+            "min_speedup": min(speedups),
+            "max_speedup": max(speedups),
+            "geomean_speedup": math.exp(
+                sum(math.log(s) for s in speedups) / len(speedups)
+            ),
+            "threshold": SPEEDUP_THRESHOLD,
+            "pass": min(speedups) >= SPEEDUP_THRESHOLD,
+        },
+    }
+
+
+def validate_results(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the schema above."""
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for key, kind in (("python", str), ("repeats", int), ("platform", str)):
+        if not isinstance(document.get(key), kind):
+            raise ValueError(f"missing or mistyped field {key!r}")
+    if not isinstance(document.get("numpy"), (str, type(None))):
+        raise ValueError("field 'numpy' must be a string or null")
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("'results' must be a non-empty list")
+    for row in results:
+        if set(row) != set(RESULT_FIELDS):
+            raise ValueError(f"result fields {sorted(row)} != schema")
+        for field, kind in RESULT_FIELDS.items():
+            value = row[field]
+            if kind is float:
+                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+            elif kind is int:
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            else:
+                ok = isinstance(value, kind)
+            if not ok:
+                raise ValueError(f"result field {field!r} must be {kind.__name__}")
+        if row["cold_wall_s"] < 0 or row["warm_wall_s"] < 0:
+            raise ValueError("negative measurement")
+        if row["warm_hits"] < 1:
+            raise ValueError(f"warm pass on {row['trace']!r} never hit the store")
+        if not row["match"]:
+            raise ValueError(
+                f"cached exploration diverged from uncached on {row['trace']!r}"
+            )
+    summary = document.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("'summary' is required")
+    for key in ("min_speedup", "max_speedup", "geomean_speedup", "threshold", "pass"):
+        if key not in summary:
+            raise ValueError(f"summary missing {key!r}")
+
+
+def _print_table(document: Dict) -> None:
+    print(
+        f"{'trace':24s} {'engine':10s} {'N':>7s} {'cold_s':>8s} "
+        f"{'warm_s':>8s} {'speedup':>8s} {'bytes':>9s}"
+    )
+    for row in document["results"]:
+        print(
+            f"{row['trace']:24s} {row['engine']:10s} {row['N']:7d} "
+            f"{row['cold_wall_s']:8.3f} {row['warm_wall_s']:8.3f} "
+            f"{row['speedup']:7.1f}x {row['store_bytes']:9d}"
+        )
+    summary = document["summary"]
+    verdict = "PASS" if summary["pass"] else "FAIL"
+    print(
+        f"warm-start speedup: min {summary['min_speedup']:.1f}x, geomean "
+        f"{summary['geomean_speedup']:.1f}x, max {summary['max_speedup']:.1f}x "
+        f"(threshold {summary['threshold']:.1f}x) -> {verdict}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_store.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny panel for smoke tests (seconds, not minutes)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--budget", type=int, default=8)
+    parser.add_argument(
+        "--no-workloads", action="store_true", help="skip the workload traces"
+    )
+    args = parser.parse_args(argv)
+
+    traces = synthetic_panel(quick=args.quick)
+    if not args.no_workloads:
+        traces += workload_panel(scale="tiny" if args.quick else "small")
+    document = run_bench(traces, budget=args.budget, repeats=args.repeats)
+    validate_results(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    _print_table(document)
+    print(f"wrote {args.output}")
+    return int(not document["summary"]["pass"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ evaluation depends on:
 * :mod:`repro.explore`   — traditional DSE baselines and comparisons
 * :mod:`repro.analysis`  — table rendering and runtime measurement
 * :mod:`repro.obs`       — per-phase telemetry (recorders, run manifests)
+* :mod:`repro.store`     — persistent content-addressed artifact cache
+  (warm-starts repeated explorations of the same trace)
 
 Quickstart::
 
@@ -29,18 +31,34 @@ Quickstart::
         print(instance)
 """
 
-from repro.core import AnalyticalCacheExplorer, CacheInstance, ExplorationResult, explore
+from repro.core import (
+    AnalyticalCacheExplorer,
+    CacheInstance,
+    ExplorationReport,
+    ExplorationRequest,
+    ExplorationResult,
+    explore,
+    explore_request,
+)
 from repro.cache import CacheConfig, CacheSimulator, SimulationResult, simulate_trace
 from repro.obs import NullRecorder, Recorder, RunManifest, validate_manifest
+from repro.store import ArtifactStore, StoreStats, default_cache_dir, trace_digest
 from repro.trace import Trace, compute_statistics, read_trace, write_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalyticalCacheExplorer",
+    "ArtifactStore",
     "CacheInstance",
+    "ExplorationReport",
+    "ExplorationRequest",
     "ExplorationResult",
+    "StoreStats",
+    "default_cache_dir",
     "explore",
+    "explore_request",
+    "trace_digest",
     "CacheConfig",
     "CacheSimulator",
     "SimulationResult",

@@ -11,6 +11,7 @@ Subcommands::
     repro explore TRACE --budget K --profile M.json  ... plus a run manifest
     repro profile TRACE [--engine E]       per-phase timing/memory telemetry
     repro engines                          list the histogram engines
+    repro cache stats|clear|prune          manage the artifact store
     repro simulate TRACE --depth D --assoc A   one cache simulation
     repro compare TRACE --budget K         analytical vs traditional DSE
     repro linesize TRACE --budget K        sweep line sizes (future work)
@@ -103,6 +104,41 @@ def _budget_for(args: argparse.Namespace, explorer: AnalyticalCacheExplorer) -> 
     return explorer.statistics.budget(args.percent)
 
 
+def _resolve_store(args: argparse.Namespace):
+    """The artifact store a subcommand should use, or ``None``.
+
+    Caching is opt-in: ``--cache-dir DIR`` on the command line, or the
+    ``REPRO_CACHE_DIR`` environment variable; ``--no-cache`` wins over
+    both.
+    """
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None)
+    if not cache_dir:
+        import os
+
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(cache_dir)
+
+
+def _add_cache_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="artifact store directory (warm-starts repeated runs; "
+        "REPRO_CACHE_DIR also enables it)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any artifact store, even if REPRO_CACHE_DIR is set",
+    )
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
     recorder = None
     if args.profile:
@@ -119,6 +155,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         max_depth=args.max_depth if args.max_depth else None,
         engine=args.engine,
         recorder=recorder,
+        store=_resolve_store(args),
     )
     budget = _budget_for(args, explorer)
     result = explorer.explore(budget)
@@ -159,7 +196,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with recorder.phase("load-trace"):
         trace = read_trace(args.trace)
     explorer = AnalyticalCacheExplorer(
-        trace, engine=args.engine, processes=args.processes, recorder=recorder
+        trace,
+        engine=args.engine,
+        processes=args.processes,
+        recorder=recorder,
+        store=_resolve_store(args),
     )
     if args.budget is not None:
         budget = args.budget
@@ -213,6 +254,38 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     print(
         f"auto: 'vectorized' when NumPy is importable and the trace has "
         f">= {engines.AUTO_MIN_REFS} references, else 'serial'"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.store import ArtifactStore, default_cache_dir
+
+    root = args.cache_dir or default_cache_dir()
+    store = ArtifactStore(root, max_bytes=None)  # maintenance: no auto-evict
+    if args.action == "stats":
+        import json
+
+        summary = store.describe()
+        if args.json:
+            print(json.dumps(summary, indent=2))
+            return 0
+        print(f"artifact store: {summary['root']}")
+        print(f"entries: {summary['entries']}  bytes: {summary['bytes']}")
+        for stage, info in summary["by_stage"].items():
+            print(f"  {stage:<12s} {info['entries']:>6d} entries  {info['bytes']:>10d} bytes")
+        if summary["quarantined"]:
+            print(f"quarantined: {summary['quarantined']} corrupt entries")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {root}")
+        return 0
+    # prune
+    evicted = store.prune(args.max_bytes)
+    print(
+        f"evicted {evicted} least-recently-used entries from {root} "
+        f"(cap: {args.max_bytes} bytes)"
     )
     return 0
 
@@ -561,10 +634,26 @@ def _cmd_paper_example(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser."""
+    """Construct the CLI argument parser.
+
+    The epilog lists histogram engines straight from the registry
+    (:func:`repro.core.engines.engine_names`), so ``repro --help`` can
+    never drift from what the registry actually serves.
+    """
+    from repro.core import engines as _engine_registry
+
+    engine_list = ", ".join(_engine_registry.engine_names())
+    alias_list = ", ".join(
+        f"{alias} -> {target}"
+        for alias, target in sorted(_engine_registry.ALIASES.items())
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Analytical cache design space exploration (Ghosh & Givargis, DATE 2003)",
+        epilog=(
+            f"histogram engines: {engine_list} "
+            f"(aliases: {alias_list}; see 'repro engines')"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -614,6 +703,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MANIFEST",
         help="record per-phase telemetry and write a run manifest JSON here",
     )
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
@@ -648,10 +738,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the manifest JSON instead of the phase tree",
     )
     p.add_argument("-o", "--output", help="also write the manifest JSON here")
+    _add_cache_flags(p)
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("engines", help="list the histogram engines")
     p.set_defaults(func=_cmd_engines)
+
+    p = sub.add_parser("cache", help="manage the persistent artifact store")
+    p.add_argument(
+        "action",
+        choices=["stats", "clear", "prune"],
+        help="stats: summarize entries; clear: remove everything; "
+        "prune: evict LRU entries down to --max-bytes",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="store directory (default: REPRO_CACHE_DIR or the user cache dir)",
+    )
+    p.add_argument(
+        "--max-bytes",
+        type=int,
+        default=0,
+        help="prune target size in bytes (prune only)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit stats as JSON (stats only)"
+    )
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("simulate", help="simulate one cache configuration")
     p.add_argument("trace", help="trace file")

@@ -42,7 +42,17 @@ from repro.core.engines import (
     register_engine,
     resolve_engine,
 )
-from repro.core.explorer import AnalyticalCacheExplorer, explore
+from repro.core.explorer import (
+    AnalyticalCacheExplorer,
+    explore,
+    explore_many,
+    explore_percent,
+)
+from repro.core.request import (
+    ExplorationReport,
+    ExplorationRequest,
+    explore_request,
+)
 from repro.core.linesize import (
     LineInstance,
     LineSizeExplorer,
@@ -83,6 +93,11 @@ __all__ = [
     "optimal_pairs_algorithm3",
     "AnalyticalCacheExplorer",
     "explore",
+    "explore_many",
+    "explore_percent",
+    "ExplorationReport",
+    "ExplorationRequest",
+    "explore_request",
     "LineInstance",
     "LineSizeExplorer",
     "LineSweepResult",

@@ -76,12 +76,20 @@ class EngineInputs:
     alone); when every consumer's products are injected, ``trace`` may
     be ``None``.
 
+    When an :class:`repro.store.ArtifactStore` is attached, every stage
+    consults the store first (content-addressed by the trace digest) and
+    persists what it computes, so a second exploration of the same trace
+    — any process, any engine — warm-starts instead of recomputing.
+
     Args:
         trace: the raw trace, or ``None`` when the prelude products are
             injected (engines that consume the raw trace — e.g.
             ``streaming`` — then refuse to run).
         recorder: a :class:`repro.obs.Recorder` that each lazily built
             stage reports itself to; defaults to the no-op recorder.
+        store: optional :class:`repro.store.ArtifactStore`; ignored when
+            ``trace`` is ``None`` (injected products have no digest to
+            address them by).
     """
 
     def __init__(
@@ -91,12 +99,15 @@ class EngineInputs:
         zerosets: Optional[ZeroOneSets] = None,
         mrct: Optional[MRCT] = None,
         recorder=NULL_RECORDER,
+        store=None,
     ) -> None:
         self.trace = trace
         self.recorder = recorder
+        self.store = store
         self._stripped = stripped
         self._zerosets = zerosets
         self._mrct = mrct
+        self._trace_digest: Optional[str] = None
 
     def require_trace(self, why: str) -> Trace:
         """The raw trace, or ``ValueError`` naming what needed it."""
@@ -105,13 +116,108 @@ class EngineInputs:
         return self.trace
 
     @property
+    def trace_digest(self) -> Optional[str]:
+        """Content digest of the raw trace (``None`` without one)."""
+        if self._trace_digest is None and self.trace is not None:
+            from repro.store.keys import trace_digest
+
+            self._trace_digest = trace_digest(self.trace)
+        return self._trace_digest
+
+    def _stage_key(self, codec, **params: object):
+        """Artifact key for a stage codec, or ``None`` when uncacheable."""
+        digest = self.trace_digest
+        if digest is None:
+            return None
+        from repro.store.keys import ArtifactKey
+
+        return ArtifactKey.for_stage(
+            digest, codec.stage, codec.version, **params
+        )
+
+    def load_artifact(self, codec, context=None, **params: object):
+        """Consult the store for one stage's artifact (``None`` on miss)."""
+        if self.store is None:
+            return None
+        key = self._stage_key(codec, **params)
+        if key is None:
+            return None
+        return self.store.get(
+            key, codec, context=context, recorder=self.recorder
+        )
+
+    def save_artifact(self, codec, value, **params: object) -> None:
+        """Persist one stage's artifact (no-op without a store/digest)."""
+        if self.store is None:
+            return
+        key = self._stage_key(codec, **params)
+        if key is None:
+            return
+        self.store.put(key, codec, value, recorder=self.recorder)
+
+    def load_histograms(
+        self, max_level: Optional[int] = None
+    ) -> Optional[Dict[int, LevelHistogram]]:
+        """Stored per-level histograms for this trace, or ``None``.
+
+        Histogram entries are engine-independent (every engine is
+        differentially tested bit-identical), keyed only by
+        ``max_level``.  A bounded request that misses its exact key
+        falls back to the ``full`` entry and truncates it — levels
+        ``0..max_level`` of the full result are exactly the bounded
+        computation.
+        """
+        if self.store is None:
+            return None
+        from repro.store.codec import HISTOGRAMS_CODEC
+
+        level_key = "full" if max_level is None else int(max_level)
+        exact = self.load_artifact(HISTOGRAMS_CODEC, max_level=level_key)
+        if exact is not None or max_level is None:
+            return exact
+        full = self.load_artifact(HISTOGRAMS_CODEC, max_level="full")
+        if full is None:
+            return None
+        return {
+            level: histogram
+            for level, histogram in full.items()
+            if level <= max_level
+        }
+
+    def save_histograms(
+        self,
+        histograms: Dict[int, LevelHistogram],
+        max_level: Optional[int] = None,
+    ) -> None:
+        """Persist per-level histograms under their ``max_level`` key."""
+        if self.store is None:
+            return
+        from repro.store.codec import HISTOGRAMS_CODEC
+
+        level_key = "full" if max_level is None else int(max_level)
+        self.save_artifact(HISTOGRAMS_CODEC, histograms, max_level=level_key)
+
+    @property
     def stripped(self) -> StrippedTrace:
         if self._stripped is None:
             trace = self.require_trace("the strip prelude stage needs one")
+            if self.store is not None:
+                from repro.store.codec import STRIPPED_CODEC
+
+                cached = self.load_artifact(STRIPPED_CODEC, context=trace)
+                if cached is not None:
+                    self._stripped = cached
+                    self.recorder.record("trace_refs", cached.n)
+                    self.recorder.record("unique_refs", cached.n_unique)
+                    return cached
             with self.recorder.phase("prelude:strip"):
                 self._stripped = strip_trace(trace)
                 self.recorder.record("trace_refs", self._stripped.n)
                 self.recorder.record("unique_refs", self._stripped.n_unique)
+            if self.store is not None:
+                from repro.store.codec import STRIPPED_CODEC
+
+                self.save_artifact(STRIPPED_CODEC, self._stripped)
         return self._stripped
 
     @property
@@ -122,20 +228,45 @@ class EngineInputs:
     @property
     def zerosets(self) -> ZeroOneSets:
         if self._zerosets is None:
+            if self.store is not None:
+                from repro.store.codec import ZEROSETS_CODEC
+
+                cached = self.load_artifact(ZEROSETS_CODEC)
+                if cached is not None:
+                    self._zerosets = cached
+                    return cached
             stripped = self.stripped
             with self.recorder.phase("prelude:zerosets"):
                 self._zerosets = build_zero_one_sets(stripped)
+            if self.store is not None:
+                from repro.store.codec import ZEROSETS_CODEC
+
+                self.save_artifact(ZEROSETS_CODEC, self._zerosets)
         return self._zerosets
 
     @property
     def mrct(self) -> MRCT:
         if self._mrct is None:
+            if self.store is not None:
+                from repro.store.codec import MRCT_CODEC
+
+                cached = self.load_artifact(MRCT_CODEC)
+                if cached is not None:
+                    self._mrct = cached
+                    self.recorder.record(
+                        "conflict_sets", cached.total_conflict_sets
+                    )
+                    return cached
             stripped = self.stripped
             with self.recorder.phase("prelude:mrct"):
                 self._mrct = build_mrct(stripped)
                 self.recorder.record(
                     "conflict_sets", self._mrct.total_conflict_sets
                 )
+            if self.store is not None:
+                from repro.store.codec import MRCT_CODEC
+
+                self.save_artifact(MRCT_CODEC, self._mrct)
         return self._mrct
 
 
@@ -198,6 +329,11 @@ class EngineSpec:
     ) -> Dict[int, LevelHistogram]:
         """Run this engine on the given prelude products.
 
+        When the inputs carry an artifact store, a stored histogram
+        entry for this trace short-circuits the run entirely — engine
+        options (worker counts etc.) never affect the result, so a hit
+        written by any engine serves every engine.
+
         Raises:
             ValueError: for option names the engine does not declare
                 (e.g. a typo'd ``proceses=8``).
@@ -210,6 +346,15 @@ class EngineSpec:
                 f"{', '.join(unknown)}; accepted options: {accepted}"
             )
         recorder = inputs.recorder
+        cached = inputs.load_histograms(max_level)
+        if cached is not None:
+            if recorder.enabled:
+                recorder.record("histogram_levels", len(cached))
+                recorder.record(
+                    "histogram_occurrences",
+                    sum(sum(h.counts.values()) for h in cached.values()),
+                )
+            return cached
         with recorder.phase(f"engine:{self.name}"):
             histograms = self.runner(inputs, max_level=max_level, **options)
             if recorder.enabled:
@@ -218,6 +363,7 @@ class EngineSpec:
                     "histogram_occurrences",
                     sum(sum(h.counts.values()) for h in histograms.values()),
                 )
+        inputs.save_histograms(histograms, max_level)
         return histograms
 
 

@@ -47,9 +47,17 @@ class AnalyticalCacheExplorer:
             defaults to the zero-overhead null recorder.  When given, a
             :class:`repro.obs.RunManifest` of the run is available from
             :meth:`run_manifest`.
+        store: optional :class:`repro.store.ArtifactStore`.  Every
+            pipeline stage (strip, zero/one sets, MRCT, histograms) then
+            consults the store before computing and persists what it
+            computes, so repeated explorations of the same trace — any
+            process, any engine — warm-start from stored artifacts.
+            Hits/misses/bytes land in the recorder's counters (and hence
+            the run manifest).
 
     All engines produce bit-identical histograms, hence identical
-    exploration results (tested).
+    exploration results (tested); a store entry written by one engine
+    therefore warm-starts every other.
 
     Example:
         >>> from repro.trace import loop_nest_trace
@@ -69,6 +77,7 @@ class AnalyticalCacheExplorer:
         engine: str = _engines.AUTO_ENGINE,
         processes: int = 2,
         recorder=None,
+        store=None,
     ) -> None:
         if max_depth is not None:
             if max_depth < 1 or (max_depth & (max_depth - 1)) != 0:
@@ -82,8 +91,11 @@ class AnalyticalCacheExplorer:
         self.engine = engine
         self.processes = processes
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.store = store
         self._max_depth = max_depth
-        self._inputs = _engines.EngineInputs(trace, recorder=self.recorder)
+        self._inputs = _engines.EngineInputs(
+            trace, recorder=self.recorder, store=store
+        )
         self._histograms: Optional[Dict[int, LevelHistogram]] = None
         self._statistics: Optional[TraceStatistics] = None
         self._engine_options: Dict[str, object] = {}
@@ -234,6 +246,105 @@ class AnalyticalCacheExplorer:
         )
 
 
-def explore(trace: Trace, budget: int, max_depth: Optional[int] = None) -> ExplorationResult:
-    """One-shot convenience wrapper around :class:`AnalyticalCacheExplorer`."""
-    return AnalyticalCacheExplorer(trace, max_depth=max_depth).explore(budget)
+def explore(
+    trace: Trace,
+    budget: int,
+    max_depth: Optional[int] = None,
+    engine: str = _engines.AUTO_ENGINE,
+    processes: int = 2,
+    recorder=None,
+    store=None,
+    include_depth_one: bool = False,
+) -> ExplorationResult:
+    """One-shot convenience wrapper around :class:`AnalyticalCacheExplorer`.
+
+    ``engine``/``processes``/``recorder``/``store`` are forwarded to the
+    explorer, so the convenience path matches the class path (earlier
+    versions silently ran with the default engine and no telemetry).
+
+    .. deprecated:: 1.2
+        Prefer :func:`repro.core.request.explore_request` with an
+        :class:`~repro.core.request.ExplorationRequest` — this shim
+        forwards there and only returns the first result.
+    """
+    from repro.core.request import ExplorationRequest, explore_request
+
+    report = explore_request(
+        ExplorationRequest.single(
+            trace,
+            budget=budget,
+            max_depth=max_depth,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+            include_depth_one=include_depth_one,
+        )
+    )
+    return report.results[0]
+
+
+def explore_percent(
+    trace: Trace,
+    percent: float,
+    max_depth: Optional[int] = None,
+    engine: str = _engines.AUTO_ENGINE,
+    processes: int = 2,
+    recorder=None,
+    store=None,
+    include_depth_one: bool = False,
+) -> ExplorationResult:
+    """One-shot percent-of-max-misses exploration (the paper's K%).
+
+    .. deprecated:: 1.2
+        Prefer :func:`repro.core.request.explore_request` with
+        ``ExplorationRequest.single(trace, percent=...)``.
+    """
+    from repro.core.request import ExplorationRequest, explore_request
+
+    report = explore_request(
+        ExplorationRequest.single(
+            trace,
+            percent=percent,
+            max_depth=max_depth,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+            include_depth_one=include_depth_one,
+        )
+    )
+    return report.results[0]
+
+
+def explore_many(
+    trace: Trace,
+    budgets: Sequence[int],
+    max_depth: Optional[int] = None,
+    engine: str = _engines.AUTO_ENGINE,
+    processes: int = 2,
+    recorder=None,
+    store=None,
+    include_depth_one: bool = False,
+) -> List[ExplorationResult]:
+    """Explore several absolute budgets over one shared pipeline.
+
+    .. deprecated:: 1.2
+        Prefer :func:`repro.core.request.explore_request` with
+        ``ExplorationRequest.single(trace, budgets=...)``.
+    """
+    from repro.core.request import ExplorationRequest, explore_request
+
+    report = explore_request(
+        ExplorationRequest.single(
+            trace,
+            budgets=tuple(budgets),
+            max_depth=max_depth,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+            include_depth_one=include_depth_one,
+        )
+    )
+    return list(report.results)

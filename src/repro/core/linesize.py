@@ -131,6 +131,13 @@ class LineSizeExplorer:
         line_sizes: line sizes (words, powers of two) to sweep; default
             1, 2, 4, 8.
         max_depth: forwarded to each per-line-size explorer.
+        engine: histogram engine name, forwarded to each per-line-size
+            explorer.
+        processes: worker count for the ``"parallel"`` engine.
+        recorder: shared :class:`repro.obs.Recorder` across the sweep.
+        store: shared :class:`repro.store.ArtifactStore` — each line
+            size's derived trace gets its own content digest, so the
+            whole sweep warm-starts on a second run.
 
     Example:
         >>> from repro.trace import loop_nest_trace
@@ -146,6 +153,10 @@ class LineSizeExplorer:
         trace: Trace,
         line_sizes: Iterable[int] = DEFAULT_LINE_SIZES,
         max_depth: Optional[int] = None,
+        engine: str = "auto",
+        processes: int = 2,
+        recorder=None,
+        store=None,
     ) -> None:
         sizes = sorted(set(int(s) for s in line_sizes))
         if not sizes:
@@ -156,6 +167,10 @@ class LineSizeExplorer:
         self.trace = trace
         self.line_sizes = sizes
         self._max_depth = max_depth
+        self._engine = engine
+        self._processes = processes
+        self._recorder = recorder
+        self._store = store
         self._explorers: Dict[int, AnalyticalCacheExplorer] = {}
 
     def explorer_for(self, line_words: int) -> AnalyticalCacheExplorer:
@@ -167,7 +182,12 @@ class LineSizeExplorer:
                 else self.trace.to_line_trace(line_words)
             )
             self._explorers[line_words] = AnalyticalCacheExplorer(
-                line_trace, max_depth=self._max_depth
+                line_trace,
+                max_depth=self._max_depth,
+                engine=self._engine,
+                processes=self._processes,
+                recorder=self._recorder,
+                store=self._store,
             )
         return self._explorers[line_words]
 
@@ -205,6 +225,29 @@ def explore_line_sizes(
     trace: Trace,
     budget: int,
     line_sizes: Sequence[int] = LineSizeExplorer.DEFAULT_LINE_SIZES,
+    engine: str = "auto",
+    processes: int = 2,
+    recorder=None,
+    store=None,
 ) -> LineSweepResult:
-    """One-shot helper around :class:`LineSizeExplorer`."""
-    return LineSizeExplorer(trace, line_sizes=line_sizes).explore(budget)
+    """One-shot helper around :class:`LineSizeExplorer`.
+
+    .. deprecated:: 1.2
+        Prefer :func:`repro.core.request.explore_request` with
+        ``ExplorationRequest.line_sweep(trace, budget=..., ...)`` —
+        this shim builds exactly that request.
+    """
+    from repro.core.request import ExplorationRequest, explore_request
+
+    report = explore_request(
+        ExplorationRequest.line_sweep(
+            trace,
+            budget=budget,
+            line_sizes=line_sizes,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+        )
+    )
+    return report.line_sweeps[0]

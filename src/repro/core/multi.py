@@ -66,6 +66,9 @@ class MultiTraceExplorer:
         processes: worker count for the ``"parallel"`` engine.
         recorder: a shared :class:`repro.obs.Recorder` forwarded to every
             per-trace explorer, so one profile covers the whole set.
+        store: a shared :class:`repro.store.ArtifactStore` forwarded to
+            every per-trace explorer — batch runs over an application
+            set then share one artifact cache.
 
     Example:
         >>> from repro.trace import loop_nest_trace
@@ -84,6 +87,7 @@ class MultiTraceExplorer:
         engine: str = "auto",
         processes: int = 2,
         recorder=None,
+        store=None,
     ) -> None:
         if not traces:
             raise ValueError("at least one trace is required")
@@ -107,6 +111,7 @@ class MultiTraceExplorer:
                 engine=engine,
                 processes=processes,
                 recorder=recorder,
+                store=store,
             )
             for trace in self.traces
         ]
@@ -153,6 +158,20 @@ class MultiTraceExplorer:
             instances=instances,
             misses_by_trace=self._misses_per_trace(instances),
         )
+
+    def run(self, budget: int, mode: str = "sum") -> MultiTraceResult:
+        """Dispatch to :meth:`explore_sum` or :meth:`explore_each` by name.
+
+        .. deprecated:: 1.2
+            Prefer :func:`repro.core.request.explore_request` with
+            ``ExplorationRequest.multi(traces, budget=..., mode=...)``;
+            this shim remains for callers holding the mode as data.
+        """
+        if mode == "sum":
+            return self.explore_sum(budget)
+        if mode == "each":
+            return self.explore_each(budget)
+        raise ValueError(f"mode must be 'sum' or 'each', got {mode!r}")
 
     def explore_each(self, budget: int) -> MultiTraceResult:
         """Bound every application's non-cold misses individually."""

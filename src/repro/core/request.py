@@ -1,0 +1,358 @@
+"""One entry point for every exploration shape the repo supports.
+
+The exploration frontends accumulated divergent ad-hoc signatures:
+``explore(trace, budget)``, ``explore_percent(trace, percent)``,
+``explore_many(trace, budgets)``, ``explore_line_sizes(trace, budget,
+line_sizes)`` and ``MultiTraceExplorer(...).run(budget, mode)``.
+:class:`ExplorationRequest` is the single contract that covers all of
+them: what to explore (one trace, an application set, a line-size
+sweep), at which budgets (absolute K's, the paper's percent-of-max-
+misses, or both), and with which machinery (engine, worker count,
+recorder, artifact store).  :func:`explore_request` executes it and
+returns an :class:`ExplorationReport`.
+
+The legacy helpers remain as thin shims that build a request, so no
+caller breaks; new code should construct requests::
+
+    from repro import ExplorationRequest, explore_request
+
+    report = explore_request(
+        ExplorationRequest.single(trace, percents=(5, 10, 15, 20))
+    )
+    for result in report.results:
+        print(result.as_dict())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core import engines as _engines
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import ExplorationResult
+from repro.core.linesize import LineSizeExplorer, LineSweepResult
+from repro.core.multi import MultiTraceExplorer, MultiTraceResult
+from repro.trace.trace import Trace
+
+#: The exploration shapes a request can take.
+MODES = ("single", "sum", "each", "linesize")
+
+
+@dataclass(frozen=True, eq=False)
+class ExplorationRequest:
+    """A complete, validated description of one exploration.
+
+    Attributes:
+        traces: traces to analyze.  ``single`` and ``linesize`` modes
+            take exactly one; ``sum``/``each`` take the application set.
+        mode: one of :data:`MODES` — ``single`` (one trace, the paper's
+            core algorithm), ``sum``/``each`` (application-set rules of
+            :class:`repro.core.multi.MultiTraceExplorer`), ``linesize``
+            (sweep line sizes via
+            :class:`repro.core.linesize.LineSizeExplorer`).
+        budgets: absolute miss budgets K to explore.
+        percents: budgets given as percent of the trace's maximum
+            non-cold misses (the paper's parameterization); resolved
+            against the trace statistics and explored after ``budgets``.
+            ``single`` mode only.
+        max_depth: deepest cache depth to report (power of two).
+        include_depth_one: also report the fully associative depth-1
+            column (``single`` mode only).
+        line_sizes: line sizes for ``linesize`` mode.
+        weights: per-trace weights for ``sum`` mode.
+        engine: histogram engine name (see :mod:`repro.core.engines`).
+        processes: worker count for the ``parallel`` engine.
+        recorder: optional :class:`repro.obs.Recorder` shared by every
+            explorer the request spawns.
+        store: optional :class:`repro.store.ArtifactStore` shared by
+            every explorer the request spawns (warm-start).
+
+    Build via the mode-specific constructors (:meth:`single`,
+    :meth:`multi`, :meth:`line_sweep`) rather than positionally.
+    """
+
+    traces: Tuple[Trace, ...]
+    mode: str = "single"
+    budgets: Tuple[int, ...] = ()
+    percents: Tuple[float, ...] = ()
+    max_depth: Optional[int] = None
+    include_depth_one: bool = False
+    line_sizes: Tuple[int, ...] = LineSizeExplorer.DEFAULT_LINE_SIZES
+    weights: Optional[Tuple[int, ...]] = None
+    engine: str = _engines.AUTO_ENGINE
+    processes: int = 2
+    recorder: Optional[object] = None
+    store: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if not self.traces:
+            raise ValueError("at least one trace is required")
+        if self.mode in ("single", "linesize") and len(self.traces) != 1:
+            raise ValueError(
+                f"mode {self.mode!r} takes exactly one trace, "
+                f"got {len(self.traces)}"
+            )
+        if self.mode != "single" and self.percents:
+            raise ValueError(
+                "percent budgets are only defined for mode 'single' "
+                "(they scale by one trace's max misses)"
+            )
+        if self.mode != "single" and self.include_depth_one:
+            raise ValueError(
+                "include_depth_one is only supported in mode 'single'"
+            )
+        if self.mode != "sum" and self.weights is not None:
+            raise ValueError("weights only apply to mode 'sum'")
+        if self.mode != "single" and not self.budgets:
+            raise ValueError(f"mode {self.mode!r} needs at least one budget")
+        if any(k < 0 for k in self.budgets):
+            raise ValueError("budgets must be non-negative")
+        if any(p < 0 for p in self.percents):
+            raise ValueError("percents must be non-negative")
+        _engines.canonical_name(self.engine)  # fail fast on unknown names
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def single(
+        cls,
+        trace: Trace,
+        budget: Optional[int] = None,
+        budgets: Sequence[int] = (),
+        percent: Optional[float] = None,
+        percents: Sequence[float] = (),
+        max_depth: Optional[int] = None,
+        include_depth_one: bool = False,
+        engine: str = _engines.AUTO_ENGINE,
+        processes: int = 2,
+        recorder=None,
+        store=None,
+    ) -> "ExplorationRequest":
+        """One-trace exploration at absolute and/or percent budgets."""
+        all_budgets = tuple(budgets) + ((budget,) if budget is not None else ())
+        all_percents = tuple(percents) + (
+            (percent,) if percent is not None else ()
+        )
+        return cls(
+            traces=(trace,),
+            mode="single",
+            budgets=all_budgets,
+            percents=all_percents,
+            max_depth=max_depth,
+            include_depth_one=include_depth_one,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+        )
+
+    @classmethod
+    def multi(
+        cls,
+        traces: Sequence[Trace],
+        budget: int,
+        mode: str = "sum",
+        weights: Optional[Sequence[int]] = None,
+        max_depth: Optional[int] = None,
+        engine: str = _engines.AUTO_ENGINE,
+        processes: int = 2,
+        recorder=None,
+        store=None,
+    ) -> "ExplorationRequest":
+        """Application-set exploration (``sum`` or ``each`` rule)."""
+        return cls(
+            traces=tuple(traces),
+            mode=mode,
+            budgets=(budget,),
+            weights=tuple(weights) if weights is not None else None,
+            max_depth=max_depth,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+        )
+
+    @classmethod
+    def line_sweep(
+        cls,
+        trace: Trace,
+        budget: int,
+        line_sizes: Sequence[int] = LineSizeExplorer.DEFAULT_LINE_SIZES,
+        max_depth: Optional[int] = None,
+        engine: str = _engines.AUTO_ENGINE,
+        processes: int = 2,
+        recorder=None,
+        store=None,
+    ) -> "ExplorationRequest":
+        """Line-size sweep at one budget."""
+        return cls(
+            traces=(trace,),
+            mode="linesize",
+            budgets=(budget,),
+            line_sizes=tuple(line_sizes),
+            max_depth=max_depth,
+            engine=engine,
+            processes=processes,
+            recorder=recorder,
+            store=store,
+        )
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one :func:`explore_request` call produced.
+
+    Exactly one of the result collections is populated, matching the
+    request's mode; :attr:`result` is the mode-agnostic "first answer"
+    accessor.
+
+    Attributes:
+        mode: the request's mode, echoed.
+        engine: the *resolved* concrete engine name (``auto`` decided).
+        budgets: the absolute budgets explored, percent budgets resolved
+            and appended in request order.
+        results: per-budget results (``single`` mode).
+        multi_results: per-budget set results (``sum``/``each``).
+        line_sweeps: per-budget sweep results (``linesize``).
+        store_stats: snapshot of the artifact store's counters after the
+            run, when the request carried a store.
+    """
+
+    mode: str
+    engine: str
+    budgets: Tuple[int, ...]
+    results: Tuple[ExplorationResult, ...] = ()
+    multi_results: Tuple[MultiTraceResult, ...] = ()
+    line_sweeps: Tuple[LineSweepResult, ...] = ()
+    store_stats: Optional[Dict[str, int]] = None
+
+    @property
+    def result(self):
+        """The first (often only) result, whatever the mode."""
+        for collection in (self.results, self.multi_results, self.line_sweeps):
+            if collection:
+                return collection[0]
+        return None
+
+    def to_json_dict(self) -> Dict:
+        """JSON-serializable summary of the whole report."""
+        payload: Dict[str, object] = {
+            "mode": self.mode,
+            "engine": self.engine,
+            "budgets": list(self.budgets),
+        }
+        if self.results:
+            payload["results"] = [r.to_json_dict() for r in self.results]
+        if self.multi_results:
+            payload["multi_results"] = [
+                {
+                    "mode": r.mode,
+                    "budget": r.budget,
+                    "instances": {
+                        str(depth): assoc for depth, assoc in r.as_dict().items()
+                    },
+                    "misses_by_trace": {
+                        name: list(misses)
+                        for name, misses in r.misses_by_trace.items()
+                    },
+                }
+                for r in self.multi_results
+            ]
+        if self.line_sweeps:
+            payload["line_sweeps"] = [
+                {
+                    "budget": sweep.budget,
+                    "by_line_words": {
+                        str(line): result.to_json_dict()
+                        for line, result in sweep.by_line_words.items()
+                    },
+                }
+                for sweep in self.line_sweeps
+            ]
+        if self.store_stats is not None:
+            payload["store"] = dict(self.store_stats)
+        return payload
+
+
+def explore_request(request: ExplorationRequest) -> ExplorationReport:
+    """Execute an :class:`ExplorationRequest` — the single entry point.
+
+    Dispatches by mode to the same machinery the legacy helpers use, so
+    a request and its shim equivalent produce identical results
+    (parity-tested).
+    """
+    if request.mode == "single":
+        report = _run_single(request)
+    elif request.mode in ("sum", "each"):
+        report = _run_multi(request)
+    else:
+        report = _run_linesize(request)
+    if request.store is not None:
+        report.store_stats = request.store.stats.as_dict()
+    return report
+
+
+def _run_single(request: ExplorationRequest) -> ExplorationReport:
+    explorer = AnalyticalCacheExplorer(
+        request.traces[0],
+        max_depth=request.max_depth,
+        engine=request.engine,
+        processes=request.processes,
+        recorder=request.recorder,
+        store=request.store,
+    )
+    budgets = list(request.budgets)
+    budgets.extend(
+        explorer.statistics.budget(percent) for percent in request.percents
+    )
+    results = tuple(
+        explorer.explore(k, include_depth_one=request.include_depth_one)
+        for k in budgets
+    )
+    return ExplorationReport(
+        mode=request.mode,
+        engine=explorer.resolved_engine,
+        budgets=tuple(budgets),
+        results=results,
+    )
+
+
+def _run_multi(request: ExplorationRequest) -> ExplorationReport:
+    multi = MultiTraceExplorer(
+        list(request.traces),
+        weights=list(request.weights) if request.weights is not None else None,
+        max_depth=request.max_depth,
+        engine=request.engine,
+        processes=request.processes,
+        recorder=request.recorder,
+        store=request.store,
+    )
+    results = tuple(multi.run(k, mode=request.mode) for k in request.budgets)
+    return ExplorationReport(
+        mode=request.mode,
+        engine=multi.explorers[0].resolved_engine,
+        budgets=tuple(request.budgets),
+        multi_results=results,
+    )
+
+
+def _run_linesize(request: ExplorationRequest) -> ExplorationReport:
+    sweeper = LineSizeExplorer(
+        request.traces[0],
+        line_sizes=request.line_sizes,
+        max_depth=request.max_depth,
+        engine=request.engine,
+        processes=request.processes,
+        recorder=request.recorder,
+        store=request.store,
+    )
+    sweeps = tuple(sweeper.explore(k) for k in request.budgets)
+    return ExplorationReport(
+        mode=request.mode,
+        engine=sweeper.explorer_for(sweeper.line_sizes[0]).resolved_engine,
+        budgets=tuple(request.budgets),
+        line_sweeps=sweeps,
+    )

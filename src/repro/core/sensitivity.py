@@ -11,9 +11,10 @@ cheaper cache?") for free after a single analytical run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Union
 
 from repro.core.explorer import AnalyticalCacheExplorer
+from repro.trace.trace import Trace
 
 
 @dataclass(frozen=True)
@@ -37,16 +38,51 @@ class SensitivityStep:
         return self.max_budget < 0
 
 
+def _as_explorer(
+    explorer: Union[AnalyticalCacheExplorer, Trace],
+    engine: str = "auto",
+    processes: int = 2,
+    recorder=None,
+    store=None,
+) -> AnalyticalCacheExplorer:
+    """Accept either an explorer or a raw trace (building one explorer)."""
+    if isinstance(explorer, AnalyticalCacheExplorer):
+        return explorer
+    return AnalyticalCacheExplorer(
+        explorer,
+        engine=engine,
+        processes=processes,
+        recorder=recorder,
+        store=store,
+    )
+
+
 def budget_sensitivity(
-    explorer: AnalyticalCacheExplorer, depth: int
+    explorer: Union[AnalyticalCacheExplorer, Trace],
+    depth: int,
+    engine: str = "auto",
+    processes: int = 2,
+    recorder=None,
+    store=None,
 ) -> List[SensitivityStep]:
     """The K→A staircase for one depth, largest A first.
 
     The first step starts at K = 0 with ``A_zero``; each following step
     begins exactly at the miss count of the next-smaller associativity.
+    Accepts a prepared :class:`AnalyticalCacheExplorer` or a raw
+    :class:`~repro.trace.trace.Trace`; in the latter case an explorer is
+    built with the given ``engine``/``recorder``/``store`` (so a
+    sensitivity sweep can warm-start from the artifact cache).
     """
     if depth < 1 or (depth & (depth - 1)) != 0:
         raise ValueError(f"depth must be a power of two, got {depth}")
+    explorer = _as_explorer(
+        explorer,
+        engine=engine,
+        processes=processes,
+        recorder=recorder,
+        store=store,
+    )
     # misses(A) for A = A_zero down to 1 gives the breakpoints directly.
     level = depth.bit_length() - 1
     histogram = explorer.histograms.get(level)
@@ -73,15 +109,29 @@ def budget_sensitivity(
 
 
 def marginal_budget_for_cheaper_cache(
-    explorer: AnalyticalCacheExplorer, depth: int, budget: int
+    explorer: Union[AnalyticalCacheExplorer, Trace],
+    depth: int,
+    budget: int,
+    engine: str = "auto",
+    processes: int = 2,
+    recorder=None,
+    store=None,
 ) -> int:
     """Extra misses needed before a smaller associativity suffices.
 
-    Returns 0 when the current budget already admits A = 1.
+    Returns 0 when the current budget already admits A = 1.  Accepts an
+    explorer or a raw trace, like :func:`budget_sensitivity`.
     """
     if budget < 0:
         raise ValueError("budget must be non-negative")
-    steps = budget_sensitivity(explorer, depth)
+    steps = budget_sensitivity(
+        explorer,
+        depth,
+        engine=engine,
+        processes=processes,
+        recorder=recorder,
+        store=store,
+    )
     for step in steps:
         if step.unbounded or budget <= step.max_budget:
             if step.min_budget <= budget:

@@ -1,0 +1,299 @@
+"""Versioned binary serialization for the pipeline's artifacts.
+
+Each pipeline stage has one codec — an object with a ``stage`` name, a
+``version`` (the schema coordinate of :class:`repro.store.ArtifactKey`),
+``encode(value) -> bytes`` and ``decode(payload, context=None) ->
+value``.  The big set-valued structures (zero/one sets, MRCT conflict
+sets) are arbitrary-precision ints used as bit vectors; they serialize
+as length-prefixed little-endian byte strings, which round-trips exactly
+and costs no more than the ints' own storage.
+
+On disk every payload travels inside a self-checking container
+(:func:`pack_entry` / :func:`unpack_entry`): magic, container version,
+codec version, SHA-256 payload checksum, payload length, payload.  Any
+mismatch — bad magic, truncation, a flipped bit — raises
+:class:`CorruptArtifact`, which the store treats as a cache miss and
+quarantines (a corrupt entry must never poison a computation).
+
+Bumping a codec's ``version`` silently invalidates that stage's old
+entries: the version participates in the artifact key, so old entries
+simply stop being addressed and age out via LRU eviction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import sys
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mrct import MRCT
+from repro.core.postlude import LevelHistogram
+from repro.core.zerosets import ZeroOneSets
+from repro.trace.strip import StrippedTrace
+from repro.trace.trace import Trace
+
+#: Container framing magic; identifies a store entry file.
+MAGIC = b"RART"
+
+#: Version of the container framing itself (not of any payload).
+CONTAINER_VERSION = 1
+
+#: Container header: magic, container version, codec version,
+#: SHA-256 payload digest, payload length.
+_HEADER = struct.Struct("<4sHH32sQ")
+
+
+class CorruptArtifact(ValueError):
+    """A store entry failed framing, checksum or decode validation."""
+
+
+def pack_entry(codec_version: int, payload: bytes) -> bytes:
+    """Frame a payload for disk: header + checksum + payload."""
+    digest = hashlib.sha256(payload).digest()
+    return (
+        _HEADER.pack(
+            MAGIC, CONTAINER_VERSION, codec_version, digest, len(payload)
+        )
+        + payload
+    )
+
+
+def unpack_entry(blob: bytes, codec_version: int) -> bytes:
+    """Validate framing and checksum; return the payload.
+
+    Raises:
+        CorruptArtifact: on bad magic, version mismatch, truncation or
+            checksum failure.
+    """
+    if len(blob) < _HEADER.size:
+        raise CorruptArtifact("entry shorter than its header")
+    magic, container, version, digest, length = _HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        raise CorruptArtifact(f"bad magic {magic!r}")
+    if container != CONTAINER_VERSION:
+        raise CorruptArtifact(f"unknown container version {container}")
+    if version != codec_version:
+        raise CorruptArtifact(
+            f"codec version {version} != expected {codec_version}"
+        )
+    payload = blob[_HEADER.size:]
+    if len(payload) != length:
+        raise CorruptArtifact(
+            f"payload truncated: {len(payload)} bytes, header says {length}"
+        )
+    if hashlib.sha256(payload).digest() != digest:
+        raise CorruptArtifact("payload checksum mismatch")
+    return payload
+
+
+class _Reader:
+    """Sequential struct reader over a payload, bounds-checked."""
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, payload: bytes) -> None:
+        self._view = memoryview(payload)
+        self._pos = 0
+
+    def unpack(self, fmt: str) -> Tuple:
+        size = struct.calcsize(fmt)
+        if self._pos + size > len(self._view):
+            raise CorruptArtifact("payload truncated mid-field")
+        values = struct.unpack_from(fmt, self._view, self._pos)
+        self._pos += size
+        return values
+
+    def read(self, size: int) -> bytes:
+        if self._pos + size > len(self._view):
+            raise CorruptArtifact("payload truncated mid-block")
+        block = self._view[self._pos:self._pos + size].tobytes()
+        self._pos += size
+        return block
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._view):
+            raise CorruptArtifact(
+                f"{len(self._view) - self._pos} trailing bytes in payload"
+            )
+
+
+def _array_bytes(values: array) -> bytes:
+    """An array's buffer as little-endian bytes (copy on BE hosts)."""
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _array_from(typecode: str, data: bytes) -> array:
+    values = array(typecode)
+    values.frombytes(data)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        values.byteswap()
+    return values
+
+
+def _encode_bigints(values: Sequence[int]) -> bytes:
+    """Length-prefixed little-endian encoding of bit-vector ints."""
+    parts: List[bytes] = [struct.pack("<I", len(values))]
+    for value in values:
+        raw = value.to_bytes((value.bit_length() + 7) // 8, "little")
+        parts.append(struct.pack("<I", len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def _decode_bigints(reader: _Reader) -> List[int]:
+    (count,) = reader.unpack("<I")
+    values: List[int] = []
+    for _ in range(count):
+        (size,) = reader.unpack("<I")
+        values.append(int.from_bytes(reader.read(size), "little"))
+    return values
+
+
+class StrippedTraceCodec:
+    """Stripped trace: unique addresses + identifier sequence.
+
+    Decoding needs the raw :class:`Trace` as ``context`` — a
+    :class:`StrippedTrace` keeps a reference to its source trace, and
+    the cache is only ever consulted by a caller that holds it (the
+    trace digest in the key came from somewhere).
+    """
+
+    stage = "stripped"
+    version = 1
+
+    def encode(self, stripped: StrippedTrace) -> bytes:
+        addresses = array("q", stripped.unique_addresses)
+        ids = array("I", stripped.id_sequence)
+        return b"".join(
+            (
+                struct.pack(
+                    "<IIQ", stripped.address_bits, stripped.n_unique, stripped.n
+                ),
+                _array_bytes(addresses),
+                _array_bytes(ids),
+            )
+        )
+
+    def decode(
+        self, payload: bytes, context: Optional[Trace] = None
+    ) -> StrippedTrace:
+        if context is None:
+            raise ValueError("StrippedTraceCodec.decode needs the raw trace")
+        reader = _Reader(payload)
+        address_bits, n_unique, n = reader.unpack("<IIQ")
+        unique = _array_from("q", reader.read(8 * n_unique)).tolist()
+        ids = _array_from("I", reader.read(4 * n))
+        reader.expect_end()
+        if n != len(context):
+            raise CorruptArtifact(
+                f"stripped entry covers {n} references, trace has {len(context)}"
+            )
+        return StrippedTrace(
+            trace=context,
+            unique_addresses=unique,
+            id_of={addr: ident for ident, addr in enumerate(unique)},
+            id_sequence=ids,
+            address_bits=address_bits,
+        )
+
+
+class ZeroOneSetsCodec:
+    """Per-bit zero/one sets: two tuples of bit-vector bigints."""
+
+    stage = "zerosets"
+    version = 1
+
+    def encode(self, zerosets: ZeroOneSets) -> bytes:
+        return b"".join(
+            (
+                struct.pack("<I", zerosets.n_unique),
+                _encode_bigints(zerosets.zero),
+                _encode_bigints(zerosets.one),
+            )
+        )
+
+    def decode(
+        self, payload: bytes, context: Optional[Trace] = None
+    ) -> ZeroOneSets:
+        reader = _Reader(payload)
+        (n_unique,) = reader.unpack("<I")
+        zero = tuple(_decode_bigints(reader))
+        one = tuple(_decode_bigints(reader))
+        reader.expect_end()
+        if len(zero) != len(one):
+            raise CorruptArtifact("zero/one set arrays differ in length")
+        return ZeroOneSets(zero=zero, one=one, n_unique=n_unique)
+
+
+class MRCTCodec:
+    """Conflict table: per-reference lists of bit-vector bigints."""
+
+    stage = "mrct"
+    version = 1
+
+    def encode(self, mrct: MRCT) -> bytes:
+        parts: List[bytes] = [struct.pack("<I", mrct.n_unique)]
+        parts.extend(_encode_bigints(sets) for sets in mrct.sets)
+        return b"".join(parts)
+
+    def decode(self, payload: bytes, context: Optional[Trace] = None) -> MRCT:
+        reader = _Reader(payload)
+        (n_unique,) = reader.unpack("<I")
+        sets = [_decode_bigints(reader) for _ in range(n_unique)]
+        reader.expect_end()
+        return MRCT(sets=sets, n_unique=n_unique)
+
+
+class HistogramsCodec:
+    """Per-level conflict histograms: ``{level: {distance: count}}``.
+
+    Engine-independent by design: every registered engine produces
+    bit-identical histograms (differentially tested), so an entry
+    written by one engine warm-starts every other.
+    """
+
+    stage = "histograms"
+    version = 1
+
+    def encode(self, histograms: Dict[int, LevelHistogram]) -> bytes:
+        parts: List[bytes] = [struct.pack("<I", len(histograms))]
+        for level in sorted(histograms):
+            counts = histograms[level].counts
+            parts.append(struct.pack("<II", level, len(counts)))
+            for distance in sorted(counts):
+                parts.append(struct.pack("<IQ", distance, counts[distance]))
+        return b"".join(parts)
+
+    def decode(
+        self, payload: bytes, context: Optional[Trace] = None
+    ) -> Dict[int, LevelHistogram]:
+        reader = _Reader(payload)
+        (n_levels,) = reader.unpack("<I")
+        histograms: Dict[int, LevelHistogram] = {}
+        for _ in range(n_levels):
+            level, n_entries = reader.unpack("<II")
+            counts: Dict[int, int] = {}
+            for _ in range(n_entries):
+                distance, count = reader.unpack("<IQ")
+                counts[distance] = count
+            histograms[level] = LevelHistogram(level=level, counts=counts)
+        reader.expect_end()
+        return histograms
+
+
+#: Shared codec instances, one per pipeline stage.
+STRIPPED_CODEC = StrippedTraceCodec()
+ZEROSETS_CODEC = ZeroOneSetsCodec()
+MRCT_CODEC = MRCTCodec()
+HISTOGRAMS_CODEC = HistogramsCodec()
+
+#: All stage codecs by stage name (CLI stats iterate this).
+STAGE_CODECS = {
+    codec.stage: codec
+    for codec in (STRIPPED_CODEC, ZEROSETS_CODEC, MRCT_CODEC, HISTOGRAMS_CODEC)
+}

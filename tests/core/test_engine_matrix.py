@@ -103,6 +103,28 @@ def test_explorer_results_identical(engine, tiny_runs):
         )
 
 
+@pytest.mark.parametrize("engine", ALL_ENGINE_NAMES)
+def test_cached_runs_identical_to_uncached(engine, tiny_runs, tmp_path):
+    """The cached axis: warm-starting from the artifact store changes
+    nothing an engine (or the store) can affect."""
+    from repro.store import ArtifactStore
+
+    for name in ("crc", "fir"):
+        trace = tiny_runs[name].data_trace
+        uncached = AnalyticalCacheExplorer(trace, engine=engine)
+        cold_store = ArtifactStore(tmp_path / name)
+        cold = AnalyticalCacheExplorer(trace, engine=engine, store=cold_store)
+        warm_store = ArtifactStore(tmp_path / name)  # fresh memory tier
+        warm = AnalyticalCacheExplorer(trace, engine=engine, store=warm_store)
+        for budget in (0, 3):
+            reference = uncached.explore(budget).to_json_dict()
+            assert cold.explore(budget).to_json_dict() == reference, name
+            assert warm.explore(budget).to_json_dict() == reference, name
+        assert cold_store.stats.puts > 0, name
+        assert warm_store.stats.hits > 0, name
+        assert warm_store.stats.puts == 0, name
+
+
 def test_registry_lists_all_expected_engines():
     names = engines.engine_names()
     assert names == ("serial", "parallel", "streaming", "vectorized", "auto")

@@ -1,0 +1,281 @@
+"""ExplorationRequest parity: the unified entry point vs every legacy shim.
+
+The acceptance bar for the request API is exact equivalence — each
+legacy helper is a thin shim over :func:`repro.core.explore_request`,
+and both spellings must produce identical results on the paper's
+workloads.
+"""
+
+import pytest
+
+from repro.core import (
+    AnalyticalCacheExplorer,
+    ExplorationReport,
+    ExplorationRequest,
+    ExplorationResult,
+    MultiTraceExplorer,
+    explore,
+    explore_many,
+    explore_percent,
+    explore_request,
+)
+from repro.core.linesize import LineSizeExplorer, explore_line_sizes
+from repro.obs import Recorder
+from repro.store import ArtifactStore
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+from tests.conftest import PAPER_TRACE_BITS
+
+WORKLOADS = ("crc", "fir")
+
+
+def _paper_trace():
+    return Trace.from_bit_strings(PAPER_TRACE_BITS, name="paper-table-1")
+
+
+@pytest.fixture(scope="module")
+def parity_traces(tiny_runs):
+    traces = [_paper_trace()]
+    traces += [tiny_runs[name].data_trace for name in WORKLOADS]
+    return traces
+
+
+class TestSingleParity:
+    def test_explore_shim_matches_request(self, parity_traces):
+        for trace in parity_traces:
+            for budget in (0, 4):
+                via_shim = explore(trace, budget)
+                report = explore_request(
+                    ExplorationRequest.single(trace, budget=budget)
+                )
+                assert report.mode == "single"
+                assert report.budgets == (budget,)
+                assert (
+                    report.results[0].to_json_dict() == via_shim.to_json_dict()
+                ), trace.name
+
+    def test_explore_shim_matches_explorer_class(self, parity_traces):
+        for trace in parity_traces:
+            direct = AnalyticalCacheExplorer(trace).explore(2)
+            assert explore(trace, 2).to_json_dict() == direct.to_json_dict()
+
+    def test_explore_percent_parity(self, parity_traces):
+        for trace in parity_traces:
+            via_shim = explore_percent(trace, 10.0)
+            report = explore_request(
+                ExplorationRequest.single(trace, percent=10.0)
+            )
+            assert report.results[0].to_json_dict() == via_shim.to_json_dict()
+            # The resolved absolute budget matches the trace statistics.
+            explorer = AnalyticalCacheExplorer(trace)
+            assert report.budgets == (explorer.statistics.budget(10.0),)
+
+    def test_explore_many_parity(self, parity_traces):
+        budgets = (0, 1, 5)
+        for trace in parity_traces:
+            via_shim = explore_many(trace, budgets)
+            report = explore_request(
+                ExplorationRequest.single(trace, budgets=budgets)
+            )
+            assert len(via_shim) == len(report.results) == len(budgets)
+            for shim_result, request_result in zip(via_shim, report.results):
+                assert (
+                    shim_result.to_json_dict() == request_result.to_json_dict()
+                )
+
+    def test_mixed_absolute_and_percent_budgets(self):
+        trace = _paper_trace()
+        report = explore_request(
+            ExplorationRequest.single(trace, budgets=(0, 2), percents=(50.0,))
+        )
+        explorer = AnalyticalCacheExplorer(trace)
+        assert report.budgets == (0, 2, explorer.statistics.budget(50.0))
+        assert len(report.results) == 3
+
+    def test_include_depth_one_passes_through(self):
+        trace = _paper_trace()
+        shim = explore(trace, 0, include_depth_one=True)
+        report = explore_request(
+            ExplorationRequest.single(trace, budget=0, include_depth_one=True)
+        )
+        assert 1 in report.results[0].as_dict()
+        assert report.results[0].to_json_dict() == shim.to_json_dict()
+
+
+class TestExploreEngineBugfix:
+    """``explore(trace, budget)`` used to drop engine/recorder/store."""
+
+    def test_engine_choice_is_honored(self):
+        trace = zipf_trace(400, 40, seed=3)
+        recorder = Recorder()
+        explore(trace, 0, engine="streaming", recorder=recorder)
+        assert recorder.find("engine:streaming") is not None
+
+    def test_alias_and_all_engines_agree(self, parity_traces):
+        trace = parity_traces[0]
+        reference = explore(trace, 1, engine="serial").to_json_dict()
+        for engine in ("parallel", "streaming", "vectorized", "auto", "bitmask"):
+            assert explore(trace, 1, engine=engine).to_json_dict() == reference
+
+    def test_store_passes_through(self, tmp_path):
+        trace = zipf_trace(300, 30, seed=9)
+        store = ArtifactStore(tmp_path / "s")
+        explore(trace, 0, store=store)
+        assert store.stats.puts > 0
+
+    def test_unknown_engine_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            explore(_paper_trace(), 0, engine="warp-drive")
+
+
+class TestMultiParity:
+    @pytest.fixture(scope="class")
+    def app_set(self):
+        a = loop_nest_trace(24, 10)
+        a.name = "loops"
+        b = zipf_trace(500, 40, seed=2)
+        b.name = "zipf"
+        return [a, b]
+
+    def test_run_dispatches_to_sum_and_each(self, app_set):
+        multi = MultiTraceExplorer(app_set)
+        for budget in (0, 6):
+            assert multi.run(budget, mode="sum").as_dict() == (
+                multi.explore_sum(budget).as_dict()
+            )
+            assert multi.run(budget, mode="each").as_dict() == (
+                multi.explore_each(budget).as_dict()
+            )
+
+    def test_run_rejects_unknown_mode(self, app_set):
+        with pytest.raises(ValueError, match="mode"):
+            MultiTraceExplorer(app_set).run(0, mode="median")
+
+    @pytest.mark.parametrize("mode", ["sum", "each"])
+    def test_request_matches_explorer(self, app_set, mode):
+        direct = MultiTraceExplorer(app_set).run(4, mode=mode)
+        report = explore_request(
+            ExplorationRequest.multi(app_set, budget=4, mode=mode)
+        )
+        got = report.multi_results[0]
+        assert report.mode == mode
+        assert got.mode == direct.mode == mode
+        assert got.as_dict() == direct.as_dict()
+        assert got.misses_by_trace == direct.misses_by_trace
+
+    def test_weights_pass_through(self, app_set):
+        direct = MultiTraceExplorer(app_set, weights=[3, 1]).explore_sum(8)
+        report = explore_request(
+            ExplorationRequest.multi(app_set, budget=8, weights=(3, 1))
+        )
+        assert report.multi_results[0].as_dict() == direct.as_dict()
+
+
+class TestLineSizeParity:
+    def test_shim_matches_request(self):
+        trace = zipf_trace(600, 48, seed=7)
+        line_sizes = (1, 2, 4)
+        via_shim = explore_line_sizes(trace, 2, line_sizes=line_sizes)
+        report = explore_request(
+            ExplorationRequest.line_sweep(trace, budget=2, line_sizes=line_sizes)
+        )
+        sweep = report.line_sweeps[0]
+        assert sweep.budget == via_shim.budget == 2
+        for line in line_sizes:
+            assert (
+                sweep.by_line_words[line].to_json_dict()
+                == via_shim.by_line_words[line].to_json_dict()
+            )
+
+    def test_shim_matches_class(self):
+        trace = loop_nest_trace(32, 8)
+        direct = LineSizeExplorer(trace, line_sizes=(1, 4)).explore(0)
+        shim = explore_line_sizes(trace, 0, line_sizes=(1, 4))
+        for line in (1, 4):
+            assert (
+                shim.by_line_words[line].as_dict()
+                == direct.by_line_words[line].as_dict()
+            )
+
+
+class TestRequestValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            ExplorationRequest(traces=(_paper_trace(),), mode="exhaustive")
+
+    def test_no_traces(self):
+        with pytest.raises(ValueError, match="at least one trace"):
+            ExplorationRequest(traces=(), mode="single")
+
+    def test_single_takes_one_trace(self):
+        trace = _paper_trace()
+        with pytest.raises(ValueError, match="exactly one trace"):
+            ExplorationRequest(traces=(trace, trace), mode="single")
+
+    def test_percents_only_in_single_mode(self):
+        a = loop_nest_trace(8, 4)
+        a.name = "a"
+        b = loop_nest_trace(8, 4, start=64)
+        b.name = "b"
+        with pytest.raises(ValueError, match="percent"):
+            ExplorationRequest(
+                traces=(a, b), mode="sum", budgets=(1,), percents=(5.0,)
+            )
+
+    def test_weights_only_in_sum_mode(self):
+        with pytest.raises(ValueError, match="weights"):
+            ExplorationRequest(
+                traces=(_paper_trace(),),
+                mode="single",
+                budgets=(0,),
+                weights=(2,),
+            )
+
+    def test_multi_needs_a_budget(self):
+        a = loop_nest_trace(8, 4)
+        a.name = "a"
+        with pytest.raises(ValueError, match="budget"):
+            ExplorationRequest(traces=(a,), mode="each")
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ExplorationRequest(traces=(_paper_trace(),), budgets=(-1,))
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ExplorationRequest(
+                traces=(_paper_trace(),), budgets=(0,), engine="nope"
+            )
+
+
+class TestReport:
+    def test_report_shape_and_result_accessor(self):
+        trace = _paper_trace()
+        report = explore_request(ExplorationRequest.single(trace, budget=0))
+        assert isinstance(report, ExplorationReport)
+        assert report.engine in ("serial", "parallel", "streaming", "vectorized")
+        assert report.result is report.results[0]
+        payload = report.to_json_dict()
+        assert payload["mode"] == "single"
+        assert payload["budgets"] == [0]
+        assert payload["results"][0] == report.results[0].to_json_dict()
+        assert "store" not in payload
+
+    def test_report_includes_store_stats(self, tmp_path):
+        trace = zipf_trace(300, 30, seed=5)
+        store = ArtifactStore(tmp_path / "s")
+        report = explore_request(
+            ExplorationRequest.single(trace, budget=0, store=store)
+        )
+        assert report.store_stats == store.stats.as_dict()
+        assert report.to_json_dict()["store"]["puts"] > 0
+
+    def test_result_json_round_trip(self):
+        result = explore(_paper_trace(), 3)
+        clone = ExplorationResult.from_json_dict(result.to_json_dict())
+        assert clone.to_json_dict() == result.to_json_dict()
+        assert clone.as_dict() == result.as_dict()
+
+    def test_empty_report_result_is_none(self):
+        report = ExplorationReport(mode="single", engine="serial", budgets=())
+        assert report.result is None

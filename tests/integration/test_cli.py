@@ -325,6 +325,92 @@ class TestPaperExample:
         assert "(D=2, A=3)" in out
 
 
+class TestCache:
+    def test_explore_twice_warm_start_identical_json(
+        self, tmp_path, trace_file, capsys
+    ):
+        import json
+
+        cache_dir = str(tmp_path / "store")
+        argv = [
+            "explore", trace_file, "--budget", "5", "--json",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold  # byte-identical result JSON
+        json.loads(warm)
+
+    def test_cache_stats_clear_and_prune(self, tmp_path, trace_file, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(
+            ["explore", trace_file, "--budget", "5", "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 4" in out
+        for stage in ("histograms", "mrct", "stripped", "zerosets"):
+            assert stage in out
+        assert main(
+            ["cache", "prune", "--cache-dir", cache_dir, "--max-bytes", "1"]
+        ) == 0
+        assert "evicted 4" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+
+    def test_cache_stats_json(self, tmp_path, trace_file, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "store")
+        assert main(
+            ["explore", trace_file, "--budget", "0", "--cache-dir", cache_dir]
+        ) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["entries"] == 4
+        assert summary["root"] == cache_dir
+
+    def test_env_var_enables_and_no_cache_disables(
+        self, tmp_path, trace_file, capsys, monkeypatch
+    ):
+        cache_dir = tmp_path / "env-store"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(
+            ["explore", trace_file, "--budget", "0", "--no-cache"]
+        ) == 0
+        assert not cache_dir.exists()
+        assert main(["explore", trace_file, "--budget", "0"]) == 0
+        assert cache_dir.is_dir()
+
+    def test_profile_manifest_records_store_counters(
+        self, tmp_path, trace_file, capsys
+    ):
+        import json
+
+        cache_dir = str(tmp_path / "store")
+        argv = [
+            "profile", trace_file, "--budget", "5", "--json", "--no-memory",
+            "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["counters"].get("store_bytes_written", 0) > 0
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["counters"]["store_hits"] > 0
+
+    def test_help_lists_registry_engines(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert "serial, parallel, streaming, vectorized, auto" in out
+        assert "bitmask -> serial" in out
+
+
 class TestParser:
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):

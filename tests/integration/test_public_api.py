@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.explore",
     "repro.analysis",
     "repro.obs",
+    "repro.store",
 ]
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
@@ -70,7 +71,10 @@ def test_api_doc_backtick_names_resolve():
     ):
         universe.update(dir(importlib.import_module(module_name)))
     universe.update(PACKAGES)
-    universe.update({"repro", "bitmask", "streaming", "parallel"})
+    # Engine names are registry strings, not Python identifiers.
+    universe.update(
+        {"repro", "bitmask", "serial", "streaming", "parallel", "vectorized", "auto"}
+    )
     missing = sorted(
         name
         for name in names

@@ -1,0 +1,136 @@
+"""Versioned binary serialization: round-trips and corruption detection."""
+
+import pytest
+
+from repro.core.mrct import build_mrct
+from repro.core.postlude import compute_level_histograms
+from repro.core.zerosets import build_zero_one_sets
+from repro.store import (
+    CorruptArtifact,
+    HISTOGRAMS_CODEC,
+    MRCT_CODEC,
+    STAGE_CODECS,
+    STRIPPED_CODEC,
+    ZEROSETS_CODEC,
+    pack_entry,
+    unpack_entry,
+)
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import zipf_trace
+from repro.trace.trace import Trace
+from tests.conftest import PAPER_TRACE_BITS
+
+
+@pytest.fixture(
+    scope="module",
+    params=["paper", "zipf"],
+)
+def pipeline(request):
+    """A trace and every pipeline product derived from it."""
+    if request.param == "paper":
+        trace = Trace.from_bit_strings(PAPER_TRACE_BITS, name="paper-table-1")
+    else:
+        trace = zipf_trace(800, 60, seed=11)
+    stripped = strip_trace(trace)
+    zerosets = build_zero_one_sets(stripped)
+    mrct = build_mrct(stripped)
+    histograms = compute_level_histograms(zerosets, mrct)
+    return trace, stripped, zerosets, mrct, histograms
+
+
+class TestContainer:
+    def test_round_trip(self):
+        payload = b"the payload"
+        assert unpack_entry(pack_entry(3, payload), 3) == payload
+
+    def test_bad_magic(self):
+        blob = b"XXXX" + pack_entry(1, b"p")[4:]
+        with pytest.raises(CorruptArtifact, match="magic"):
+            unpack_entry(blob, 1)
+
+    def test_truncated_header(self):
+        with pytest.raises(CorruptArtifact, match="header"):
+            unpack_entry(b"RA", 1)
+
+    def test_truncated_payload(self):
+        blob = pack_entry(1, b"some payload bytes")
+        with pytest.raises(CorruptArtifact, match="truncated"):
+            unpack_entry(blob[:-5], 1)
+
+    def test_flipped_bit_fails_checksum(self):
+        blob = bytearray(pack_entry(1, b"sensitive data"))
+        blob[-3] ^= 0x10
+        with pytest.raises(CorruptArtifact, match="checksum"):
+            unpack_entry(bytes(blob), 1)
+
+    def test_codec_version_mismatch(self):
+        blob = pack_entry(1, b"old format")
+        with pytest.raises(CorruptArtifact, match="version"):
+            unpack_entry(blob, 2)
+
+
+class TestStageCodecs:
+    def test_stripped_round_trip(self, pipeline):
+        trace, stripped, *_ = pipeline
+        payload = STRIPPED_CODEC.encode(stripped)
+        decoded = STRIPPED_CODEC.decode(payload, context=trace)
+        assert decoded.unique_addresses == stripped.unique_addresses
+        assert list(decoded.id_sequence) == list(stripped.id_sequence)
+        assert decoded.id_of == stripped.id_of
+        assert decoded.address_bits == stripped.address_bits
+        assert decoded.n == stripped.n
+        assert decoded.trace is trace
+
+    def test_stripped_needs_context(self, pipeline):
+        _, stripped, *_ = pipeline
+        with pytest.raises(ValueError, match="raw trace"):
+            STRIPPED_CODEC.decode(STRIPPED_CODEC.encode(stripped))
+
+    def test_stripped_rejects_wrong_trace(self, pipeline):
+        trace, stripped, *_ = pipeline
+        other = Trace(
+            list(trace.addresses) + [0], address_bits=trace.address_bits
+        )
+        with pytest.raises(CorruptArtifact, match="references"):
+            STRIPPED_CODEC.decode(STRIPPED_CODEC.encode(stripped), context=other)
+
+    def test_zerosets_round_trip(self, pipeline):
+        *_, zerosets, _, _ = pipeline
+        decoded = ZEROSETS_CODEC.decode(ZEROSETS_CODEC.encode(zerosets))
+        assert decoded == zerosets
+
+    def test_mrct_round_trip(self, pipeline):
+        *_, mrct, _ = pipeline
+        decoded = MRCT_CODEC.decode(MRCT_CODEC.encode(mrct))
+        assert decoded.n_unique == mrct.n_unique
+        assert decoded.sets == mrct.sets
+
+    def test_histograms_round_trip(self, pipeline):
+        *_, histograms = pipeline
+        decoded = HISTOGRAMS_CODEC.decode(HISTOGRAMS_CODEC.encode(histograms))
+        assert sorted(decoded) == sorted(histograms)
+        for level, histogram in histograms.items():
+            assert decoded[level].level == histogram.level
+            assert decoded[level].counts == histogram.counts
+
+    def test_truncated_stage_payload_is_corrupt(self, pipeline):
+        *_, mrct, _ = pipeline
+        payload = MRCT_CODEC.encode(mrct)
+        with pytest.raises(CorruptArtifact):
+            MRCT_CODEC.decode(payload[: len(payload) // 2])
+
+    def test_trailing_garbage_is_corrupt(self, pipeline):
+        *_, zerosets, _, _ = pipeline
+        with pytest.raises(CorruptArtifact, match="trailing"):
+            ZEROSETS_CODEC.decode(ZEROSETS_CODEC.encode(zerosets) + b"\x00")
+
+    def test_registry_covers_every_stage(self):
+        assert sorted(STAGE_CODECS) == [
+            "histograms",
+            "mrct",
+            "stripped",
+            "zerosets",
+        ]
+        for stage, codec in STAGE_CODECS.items():
+            assert codec.stage == stage
+            assert codec.version >= 1

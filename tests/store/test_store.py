@@ -1,0 +1,271 @@
+"""The artifact store: tiers, eviction, quarantine, concurrency, warm-start."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.mrct import build_mrct
+from repro.obs import Recorder
+from repro.store import (
+    ArtifactKey,
+    ArtifactStore,
+    MRCT_CODEC,
+    QUARANTINE_DIR,
+    default_cache_dir,
+    trace_digest,
+)
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import zipf_trace
+
+
+def _make_trace(seed=21):
+    trace = zipf_trace(600, 50, seed=seed)
+    trace.name = f"zipf-{seed}"
+    return trace
+
+
+def _mrct_entry(trace):
+    """A real (key, codec, value) triple for store exercises."""
+    mrct = build_mrct(strip_trace(trace))
+    key = ArtifactKey.for_stage(
+        trace_digest(trace), MRCT_CODEC.stage, MRCT_CODEC.version
+    )
+    return key, mrct
+
+
+class TestTiers:
+    def test_miss_then_hit(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        trace = _make_trace()
+        key, mrct = _mrct_entry(trace)
+        assert store.get(key, MRCT_CODEC) is None
+        store.put(key, MRCT_CODEC, mrct)
+        got = store.get(key, MRCT_CODEC)
+        assert got.sets == mrct.sets
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.puts == 1
+
+    def test_memory_tier_skips_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key, mrct = _mrct_entry(_make_trace())
+        store.put(key, MRCT_CODEC, mrct)
+        first = store.get(key, MRCT_CODEC)
+        assert first is store.get(key, MRCT_CODEC)  # decoded object reused
+        assert store.stats.memory_hits >= 2  # put seeds the memory tier
+
+    def test_fresh_instance_reads_from_disk(self, tmp_path):
+        trace = _make_trace()
+        key, mrct = _mrct_entry(trace)
+        ArtifactStore(tmp_path / "s").put(key, MRCT_CODEC, mrct)
+        cold = ArtifactStore(tmp_path / "s")
+        got = cold.get(key, MRCT_CODEC)
+        assert got.sets == mrct.sets
+        assert cold.stats.memory_hits == 0
+        assert cold.stats.bytes_read > 0
+
+    def test_memory_tier_can_be_disabled(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        key, mrct = _mrct_entry(_make_trace())
+        store.put(key, MRCT_CODEC, mrct)
+        store.get(key, MRCT_CODEC)
+        assert store.stats.memory_hits == 0
+
+    def test_recorder_counters_flow(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        recorder = Recorder()
+        key, mrct = _mrct_entry(_make_trace())
+        store.get(key, MRCT_CODEC, recorder=recorder)
+        store.put(key, MRCT_CODEC, mrct, recorder=recorder)
+        fresh = ArtifactStore(tmp_path / "s")
+        fresh.get(key, MRCT_CODEC, recorder=recorder)
+        assert recorder.counters["store_misses"] == 1
+        assert recorder.counters["store_hits"] == 1
+        assert recorder.counters["store_bytes_written"] > 0
+        assert recorder.counters["store_bytes_read"] > 0
+
+
+class TestEviction:
+    def test_lru_eviction_under_cap(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s", max_bytes=None)
+        entries = []
+        for seed in (1, 2, 3):
+            key, mrct = _mrct_entry(_make_trace(seed))
+            store.put(key, MRCT_CODEC, mrct)
+            entries.append(key)
+        total = store.total_bytes()
+        assert total > 0
+        # Touch the first entry so it becomes most-recently-used on disk.
+        fresh = ArtifactStore(tmp_path / "s")
+        fresh.get(entries[0], MRCT_CODEC)
+        evicted = fresh.prune(max_bytes=total // 2)
+        assert evicted >= 1
+        assert fresh.total_bytes() <= total // 2
+        assert fresh.stats.evictions == evicted
+        # The freshly touched entry survived; an untouched one went first.
+        survivors = {entry.path.stem for entry in fresh.entries()}
+        assert entries[0].digest in survivors
+
+    def test_put_auto_prunes_to_cap(self, tmp_path):
+        key1, mrct1 = _mrct_entry(_make_trace(1))
+        probe = ArtifactStore(tmp_path / "probe", max_bytes=None)
+        probe.put(key1, MRCT_CODEC, mrct1)
+        size = probe.total_bytes()
+        store = ArtifactStore(tmp_path / "s", max_bytes=int(size * 1.5))
+        store.put(key1, MRCT_CODEC, mrct1)
+        key2, mrct2 = _mrct_entry(_make_trace(2))
+        store.put(key2, MRCT_CODEC, mrct2)
+        assert store.total_bytes() <= int(size * 1.5)
+        assert store.stats.evictions >= 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key, mrct = _mrct_entry(_make_trace())
+        store.put(key, MRCT_CODEC, mrct)
+        assert store.clear() == 1
+        assert store.entries() == []
+        fresh = ArtifactStore(tmp_path / "s")
+        assert fresh.get(key, MRCT_CODEC) is None
+
+
+class TestCorruption:
+    def _entry_file(self, store):
+        entries = store.entries()
+        assert len(entries) == 1
+        return entries[0].path
+
+    def test_truncated_entry_is_a_quarantined_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key, mrct = _mrct_entry(_make_trace())
+        store.put(key, MRCT_CODEC, mrct)
+        path = self._entry_file(store)
+        path.write_bytes(path.read_bytes()[:-7])
+        fresh = ArtifactStore(tmp_path / "s")
+        assert fresh.get(key, MRCT_CODEC) is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.stats.misses == 1
+        quarantine = (tmp_path / "s" / QUARANTINE_DIR)
+        assert quarantine.is_dir() and any(quarantine.iterdir())
+        assert not path.exists()
+
+    def test_bitflipped_entry_is_a_quarantined_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path / "s")
+        key, mrct = _mrct_entry(_make_trace())
+        store.put(key, MRCT_CODEC, mrct)
+        path = self._entry_file(store)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        path.write_bytes(bytes(blob))
+        fresh = ArtifactStore(tmp_path / "s")
+        assert fresh.get(key, MRCT_CODEC) is None
+        assert fresh.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_recompute_after_quarantine_recovers(self, tmp_path):
+        """A corrupt entry degrades to recompute-and-rewrite, not an error."""
+        trace = _make_trace()
+        store = ArtifactStore(tmp_path / "s")
+        key, mrct = _mrct_entry(trace)
+        store.put(key, MRCT_CODEC, mrct)
+        path = self._entry_file(store)
+        path.write_bytes(b"RARTgarbage")
+        fresh = ArtifactStore(tmp_path / "s")
+        assert fresh.get(key, MRCT_CODEC) is None
+        fresh.put(key, MRCT_CODEC, mrct)
+        again = ArtifactStore(tmp_path / "s")
+        assert again.get(key, MRCT_CODEC).sets == mrct.sets
+
+
+def _concurrent_writer(root, seed, results):
+    trace = _make_trace(seed)
+    key, mrct = _mrct_entry(trace)
+    store = ArtifactStore(root)
+    store.put(key, MRCT_CODEC, mrct)
+    got = store.get(key, MRCT_CODEC)
+    results.put((seed, got is not None and got.sets == mrct.sets))
+
+
+class TestConcurrency:
+    def test_two_process_writers_same_trace(self, tmp_path):
+        """Two processes racing on the same key both succeed (atomic rename)
+        and leave one valid entry behind."""
+        root = str(tmp_path / "shared")
+        results = multiprocessing.Queue()
+        workers = [
+            multiprocessing.Process(
+                target=_concurrent_writer, args=(root, 77, results)
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        outcomes = [results.get(timeout=10) for _ in range(2)]
+        assert all(ok for _, ok in outcomes)
+        # Exactly one live entry for the shared key, and it decodes.
+        trace = _make_trace(77)
+        key, mrct = _mrct_entry(trace)
+        reader = ArtifactStore(root)
+        assert len(reader.entries()) == 1
+        assert reader.get(key, MRCT_CODEC).sets == mrct.sets
+        assert reader.stats.corrupt == 0
+
+
+class TestWarmStart:
+    def test_second_exploration_hits_and_matches(self, tmp_path):
+        trace = _make_trace()
+        store = ArtifactStore(tmp_path / "s")
+        cold = AnalyticalCacheExplorer(trace, store=store, engine="serial")
+        cold_result = cold.explore(4)
+        assert store.stats.puts > 0
+        warm_store = ArtifactStore(tmp_path / "s")  # cold memory tier
+        warm = AnalyticalCacheExplorer(trace, store=warm_store, engine="serial")
+        warm_result = warm.explore(4)
+        assert warm_store.stats.hits > 0
+        assert warm_store.stats.puts == 0
+        assert warm_result.to_json_dict() == cold_result.to_json_dict()
+
+    def test_warm_start_crosses_engines(self, tmp_path):
+        trace = _make_trace()
+        store = ArtifactStore(tmp_path / "s")
+        serial = AnalyticalCacheExplorer(
+            trace, store=store, engine="serial"
+        ).explore(2)
+        for engine in ("streaming", "parallel", "vectorized", "auto", "bitmask"):
+            warm_store = ArtifactStore(tmp_path / "s")
+            result = AnalyticalCacheExplorer(
+                trace, store=warm_store, engine=engine
+            ).explore(2)
+            assert result.to_json_dict() == serial.to_json_dict(), engine
+            assert warm_store.stats.hits > 0, engine
+
+    def test_bounded_max_level_truncates_full_entry(self, tmp_path):
+        trace = _make_trace()
+        store = ArtifactStore(tmp_path / "s")
+        AnalyticalCacheExplorer(trace, store=store, engine="serial").explore(0)
+        warm_store = ArtifactStore(tmp_path / "s")
+        bounded = AnalyticalCacheExplorer(
+            trace, max_depth=4, store=warm_store, engine="serial"
+        )
+        reference = AnalyticalCacheExplorer(
+            trace, max_depth=4, engine="serial"
+        )
+        assert warm_store.stats.puts == 0 or warm_store.stats.hits > 0
+        assert bounded.explore(0).to_json_dict() == reference.explore(0).to_json_dict()
+        assert warm_store.stats.hits > 0
+
+    def test_stats_describe_and_default_dir(self, tmp_path, monkeypatch):
+        store = ArtifactStore(tmp_path / "s")
+        key, mrct = _mrct_entry(_make_trace())
+        store.put(key, MRCT_CODEC, mrct)
+        summary = store.describe()
+        assert summary["entries"] == 1
+        assert summary["by_stage"]["mrct"]["entries"] == 1
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == str(tmp_path / "env")
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir().startswith(str(tmp_path / "xdg"))
