@@ -45,7 +45,7 @@ from repro.obs import NullRecorder, Recorder, RunManifest, validate_manifest
 from repro.store import ArtifactStore, StoreStats, default_cache_dir, trace_digest
 from repro.trace import Trace, compute_statistics, read_trace, write_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalyticalCacheExplorer",

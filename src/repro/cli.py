@@ -154,6 +154,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         trace,
         max_depth=args.max_depth if args.max_depth else None,
         engine=args.engine,
+        prelude=args.prelude,
         recorder=recorder,
         store=_resolve_store(args),
     )
@@ -199,6 +200,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         trace,
         engine=args.engine,
         processes=args.processes,
+        prelude=args.prelude,
         recorder=recorder,
         store=_resolve_store(args),
     )
@@ -253,7 +255,11 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     )
     print(
         f"auto: 'vectorized' when NumPy is importable and the trace has "
-        f">= {engines.AUTO_MIN_REFS} references, else 'serial'"
+        f">= {engines.AUTO_MIN_REFS} references "
+        f"(>= {engines.AUTO_MIN_REFS_POSTLUDE} when the MRCT is already "
+        f"built) and >= {engines.AUTO_MIN_UNIQUE} unique addresses, "
+        f"else 'serial'; 'parallel' and 'streaming' are explicit-only "
+        f"(see BENCH_postlude.json)"
     )
     return 0
 
@@ -699,6 +705,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="histogram engine (default: auto)",
     )
     p.add_argument(
+        "--prelude",
+        default="auto",
+        choices=list(_engines.PRELUDE_MODES),
+        help="prelude builder: fast NumPy/Fenwick kernels or the "
+        "paper-faithful python builders (default: auto)",
+    )
+    p.add_argument(
         "--profile",
         metavar="MANIFEST",
         help="record per-phase telemetry and write a run manifest JSON here",
@@ -726,6 +739,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--processes", type=int, default=2, help="parallel-engine workers"
+    )
+    p.add_argument(
+        "--prelude",
+        default="auto",
+        choices=list(_engines.PRELUDE_MODES),
+        help="prelude builder: fast NumPy/Fenwick kernels or the "
+        "paper-faithful python builders (default: auto)",
     )
     p.add_argument(
         "--no-memory",

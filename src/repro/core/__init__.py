@@ -21,9 +21,20 @@ together behind one call.
 """
 
 from repro.core.instance import CacheInstance, ExplorationResult
-from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
+from repro.core.zerosets import (
+    ZeroOneSets,
+    build_zero_one_sets,
+    build_zero_one_sets_numpy,
+)
 from repro.core.bcat import BCAT, BCATNode, build_bcat, walk_bcat_sets
 from repro.core.mrct import MRCT, build_mrct, build_mrct_naive
+from repro.core.prelude_fast import (
+    PackedMRCT,
+    build_mrct_auto,
+    build_mrct_fast,
+    build_mrct_fenwick,
+    build_packed_mrct,
+)
 from repro.core.postlude import (
     LevelHistogram,
     compute_level_histograms,
@@ -63,6 +74,7 @@ from repro.core.multi import MultiTraceExplorer, MultiTraceResult
 from repro.core.parallel import compute_level_histograms_parallel
 from repro.core.streaming import compute_level_histograms_streaming
 from repro.core.vectorized import (
+    compute_level_histograms_packed,
     compute_level_histograms_vectorized,
     numpy_available,
 )
@@ -78,6 +90,7 @@ __all__ = [
     "ExplorationResult",
     "ZeroOneSets",
     "build_zero_one_sets",
+    "build_zero_one_sets_numpy",
     "BCAT",
     "BCATNode",
     "build_bcat",
@@ -85,6 +98,11 @@ __all__ = [
     "MRCT",
     "build_mrct",
     "build_mrct_naive",
+    "PackedMRCT",
+    "build_mrct_auto",
+    "build_mrct_fast",
+    "build_mrct_fenwick",
+    "build_packed_mrct",
     "LevelHistogram",
     "compute_level_histograms",
     "misses_at_node",
@@ -112,6 +130,7 @@ __all__ = [
     "resolve_engine",
     "compute_level_histograms_parallel",
     "compute_level_histograms_streaming",
+    "compute_level_histograms_packed",
     "compute_level_histograms_vectorized",
     "numpy_available",
     "MultiTraceExplorer",

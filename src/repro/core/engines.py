@@ -24,15 +24,27 @@ Names
     (:mod:`repro.core.streaming`).
 ``vectorized``
     NumPy ``uint64`` bit-matrix kernel (:mod:`repro.core.vectorized`);
-    falls back to ``serial`` when NumPy is missing.
+    falls back to ``serial`` when NumPy is missing.  On a cold trace it
+    runs *fused*: the fast prelude emits the packed conflict bit-matrix
+    directly (:mod:`repro.core.prelude_fast`) and the postlude consumes
+    it zero-copy, skipping the bigint MRCT entirely.
 ``auto``
-    Picks ``vectorized`` when NumPy is importable and the trace is long
-    enough (``>= AUTO_MIN_REFS`` references) for the packing overhead to
-    amortize, else ``serial``.
+    Picks between ``serial`` and ``vectorized`` only — calibration
+    against BENCH_postlude.json showed ``parallel`` 2.5–8x slower than
+    ``serial`` and ``streaming`` 22–125x slower at every measured size,
+    so neither is ever auto-selected (they remain available by name).
+    The threshold depends on what work is left: a cold trace favors
+    ``vectorized`` from ``AUTO_MIN_REFS`` because the fused prelude is
+    part of the win; with the bigint MRCT already in hand only the
+    postlude differs, and ``serial`` stays competitive until
+    ``AUTO_MIN_REFS_POSTLUDE``.
 
 All engines consume the same :class:`EngineInputs` bundle, which builds
-the prelude products (stripped trace, zero/one sets, MRCT) lazily and
-exactly once, so switching engines never repeats the prelude.
+the prelude products (stripped trace, zero/one sets, MRCT — and, for
+the fused path, the packed MRCT) lazily and exactly once, so switching
+engines never repeats the prelude.  The ``prelude`` mode selects the
+builders: ``auto`` (fast kernels when they pay), ``fast`` (always the
+fast kernels), ``python`` (the paper-faithful reference builders).
 """
 
 from __future__ import annotations
@@ -52,15 +64,32 @@ from repro.trace.trace import Trace
 AUTO_ENGINE = "auto"
 
 #: ``auto`` switches from ``serial`` to ``vectorized`` at this trace
-#: length: below it the NumPy kernel's pack/sort overhead eats the win.
+#: length on a *cold* trace, where the fused fast-prelude path is part
+#: of the win: below it the NumPy kernel's setup overhead eats it.
 AUTO_MIN_REFS = 4096
 
+#: ``auto``'s threshold when the bigint MRCT is already built (warm
+#: inputs / injected products): only the postlude differs, and
+#: BENCH_postlude.json shows serial ahead through N=4097 (fir: 3.2 ms
+#: vs 4.6 ms) but behind by N=60000 (markov: 131 ms vs 33 ms) — the
+#: geometric midpoint keeps both measured sides on their winners.
+AUTO_MIN_REFS_POSTLUDE = 16384
+
 #: ``auto``'s fallback threshold when only prelude products are
-#: available (no raw trace): unique-reference count N'.  A trace with
-#: this many unique references is big enough that the vectorized
-#: kernel's packing overhead amortizes even at minimal reuse (N' is a
-#: lower bound on N, and loop-dominated traces have N >> N').
-AUTO_MIN_UNIQUE = 512
+#: available (no raw trace): unique-reference count N'.  Calibrated
+#: from BENCH_postlude.json: serial still wins at N'=734 (crc) and
+#: loses at N'=1000 (markov) when the trace behind it is long.
+AUTO_MIN_UNIQUE = 1024
+
+#: The only engines ``auto`` may return.  ``parallel`` and
+#: ``streaming`` are deliberately excluded: BENCH_postlude.json shows
+#: parallel slower than serial on every panel trace (0.554 s vs
+#: 0.210 s on loop-1024x100) and streaming 22-125x slower (26.3 s vs
+#: 0.21 s) — an auto policy must never pick a measured regression.
+AUTO_CANDIDATES = ("serial", "vectorized")
+
+#: Prelude builder modes accepted by :class:`EngineInputs`.
+PRELUDE_MODES = ("auto", "fast", "python")
 
 #: Legacy names still accepted everywhere an engine name is.
 ALIASES = {"bitmask": "serial"}
@@ -90,6 +119,12 @@ class EngineInputs:
         store: optional :class:`repro.store.ArtifactStore`; ignored when
             ``trace`` is ``None`` (injected products have no digest to
             address them by).
+        prelude: which builders construct the prelude products —
+            ``"auto"`` (fast kernels when they pay for themselves),
+            ``"fast"`` (always the fast kernels, degrading gracefully
+            without NumPy), or ``"python"`` (the paper-faithful
+            reference builders only).  Every mode produces identical
+            products.
     """
 
     def __init__(
@@ -100,13 +135,20 @@ class EngineInputs:
         mrct: Optional[MRCT] = None,
         recorder=NULL_RECORDER,
         store=None,
+        prelude: str = "auto",
     ) -> None:
+        if prelude not in PRELUDE_MODES:
+            raise ValueError(
+                f"unknown prelude mode {prelude!r}; expected one of {PRELUDE_MODES}"
+            )
         self.trace = trace
         self.recorder = recorder
         self.store = store
+        self.prelude = prelude
         self._stripped = stripped
         self._zerosets = zerosets
         self._mrct = mrct
+        self._packed_mrct = None
         self._trace_digest: Optional[str] = None
 
     def require_trace(self, why: str) -> Trace:
@@ -211,7 +253,7 @@ class EngineInputs:
                     self.recorder.record("unique_refs", cached.n_unique)
                     return cached
             with self.recorder.phase("prelude:strip"):
-                self._stripped = strip_trace(trace)
+                self._stripped = self._strip(trace)
                 self.recorder.record("trace_refs", self._stripped.n)
                 self.recorder.record("unique_refs", self._stripped.n_unique)
             if self.store is not None:
@@ -225,6 +267,51 @@ class EngineInputs:
         """The stripped trace only if already built/injected (no side effect)."""
         return self._stripped
 
+    def _strip(self, trace: Trace) -> StrippedTrace:
+        """Run the strip builder selected by the prelude mode."""
+        if self.prelude == "python":
+            return strip_trace(trace)
+        if self.prelude == "fast":
+            from repro.trace.strip import strip_trace_numpy
+
+            try:
+                return strip_trace_numpy(trace)
+            except ImportError:
+                return strip_trace(trace)
+        from repro.trace.strip import strip_trace_auto
+
+        return strip_trace_auto(trace)
+
+    def _build_zerosets(self, stripped: StrippedTrace) -> ZeroOneSets:
+        """Run the zero/one-set builder selected by the prelude mode."""
+        if self.prelude != "python":
+            from repro.core.vectorized import numpy_available
+            from repro.core.zerosets import build_zero_one_sets_numpy
+            from repro.trace.strip import NUMPY_STRIP_MIN_REFS
+
+            if numpy_available() and (
+                self.prelude == "fast" or stripped.n >= NUMPY_STRIP_MIN_REFS
+            ):
+                return build_zero_one_sets_numpy(stripped)
+        return build_zero_one_sets(stripped)
+
+    def _build_mrct(self, stripped: StrippedTrace) -> MRCT:
+        """Run the MRCT builder selected by the prelude mode."""
+        if self.prelude == "python":
+            return build_mrct(stripped)
+        from repro.core.prelude_fast import (
+            build_mrct_auto,
+            build_mrct_fast,
+            build_mrct_fenwick,
+        )
+        from repro.core.vectorized import numpy_available
+
+        if self.prelude == "fast":
+            if numpy_available():
+                return build_mrct_fast(stripped)
+            return build_mrct_fenwick(stripped)
+        return build_mrct_auto(stripped)
+
     @property
     def zerosets(self) -> ZeroOneSets:
         if self._zerosets is None:
@@ -237,7 +324,7 @@ class EngineInputs:
                     return cached
             stripped = self.stripped
             with self.recorder.phase("prelude:zerosets"):
-                self._zerosets = build_zero_one_sets(stripped)
+                self._zerosets = self._build_zerosets(stripped)
             if self.store is not None:
                 from repro.store.codec import ZEROSETS_CODEC
 
@@ -259,7 +346,7 @@ class EngineInputs:
                     return cached
             stripped = self.stripped
             with self.recorder.phase("prelude:mrct"):
-                self._mrct = build_mrct(stripped)
+                self._mrct = self._build_mrct(stripped)
                 self.recorder.record(
                     "conflict_sets", self._mrct.total_conflict_sets
                 )
@@ -268,6 +355,52 @@ class EngineInputs:
 
                 self.save_artifact(MRCT_CODEC, self._mrct)
         return self._mrct
+
+    @property
+    def mrct_if_built(self) -> Optional[MRCT]:
+        """The bigint MRCT only if already built/injected (no side effect)."""
+        return self._mrct
+
+    @property
+    def packed_mrct(self):
+        """The packed conflict bit-matrix for the fused vectorized path.
+
+        Built by :func:`repro.core.prelude_fast.build_packed_mrct`
+        (store-consulted first, like every stage) — the bigint MRCT is
+        never materialized on this path.  Requires NumPy; callers gate
+        on :func:`repro.core.vectorized.numpy_available`.
+        """
+        if self._packed_mrct is None:
+            from repro.core.prelude_fast import build_packed_mrct
+
+            if self.store is not None:
+                from repro.store.codec import PACKED_MRCT_CODEC
+
+                cached = self.load_artifact(PACKED_MRCT_CODEC)
+                if cached is not None:
+                    self._packed_mrct = cached
+                    self.recorder.record(
+                        "conflict_sets", cached.total_conflict_sets
+                    )
+                    self.recorder.record("packed_rows", cached.n_rows)
+                    return cached
+            stripped = self.stripped
+            with self.recorder.phase("prelude:packed-mrct"):
+                self._packed_mrct = build_packed_mrct(stripped)
+                self.recorder.record(
+                    "conflict_sets", self._packed_mrct.total_conflict_sets
+                )
+                self.recorder.record("packed_rows", self._packed_mrct.n_rows)
+            if self.store is not None:
+                from repro.store.codec import PACKED_MRCT_CODEC
+
+                self.save_artifact(PACKED_MRCT_CODEC, self._packed_mrct)
+        return self._packed_mrct
+
+    @property
+    def packed_mrct_if_built(self):
+        """The packed MRCT only if already built (no side effect)."""
+        return self._packed_mrct
 
 
 Runner = Callable[..., Dict[int, LevelHistogram]]
@@ -402,21 +535,31 @@ def canonical_name(name: str) -> str:
 def choose_auto(
     trace: Optional[Trace] = None,
     stripped: Optional[StrippedTrace] = None,
+    prelude_ready: bool = False,
 ) -> str:
     """The concrete engine ``auto`` stands for, given what is known.
 
-    Sizing prefers the raw trace length (``>= AUTO_MIN_REFS`` picks
-    ``vectorized``); when the raw trace is unavailable — a caller
+    Only :data:`AUTO_CANDIDATES` (``serial``/``vectorized``) are ever
+    returned — see the constant's calibration note.  Sizing prefers the
+    raw trace length; when the raw trace is unavailable — a caller
     injected prelude products — it falls back to the stripped trace's
     ``n_unique`` (``>= AUTO_MIN_UNIQUE``) rather than silently treating
     the unknown trace as short.
+
+    Args:
+        prelude_ready: True when the bigint MRCT is already built, so
+            only postlude cost differs between the candidates; the
+            higher :data:`AUTO_MIN_REFS_POSTLUDE` threshold applies
+            (on a cold trace the fused fast prelude tilts the balance
+            toward ``vectorized`` much earlier).
     """
     from repro.core.vectorized import numpy_available
 
     if not numpy_available():
         return "serial"
+    threshold = AUTO_MIN_REFS_POSTLUDE if prelude_ready else AUTO_MIN_REFS
     if trace is not None:
-        return "vectorized" if len(trace) >= AUTO_MIN_REFS else "serial"
+        return "vectorized" if len(trace) >= threshold else "serial"
     if stripped is not None:
         return "vectorized" if stripped.n_unique >= AUTO_MIN_UNIQUE else "serial"
     return "serial"
@@ -444,7 +587,8 @@ def resolve_engine(name: str, inputs: Optional[EngineInputs] = None) -> EngineSp
     if resolved == AUTO_ENGINE:
         trace = inputs.trace if inputs is not None else None
         stripped = inputs.stripped_if_built if inputs is not None else None
-        resolved = choose_auto(trace, stripped=stripped)
+        prelude_ready = inputs is not None and inputs.mrct_if_built is not None
+        resolved = choose_auto(trace, stripped=stripped, prelude_ready=prelude_ready)
     return _REGISTRY[resolved]
 
 
@@ -500,8 +644,27 @@ def _run_streaming(
 def _run_vectorized(
     inputs: EngineInputs, max_level: Optional[int] = None
 ) -> Dict[int, LevelHistogram]:
-    from repro.core.vectorized import compute_level_histograms_vectorized
+    from repro.core.vectorized import (
+        compute_level_histograms_packed,
+        compute_level_histograms_vectorized,
+        numpy_available,
+    )
 
+    if numpy_available():
+        # Fused path: consume the packed conflict matrix directly, never
+        # materializing bigint conflict sets.  Taken when the packed form
+        # already exists, or on a cold run (no bigint MRCT built yet —
+        # when one was injected or already built, packing it again would
+        # repeat prelude work the caller has already paid for).
+        can_build_packed = (
+            inputs.prelude != "python"
+            and inputs.mrct_if_built is None
+            and (inputs.trace is not None or inputs.stripped_if_built is not None)
+        )
+        if inputs.packed_mrct_if_built is not None or can_build_packed:
+            return compute_level_histograms_packed(
+                inputs.zerosets, inputs.packed_mrct, max_level=max_level
+            )
     return compute_level_histograms_vectorized(
         inputs.zerosets, inputs.mrct, max_level=max_level
     )
@@ -538,7 +701,7 @@ register_engine(
 register_engine(
     EngineSpec(
         name="vectorized",
-        summary="NumPy uint64 bit-matrix kernel with weighted row dedupe",
+        summary="NumPy uint64 bit-matrix kernel, fused with the fast prelude",
         memory="O(unique conflict rows x N'/64 words)",
         best_for="long loop-dominated traces when NumPy is available",
         runner=_run_vectorized,

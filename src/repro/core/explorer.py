@@ -43,6 +43,11 @@ class AnalyticalCacheExplorer:
             available, else ``serial``).
         processes: worker count for the ``"parallel"`` engine (only
             forwarded to engines that declare the option).
+        prelude: prelude builder mode — ``"auto"`` (default; fast
+            NumPy/Fenwick kernels when they pay for themselves),
+            ``"fast"`` (always the fast kernels) or ``"python"`` (the
+            paper-faithful reference builders).  Every mode produces
+            identical products and identical results.
         recorder: a :class:`repro.obs.Recorder` for per-phase telemetry;
             defaults to the zero-overhead null recorder.  When given, a
             :class:`repro.obs.RunManifest` of the run is available from
@@ -76,6 +81,7 @@ class AnalyticalCacheExplorer:
         max_depth: Optional[int] = None,
         engine: str = _engines.AUTO_ENGINE,
         processes: int = 2,
+        prelude: str = "auto",
         recorder=None,
         store=None,
     ) -> None:
@@ -90,11 +96,12 @@ class AnalyticalCacheExplorer:
         self.trace = trace
         self.engine = engine
         self.processes = processes
+        self.prelude = prelude
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         self.store = store
         self._max_depth = max_depth
         self._inputs = _engines.EngineInputs(
-            trace, recorder=self.recorder, store=store
+            trace, recorder=self.recorder, store=store, prelude=prelude
         )
         self._histograms: Optional[Dict[int, LevelHistogram]] = None
         self._statistics: Optional[TraceStatistics] = None

@@ -25,6 +25,7 @@ Conflict sets are bit-vector ints, matching :mod:`repro.core.zerosets`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Dict, List, Set
 
 from repro.core.zerosets import bitset_members
@@ -80,7 +81,10 @@ def build_mrct(stripped: StrippedTrace) -> MRCT:
             stack.insert(0, ident)  # first (cold) occurrence: no entry
             continue
         conflict = 0
-        for other in stack[:depth]:
+        # islice iterates the prefix in place; the old ``stack[:depth]``
+        # allocated a list copy per occurrence, O(depth) extra memory
+        # traffic on the hottest loop of the prelude.
+        for other in islice(stack, depth):
             conflict |= 1 << other
         table[ident].append(conflict)
         del stack[depth]

@@ -63,6 +63,10 @@ class ExplorationRequest:
         weights: per-trace weights for ``sum`` mode.
         engine: histogram engine name (see :mod:`repro.core.engines`).
         processes: worker count for the ``parallel`` engine.
+        prelude: prelude builder mode (``auto``/``fast``/``python``;
+            see :class:`repro.core.engines.EngineInputs`).  ``single``
+            mode forwards it to the explorer; other modes currently run
+            with the default.
         recorder: optional :class:`repro.obs.Recorder` shared by every
             explorer the request spawns.
         store: optional :class:`repro.store.ArtifactStore` shared by
@@ -82,6 +86,7 @@ class ExplorationRequest:
     weights: Optional[Tuple[int, ...]] = None
     engine: str = _engines.AUTO_ENGINE
     processes: int = 2
+    prelude: str = "auto"
     recorder: Optional[object] = None
     store: Optional[object] = None
 
@@ -113,6 +118,11 @@ class ExplorationRequest:
         if any(p < 0 for p in self.percents):
             raise ValueError("percents must be non-negative")
         _engines.canonical_name(self.engine)  # fail fast on unknown names
+        if self.prelude not in _engines.PRELUDE_MODES:
+            raise ValueError(
+                f"prelude must be one of {_engines.PRELUDE_MODES}, "
+                f"got {self.prelude!r}"
+            )
 
     # -- constructors -----------------------------------------------------------
 
@@ -128,6 +138,7 @@ class ExplorationRequest:
         include_depth_one: bool = False,
         engine: str = _engines.AUTO_ENGINE,
         processes: int = 2,
+        prelude: str = "auto",
         recorder=None,
         store=None,
     ) -> "ExplorationRequest":
@@ -145,6 +156,7 @@ class ExplorationRequest:
             include_depth_one=include_depth_one,
             engine=engine,
             processes=processes,
+            prelude=prelude,
             recorder=recorder,
             store=store,
         )
@@ -301,6 +313,7 @@ def _run_single(request: ExplorationRequest) -> ExplorationReport:
         max_depth=request.max_depth,
         engine=request.engine,
         processes=request.processes,
+        prelude=request.prelude,
         recorder=request.recorder,
         store=request.store,
     )

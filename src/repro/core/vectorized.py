@@ -148,35 +148,27 @@ def _pack_conflict_rows(mrct: MRCT, perm, nbytes: int):
     return matrix, weights[:row], positions[:row]
 
 
-def compute_level_histograms_vectorized(
+def _walk_bit_matrix(
     zerosets: ZeroOneSets,
-    mrct: MRCT,
-    max_level: Optional[int] = None,
-) -> Dict[int, LevelHistogram]:
-    """NumPy drop-in for :func:`~repro.core.postlude.compute_level_histograms`.
+    limit: int,
+    matrix,
+    weights,
+    positions,
+    histograms: Dict[int, LevelHistogram],
+) -> None:
+    """The BCAT walk over a row-sorted weighted bit-matrix.
 
-    Falls back to the serial bigint kernel when NumPy is not installed;
-    either way the returned histograms are bit-identical to the serial
-    engine's.
+    ``matrix`` rows must be ordered by ``positions`` (each row's
+    identifier position under the bit-reversed permutation, ascending)
+    so every BCAT node is one contiguous row segment; ``weights`` are
+    the rows' occurrence multiplicities.  Fills ``histograms`` in
+    place.  Shared by the bigint-packing path
+    (:func:`compute_level_histograms_vectorized`) and the fused packed
+    path (:func:`compute_level_histograms_packed`).
     """
-    if _np is None:
-        return compute_level_histograms(zerosets, mrct, max_level=max_level)
-
     nprime = zerosets.n_unique
-    limit = zerosets.address_bits if max_level is None else max_level
-    limit = min(limit, zerosets.address_bits)
-    histograms: Dict[int, LevelHistogram] = {
-        level: LevelHistogram(level) for level in range(limit + 1)
-    }
-    if nprime < 2 or mrct.total_conflict_sets == 0:
-        return histograms  # no row can conflict: every histogram is empty
-
     nwords = (nprime + 63) // 64
     nbytes = nwords * 8
-
-    key = _bit_reversed_keys(zerosets, limit, nbytes)
-    perm = _np.argsort(key, kind="stable")
-    matrix, weights, positions = _pack_conflict_rows(mrct, perm, nbytes)
     total_rows = matrix.shape[0]
 
     zero_masks = _np.empty((limit, nwords), dtype=_np.uint64)
@@ -236,4 +228,81 @@ def compute_level_histograms_vectorized(
         counts = histograms[level].counts
         for distance in _np.flatnonzero(accumulated):
             counts[int(distance)] = int(accumulated[distance])
+
+
+def _level_limit(zerosets: ZeroOneSets, max_level: Optional[int]) -> int:
+    limit = zerosets.address_bits if max_level is None else max_level
+    return min(limit, zerosets.address_bits)
+
+
+def compute_level_histograms_vectorized(
+    zerosets: ZeroOneSets,
+    mrct: MRCT,
+    max_level: Optional[int] = None,
+) -> Dict[int, LevelHistogram]:
+    """NumPy drop-in for :func:`~repro.core.postlude.compute_level_histograms`.
+
+    Falls back to the serial bigint kernel when NumPy is not installed;
+    either way the returned histograms are bit-identical to the serial
+    engine's.
+    """
+    if _np is None:
+        return compute_level_histograms(zerosets, mrct, max_level=max_level)
+
+    nprime = zerosets.n_unique
+    limit = _level_limit(zerosets, max_level)
+    histograms: Dict[int, LevelHistogram] = {
+        level: LevelHistogram(level) for level in range(limit + 1)
+    }
+    if nprime < 2 or mrct.total_conflict_sets == 0:
+        return histograms  # no row can conflict: every histogram is empty
+
+    nbytes = ((nprime + 63) // 64) * 8
+    key = _bit_reversed_keys(zerosets, limit, nbytes)
+    perm = _np.argsort(key, kind="stable")
+    matrix, weights, positions = _pack_conflict_rows(mrct, perm, nbytes)
+    _walk_bit_matrix(zerosets, limit, matrix, weights, positions, histograms)
+    return histograms
+
+
+def compute_level_histograms_packed(
+    zerosets: ZeroOneSets,
+    packed: "PackedMRCT",
+    max_level: Optional[int] = None,
+) -> Dict[int, LevelHistogram]:
+    """The fused postlude: consume a packed MRCT with no bigint round-trip.
+
+    Takes the :class:`~repro.core.prelude_fast.PackedMRCT` emitted by the
+    fast prelude, reorders its rows under the bit-reversed identifier
+    permutation (a gather — the matrix itself is consumed as-is), and
+    runs the same BCAT walk as the bigint path.  Histograms are
+    bit-identical to every other engine's.  Requires NumPy — a
+    ``PackedMRCT`` cannot exist without it.
+    """
+    if _np is None:  # pragma: no cover - packed inputs imply NumPy
+        raise RuntimeError("compute_level_histograms_packed requires NumPy")
+    nprime = zerosets.n_unique
+    if packed.n_unique != nprime:
+        raise ValueError(
+            f"packed MRCT covers {packed.n_unique} unique references, "
+            f"zero/one sets cover {nprime}"
+        )
+    limit = _level_limit(zerosets, max_level)
+    histograms: Dict[int, LevelHistogram] = {
+        level: LevelHistogram(level) for level in range(limit + 1)
+    }
+    if nprime < 2 or packed.n_rows == 0:
+        return histograms
+
+    nbytes = ((nprime + 63) // 64) * 8
+    key = _bit_reversed_keys(zerosets, limit, nbytes)
+    perm = _np.argsort(key, kind="stable")
+    inverse_perm = _np.empty(nprime, dtype=_np.int64)
+    inverse_perm[perm] = _np.arange(nprime, dtype=_np.int64)
+    row_positions = inverse_perm[packed.idents]
+    order = _np.argsort(row_positions, kind="stable")
+    matrix = _np.ascontiguousarray(packed.matrix[order])
+    weights = packed.weights[order].astype(_np.float64)
+    positions = row_positions[order]
+    _walk_bit_matrix(zerosets, limit, matrix, weights, positions, histograms)
     return histograms

@@ -96,3 +96,29 @@ def build_zero_one_sets(stripped: StrippedTrace) -> ZeroOneSets:
             else:
                 zero[bit] |= member
     return ZeroOneSets(zero=tuple(zero), one=tuple(one), n_unique=stripped.n_unique)
+
+
+def build_zero_one_sets_numpy(stripped: StrippedTrace) -> ZeroOneSets:
+    """Vectorized zero/one sets: one ``packbits`` per address bit.
+
+    Identifier ``j``'s membership bit for address bit ``b`` is column
+    ``j`` of the ``(bits, N')`` matrix ``(addresses >> b) & 1``; packing
+    each row little-endian yields exactly the bigint bit-vectors of
+    :func:`build_zero_one_sets` (property-tested identical).  Raises
+    ``ImportError`` when NumPy is unavailable.
+    """
+    import numpy as np
+
+    bits = stripped.address_bits
+    n_unique = stripped.n_unique
+    if n_unique == 0:
+        return ZeroOneSets(zero=(0,) * bits, one=(0,) * bits, n_unique=0)
+    addresses = np.asarray(stripped.unique_addresses, dtype=np.int64)
+    universe = (1 << n_unique) - 1
+    one: List[int] = []
+    for bit in range(bits):
+        column = ((addresses >> bit) & 1).astype(np.uint8)
+        packed = np.packbits(column, bitorder="little")
+        one.append(int.from_bytes(packed.tobytes(), "little"))
+    zero = tuple(universe ^ mask for mask in one)
+    return ZeroOneSets(zero=zero, one=tuple(one), n_unique=n_unique)

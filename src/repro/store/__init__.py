@@ -23,6 +23,8 @@ from repro.store.codec import (
     MAGIC,
     MRCT_CODEC,
     MRCTCodec,
+    PACKED_MRCT_CODEC,
+    PackedMRCTCodec,
     STAGE_CODECS,
     STRIPPED_CODEC,
     StrippedTraceCodec,
@@ -56,6 +58,8 @@ __all__ = [
     "MAGIC",
     "MRCT_CODEC",
     "MRCTCodec",
+    "PACKED_MRCT_CODEC",
+    "PackedMRCTCodec",
     "QUARANTINE_DIR",
     "STAGE_CODECS",
     "STRIPPED_CODEC",

@@ -286,14 +286,78 @@ class HistogramsCodec:
         return histograms
 
 
+class PackedMRCTCodec:
+    """Packed conflict bit-matrix (:class:`repro.core.prelude_fast.PackedMRCT`).
+
+    Fixed-width little-endian arrays — identifiers, weights, then the
+    uint64 matrix — so encode/decode are single buffer copies and the
+    fused vectorized path warm-starts without touching bigints.
+    Requires NumPy to decode; the store only consults this stage from
+    the fused path, which is NumPy-gated.
+    """
+
+    stage = "packed-mrct"
+    version = 1
+
+    def encode(self, packed) -> bytes:
+        import numpy as np
+
+        rows, words = packed.matrix.shape
+        return b"".join(
+            (
+                struct.pack("<IIQ", packed.n_unique, words, rows),
+                np.ascontiguousarray(packed.idents, dtype="<i8").tobytes(),
+                np.ascontiguousarray(packed.weights, dtype="<i8").tobytes(),
+                np.ascontiguousarray(packed.matrix, dtype="<u8").tobytes(),
+            )
+        )
+
+    def decode(self, payload: bytes, context: Optional[Trace] = None):
+        import numpy as np
+
+        from repro.core.prelude_fast import PackedMRCT
+
+        reader = _Reader(payload)
+        n_unique, words, rows = reader.unpack("<IIQ")
+        if words != (n_unique + 63) // 64:
+            raise CorruptArtifact(
+                f"packed matrix is {words} words wide, "
+                f"{n_unique} unique references need {(n_unique + 63) // 64}"
+            )
+        idents = np.frombuffer(reader.read(8 * rows), dtype="<i8").astype(np.int64)
+        weights = np.frombuffer(reader.read(8 * rows), dtype="<i8").astype(np.int64)
+        matrix = (
+            np.frombuffer(reader.read(8 * rows * words), dtype="<u8")
+            .astype(np.uint64)
+            .reshape(rows, words)
+        )
+        reader.expect_end()
+        if rows and (
+            (idents < 0).any() or (idents >= max(n_unique, 1)).any()
+        ):
+            raise CorruptArtifact("packed row identifier out of range")
+        if rows and (weights <= 0).any():
+            raise CorruptArtifact("packed row weight must be positive")
+        return PackedMRCT(
+            matrix=matrix, idents=idents, weights=weights, n_unique=n_unique
+        )
+
+
 #: Shared codec instances, one per pipeline stage.
 STRIPPED_CODEC = StrippedTraceCodec()
 ZEROSETS_CODEC = ZeroOneSetsCodec()
 MRCT_CODEC = MRCTCodec()
 HISTOGRAMS_CODEC = HistogramsCodec()
+PACKED_MRCT_CODEC = PackedMRCTCodec()
 
 #: All stage codecs by stage name (CLI stats iterate this).
 STAGE_CODECS = {
     codec.stage: codec
-    for codec in (STRIPPED_CODEC, ZEROSETS_CODEC, MRCT_CODEC, HISTOGRAMS_CODEC)
+    for codec in (
+        STRIPPED_CODEC,
+        ZEROSETS_CODEC,
+        MRCT_CODEC,
+        PACKED_MRCT_CODEC,
+        HISTOGRAMS_CODEC,
+    )
 }

@@ -12,7 +12,12 @@ trace generators used by tests and benchmarks
 
 from repro.trace.reference import AccessKind, MemoryReference
 from repro.trace.trace import Trace
-from repro.trace.strip import StrippedTrace, strip_trace
+from repro.trace.strip import (
+    StrippedTrace,
+    strip_trace,
+    strip_trace_auto,
+    strip_trace_numpy,
+)
 from repro.trace.stats import TraceStatistics, compute_statistics
 from repro.trace.io import (
     read_trace,
@@ -54,6 +59,8 @@ __all__ = [
     "Trace",
     "StrippedTrace",
     "strip_trace",
+    "strip_trace_auto",
+    "strip_trace_numpy",
     "TraceStatistics",
     "compute_statistics",
     "read_trace",

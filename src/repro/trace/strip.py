@@ -90,6 +90,63 @@ def strip_trace(trace: Trace) -> StrippedTrace:
     )
 
 
+def strip_trace_numpy(trace: Trace) -> StrippedTrace:
+    """Strip a trace with NumPy (vectorized ``np.unique`` id assignment).
+
+    ``np.unique`` orders unique addresses by *value*; re-ranking the
+    sorted uniques by their first-occurrence position recovers exactly
+    the identifier assignment of :func:`strip_trace`, so the two are
+    interchangeable (property-tested).  Raises ``ImportError`` when
+    NumPy is unavailable — use :func:`strip_trace_auto` for the
+    dispatching front door.
+    """
+    import numpy as np
+
+    addresses = np.frombuffer(trace.addresses, dtype=np.int64)
+    if len(addresses) == 0:
+        return StrippedTrace(
+            trace=trace, unique_addresses=[], id_of={}, id_sequence=array("l")
+        )
+    sorted_unique, first_index, inverse = np.unique(
+        addresses, return_index=True, return_inverse=True
+    )
+    # Rank the value-sorted uniques by first occurrence: identifier k is
+    # the k-th distinct address to appear, as in the hash-table strip.
+    occurrence_order = np.argsort(first_index, kind="stable")
+    rank = np.empty(len(sorted_unique), dtype=np.int64)
+    rank[occurrence_order] = np.arange(len(sorted_unique), dtype=np.int64)
+    ids = array("l", bytes(0))
+    ids.frombytes(
+        np.ascontiguousarray(rank[inverse].astype(f"=i{ids.itemsize}")).tobytes()
+    )
+    unique = sorted_unique[occurrence_order].tolist()
+    return StrippedTrace(
+        trace=trace,
+        unique_addresses=unique,
+        id_of={addr: ident for ident, addr in enumerate(unique)},
+        id_sequence=ids,
+    )
+
+
+#: Below this trace length the hash-table strip wins: the NumPy sorts
+#: cost more than they save (calibrated by benchmarks/bench_prelude.py).
+NUMPY_STRIP_MIN_REFS = 4096
+
+
+def strip_trace_auto(trace: Trace) -> StrippedTrace:
+    """Strip with NumPy when available and the trace is long enough.
+
+    Falls back to the hash-table :func:`strip_trace` otherwise; both
+    paths produce identical :class:`StrippedTrace` objects.
+    """
+    if len(trace) >= NUMPY_STRIP_MIN_REFS:
+        try:
+            return strip_trace_numpy(trace)
+        except ImportError:
+            pass
+    return strip_trace(trace)
+
+
 def strip_trace_sorted(trace: Trace) -> StrippedTrace:
     """Strip a trace by sorting (the ``N log N`` variant of section 2.4).
 

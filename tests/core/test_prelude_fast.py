@@ -1,0 +1,327 @@
+"""Unit tests for the fast prelude kernels (``repro.core.prelude_fast``).
+
+The fast builders are exact replacements: every test here pins them to
+the paper-faithful python builders — same stripped trace, same zero/one
+sets, same MRCT sets in the same occurrence order, bit-identical
+histograms through the fused packed postlude.
+"""
+
+import pytest
+
+from repro.core import engines
+from repro.core.mrct import build_mrct
+from repro.core.postlude import compute_level_histograms
+from repro.core.prelude_fast import (
+    FAST_MRCT_MIN_REFS,
+    FENWICK_MIN_REFS,
+    FENWICK_MIN_UNIQUE,
+    build_mrct_auto,
+    build_mrct_fenwick,
+)
+from repro.core.vectorized import numpy_available
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import (
+    loop_nest_trace,
+    markov_trace,
+    random_trace,
+    zipf_trace,
+)
+from repro.trace.trace import Trace
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="needs NumPy")
+
+
+def edge_traces():
+    """Small traces covering the builders' corner cases."""
+    return [
+        Trace([5], name="single"),
+        Trace([7, 7, 7, 7], name="all-same"),
+        Trace(list(range(40)), name="all-unique"),
+        Trace([1, 2, 3, 1, 2, 3, 4, 1], name="paper-ish"),
+        loop_nest_trace(16, 6),
+        zipf_trace(600, 90, seed=2),
+        markov_trace(500, 64, locality=0.8, seed=5),
+        random_trace(300, 50, seed=9),
+    ]
+
+
+PANEL = edge_traces()
+
+
+class TestFenwickBuilder:
+    """The pure-python O(N log N') builder (no NumPy required)."""
+
+    @pytest.mark.parametrize("trace", PANEL, ids=lambda t: t.name)
+    def test_matches_reference_builder(self, trace):
+        stripped = strip_trace(trace)
+        assert build_mrct_fenwick(stripped) == build_mrct(stripped)
+
+    def test_empty_trace(self):
+        stripped = strip_trace(Trace([], name="empty"))
+        assert build_mrct_fenwick(stripped) == build_mrct(stripped)
+
+
+class TestNumpyBuilders:
+    @needs_numpy
+    @pytest.mark.parametrize("trace", PANEL, ids=lambda t: t.name)
+    def test_fast_mrct_matches_reference(self, trace):
+        from repro.core.prelude_fast import build_mrct_fast
+
+        stripped = strip_trace(trace)
+        assert build_mrct_fast(stripped) == build_mrct(stripped)
+
+    @needs_numpy
+    @pytest.mark.parametrize("trace", PANEL, ids=lambda t: t.name)
+    def test_numpy_strip_matches_reference(self, trace):
+        from repro.trace.strip import strip_trace_numpy
+
+        python = strip_trace(trace)
+        fast = strip_trace_numpy(trace)
+        assert fast.unique_addresses == python.unique_addresses
+        assert list(fast.id_sequence) == list(python.id_sequence)
+        assert fast.address_bits == python.address_bits
+        assert fast.id_of == python.id_of
+
+    @needs_numpy
+    @pytest.mark.parametrize("trace", PANEL, ids=lambda t: t.name)
+    def test_numpy_zerosets_match_reference(self, trace):
+        from repro.core.zerosets import build_zero_one_sets_numpy
+
+        stripped = strip_trace(trace)
+        assert build_zero_one_sets_numpy(stripped) == build_zero_one_sets(
+            stripped
+        )
+
+    @needs_numpy
+    @pytest.mark.parametrize("trace", PANEL, ids=lambda t: t.name)
+    def test_packed_mrct_weight_preserving(self, trace):
+        """The packed matrix is the MRCT as a weighted multiset of rows."""
+        from repro.core.prelude_fast import build_packed_mrct
+
+        stripped = strip_trace(trace)
+        packed = build_packed_mrct(stripped)
+        mrct = build_mrct(stripped)
+        expected = {}
+        for ident, sets in enumerate(mrct.sets):
+            for conflicts in sets:
+                key = (ident, conflicts)
+                expected[key] = expected.get(key, 0) + 1
+        actual = {}
+        for row in range(packed.n_rows):
+            conflicts = int.from_bytes(
+                packed.matrix[row].tobytes(), "little"
+            )
+            key = (int(packed.idents[row]), conflicts)
+            actual[key] = actual.get(key, 0) + int(packed.weights[row])
+        assert actual == expected
+        expanded = packed.to_mrct()  # multiset-equal, order not preserved
+        assert expanded.n_unique == mrct.n_unique
+        assert [sorted(sets) for sets in expanded.sets] == [
+            sorted(sets) for sets in mrct.sets
+        ]
+
+    @needs_numpy
+    def test_packed_mrct_deterministic(self):
+        from repro.core.prelude_fast import build_packed_mrct
+
+        stripped = strip_trace(zipf_trace(800, 100, seed=4))
+        assert build_packed_mrct(stripped) == build_packed_mrct(stripped)
+
+    @needs_numpy
+    def test_budget_fallback_paths_agree(self, monkeypatch):
+        """Forcing the python bigint tail / disabling reduceat stays exact."""
+        import repro.core.prelude_fast as pf
+
+        trace = zipf_trace(1200, 150, seed=6)
+        stripped = strip_trace(trace)
+        reference = build_mrct(stripped)
+        monkeypatch.setattr(pf, "_REDUCEAT_MEM_BUDGET", 0)  # forbid reduceat
+        assert pf.build_mrct_fast(stripped) == reference
+        monkeypatch.setattr(pf, "_BLOCK_SCALES", ())  # no coarse passes either
+        assert pf.build_mrct_fast(stripped) == reference
+
+
+class TestAutoDispatch:
+    def test_short_trace_uses_reference_builder(self):
+        stripped = strip_trace(loop_nest_trace(8, 4))
+        assert stripped.n < FAST_MRCT_MIN_REFS
+        assert build_mrct_auto(stripped) == build_mrct(stripped)
+
+    @needs_numpy
+    def test_long_trace_uses_fast_builder(self):
+        n = FAST_MRCT_MIN_REFS
+        stripped = strip_trace(zipf_trace(n, 200, seed=1))
+        assert build_mrct_auto(stripped) == build_mrct(stripped)
+
+    def test_fenwick_gates_exist(self):
+        assert FENWICK_MIN_REFS > FAST_MRCT_MIN_REFS
+        assert FENWICK_MIN_UNIQUE > 1
+
+
+class TestFusedEngine:
+    @needs_numpy
+    @pytest.mark.parametrize("trace", PANEL, ids=lambda t: t.name)
+    def test_packed_postlude_matches_serial(self, trace):
+        from repro.core.prelude_fast import build_packed_mrct
+        from repro.core.vectorized import compute_level_histograms_packed
+
+        stripped = strip_trace(trace)
+        zerosets = build_zero_one_sets(stripped)
+        reference = compute_level_histograms(zerosets, build_mrct(stripped))
+        packed = build_packed_mrct(stripped)
+        assert compute_level_histograms_packed(zerosets, packed) == reference
+
+    @needs_numpy
+    @pytest.mark.parametrize("max_level", [0, 2, 5])
+    def test_packed_postlude_respects_max_level(self, max_level):
+        from repro.core.prelude_fast import build_packed_mrct
+        from repro.core.vectorized import compute_level_histograms_packed
+
+        stripped = strip_trace(zipf_trace(500, 80, seed=3))
+        zerosets = build_zero_one_sets(stripped)
+        reference = compute_level_histograms(
+            zerosets, build_mrct(stripped), max_level=max_level
+        )
+        packed = build_packed_mrct(stripped)
+        assert (
+            compute_level_histograms_packed(
+                zerosets, packed, max_level=max_level
+            )
+            == reference
+        )
+
+    @needs_numpy
+    def test_packed_rejects_mismatched_universe(self):
+        from repro.core.prelude_fast import build_packed_mrct
+        from repro.core.vectorized import compute_level_histograms_packed
+
+        a = strip_trace(zipf_trace(200, 40, seed=1))
+        b = strip_trace(zipf_trace(200, 70, seed=2))
+        packed = build_packed_mrct(a)
+        assert a.n_unique != b.n_unique
+        with pytest.raises(ValueError, match="unique references"):
+            compute_level_histograms_packed(build_zero_one_sets(b), packed)
+
+    @needs_numpy
+    def test_fused_path_skips_bigint_mrct(self):
+        """The vectorized engine runs packed end-to-end on a cold trace."""
+        inputs = engines.EngineInputs(zipf_trace(400, 60, seed=7))
+        engines.compute_histograms("vectorized", inputs)
+        assert inputs.packed_mrct_if_built is not None
+        assert inputs.mrct_if_built is None
+
+    @needs_numpy
+    def test_python_prelude_mode_stays_bigint(self):
+        inputs = engines.EngineInputs(
+            zipf_trace(400, 60, seed=7), prelude="python"
+        )
+        engines.compute_histograms("vectorized", inputs)
+        assert inputs.packed_mrct_if_built is None
+        assert inputs.mrct_if_built is not None
+
+    @needs_numpy
+    def test_prebuilt_mrct_short_circuits_fusion(self):
+        """Injected bigint MRCTs are consumed as-is (benchmark contract)."""
+        trace = zipf_trace(400, 60, seed=7)
+        stripped = strip_trace(trace)
+        inputs = engines.EngineInputs(
+            trace, stripped=stripped, mrct=build_mrct(stripped)
+        )
+        reference = engines.compute_histograms("serial", inputs)
+        assert engines.compute_histograms("vectorized", inputs) == reference
+        assert inputs.packed_mrct_if_built is None
+
+    @pytest.mark.parametrize("mode", engines.PRELUDE_MODES)
+    def test_all_prelude_modes_agree(self, mode):
+        trace = zipf_trace(300, 50, seed=8)
+        reference = engines.compute_histograms(
+            "serial", engines.EngineInputs(trace, prelude="python")
+        )
+        inputs = engines.EngineInputs(trace, prelude=mode)
+        assert engines.compute_histograms("serial", inputs) == reference
+        if numpy_available():
+            inputs = engines.EngineInputs(trace, prelude=mode)
+            assert (
+                engines.compute_histograms("vectorized", inputs) == reference
+            )
+
+    def test_unknown_prelude_mode_rejected(self):
+        with pytest.raises(ValueError, match="prelude"):
+            engines.EngineInputs(loop_nest_trace(4, 2), prelude="turbo")
+
+
+class TestPackedStoreWarmStart:
+    @needs_numpy
+    def test_second_run_hits_packed_stage(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        trace = zipf_trace(500, 80, seed=11)
+        store = ArtifactStore(tmp_path / "cache")
+        cold = engines.EngineInputs(trace, store=store)
+        packed_cold = cold.packed_mrct
+        hits_before = store.stats.hits
+        warm = engines.EngineInputs(trace, store=store)
+        packed_warm = warm.packed_mrct
+        assert store.stats.hits > hits_before
+        assert packed_warm == packed_cold
+
+    @needs_numpy
+    def test_warm_packed_run_matches_cold_histograms(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        trace = zipf_trace(500, 80, seed=12)
+        store = ArtifactStore(tmp_path / "cache")
+        cold = engines.compute_histograms(
+            "vectorized", engines.EngineInputs(trace, store=store)
+        )
+        warm_inputs = engines.EngineInputs(trace, store=store)
+        warm = engines.compute_histograms("vectorized", warm_inputs)
+        assert warm == cold
+
+
+class TestAutoCalibration:
+    """``auto`` only ever picks from AUTO_CANDIDATES (BENCH-calibrated)."""
+
+    def test_candidates_exclude_parallel_and_streaming(self):
+        assert engines.AUTO_CANDIDATES == ("serial", "vectorized")
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            None,
+            loop_nest_trace(8, 4),
+            zipf_trace(300, 60, seed=1),
+            random_trace(5000, 2000, seed=2),
+        ],
+        ids=["none", "tiny-loop", "small-zipf", "large-random"],
+    )
+    def test_choice_always_a_candidate(self, trace):
+        stripped = strip_trace(trace) if trace is not None else None
+        for prelude_ready in (False, True):
+            choice = engines.choose_auto(
+                trace, stripped=stripped, prelude_ready=prelude_ready
+            )
+            assert choice in engines.AUTO_CANDIDATES
+
+    @needs_numpy
+    def test_postlude_threshold_is_higher(self):
+        """With the MRCT prebuilt the fused prelude can't help, so auto
+        stays serial up to the BENCH-measured crossover."""
+        assert engines.AUTO_MIN_REFS_POSTLUDE > engines.AUTO_MIN_REFS
+        n = engines.AUTO_MIN_REFS
+        trace = zipf_trace(n, 200, seed=3)
+        assert engines.choose_auto(trace) == "vectorized"
+        assert engines.choose_auto(trace, prelude_ready=True) == "serial"
+
+    @needs_numpy
+    def test_resolve_applies_postlude_threshold_for_prebuilt_mrct(self):
+        n = engines.AUTO_MIN_REFS
+        trace = zipf_trace(n, 200, seed=3)
+        cold = engines.EngineInputs(trace)
+        assert engines.resolve_engine("auto", cold).name == "vectorized"
+        stripped = strip_trace(trace)
+        warm = engines.EngineInputs(
+            trace, stripped=stripped, mrct=build_mrct(stripped)
+        )
+        assert engines.resolve_engine("auto", warm).name == "serial"

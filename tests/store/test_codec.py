@@ -128,6 +128,7 @@ class TestStageCodecs:
         assert sorted(STAGE_CODECS) == [
             "histograms",
             "mrct",
+            "packed-mrct",
             "stripped",
             "zerosets",
         ]

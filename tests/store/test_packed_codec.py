@@ -1,0 +1,79 @@
+"""Round-trip and corruption tests for the packed-MRCT stage codec."""
+
+import struct
+
+import pytest
+
+from repro.core.vectorized import numpy_available
+from repro.store import CorruptArtifact, PACKED_MRCT_CODEC
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, zipf_trace
+
+pytestmark = pytest.mark.skipif(not numpy_available(), reason="needs NumPy")
+
+
+@pytest.fixture(scope="module", params=["loop", "zipf"])
+def packed(request):
+    from repro.core.prelude_fast import build_packed_mrct
+
+    if request.param == "loop":
+        trace = loop_nest_trace(32, 8)
+    else:
+        trace = zipf_trace(900, 120, seed=13)
+    return build_packed_mrct(strip_trace(trace))
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, packed):
+        decoded = PACKED_MRCT_CODEC.decode(PACKED_MRCT_CODEC.encode(packed))
+        assert decoded == packed
+
+    def test_decoded_arrays_native_and_writable(self, packed):
+        import numpy as np
+
+        decoded = PACKED_MRCT_CODEC.decode(PACKED_MRCT_CODEC.encode(packed))
+        assert decoded.matrix.dtype == np.uint64
+        assert decoded.idents.dtype == np.int64
+        assert decoded.weights.dtype == np.int64
+        decoded.matrix[0, 0] ^= np.uint64(1)  # frombuffer views would raise
+
+    def test_empty_matrix_round_trips(self):
+        from repro.core.prelude_fast import build_packed_mrct
+
+        empty = build_packed_mrct(strip_trace(loop_nest_trace(4, 1)))
+        assert empty.n_rows == 0
+        assert PACKED_MRCT_CODEC.decode(PACKED_MRCT_CODEC.encode(empty)) == empty
+
+
+class TestCorruption:
+    def test_truncated_payload(self, packed):
+        payload = PACKED_MRCT_CODEC.encode(packed)
+        with pytest.raises(CorruptArtifact):
+            PACKED_MRCT_CODEC.decode(payload[: len(payload) - 8])
+
+    def test_trailing_garbage(self, packed):
+        payload = PACKED_MRCT_CODEC.encode(packed)
+        with pytest.raises(CorruptArtifact, match="trailing"):
+            PACKED_MRCT_CODEC.decode(payload + b"\x00")
+
+    def test_inconsistent_word_width(self, packed):
+        payload = bytearray(PACKED_MRCT_CODEC.encode(packed))
+        n_unique, words, rows = struct.unpack_from("<IIQ", payload)
+        struct.pack_into("<IIQ", payload, 0, n_unique, words + 1, rows)
+        with pytest.raises(CorruptArtifact, match="words"):
+            PACKED_MRCT_CODEC.decode(bytes(payload))
+
+    def test_out_of_range_identifier(self, packed):
+        payload = bytearray(PACKED_MRCT_CODEC.encode(packed))
+        header = struct.calcsize("<IIQ")
+        struct.pack_into("<q", payload, header, -1)  # first ident negative
+        with pytest.raises(CorruptArtifact, match="identifier"):
+            PACKED_MRCT_CODEC.decode(bytes(payload))
+
+    def test_nonpositive_weight(self, packed):
+        payload = bytearray(PACKED_MRCT_CODEC.encode(packed))
+        header = struct.calcsize("<IIQ")
+        weights_offset = header + 8 * packed.n_rows
+        struct.pack_into("<q", payload, weights_offset, 0)
+        with pytest.raises(CorruptArtifact, match="weight"):
+            PACKED_MRCT_CODEC.decode(bytes(payload))
