@@ -19,6 +19,8 @@ evaluation depends on:
 * :mod:`repro.obs`       — per-phase telemetry (recorders, run manifests)
 * :mod:`repro.store`     — persistent content-addressed artifact cache
   (warm-starts repeated explorations of the same trace)
+* :mod:`repro.verify`    — differential verification: corpus-driven
+  fuzzing oracle, metamorphic invariants, trace shrinking, failure corpus
 
 Quickstart::
 
@@ -44,8 +46,9 @@ from repro.cache import CacheConfig, CacheSimulator, SimulationResult, simulate_
 from repro.obs import NullRecorder, Recorder, RunManifest, validate_manifest
 from repro.store import ArtifactStore, StoreStats, default_cache_dir, trace_digest
 from repro.trace import Trace, compute_statistics, read_trace, write_trace
+from repro.verify import VerifyConfig, VerifyReport, run_verify
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalyticalCacheExplorer",
@@ -71,5 +74,8 @@ __all__ = [
     "compute_statistics",
     "read_trace",
     "write_trace",
+    "VerifyConfig",
+    "VerifyReport",
+    "run_verify",
     "__version__",
 ]

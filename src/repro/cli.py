@@ -11,6 +11,7 @@ Subcommands::
     repro explore TRACE --budget K --profile M.json  ... plus a run manifest
     repro profile TRACE [--engine E]       per-phase timing/memory telemetry
     repro engines                          list the histogram engines
+    repro verify [--budget 60s]            differential fuzzing oracle
     repro cache stats|clear|prune          manage the artifact store
     repro simulate TRACE --depth D --assoc A   one cache simulation
     repro compare TRACE --budget K         analytical vs traditional DSE
@@ -262,6 +263,119 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         f"(see BENCH_postlude.json)"
     )
     return 0
+
+
+def _parse_time_budget(text: Optional[str]) -> Optional[float]:
+    """Parse a wall-clock budget: ``"90"``, ``"60s"``, ``"2m"``, ``"500ms"``."""
+    if text is None:
+        return None
+    raw = text.strip().lower()
+    scale = 1.0
+    for suffix, factor in (("ms", 0.001), ("s", 1.0), ("m", 60.0), ("h", 3600.0)):
+        if raw.endswith(suffix):
+            raw = raw[: -len(suffix)]
+            scale = factor
+            break
+    try:
+        value = float(raw) * scale
+    except ValueError:
+        raise SystemExit(
+            f"invalid time budget {text!r}; examples: 90, 60s, 2m"
+        )
+    if value <= 0:
+        raise SystemExit(f"time budget must be positive, got {text!r}")
+    return value
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import VerifyConfig, default_corpus_dir, run_verify
+
+    engines = tuple(args.engines) if args.engines else None
+    preludes = tuple(args.preludes) if args.preludes else None
+    max_traces = args.max_traces
+    if args.smoke:
+        # PR-lane preset: a fast sub-grid unless the user overrode it.
+        engines = engines or ("serial", "vectorized")
+        preludes = preludes or ("python", "fast")
+        if max_traces is None and args.budget is None:
+            max_traces = 8
+    corpus_dir = args.corpus_dir
+    if corpus_dir is None and not args.no_corpus:
+        corpus_dir = default_corpus_dir()
+    config = VerifyConfig(
+        seed=args.seed,
+        max_traces=max_traces,
+        time_budget_s=_parse_time_budget(args.budget),
+        engines=engines,
+        preludes=preludes,
+        include_warm=not args.no_warm,
+        laws=args.laws,
+        processes=args.processes,
+        corpus_dir=None if args.no_corpus else corpus_dir,
+        shrink=not args.no_shrink,
+        fail_fast=args.fail_fast,
+    )
+    from repro.obs.recorder import NULL_RECORDER
+
+    recorder = None
+    if args.profile:
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+    report = run_verify(
+        config, recorder=recorder if recorder is not None else NULL_RECORDER
+    )
+    import json
+
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=2))
+    else:
+        print(
+            f"verify: {report.traces} traces x {len(report.grid)} grid "
+            f"cells ({report.cells} cell runs), "
+            f"{report.corpus_replayed} corpus entries replayed, "
+            f"{report.elapsed_s:.1f}s ({report.stopped_by})"
+        )
+        if report.ok:
+            print("all cells bit-identical; simulator and invariants agree")
+        for failure in report.failures:
+            where = failure.cell or failure.law or "-"
+            shrunk = (
+                f" (shrunk {failure.trace_len} -> {failure.shrunk_len} refs)"
+                if failure.shrunk_len is not None
+                else ""
+            )
+            saved = f" -> {failure.artifact}" if failure.artifact else ""
+            print(
+                f"FAIL [{failure.kind}] {failure.entry} @ {where}: "
+                f"{failure.detail}{shrunk}{saved}"
+            )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote verify report to {args.output}", file=sys.stderr)
+    if args.profile and recorder is not None:
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.from_recorder(
+            recorder,
+            engine="verify-grid",
+            requested_engine="verify-grid",
+            options={"seed": args.seed, "laws": args.laws},
+            trace={
+                "name": "verify-corpus",
+                "n": report.traces,
+                "n_unique": None,
+                "address_bits": 0,
+            },
+        )
+        manifest.verify = report.counters()
+        with open(args.profile, "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json())
+            fh.write("\n")
+        print(f"wrote run manifest to {args.profile}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -763,6 +877,86 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("engines", help="list the histogram engines")
     p.set_defaults(func=_cmd_engines)
+
+    p = sub.add_parser(
+        "verify",
+        help="differential fuzzing oracle: engine x prelude x store grid "
+        "vs simulator + metamorphic invariants",
+    )
+    p.add_argument(
+        "--budget",
+        metavar="TIME",
+        help="wall-clock cap, e.g. 60s or 2m (default: anchors only)",
+    )
+    p.add_argument(
+        "--max-traces", type=int, help="stop after this many corpus traces"
+    )
+    p.add_argument("--seed", type=int, default=0, help="corpus seed")
+    p.add_argument(
+        "--engines",
+        nargs="+",
+        metavar="E",
+        choices=sorted(
+            set(_engines.engine_names(False)) | set(_engines.ALIASES)
+        ),
+        help="restrict the grid to these engines (default: all registered)",
+    )
+    p.add_argument(
+        "--preludes",
+        nargs="+",
+        metavar="P",
+        choices=list(_engines.PRELUDE_MODES),
+        help="restrict the grid to these prelude modes (default: all)",
+    )
+    p.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip the warm-store half of the grid",
+    )
+    p.add_argument(
+        "--laws",
+        default="rotate",
+        choices=["rotate", "all", "none"],
+        help="metamorphic laws per trace: one (round-robin), all, or none",
+    )
+    p.add_argument(
+        "--processes", type=int, default=2, help="parallel-engine workers"
+    )
+    p.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        help="failure corpus (replayed first, crashes persisted here; "
+        "default: $REPRO_VERIFY_CORPUS or .repro-verify-corpus)",
+    )
+    p.add_argument(
+        "--no-corpus",
+        action="store_true",
+        help="neither replay nor persist an on-disk failure corpus",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist failing traces unshrunk",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true", help="stop at the first failure"
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="PR-lane preset: serial+vectorized, python+fast preludes, "
+        "8 traces",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the JSON report to stdout"
+    )
+    p.add_argument("-o", "--output", help="also write the JSON report here")
+    p.add_argument(
+        "--profile",
+        metavar="MANIFEST",
+        help="write a run manifest with verify counters here",
+    )
+    p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser("cache", help="manage the persistent artifact store")
     p.add_argument(

@@ -70,6 +70,58 @@ def validate_instances(
     return records
 
 
+@dataclass(frozen=True)
+class MinimalityRecord:
+    """Outcome of probing one instance one associativity step below.
+
+    The analytical algorithm claims each emitted ``A`` is *minimal*:
+    ``A - 1`` ways at the same depth must exceed the budget.  The
+    verification oracle checks that claim against the simulator.
+
+    Attributes:
+        instance: the ``(D, A)`` pair under test (``A >= 2``).
+        budget: the miss budget the instance was derived for.
+        misses_below: simulated non-cold misses at ``(D, A - 1)``.
+    """
+
+    instance: CacheInstance
+    budget: int
+    misses_below: int
+
+    @property
+    def minimal(self) -> bool:
+        """True when one step below genuinely fails the budget."""
+        return self.misses_below > self.budget
+
+
+def check_minimality(
+    trace: Trace, result: ExplorationResult
+) -> List[MinimalityRecord]:
+    """Simulate each instance at ``A - 1`` ways (skipping ``A == 1``).
+
+    Together with :func:`validate_instances` this is the full
+    simulator-backed instance check: exact misses, within budget, and
+    minimal associativity.
+    """
+    records: List[MinimalityRecord] = []
+    for instance in result.instances:
+        if instance.associativity < 2:
+            continue
+        below = CacheInstance(
+            depth=instance.depth,
+            associativity=instance.associativity - 1,
+        )
+        simulated = simulate_trace(trace, below.to_config())
+        records.append(
+            MinimalityRecord(
+                instance=instance,
+                budget=result.budget,
+                misses_below=simulated.non_cold_misses,
+            )
+        )
+    return records
+
+
 def assert_all_valid(records: List[ValidationRecord]) -> None:
     """Raise :class:`AssertionError` describing the first failing record."""
     for record in records:

@@ -24,8 +24,9 @@ Document layout (schema ``repro-run-manifest/1``)::
       "counters": {str: int},     # run-level totals
       "memory": {str: int},       # tracemalloc peak / peak RSS, if sampled
       "environment": {"python": str, "numpy": str | null,
-                      "platform": str}
-    }
+                      "platform": str},
+      "verify": {str: int}        # optional: verification counters
+    }                             # (repro verify --profile runs only)
 
 Validation enforces the structural schema *and* the timing invariant
 the whole layer exists for: at every tree node, children's durations
@@ -82,6 +83,8 @@ class RunManifest:
         counters: run-level counter totals.
         memory: memory samples (empty when sampling was off).
         environment: host fingerprint from :func:`environment_info`.
+        verify: verification counter totals (``repro verify`` runs
+            only; ``None`` — and omitted from the JSON — otherwise).
     """
 
     engine: str
@@ -93,6 +96,7 @@ class RunManifest:
     counters: Dict[str, int] = field(default_factory=dict)
     memory: Dict[str, int] = field(default_factory=dict)
     environment: Dict[str, object] = field(default_factory=environment_info)
+    verify: Optional[Dict[str, int]] = None
 
     @classmethod
     def from_recorder(
@@ -117,7 +121,7 @@ class RunManifest:
 
     def to_json_dict(self) -> Dict[str, object]:
         """The manifest as a plain JSON-serializable dict."""
-        return {
+        document: Dict[str, object] = {
             "schema": MANIFEST_SCHEMA,
             "engine": self.engine,
             "requested_engine": self.requested_engine,
@@ -129,6 +133,9 @@ class RunManifest:
             "memory": dict(self.memory),
             "environment": dict(self.environment),
         }
+        if self.verify is not None:
+            document["verify"] = dict(self.verify)
+        return document
 
     def to_json(self, indent: int = 2) -> str:
         """The manifest serialized as a JSON string."""
@@ -205,6 +212,15 @@ def validate_manifest(document: object) -> None:
             raise ValueError(f"environment.{key} must be a string")
     if not isinstance(environment.get("numpy"), (str, type(None))):
         raise ValueError("environment.numpy must be a string or null")
+    if "verify" in document:
+        verify = document["verify"]
+        if not isinstance(verify, dict) or any(
+            not isinstance(k, str)
+            or not isinstance(v, int)
+            or isinstance(v, bool)
+            for k, v in verify.items()
+        ):
+            raise ValueError("'verify' must map strings to ints")
     wall = document.get("wall_s")
     if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
         raise ValueError("wall_s must be a non-negative number")

@@ -1,0 +1,213 @@
+"""The failure corpus: persisted crash artifacts, replayed before fuzzing.
+
+Every oracle failure is saved as a *crash artifact* — the (shrunk) trace
+plus a JSON manifest naming what failed (grid cell, law, budgets) — in a
+flat directory keyed by the trace digest.  Future verification runs
+replay the corpus first, so a once-found bug is pinned forever with zero
+generator luck required.
+
+Layout::
+
+    <corpus>/<kind>-<digest12>/trace.trace   # text trace, one hex/line
+    <corpus>/<kind>-<digest12>/crash.json    # schema repro-verify-crash/1
+
+The corpus also ships built-in *regression entries* — the trickiest
+known boundary shapes (single reference, all-unique, ``N' == 1`` at a
+wide bit-width, budget 0) — which :func:`seed_regression_corpus`
+materializes as artifacts so even a fresh corpus directory replays them
+through the full grid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.trace.io import read_trace, write_trace
+from repro.trace.synthetic import sequential_trace
+from repro.trace.trace import Trace
+from repro.verify.generators import CorpusEntry
+
+#: Crash artifact manifest schema identifier.
+CRASH_SCHEMA = "repro-verify-crash/1"
+
+#: Environment variable selecting the default corpus directory.
+CORPUS_DIR_ENV = "REPRO_VERIFY_CORPUS"
+
+#: Default corpus directory (relative to the working directory).
+DEFAULT_CORPUS_DIR = ".repro-verify-corpus"
+
+
+def default_corpus_dir() -> str:
+    """The corpus directory: ``$REPRO_VERIFY_CORPUS`` or a local default."""
+    return os.environ.get(CORPUS_DIR_ENV) or DEFAULT_CORPUS_DIR
+
+
+@dataclass
+class CrashArtifact:
+    """One persisted failure: a reproducer trace plus its context.
+
+    Attributes:
+        kind: failure kind (``grid``/``simulator``/``minimality``/
+            ``invariant``/``regression``).
+        name: the corpus entry name that originally failed.
+        trace: the (shrunk) reproducer.
+        budgets: miss budgets the failure ran at.
+        cell: diverging grid cell label, when applicable.
+        law: violated invariant name, when applicable.
+        detail: human-readable failure description.
+        shrunk_from: original trace length before shrinking (None when
+            the artifact was never shrunk, e.g. regression seeds).
+        seed: the verification run's seed, for provenance.
+    """
+
+    kind: str
+    name: str
+    trace: Trace
+    budgets: Tuple[int, ...] = (0,)
+    cell: Optional[str] = None
+    law: Optional[str] = None
+    detail: str = ""
+    shrunk_from: Optional[int] = None
+    seed: Optional[int] = None
+    path: Optional[str] = field(default=None, compare=False)
+
+    def manifest_dict(self) -> dict:
+        return {
+            "schema": CRASH_SCHEMA,
+            "kind": self.kind,
+            "name": self.name,
+            "budgets": list(self.budgets),
+            "cell": self.cell,
+            "law": self.law,
+            "detail": self.detail,
+            "trace_len": len(self.trace),
+            "address_bits": self.trace.address_bits,
+            "shrunk_from": self.shrunk_from,
+            "seed": self.seed,
+        }
+
+    def as_entry(self) -> CorpusEntry:
+        """This artifact as a corpus entry the runner can replay."""
+        return CorpusEntry(
+            name=self.name,
+            trace=self.trace,
+            budgets=self.budgets,
+            origin="corpus",
+        )
+
+
+def _artifact_id(artifact: CrashArtifact) -> str:
+    from repro.store.keys import trace_digest
+
+    return f"{artifact.kind}-{trace_digest(artifact.trace)[:12]}"
+
+
+def save_crash(root: str, artifact: CrashArtifact) -> str:
+    """Persist one crash artifact; returns its directory.
+
+    Idempotent: the same (kind, trace) pair lands in the same directory,
+    so replayed failures never duplicate entries.
+    """
+    entry_dir = os.path.join(root, _artifact_id(artifact))
+    os.makedirs(entry_dir, exist_ok=True)
+    write_trace(artifact.trace, os.path.join(entry_dir, "trace.trace"))
+    with open(
+        os.path.join(entry_dir, "crash.json"), "w", encoding="utf-8"
+    ) as fh:
+        json.dump(artifact.manifest_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    artifact.path = entry_dir
+    return entry_dir
+
+
+def load_corpus(root: str) -> List[CrashArtifact]:
+    """Load every crash artifact under ``root`` (sorted, deterministic).
+
+    Unreadable entries are skipped rather than failing the whole replay:
+    a corrupt artifact must never mask the healthy rest of the corpus.
+    """
+    artifacts: List[CrashArtifact] = []
+    if not os.path.isdir(root):
+        return artifacts
+    for entry in sorted(os.listdir(root)):
+        entry_dir = os.path.join(root, entry)
+        manifest_path = os.path.join(entry_dir, "crash.json")
+        trace_path = os.path.join(entry_dir, "trace.trace")
+        if not (os.path.isfile(manifest_path) and os.path.isfile(trace_path)):
+            continue
+        try:
+            with open(manifest_path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            if manifest.get("schema") != CRASH_SCHEMA:
+                continue
+            trace = read_trace(trace_path)
+        except (OSError, ValueError, json.JSONDecodeError):
+            continue
+        trace = Trace(
+            trace,
+            address_bits=int(manifest.get("address_bits") or trace.address_bits),
+            name=str(manifest.get("name") or entry),
+        )
+        artifacts.append(
+            CrashArtifact(
+                kind=str(manifest.get("kind", "unknown")),
+                name=str(manifest.get("name", entry)),
+                trace=trace,
+                budgets=tuple(int(k) for k in manifest.get("budgets", (0,))),
+                cell=manifest.get("cell"),
+                law=manifest.get("law"),
+                detail=str(manifest.get("detail", "")),
+                shrunk_from=manifest.get("shrunk_from"),
+                seed=manifest.get("seed"),
+                path=entry_dir,
+            )
+        )
+    return artifacts
+
+
+def regression_entries() -> List[CorpusEntry]:
+    """The trickiest known edges, pinned as budget-0 regression inputs.
+
+    These shapes each broke (or nearly broke) a kernel during the fast
+    prelude and vectorized-postlude work: a single reference (empty
+    MRCT), an all-unique stream (no non-cold misses at all), one unique
+    address at a wide bit width (``N' == 1`` packed-matrix header), and
+    the two-address full-depth conflict at budget 0.
+    """
+    return [
+        CorpusEntry("reg-single-reference", Trace([0], name="reg-single-reference")),
+        CorpusEntry("reg-all-unique", sequential_trace(32)),
+        CorpusEntry(
+            "reg-n1-wide-bits",
+            Trace([1 << 15] * 6, address_bits=16, name="reg-n1-wide-bits"),
+        ),
+        CorpusEntry(
+            "reg-budget0-conflict",
+            Trace([0, 16, 0, 16, 0, 16], address_bits=5, name="reg-budget0-conflict"),
+        ),
+    ]
+
+
+def seed_regression_corpus(root: str, seed: Optional[int] = None) -> int:
+    """Write the built-in regression entries into a corpus directory.
+
+    Returns the number of artifacts written; idempotent.
+    """
+    count = 0
+    for entry in regression_entries():
+        save_crash(
+            root,
+            CrashArtifact(
+                kind="regression",
+                name=entry.name,
+                trace=entry.trace,
+                budgets=entry.budgets,
+                detail="built-in regression seed (known-tricky edge shape)",
+                seed=seed,
+            ),
+        )
+        count += 1
+    return count

@@ -1,0 +1,293 @@
+"""The differential oracle grid: every engine x prelude x store warmth.
+
+One corpus trace is run through every cell of the grid — each registered
+histogram engine, under each prelude builder mode, both cold (no
+artifact store) and warm (against a pre-populated store, so the codec
+round-trip and the histogram short-circuit are on the tested path).  All
+cells must produce *bit-identical* exploration results; the reference
+cell (``serial`` engine, ``python`` prelude, cold) is additionally
+checked against the cache simulator: every emitted ``(D, A)`` instance
+must achieve exactly its predicted non-cold miss count, stay within the
+budget, and be minimal (one associativity step below must exceed the
+budget) — the paper's exactness claim, miss for miss.
+
+A ``tamper`` hook lets the test suite corrupt a chosen cell's output to
+prove the oracle catches (and the shrinker minimizes) an injected fault.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core import engines as _engines
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.instance import ExplorationResult
+from repro.core.validation import check_minimality, validate_instances
+from repro.trace.trace import Trace
+
+#: Every other cell is compared bit-for-bit against this one.
+REFERENCE_CELL: "GridCell"
+
+#: Tamper hook signature: receives the cell and the result it produced,
+#: returns the (possibly corrupted) result to feed the comparison.
+Tamper = Callable[["GridCell", ExplorationResult], ExplorationResult]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One oracle configuration: engine x prelude mode x store warmth."""
+
+    engine: str
+    prelude: str
+    warmth: str  # "cold" | "warm"
+
+    def label(self) -> str:
+        return f"{self.engine}/{self.prelude}/{self.warmth}"
+
+
+REFERENCE_CELL = GridCell("serial", "python", "cold")
+
+
+def grid_cells(
+    engines: Optional[Sequence[str]] = None,
+    preludes: Optional[Sequence[str]] = None,
+    include_warm: bool = True,
+) -> Tuple[GridCell, ...]:
+    """Enumerate the oracle grid, reference cell first.
+
+    Defaults to every registered engine and every prelude mode; the
+    reference cell is always present even when a subset is requested,
+    because every comparison is against it.
+    """
+    engine_list = tuple(
+        _engines.canonical_name(e)
+        for e in (engines or _engines.engine_names(include_auto=False))
+    )
+    prelude_list = tuple(preludes or _engines.PRELUDE_MODES)
+    for prelude in prelude_list:
+        if prelude not in _engines.PRELUDE_MODES:
+            raise ValueError(
+                f"unknown prelude mode {prelude!r}; "
+                f"expected one of {_engines.PRELUDE_MODES}"
+            )
+    warmths = ("cold", "warm") if include_warm else ("cold",)
+    cells: List[GridCell] = [REFERENCE_CELL]
+    for warmth in warmths:
+        for engine in engine_list:
+            for prelude in prelude_list:
+                cell = GridCell(engine, prelude, warmth)
+                if cell != REFERENCE_CELL:
+                    cells.append(cell)
+    return tuple(cells)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One oracle failure.
+
+    Attributes:
+        kind: ``"grid"`` (cells disagree), ``"simulator"`` (analytical
+            prediction != simulated misses or budget exceeded) or
+            ``"minimality"`` (one associativity step below still meets
+            the budget — the emitted A was not minimal).
+        cell: label of the diverging cell (grid failures only).
+        budget: the miss budget the failing exploration ran at.
+        detail: human-readable description of the mismatch.
+    """
+
+    kind: str
+    detail: str
+    cell: Optional[str] = None
+    budget: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "cell": self.cell,
+            "budget": self.budget,
+        }
+
+
+@dataclass
+class GridOutcome:
+    """Everything one trace's pass through the oracle grid produced."""
+
+    trace_name: str
+    budgets: Tuple[int, ...]
+    cells_run: int
+    divergences: List[Divergence] = field(default_factory=list)
+    reference: Tuple[ExplorationResult, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def result_signature(
+    results: Sequence[ExplorationResult],
+) -> Tuple[Tuple[int, Tuple[Tuple[int, int, int], ...]], ...]:
+    """Canonical, comparable form of a per-budget result sequence."""
+    return tuple(
+        (
+            result.budget,
+            tuple(
+                (inst.depth, inst.associativity, misses)
+                for inst, misses in zip(result.instances, result.misses)
+            ),
+        )
+        for result in results
+    )
+
+
+def _run_cell(
+    trace: Trace,
+    budgets: Sequence[int],
+    cell: GridCell,
+    store,
+    processes: int,
+    tamper: Optional[Tamper],
+) -> List[ExplorationResult]:
+    explorer = AnalyticalCacheExplorer(
+        trace,
+        engine=cell.engine,
+        prelude=cell.prelude,
+        processes=processes,
+        store=store,
+    )
+    results = []
+    for budget in budgets:
+        result = explorer.explore(budget)
+        if tamper is not None:
+            result = tamper(cell, result)
+        results.append(result)
+    return results
+
+
+def _simulator_divergences(
+    trace: Trace, results: Sequence[ExplorationResult]
+) -> List[Divergence]:
+    """Check the reference results against the cache simulator."""
+    divergences: List[Divergence] = []
+    for result in results:
+        for record in validate_instances(trace, result):
+            if not record.exact:
+                divergences.append(
+                    Divergence(
+                        kind="simulator",
+                        budget=result.budget,
+                        detail=(
+                            f"{record.instance}: predicted "
+                            f"{record.predicted_misses} non-cold misses, "
+                            f"simulated {record.simulated.non_cold_misses}"
+                        ),
+                    )
+                )
+            elif not record.within_budget:
+                divergences.append(
+                    Divergence(
+                        kind="simulator",
+                        budget=result.budget,
+                        detail=(
+                            f"{record.instance}: simulated "
+                            f"{record.simulated.non_cold_misses} non-cold "
+                            f"misses exceeds budget {result.budget}"
+                        ),
+                    )
+                )
+        for record in check_minimality(trace, result):
+            if not record.minimal:
+                divergences.append(
+                    Divergence(
+                        kind="minimality",
+                        budget=result.budget,
+                        detail=(
+                            f"{record.instance}: A-1="
+                            f"{record.instance.associativity - 1} still "
+                            f"meets the budget (simulated "
+                            f"{record.misses_below} <= {record.budget})"
+                        ),
+                    )
+                )
+    return divergences
+
+
+def run_grid(
+    trace: Trace,
+    budgets: Sequence[int],
+    cells: Optional[Sequence[GridCell]] = None,
+    processes: int = 2,
+    tamper: Optional[Tamper] = None,
+    simulate: bool = True,
+    recorder=None,
+) -> GridOutcome:
+    """Run one trace through the oracle grid.
+
+    Args:
+        trace: the trace under test.
+        budgets: absolute miss budgets to explore in every cell.
+        cells: grid cells (default: the full grid); the reference cell
+            is run first and must be present (``grid_cells`` guarantees
+            it).
+        processes: worker count for the ``parallel`` engine's cells.
+        tamper: optional fault-injection hook (tests only).
+        simulate: also cross-check the reference results against the
+            cache simulator (exactness + budget + minimality).
+        recorder: optional :class:`repro.obs.Recorder`; cell counts land
+            in its counters.
+    """
+    cell_list = tuple(cells) if cells is not None else grid_cells()
+    if not cell_list or cell_list[0] != REFERENCE_CELL:
+        cell_list = (REFERENCE_CELL,) + tuple(
+            c for c in cell_list if c != REFERENCE_CELL
+        )
+    outcome = GridOutcome(
+        trace_name=trace.name, budgets=tuple(budgets), cells_run=0
+    )
+    reference_signature = None
+    with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+        store = None
+        if any(cell.warmth == "warm" for cell in cell_list):
+            from repro.store import ArtifactStore
+
+            store = ArtifactStore(tmp)
+            # Pre-populate so every warm cell genuinely warm-starts: the
+            # priming run is reference-configured and not a grid cell.
+            _run_cell(
+                trace, budgets, REFERENCE_CELL, store, processes, tamper=None
+            )
+        for cell in cell_list:
+            cell_store = store if cell.warmth == "warm" else None
+            results = _run_cell(
+                trace, budgets, cell, cell_store, processes, tamper
+            )
+            outcome.cells_run += 1
+            signature = result_signature(results)
+            if cell == REFERENCE_CELL:
+                reference_signature = signature
+                outcome.reference = tuple(results)
+                continue
+            if signature != reference_signature:
+                outcome.divergences.append(
+                    Divergence(
+                        kind="grid",
+                        cell=cell.label(),
+                        detail=(
+                            f"cell {cell.label()} disagrees with "
+                            f"{REFERENCE_CELL.label()}: {signature!r} != "
+                            f"{reference_signature!r}"
+                        ),
+                    )
+                )
+    if simulate and outcome.reference:
+        outcome.divergences.extend(
+            _simulator_divergences(trace, outcome.reference)
+        )
+    if recorder is not None:
+        recorder.count("verify_cells", outcome.cells_run)
+        recorder.count("verify_budgets", len(outcome.budgets))
+        if outcome.divergences:
+            recorder.count("verify_divergences", len(outcome.divergences))
+    return outcome

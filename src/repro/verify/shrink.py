@@ -1,0 +1,128 @@
+"""Trace shrinking: reduce a failing trace to a minimal reproducer.
+
+Classic delta debugging (ddmin) over the reference sequence — try
+dropping large chunks first, halving the chunk size as removals stop
+helping — followed by an address-canonicalization pass that renames the
+surviving addresses to the densest possible set (first-occurrence rank),
+which both shrinks the address width and makes reproducers comparable
+across runs.
+
+The predicate receives a candidate :class:`Trace` and returns True when
+the candidate *still fails* (still diverges, still violates the law).
+Shrinking is deterministic and budget-capped: it stops after
+``max_checks`` predicate evaluations or when ``deadline`` (a
+``time.monotonic`` instant) passes, returning the best trace found so
+far — a shrink that runs out of budget still returns a valid (possibly
+non-minimal) reproducer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.trace.trace import Trace
+
+Predicate = Callable[[Trace], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run.
+
+    Attributes:
+        trace: the smallest still-failing trace found.
+        checks: predicate evaluations spent.
+        exhausted: True when the budget (checks or deadline) ran out
+            before reaching a local minimum.
+    """
+
+    trace: Trace
+    checks: int
+    exhausted: bool = False
+
+
+class _Budget:
+    def __init__(self, max_checks: int, deadline: Optional[float]) -> None:
+        self.max_checks = max_checks
+        self.deadline = deadline
+        self.checks = 0
+
+    def spent(self) -> bool:
+        return self.checks >= self.max_checks or (
+            self.deadline is not None and time.monotonic() >= self.deadline
+        )
+
+
+def _rebuild(addresses: List[int], name: str) -> Trace:
+    """A candidate trace; the width re-derives from the addresses left."""
+    return Trace(addresses, name=name)
+
+
+def _canonicalize(addresses: List[int]) -> List[int]:
+    """Rename addresses to their first-occurrence rank (0, 1, 2, ...)."""
+    rank = {}
+    out = []
+    for addr in addresses:
+        if addr not in rank:
+            rank[addr] = len(rank)
+        out.append(rank[addr])
+    return out
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Predicate,
+    max_checks: int = 400,
+    deadline: Optional[float] = None,
+    name: Optional[str] = None,
+) -> ShrinkResult:
+    """Minimize ``trace`` while ``predicate`` keeps failing.
+
+    The input trace is assumed to fail (the caller observed the failure);
+    the result is guaranteed to fail too — every accepted reduction was
+    re-checked through the predicate.
+    """
+    label = name if name is not None else (trace.name or "shrunk")
+    budget = _Budget(max_checks, deadline)
+    current = list(trace)
+
+    def still_fails(candidate: List[int]) -> bool:
+        if not candidate:
+            return False
+        budget.checks += 1
+        return predicate(_rebuild(candidate, label))
+
+    # ddmin: drop chunks, from halves down to single references.
+    chunks = 2
+    while len(current) > 1 and not budget.spent():
+        size = max(1, len(current) // chunks)
+        reduced = False
+        start = 0
+        while start < len(current) and not budget.spent():
+            candidate = current[:start] + current[start + size:]
+            if candidate and still_fails(candidate):
+                current = candidate
+                reduced = True
+                # Same start now addresses the next chunk.
+            else:
+                start += size
+        if reduced:
+            chunks = max(2, chunks - 1)
+        elif size == 1:
+            break  # single-reference granularity, nothing removable
+        else:
+            chunks = min(len(current), chunks * 2)
+
+    # Canonicalize the surviving addresses if the failure survives it.
+    canonical = _canonicalize(current)
+    if canonical != current and not budget.spent():
+        if still_fails(canonical):
+            current = canonical
+
+    return ShrinkResult(
+        trace=_rebuild(current, label),
+        checks=budget.checks,
+        exhausted=budget.spent() and len(current) > 1,
+    )

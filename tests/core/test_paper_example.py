@@ -8,6 +8,7 @@ exactly.  Identifiers here are 0-based; the paper's are 1-based.
 
 import pytest
 
+from repro.core import engines as _engines
 from repro.core.bcat import build_bcat
 from repro.core.explorer import AnalyticalCacheExplorer
 from repro.core.mrct import build_mrct, mrct_as_display_table
@@ -86,15 +87,43 @@ class TestFigure3BCAT:
         assert build_bcat(zerosets).depth == 4
 
 
-class TestSection23Postlude:
-    def test_depth_two_needs_three_ways_for_zero_misses(self, paper_trace):
-        # "A = max(|{2,3,5}|, |{1,4}|) = 3" for an ideal depth-2 cache.
-        result = AnalyticalCacheExplorer(paper_trace).explore(0)
-        assert result.as_dict()[2] == 3
+#: Every registered engine x every prelude mode: the paper's worked
+#: example must come out identical from all of them (it is also the
+#: first corpus entry of the verification oracle grid — see
+#: tests/verify/test_generators.py).
+ENGINE_GRID = [
+    (engine, prelude)
+    for engine in _engines.engine_names()
+    for prelude in _engines.PRELUDE_MODES
+]
 
-    def test_zero_miss_associativities_per_depth(self, paper_trace):
-        result = AnalyticalCacheExplorer(paper_trace).explore(0)
-        assert result.as_dict() == {2: 3, 4: 2, 8: 2, 16: 1}
+
+@pytest.fixture(
+    params=ENGINE_GRID, ids=[f"{e}-{p}" for e, p in ENGINE_GRID]
+)
+def engine_prelude(request):
+    return request.param
+
+
+class TestSection23Postlude:
+    def test_depth_two_needs_three_ways_for_zero_misses(
+        self, paper_trace, engine_prelude
+    ):
+        # "A = max(|{2,3,5}|, |{1,4}|) = 3" for an ideal depth-2 cache.
+        engine, prelude = engine_prelude
+        explorer = AnalyticalCacheExplorer(
+            paper_trace, engine=engine, prelude=prelude
+        )
+        assert explorer.explore(0).as_dict()[2] == 3
+
+    def test_zero_miss_associativities_per_depth(
+        self, paper_trace, engine_prelude
+    ):
+        engine, prelude = engine_prelude
+        explorer = AnalyticalCacheExplorer(
+            paper_trace, engine=engine, prelude=prelude
+        )
+        assert explorer.explore(0).as_dict() == {2: 3, 4: 2, 8: 2, 16: 1}
 
     def test_worked_miss_count_example(self, zerosets, mrct):
         """Section 2.3 counts 2 misses for S={1,4} (paper ids) at A=1.
@@ -111,11 +140,16 @@ class TestSection23Postlude:
         assert misses_at_node(members, mrct, associativity=1) == 3
         assert misses_at_node(members, mrct, associativity=2) == 0
 
-    def test_algorithm3_matches_streaming_explorer(self, paper_trace, zerosets, mrct):
+    def test_algorithm3_matches_streaming_explorer(
+        self, paper_trace, zerosets, mrct, engine_prelude
+    ):
+        engine, prelude = engine_prelude
         bcat = build_bcat(zerosets)
         for budget in (0, 1, 2, 3, 5):
             literal = optimal_pairs_algorithm3(bcat, mrct, budget)
-            streaming = AnalyticalCacheExplorer(paper_trace).explore(budget)
+            streaming = AnalyticalCacheExplorer(
+                paper_trace, engine=engine, prelude=prelude
+            ).explore(budget)
             literal_map = {i.depth: i.associativity for i in literal}
             for inst in streaming:
                 if inst.depth in literal_map:

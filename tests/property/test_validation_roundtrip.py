@@ -1,0 +1,74 @@
+"""Property test: the simulator-backed validation layer round-trips.
+
+For every explored instance, the analytically minimal associativity must
+equal the simulator-derived minimal one: simulation at ``(D, A)`` meets
+the budget with exactly the predicted miss count, and simulation one way
+below (``A - 1``) fails it.  This is the contract the verification
+oracle's instance check (:func:`repro.core.validation.validate_instances`
+plus :func:`repro.core.validation.check_minimality`) is built on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.validation import check_minimality, validate_instances
+from repro.trace.trace import Trace
+
+traces = st.builds(
+    Trace,
+    st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=100),
+    address_bits=st.just(6),
+)
+
+
+@given(trace=traces, budget=st.integers(0, 20))
+@settings(max_examples=100, deadline=None)
+def test_validate_instances_round_trips(trace, budget):
+    """Predicted misses == simulated misses, within budget, every instance."""
+    result = AnalyticalCacheExplorer(trace).explore(budget)
+    records = validate_instances(trace, result)
+    assert len(records) == len(result.instances)
+    for record in records:
+        assert record.exact, (
+            f"{record.instance}: predicted {record.predicted_misses}, "
+            f"simulated {record.simulated.non_cold_misses}"
+        )
+        assert record.within_budget
+        assert record.ok
+
+
+@given(trace=traces, budget=st.integers(0, 20))
+@settings(max_examples=100, deadline=None)
+def test_minimality_round_trips(trace, budget):
+    """One associativity step below every emitted A fails the budget."""
+    result = AnalyticalCacheExplorer(trace).explore(budget)
+    records = check_minimality(trace, result)
+    probed = {r.instance for r in records}
+    for inst in result.instances:
+        if inst.associativity >= 2:
+            assert inst in probed
+    for record in records:
+        assert record.minimal, (
+            f"{record.instance}: A-1 simulates to {record.misses_below} "
+            f"misses, within budget {record.budget} — emitted A not minimal"
+        )
+
+
+@given(trace=traces, budget=st.integers(0, 20))
+@settings(max_examples=50, deadline=None)
+def test_analytical_minimum_equals_simulated_minimum(trace, budget):
+    """The two minima coincide: argmin_A(sim misses <= K) == emitted A."""
+    from repro.cache.config import CacheConfig
+    from repro.cache.simulator import simulate_trace
+
+    result = AnalyticalCacheExplorer(trace).explore(budget)
+    for inst in result.instances:
+        sim_min = None
+        for assoc in range(1, inst.associativity + 1):
+            misses = simulate_trace(
+                trace, CacheConfig(depth=inst.depth, associativity=assoc)
+            ).non_cold_misses
+            if misses <= budget:
+                sim_min = assoc
+                break
+        assert sim_min == inst.associativity

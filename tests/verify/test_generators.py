@@ -1,0 +1,86 @@
+"""The verification corpus: deterministic, paper-first, well-formed."""
+
+import itertools
+
+from repro.verify.generators import (
+    PAPER_TRACE_BITS,
+    anchor_entries,
+    corpus_stream,
+    default_budgets,
+    paper_trace,
+)
+
+from tests.conftest import PAPER_TRACE_BITS as CONFTEST_BITS
+
+
+class TestPaperAnchor:
+    def test_paper_example_is_corpus_entry_zero(self):
+        first = next(corpus_stream(seed=0))
+        assert first.name == "paper-table-1"
+        assert list(first.trace) == list(paper_trace())
+        assert 0 in first.budgets
+
+    def test_paper_trace_bits_match_test_fixture(self):
+        # The corpus and the test suite must agree on the paper's trace.
+        assert list(PAPER_TRACE_BITS) == list(CONFTEST_BITS)
+
+
+class TestAnchors:
+    def test_anchor_battery_covers_boundary_shapes(self):
+        names = [entry.name for entry in anchor_entries()]
+        for required in (
+            "paper-table-1",
+            "single-reference",
+            "single-unique-n1",
+            "all-unique",
+            "stride-pow2",
+            "bit-reversal",
+        ):
+            assert required in names
+        assert len(names) == len(set(names))
+
+    def test_every_anchor_is_well_formed(self):
+        for entry in anchor_entries():
+            assert len(entry.trace) >= 1
+            assert entry.trace.address_bits >= 1
+            assert entry.origin == "anchor"
+            assert entry.budgets == tuple(sorted(set(entry.budgets)))
+            assert 0 in entry.budgets
+
+
+class TestFuzzTail:
+    def test_stream_is_deterministic_in_the_seed(self):
+        a = list(itertools.islice(corpus_stream(seed=7), 30))
+        b = list(itertools.islice(corpus_stream(seed=7), 30))
+        assert [e.name for e in a] == [e.name for e in b]
+        for ea, eb in zip(a, b):
+            assert list(ea.trace) == list(eb.trace)
+            assert ea.budgets == eb.budgets
+
+    def test_different_seeds_differ_in_the_fuzz_tail(self):
+        anchors = len(anchor_entries())
+        a = list(itertools.islice(corpus_stream(seed=1), anchors + 12))
+        b = list(itertools.islice(corpus_stream(seed=2), anchors + 12))
+        assert any(
+            list(ea.trace) != list(eb.trace)
+            for ea, eb in zip(a[anchors:], b[anchors:])
+        )
+
+    def test_at_least_25_entries_are_available(self):
+        entries = list(itertools.islice(corpus_stream(seed=0), 25))
+        assert len(entries) == 25
+        for entry in entries:
+            assert len(entry.trace) >= 1
+            assert entry.origin in ("anchor", "fuzz")
+
+
+class TestBudgets:
+    def test_budgets_always_include_zero_and_are_sorted(self):
+        for entry in itertools.islice(corpus_stream(seed=0), 20):
+            assert entry.budgets[0] == 0
+            assert list(entry.budgets) == sorted(set(entry.budgets))
+
+    def test_default_budgets_scale_with_the_trace(self):
+        budgets = default_budgets(paper_trace())
+        assert budgets[0] == 0
+        assert all(k >= 0 for k in budgets)

@@ -1,0 +1,106 @@
+"""The differential oracle grid: agreement, and fault detection."""
+
+import pytest
+
+from repro.core.instance import CacheInstance, ExplorationResult
+from repro.verify.oracle import (
+    REFERENCE_CELL,
+    GridCell,
+    grid_cells,
+    result_signature,
+    run_grid,
+)
+
+
+def _bump_last_assoc(result):
+    """A corrupted copy of ``result``: last instance gets one extra way."""
+    instances = list(result.instances)
+    last = instances[-1]
+    instances[-1] = CacheInstance(
+        depth=last.depth, associativity=last.associativity + 1
+    )
+    return ExplorationResult(
+        budget=result.budget,
+        instances=instances,
+        misses=list(result.misses),
+        trace_name=result.trace_name,
+    )
+
+
+class TestGridEnumeration:
+    def test_reference_cell_is_always_first(self):
+        cells = grid_cells()
+        assert cells[0] == REFERENCE_CELL
+        assert len(cells) == len(set(cells))
+
+    def test_subset_still_contains_the_reference(self):
+        cells = grid_cells(engines=("vectorized",), preludes=("fast",))
+        assert cells[0] == REFERENCE_CELL
+        assert GridCell("vectorized", "fast", "cold") in cells
+
+    def test_cold_only_grid_has_no_warm_cells(self):
+        cells = grid_cells(include_warm=False)
+        assert all(cell.warmth == "cold" for cell in cells)
+
+    def test_unknown_prelude_is_rejected(self):
+        with pytest.raises(ValueError):
+            grid_cells(preludes=("turbo",))
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ValueError):
+            grid_cells(engines=("quantum",))
+
+
+class TestGridAgreement:
+    def test_paper_trace_full_grid_zero_divergences(self, paper_trace):
+        outcome = run_grid(paper_trace, budgets=(0, 2), simulate=True)
+        assert outcome.ok, [d.as_dict() for d in outcome.divergences]
+        assert outcome.cells_run == len(grid_cells())
+        assert outcome.reference  # reference results are exported
+
+    def test_signatures_are_order_sensitive_and_exact(self, paper_trace):
+        outcome = run_grid(
+            paper_trace, budgets=(0,), cells=(REFERENCE_CELL,), simulate=False
+        )
+        signature = result_signature(outcome.reference)
+        assert signature[0][0] == 0
+        assert (2, 3, 0) in signature[0][1]  # depth 2 needs 3 ways, 0 misses
+
+
+class TestFaultDetection:
+    def test_tampered_cell_is_caught_as_grid_divergence(self, paper_trace):
+        target = GridCell("vectorized", "fast", "cold")
+
+        def tamper(cell, result):
+            if cell == target:
+                return _bump_last_assoc(result)
+            return result
+
+        outcome = run_grid(
+            paper_trace,
+            budgets=(0,),
+            cells=(REFERENCE_CELL, target),
+            tamper=tamper,
+            simulate=False,
+        )
+        assert not outcome.ok
+        assert [d.kind for d in outcome.divergences] == ["grid"]
+        assert outcome.divergences[0].cell == target.label()
+
+    def test_tampered_reference_is_caught_by_the_simulator(self, paper_trace):
+        def tamper(cell, result):
+            if cell == REFERENCE_CELL:
+                return _bump_last_assoc(result)
+            return result
+
+        outcome = run_grid(
+            paper_trace,
+            budgets=(0,),
+            cells=(REFERENCE_CELL,),
+            tamper=tamper,
+            simulate=True,
+        )
+        # The corrupted A is over-provisioned: minimality flags it even
+        # though it still meets the budget.
+        assert not outcome.ok
+        assert any(d.kind == "minimality" for d in outcome.divergences)

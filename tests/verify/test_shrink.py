@@ -1,0 +1,77 @@
+"""Delta-debugging trace shrinking: minimal, deterministic, budgeted."""
+
+from repro.trace.trace import Trace
+from repro.verify.shrink import shrink_trace
+
+
+def _trace(addresses):
+    return Trace(list(addresses), name="shrink-input")
+
+
+class TestDdmin:
+    def test_single_culprit_shrinks_to_one_reference(self):
+        trace = _trace([1, 4, 2, 7, 3, 6, 5, 0, 2, 4])
+        result = shrink_trace(trace, lambda t: 7 in list(t))
+        assert list(result.trace) == [7]
+        assert not result.exhausted
+
+    def test_ordered_pair_shrinks_to_two_references(self):
+        def predicate(t):
+            addrs = list(t)
+            return 3 in addrs and 9 in addrs and addrs.index(3) < addrs.index(9)
+
+        trace = _trace([5, 3, 1, 1, 8, 9, 2, 3, 9, 4])
+        result = shrink_trace(trace, predicate)
+        assert len(result.trace) == 2
+        assert list(result.trace) == [3, 9]
+
+    def test_result_still_fails_the_predicate(self):
+        predicate = lambda t: len(t) >= 4  # noqa: E731
+        result = shrink_trace(_trace(range(40)), predicate)
+        assert predicate(result.trace)
+        assert len(result.trace) == 4
+
+    def test_shrinking_is_deterministic(self):
+        predicate = lambda t: sum(list(t)) >= 10  # noqa: E731
+        trace = _trace([9, 1, 3, 3, 3, 1, 9])
+        a = shrink_trace(trace, predicate)
+        b = shrink_trace(trace, predicate)
+        assert list(a.trace) == list(b.trace)
+        assert a.checks == b.checks
+
+
+class TestCanonicalization:
+    def test_surviving_addresses_are_renamed_densely(self):
+        # Any 4 references fail, so the shrunk addresses canonicalize
+        # to first-occurrence ranks (all < 4).
+        result = shrink_trace(
+            _trace([100, 200, 300, 400, 500, 600]), lambda t: len(t) >= 4
+        )
+        assert len(result.trace) == 4
+        assert all(addr < 4 for addr in result.trace)
+
+    def test_canonicalization_is_skipped_when_it_breaks_the_failure(self):
+        # The failure depends on the literal address 7: renaming would
+        # lose it, so the shrinker must keep the original labels.
+        result = shrink_trace(_trace([2, 7, 5]), lambda t: 7 in list(t))
+        assert list(result.trace) == [7]
+
+
+class TestBudgets:
+    def test_max_checks_is_respected(self):
+        calls = []
+
+        def predicate(t):
+            calls.append(len(t))
+            return True
+
+        result = shrink_trace(_trace(range(64)), predicate, max_checks=5)
+        assert result.checks <= 6  # the in-flight check may finish
+        assert len(calls) == result.checks
+
+    def test_exhausted_flags_an_unfinished_shrink(self):
+        result = shrink_trace(
+            _trace(range(64)), lambda t: len(t) >= 60, max_checks=2
+        )
+        assert result.exhausted
+        assert len(result.trace) >= 60  # still a valid reproducer
