@@ -21,6 +21,9 @@ evaluation depends on:
   (warm-starts repeated explorations of the same trace)
 * :mod:`repro.verify`    — differential verification: corpus-driven
   fuzzing oracle, metamorphic invariants, trace shrinking, failure corpus
+* :mod:`repro.serve`     — the exploration daemon: async HTTP/JSON
+  service with in-flight dedup, a worker pool, and live /metrics
+  (kept out of the top-level namespace; ``from repro.serve import ...``)
 
 Quickstart::
 
@@ -48,7 +51,7 @@ from repro.store import ArtifactStore, StoreStats, default_cache_dir, trace_dige
 from repro.trace import Trace, compute_statistics, read_trace, write_trace
 from repro.verify import VerifyConfig, VerifyReport, run_verify
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalyticalCacheExplorer",

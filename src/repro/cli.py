@@ -26,6 +26,8 @@ Subcommands::
     repro disasm NAME                      disassemble a workload kernel
     repro report TRACE [-o report.md]      full markdown design report
     repro paper-example                    the paper's running example
+    repro serve [--port P] [--workers W]   exploration daemon (HTTP/JSON)
+    repro submit TRACE --budget K          send a request to the daemon
 """
 
 from __future__ import annotations
@@ -753,6 +755,139 @@ def _cmd_paper_example(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ExploreServer, WorkerPool
+
+    store = _resolve_store(args)
+    store_root = str(store.root) if store is not None else None
+    pool = WorkerPool(
+        workers=args.workers, kind=args.pool, store_root=store_root
+    )
+    server = ExploreServer(pool, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        print(
+            f"repro serve: listening on http://{server.host}:{server.port} "
+            f"({args.pool} pool, {args.workers} workers, "
+            f"store: {store_root or 'off'})",
+            file=sys.stderr,
+            flush=True,
+        )
+        serving = asyncio.ensure_future(server.serve_forever())
+        await stop.wait()
+        print("repro serve: draining...", file=sys.stderr, flush=True)
+        await server.shutdown(drain=True, timeout=args.drain_timeout)
+        serving.cancel()
+        await asyncio.gather(serving, return_exceptions=True)
+
+    asyncio.run(run())
+    if args.manifest_out:
+        from repro.obs import RunManifest
+
+        manifest = RunManifest.from_recorder(
+            server.recorder,
+            engine="serve",
+            requested_engine="serve",
+            options={
+                "pool": args.pool,
+                "workers": args.workers,
+                "host": args.host,
+                "port": args.port,
+            },
+            trace={"name": "serve", "n": 0, "n_unique": None, "address_bits": 0},
+        )
+        manifest.serve = server.counters()
+        with open(args.manifest_out, "w", encoding="utf-8") as fh:
+            fh.write(manifest.to_json())
+            fh.write("\n")
+        print(f"wrote serve manifest to {args.manifest_out}", file=sys.stderr)
+    print("repro serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.request import ExplorationRequest
+    from repro.serve import ServeClient, ServeError
+
+    traces = tuple(read_trace(path) for path in args.traces)
+    request = ExplorationRequest(
+        traces=traces,
+        mode=args.mode,
+        budgets=tuple(args.budget) if args.budget else (),
+        percents=tuple(args.percent) if args.percent else (),
+        engine=args.engine,
+        prelude=args.prelude,
+    )
+    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    try:
+        report = client.explore(request)
+    except ServeError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json_dict(), indent=2))
+        return 0
+    print(
+        f"mode {report.mode} via {args.host}:{args.port} "
+        f"(engine: {report.engine})"
+    )
+    for result in report.results:
+        rows = [
+            [inst.depth, inst.associativity, inst.size_words, misses]
+            for inst, misses in zip(result.instances, result.misses)
+        ]
+        print(
+            format_table(
+                ["Depth D", "Assoc A", "Size (words)", "Misses"],
+                rows,
+                title=f"optimal instances at K={result.budget}",
+            )
+        )
+    for multi in report.multi_results:
+        rows = [
+            [inst.depth, inst.associativity, inst.size_words]
+            for inst in multi.instances
+        ]
+        print(
+            format_table(
+                ["Depth D", "Assoc A", "Size (words)"],
+                rows,
+                title=f"set instances at K={multi.budget}",
+            )
+        )
+    for sweep in report.line_sweeps:
+        rows = [
+            [
+                point.line_words,
+                point.instance.depth,
+                point.instance.associativity,
+                point.non_cold_misses,
+            ]
+            for point in sweep.instances
+        ]
+        print(
+            format_table(
+                ["Line", "Depth", "Assoc", "Misses"],
+                rows,
+                title=f"line-size sweep at K={sweep.budget}",
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser.
 
@@ -1100,6 +1235,92 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("paper-example", help="the paper's running example")
     p.set_defaults(func=_cmd_paper_example)
+
+    from repro.serve.pool import POOL_KINDS as _pool_kinds
+    from repro.serve.server import DEFAULT_HOST as _serve_host
+    from repro.serve.server import DEFAULT_PORT as _serve_port
+
+    p = sub.add_parser(
+        "serve",
+        help="exploration daemon: HTTP/JSON with in-flight dedup, a "
+        "worker pool, and /metrics",
+    )
+    p.add_argument("--host", default=_serve_host, help="bind address")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=_serve_port,
+        help=f"bind port (default: {_serve_port}; 0 picks a free port)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2, help="concurrent pool executions"
+    )
+    p.add_argument(
+        "--pool",
+        default="process",
+        choices=list(_pool_kinds),
+        help="worker pool backend (default: process)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cap on draining in-flight requests at shutdown (default: wait)",
+    )
+    p.add_argument(
+        "--manifest-out",
+        metavar="MANIFEST",
+        help="write a run manifest with serve counters on shutdown",
+    )
+    _add_cache_flags(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="send an exploration request to a running daemon"
+    )
+    p.add_argument("traces", nargs="+", help="trace files")
+    p.add_argument(
+        "--mode",
+        default="single",
+        choices=["single", "sum", "each", "linesize"],
+        help="exploration mode (default: single)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        action="append",
+        help="absolute miss budget K (repeatable)",
+    )
+    p.add_argument(
+        "--percent",
+        type=float,
+        action="append",
+        help="K as percent of max misses (repeatable; single mode only)",
+    )
+    p.add_argument(
+        "--engine",
+        default=_engines.AUTO_ENGINE,
+        choices=sorted(set(_engines.engine_names()) | set(_engines.ALIASES)),
+        help="histogram engine (default: auto)",
+    )
+    p.add_argument(
+        "--prelude",
+        default="auto",
+        choices=list(_engines.PRELUDE_MODES),
+        help="prelude builder (default: auto)",
+    )
+    p.add_argument("--host", default=_serve_host, help="daemon address")
+    p.add_argument(
+        "--port", type=int, default=_serve_port, help="daemon port"
+    )
+    p.add_argument(
+        "--timeout", type=float, default=600.0, help="socket timeout seconds"
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p.set_defaults(func=_cmd_submit)
 
     return parser
 

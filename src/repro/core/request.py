@@ -250,7 +250,14 @@ class ExplorationReport:
         return None
 
     def to_json_dict(self) -> Dict:
-        """JSON-serializable summary of the whole report."""
+        """JSON-serializable summary of the whole report.
+
+        Lossless: :meth:`from_json_dict` rebuilds an equal report, so
+        the serve layer can ship reports over the wire.  The
+        ``instances_list`` / per-sweep ``instances`` fields exist for
+        that round-trip (the older map-shaped ``instances`` stays for
+        human consumers and older readers).
+        """
         payload: Dict[str, object] = {
             "mode": self.mode,
             "engine": self.engine,
@@ -266,6 +273,10 @@ class ExplorationReport:
                     "instances": {
                         str(depth): assoc for depth, assoc in r.as_dict().items()
                     },
+                    "instances_list": [
+                        {"depth": inst.depth, "associativity": inst.associativity}
+                        for inst in r.instances
+                    ],
                     "misses_by_trace": {
                         name: list(misses)
                         for name, misses in r.misses_by_trace.items()
@@ -277,16 +288,100 @@ class ExplorationReport:
             payload["line_sweeps"] = [
                 {
                     "budget": sweep.budget,
+                    "trace_name": sweep.trace_name,
                     "by_line_words": {
                         str(line): result.to_json_dict()
                         for line, result in sweep.by_line_words.items()
                     },
+                    "instances": [
+                        {
+                            "line_words": li.line_words,
+                            "depth": li.instance.depth,
+                            "associativity": li.instance.associativity,
+                            "non_cold_misses": li.non_cold_misses,
+                            "cold_misses": li.cold_misses,
+                        }
+                        for li in sweep.instances
+                    ],
                 }
                 for sweep in self.line_sweeps
             ]
         if self.store_stats is not None:
             payload["store"] = dict(self.store_stats)
         return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: Dict) -> "ExplorationReport":
+        """Rebuild a report from :meth:`to_json_dict` output.
+
+        Raises:
+            KeyError/TypeError/ValueError: on malformed payloads.
+        """
+        from repro.core.instance import CacheInstance
+        from repro.core.linesize import LineInstance
+
+        results = tuple(
+            ExplorationResult.from_json_dict(entry)
+            for entry in payload.get("results", ())
+        )
+        multi_results = []
+        for entry in payload.get("multi_results", ()):
+            if "instances_list" in entry:
+                pairs = [
+                    (int(item["depth"]), int(item["associativity"]))
+                    for item in entry["instances_list"]
+                ]
+            else:  # older writers: the map preserves instance order
+                pairs = [
+                    (int(depth), int(assoc))
+                    for depth, assoc in entry["instances"].items()
+                ]
+            multi_results.append(
+                MultiTraceResult(
+                    mode=str(entry["mode"]),
+                    budget=int(entry["budget"]),
+                    instances=[CacheInstance(d, a) for d, a in pairs],
+                    misses_by_trace={
+                        str(name): [int(m) for m in misses]
+                        for name, misses in entry["misses_by_trace"].items()
+                    },
+                )
+            )
+        line_sweeps = []
+        for entry in payload.get("line_sweeps", ()):
+            by_line_words = {
+                int(line): ExplorationResult.from_json_dict(result)
+                for line, result in entry["by_line_words"].items()
+            }
+            instances = [
+                LineInstance(
+                    line_words=int(item["line_words"]),
+                    instance=CacheInstance(
+                        int(item["depth"]), int(item["associativity"])
+                    ),
+                    non_cold_misses=int(item["non_cold_misses"]),
+                    cold_misses=int(item["cold_misses"]),
+                )
+                for item in entry.get("instances", ())
+            ]
+            line_sweeps.append(
+                LineSweepResult(
+                    budget=int(entry["budget"]),
+                    by_line_words=by_line_words,
+                    instances=instances,
+                    trace_name=str(entry.get("trace_name", "")),
+                )
+            )
+        store_stats = payload.get("store")
+        return cls(
+            mode=str(payload["mode"]),
+            engine=str(payload["engine"]),
+            budgets=tuple(int(k) for k in payload["budgets"]),
+            results=results,
+            multi_results=tuple(multi_results),
+            line_sweeps=tuple(line_sweeps),
+            store_stats=dict(store_stats) if store_stats is not None else None,
+        )
 
 
 def explore_request(request: ExplorationRequest) -> ExplorationReport:

@@ -25,8 +25,10 @@ Document layout (schema ``repro-run-manifest/1``)::
       "memory": {str: int},       # tracemalloc peak / peak RSS, if sampled
       "environment": {"python": str, "numpy": str | null,
                       "platform": str},
-      "verify": {str: int}        # optional: verification counters
-    }                             # (repro verify --profile runs only)
+      "verify": {str: int},       # optional: verification counters
+                                  # (repro verify --profile runs only)
+      "serve": {str: int}         # optional: serve daemon counters
+    }                             # (repro serve shutdown manifests only)
 
 Validation enforces the structural schema *and* the timing invariant
 the whole layer exists for: at every tree node, children's durations
@@ -85,6 +87,8 @@ class RunManifest:
         environment: host fingerprint from :func:`environment_info`.
         verify: verification counter totals (``repro verify`` runs
             only; ``None`` — and omitted from the JSON — otherwise).
+        serve: serve-daemon counter totals (``repro serve`` shutdown
+            manifests only; ``None`` — and omitted — otherwise).
     """
 
     engine: str
@@ -97,6 +101,7 @@ class RunManifest:
     memory: Dict[str, int] = field(default_factory=dict)
     environment: Dict[str, object] = field(default_factory=environment_info)
     verify: Optional[Dict[str, int]] = None
+    serve: Optional[Dict[str, int]] = None
 
     @classmethod
     def from_recorder(
@@ -135,6 +140,8 @@ class RunManifest:
         }
         if self.verify is not None:
             document["verify"] = dict(self.verify)
+        if self.serve is not None:
+            document["serve"] = dict(self.serve)
         return document
 
     def to_json(self, indent: int = 2) -> str:
@@ -212,15 +219,16 @@ def validate_manifest(document: object) -> None:
             raise ValueError(f"environment.{key} must be a string")
     if not isinstance(environment.get("numpy"), (str, type(None))):
         raise ValueError("environment.numpy must be a string or null")
-    if "verify" in document:
-        verify = document["verify"]
-        if not isinstance(verify, dict) or any(
-            not isinstance(k, str)
-            or not isinstance(v, int)
-            or isinstance(v, bool)
-            for k, v in verify.items()
-        ):
-            raise ValueError("'verify' must map strings to ints")
+    for section in ("verify", "serve"):
+        if section in document:
+            counters = document[section]
+            if not isinstance(counters, dict) or any(
+                not isinstance(k, str)
+                or not isinstance(v, int)
+                or isinstance(v, bool)
+                for k, v in counters.items()
+            ):
+                raise ValueError(f"{section!r} must map strings to ints")
     wall = document.get("wall_s")
     if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
         raise ValueError("wall_s must be a non-negative number")

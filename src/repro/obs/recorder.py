@@ -24,6 +24,7 @@ objects; make a fresh one per run.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -90,15 +91,21 @@ class Recorder:
         memory: when True, sample ``tracemalloc`` around the outermost
             phase and peak RSS at the end of it (adds tracing overhead —
             leave off for pure timing runs).
+        thread_safe: when True, guard counter updates with a lock so
+            multiple threads may :meth:`count`/:meth:`record`
+            concurrently (the serve daemon's recorder outlives many
+            requests).  Phases remain single-thread; only counters get
+            the lock.
     """
 
     enabled = True
 
-    def __init__(self, memory: bool = False) -> None:
+    def __init__(self, memory: bool = False, thread_safe: bool = False) -> None:
         self.phases: List[PhaseRecord] = []
         self.counters: Dict[str, int] = {}
         self.memory_stats: Dict[str, int] = {}
         self._memory = memory
+        self._lock = threading.Lock() if thread_safe else None
         self._stack: List[PhaseRecord] = []
         self._first_start: Optional[float] = None
         self._last_end: Optional[float] = None
@@ -136,6 +143,13 @@ class Recorder:
 
     def count(self, name: str, value: int = 1) -> None:
         """Add ``value`` to counter ``name`` on the innermost open phase."""
+        if self._lock is not None:
+            with self._lock:
+                self._count(name, value)
+        else:
+            self._count(name, value)
+
+    def _count(self, name: str, value: int) -> None:
         if self._stack:
             bucket = self._stack[-1].counters
             bucket[name] = bucket.get(name, 0) + value
@@ -143,9 +157,23 @@ class Recorder:
 
     def record(self, name: str, value: int) -> None:
         """Set counter ``name`` to ``value`` (gauge semantics, not additive)."""
+        if self._lock is not None:
+            with self._lock:
+                self._record(name, value)
+        else:
+            self._record(name, value)
+
+    def _record(self, name: str, value: int) -> None:
         if self._stack:
             self._stack[-1].counters[name] = value
         self.counters[name] = value
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """A consistent copy of the counter totals (lock-guarded)."""
+        if self._lock is not None:
+            with self._lock:
+                return dict(self.counters)
+        return dict(self.counters)
 
     # -- memory -----------------------------------------------------------------
 

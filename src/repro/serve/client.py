@@ -1,0 +1,144 @@
+"""A thin synchronous client for the exploration daemon.
+
+:class:`ServeClient` speaks the serve wire protocol over
+:mod:`http.client` — stdlib only, one connection per call, no retries
+or pooling.  It exists for three callers: the ``repro submit`` CLI, the
+test battery, and the CI smoke job; anything fancier should talk HTTP
+itself.
+
+Server-reported failures surface as :class:`ServeError` carrying the
+HTTP status and the server's error message, so callers can distinguish
+a malformed request (400) from a draining daemon (503) from a worker
+crash (500).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.request import ExplorationReport, ExplorationRequest
+from repro.serve.metrics import parse_metrics
+from repro.serve.protocol import (
+    BATCH_REQUEST_SCHEMA,
+    ProtocolError,
+    request_to_wire,
+    response_from_wire,
+)
+
+
+class ServeError(RuntimeError):
+    """The daemon answered with an error status.
+
+    Attributes:
+        status: HTTP status code (0 when the failure was transport-level
+            and no status exists).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"serve error {status}: {message}" if status else message)
+        self.status = status
+
+
+class ServeClient:
+    """Blocking JSON/HTTP client for one daemon endpoint.
+
+    Args:
+        host: daemon address.
+        port: daemon port.
+        timeout: per-call socket timeout in seconds.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------
+
+    def _call(
+        self, method: str, path: str, body: Optional[Dict] = None
+    ) -> tuple:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return response.status, data
+        except (ConnectionError, OSError) as exc:
+            raise ServeError(0, f"cannot reach {self.host}:{self.port}: {exc}") from exc
+        finally:
+            connection.close()
+
+    def _call_json(self, method: str, path: str, body: Optional[Dict] = None) -> Dict:
+        status, data = self._call(method, path, body)
+        try:
+            document = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(status, f"non-JSON response: {data[:200]!r}") from exc
+        if status != 200:
+            message = document.get("error", data.decode("utf-8", "replace")) if isinstance(document, dict) else str(document)
+            raise ServeError(status, message)
+        if not isinstance(document, dict):
+            raise ServeError(status, "response body must be a JSON object")
+        return document
+
+    # -- endpoints --------------------------------------------------------------
+
+    def health(self) -> Dict:
+        """``GET /healthz`` — ``{"status", "version", "draining"}``."""
+        return self._call_json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics`` — the raw Prometheus exposition text."""
+        status, data = self._call("GET", "/metrics")
+        if status != 200:
+            raise ServeError(status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def metrics(self) -> Dict[str, float]:
+        """``GET /metrics`` parsed into ``{metric: value}``."""
+        return parse_metrics(self.metrics_text())
+
+    def explore_wire(self, document: Dict) -> Dict:
+        """``POST /v1/explore`` with a raw wire document; raw response."""
+        return self._call_json("POST", "/v1/explore", document)
+
+    def explore(self, request: ExplorationRequest) -> ExplorationReport:
+        """Submit one :class:`ExplorationRequest`; decoded report back."""
+        response = self.explore_wire(request_to_wire(request))
+        try:
+            return response_from_wire(response)
+        except ProtocolError as exc:
+            raise ServeError(200, f"undecodable response: {exc}") from exc
+
+    def explore_batch_wire(self, documents: Sequence[Dict]) -> List[Dict]:
+        """``POST /v1/explore/batch``; response documents in order."""
+        envelope = {
+            "schema": BATCH_REQUEST_SCHEMA,
+            "requests": list(documents),
+        }
+        response = self._call_json("POST", "/v1/explore/batch", envelope)
+        responses = response.get("responses")
+        if not isinstance(responses, list):
+            raise ServeError(200, "batch response missing 'responses' list")
+        return responses
+
+    def explore_batch(
+        self, requests: Sequence[ExplorationRequest]
+    ) -> List[ExplorationReport]:
+        """Submit a batch of requests; decoded reports in request order."""
+        documents = [request_to_wire(request) for request in requests]
+        responses = self.explore_batch_wire(documents)
+        try:
+            return [response_from_wire(response) for response in responses]
+        except ProtocolError as exc:
+            raise ServeError(200, f"undecodable batch response: {exc}") from exc

@@ -1,0 +1,63 @@
+"""In-flight request deduplication.
+
+The content-addressed store already collapses *repeated* work across
+time; this table collapses *concurrent* work across clients.  N
+identical requests that overlap in flight trigger exactly one
+computation: the first arrival (the *leader*) owns the compute task,
+every later arrival (a *follower*) awaits the same task and receives
+the same result object — bit-identical responses, N-1 of them free.
+
+The table is an asyncio construct and must only be touched from the
+event loop thread (the server guarantees this).  Entries remove
+themselves when the computation settles, so the map only ever holds
+genuinely in-flight keys; a failed computation propagates its exception
+to the leader and every follower, then clears, so a transient failure
+is retried by the next request rather than cached forever.
+
+Followers await through :func:`asyncio.shield` — a follower's client
+disconnecting must not cancel the leader's computation out from under
+everyone else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict
+
+
+class InFlightTable:
+    """Key -> in-flight task map with join-the-leader semantics."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[str, "asyncio.Task"] = {}
+        #: Requests that joined an existing computation.
+        self.dedup_hits = 0
+        #: Computations actually started (leaders).
+        self.computations = 0
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    async def run(
+        self, key: str, compute: Callable[[], Awaitable[object]]
+    ) -> object:
+        """Return ``compute()``'s result, sharing it with concurrent callers.
+
+        The first caller for ``key`` starts ``compute()``; callers
+        arriving while it runs await the same task.  The entry is
+        removed as soon as the task settles.
+        """
+        existing = self._tasks.get(key)
+        if existing is not None:
+            self.dedup_hits += 1
+            return await asyncio.shield(existing)
+        task = asyncio.ensure_future(compute())
+        self._tasks[key] = task
+        self.computations += 1
+        task.add_done_callback(lambda _t: self._tasks.pop(key, None))
+        try:
+            return await asyncio.shield(task)
+        except asyncio.CancelledError:
+            # Our own caller was cancelled; the shared task (and any
+            # followers) must keep running.
+            raise

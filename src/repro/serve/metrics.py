@@ -1,0 +1,134 @@
+"""Live metrics: reservoir-sampled latency percentiles + Prometheus text.
+
+The daemon's ``/metrics`` endpoint follows the Prometheus text
+exposition format, assembled from three sources: monotonically
+increasing counters (the server's :class:`repro.obs.Recorder`), point-
+in-time gauges (in-flight requests, queue depth, drain state), and a
+latency *summary* backed by :class:`Reservoir` — uniform reservoir
+sampling (Vitter's Algorithm R) over per-request wall times, so p50/p95/
+p99 stay O(k) in memory no matter how many requests the daemon has
+served.  The reservoir is deterministic given its seed, which the test
+battery exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Default reservoir capacity (samples kept).
+DEFAULT_RESERVOIR_K = 2048
+
+#: The summary quantiles ``/metrics`` exports.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+class Reservoir:
+    """Uniform reservoir sample of a value stream (Algorithm R).
+
+    Args:
+        k: reservoir capacity; once ``count > k`` each new value
+            replaces a uniformly random kept sample with probability
+            ``k / count``.
+        seed: RNG seed (deterministic replacement decisions when set).
+    """
+
+    def __init__(self, k: int = DEFAULT_RESERVOIR_K, seed: Optional[int] = None) -> None:
+        if k < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {k}")
+        self.k = k
+        self.count = 0
+        self.total = 0.0
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if len(self._samples) < self.k:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.k:
+            self._samples[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) of the kept samples, 0.0 when empty.
+
+        Nearest-rank on the sorted reservoir — simple, monotone in
+        ``q``, and exact whenever the stream fits the reservoir.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def summary(
+        self, quantiles: Sequence[float] = SUMMARY_QUANTILES
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., ...}`` plus count and sum."""
+        out = {f"p{int(q * 100)}": self.percentile(q) for q in quantiles}
+        out["count"] = float(self.count)
+        out["sum"] = self.total
+        return out
+
+
+def _sanitize(name: str) -> str:
+    """Make a counter name Prometheus-legal (``[a-zA-Z_][a-zA-Z0-9_]*``)."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def render_metrics(
+    counters: Mapping[str, int],
+    gauges: Mapping[str, float],
+    latency: Optional[Reservoir] = None,
+    latency_name: str = "serve_request_latency_seconds",
+) -> str:
+    """The Prometheus text exposition for one scrape.
+
+    Counter names are exported as-is (sanitized); conventionally the
+    server uses ``serve_*_total`` names.  The latency reservoir renders
+    as a summary metric with :data:`SUMMARY_QUANTILES` quantile lines.
+    """
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = _sanitize(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counters[name]}")
+    for name in sorted(gauges):
+        metric = _sanitize(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauges[name]}")
+    if latency is not None:
+        metric = _sanitize(latency_name)
+        lines.append(f"# TYPE {metric} summary")
+        for q in SUMMARY_QUANTILES:
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {latency.percentile(q):.9f}'
+            )
+        lines.append(f"{metric}_sum {latency.total:.9f}")
+        lines.append(f"{metric}_count {latency.count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_metrics(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{metric[{labels}]: value}``.
+
+    A convenience for tests and the CI smoke client — not a general
+    Prometheus parser, just the inverse of :func:`render_metrics`.
+    """
+    values: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        values[name] = float(value)
+    return values

@@ -1,0 +1,150 @@
+"""The daemon's bounded worker pool.
+
+One :class:`WorkerPool` fronts a ``concurrent.futures`` executor and
+runs :func:`execute_wire_request` for each admitted request: decode the
+wire document, attach a fresh per-request recorder (and, when the
+daemon was given a cache root, a fresh :class:`repro.store.ArtifactStore`
+pointed at the shared root), execute, and encode the response document.
+Everything that crosses the executor boundary is a plain JSON-shaped
+dict, so the process backend pickles only small structures and never a
+live store/recorder.
+
+Three backends share the interface:
+
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; the
+  production default (true parallelism across cores, engine work off
+  the event-loop process entirely).
+* ``thread`` — :class:`concurrent.futures.ThreadPoolExecutor`; cheap
+  startup, used by the test battery and quick smoke runs.
+* ``inline`` — execute synchronously on the calling thread; fully
+  deterministic, used by protocol-level tests.
+
+The pool tracks ``queue_depth`` (submitted, not yet finished beyond the
+worker count) and ``in_flight`` so the server can export live gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.core.request import explore_request
+from repro.obs import Recorder, RunManifest
+from repro.serve.protocol import request_from_wire, response_to_wire
+
+#: Supported pool backends.
+POOL_KINDS = ("process", "thread", "inline")
+
+
+def execute_wire_request(
+    document: Dict, store_root: Optional[str] = None
+) -> Dict:
+    """Run one wire request end to end; returns the response document.
+
+    This is the function worker processes execute; it must stay
+    module-level (picklable) and self-contained: it builds its own
+    recorder and store, so concurrent workers never share mutable
+    state — workers meeting at the same store *root* is safe by the
+    store's own atomic-rename design.
+    """
+    request = request_from_wire(document)
+    recorder = Recorder()
+    store = None
+    if store_root is not None:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(store_root)
+    request = replace(request, recorder=recorder, store=store)
+    with recorder.phase("serve:execute"):
+        report = explore_request(request)
+    trace = request.traces[0]
+    manifest = RunManifest.from_recorder(
+        recorder,
+        engine=report.engine,
+        requested_engine=request.engine,
+        options={
+            "mode": request.mode,
+            "prelude": request.prelude,
+            "processes": request.processes,
+        },
+        trace={
+            "name": trace.name,
+            "n": len(trace),
+            "n_unique": trace.unique_count(),
+            "address_bits": trace.address_bits,
+        },
+    )
+    return response_to_wire(report, manifest=manifest.to_json_dict())
+
+
+class WorkerPool:
+    """Bounded executor-backed pool running :func:`execute_wire_request`.
+
+    Args:
+        workers: maximum concurrent executions.
+        kind: one of :data:`POOL_KINDS`.
+        store_root: artifact-store root handed to every execution
+            (``None`` disables warm-starting).
+        execute: override of the execution function — the test battery
+            injects counting/slow executables here.  Must accept
+            ``(document, store_root)`` and return a response document.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        kind: str = "process",
+        store_root: Optional[str] = None,
+        execute: Optional[Callable[[Dict, Optional[str]], Dict]] = None,
+    ) -> None:
+        if kind not in POOL_KINDS:
+            raise ValueError(f"kind must be one of {POOL_KINDS}, got {kind!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if execute is not None and kind == "process":
+            raise ValueError("custom execute functions need kind=thread|inline")
+        self.workers = workers
+        self.kind = kind
+        self.store_root = store_root
+        self._execute = execute or execute_wire_request
+        self._executor = None
+        if kind == "process":
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+        elif kind == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve"
+            )
+        #: Requests submitted over the pool's lifetime.
+        self.submitted = 0
+        #: Requests finished (success or failure).
+        self.completed = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted executions that have not finished."""
+        return self.submitted - self.completed
+
+    @property
+    def queue_depth(self) -> int:
+        """Executions waiting for a free worker (0 when none queue)."""
+        return max(0, self.in_flight - self.workers)
+
+    async def run(self, document: Dict) -> Dict:
+        """Execute one wire request on the pool; awaitable."""
+        self.submitted += 1
+        try:
+            if self._executor is None:  # inline
+                return self._execute(document, self.store_root)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor, self._execute, document, self.store_root
+            )
+        finally:
+            self.completed += 1
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)

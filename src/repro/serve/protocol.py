@@ -1,0 +1,317 @@
+"""The serve wire protocol: strict JSON codecs for requests and reports.
+
+The daemon speaks plain JSON documents over HTTP.  Everything on the
+wire is validated *strictly*: unknown fields are rejected (so a typo'd
+option fails loudly instead of silently running with defaults, and the
+wire schema cannot drift from the dataclasses without a test noticing),
+and every field is type-checked before an :class:`ExplorationRequest`
+is constructed — the request's own ``__post_init__`` then enforces the
+semantic rules (mode arity, budget signs, known engine names).
+
+Wire documents:
+
+* request (schema :data:`REQUEST_SCHEMA`) — an
+  :class:`repro.core.request.ExplorationRequest` minus its server-side
+  attachments (recorder, store), with traces inlined as
+  ``{"name", "address_bits", "addresses", "kinds"}`` objects;
+* response (schema :data:`RESPONSE_SCHEMA`) — the
+  :class:`repro.core.request.ExplorationReport` as its lossless
+  ``to_json_dict`` form, plus the worker's run manifest.
+
+:func:`request_key` derives the in-flight dedup identity: the SHA-256
+of the canonical request JSON with each trace replaced by its content
+digest — two requests that would compute the same thing share one key
+even when their traces arrived under different names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.linesize import LineSizeExplorer
+from repro.core.request import ExplorationRequest, ExplorationReport, MODES
+from repro.store.keys import trace_digest
+from repro.trace.reference import AccessKind
+from repro.trace.trace import Trace
+
+#: Request document schema identifier.
+REQUEST_SCHEMA = "repro-serve-request/1"
+
+#: Response document schema identifier.
+RESPONSE_SCHEMA = "repro-serve-response/1"
+
+#: Wire fields of a request document, in canonical order.
+REQUEST_FIELDS = (
+    "schema",
+    "mode",
+    "traces",
+    "budgets",
+    "percents",
+    "max_depth",
+    "include_depth_one",
+    "line_sizes",
+    "weights",
+    "engine",
+    "processes",
+    "prelude",
+)
+
+#: Batch request/response document schema identifiers.
+BATCH_REQUEST_SCHEMA = "repro-serve-batch/1"
+BATCH_RESPONSE_SCHEMA = "repro-serve-batch-response/1"
+
+#: Wire fields of a trace object.
+TRACE_FIELDS = ("name", "address_bits", "addresses", "kinds")
+
+
+class ProtocolError(ValueError):
+    """A wire document failed validation (the server answers 400)."""
+
+
+def _require_dict(value: object, what: str) -> Dict:
+    if not isinstance(value, dict):
+        raise ProtocolError(f"{what} must be a JSON object")
+    return value
+
+
+def _check_fields(document: Dict, allowed: Sequence[str], what: str) -> None:
+    unknown = set(document) - set(allowed)
+    if unknown:
+        raise ProtocolError(f"{what}: unknown fields {sorted(unknown)}")
+
+
+def _int(value: object, what: str) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"{what} must be an integer")
+    return value
+
+
+def _number(value: object, what: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ProtocolError(f"{what} must be a number")
+    return float(value)
+
+
+def _str(value: object, what: str) -> str:
+    if not isinstance(value, str):
+        raise ProtocolError(f"{what} must be a string")
+    return value
+
+
+def _bool(value: object, what: str) -> bool:
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{what} must be a boolean")
+    return value
+
+
+def _int_list(value: object, what: str) -> List[int]:
+    if not isinstance(value, list):
+        raise ProtocolError(f"{what} must be a list")
+    return [_int(item, f"{what}[{i}]") for i, item in enumerate(value)]
+
+
+# -- traces ---------------------------------------------------------------------
+
+
+def trace_to_wire(trace: Trace) -> Dict:
+    """A trace as a wire object."""
+    kinds: Optional[List[int]] = None
+    if trace.has_kinds:
+        kinds = [trace.kind(i).value for i in range(len(trace))]
+    return {
+        "name": trace.name,
+        "address_bits": trace.address_bits,
+        "addresses": list(trace.addresses),
+        "kinds": kinds,
+    }
+
+
+def trace_from_wire(document: object) -> Trace:
+    """Rebuild a trace from its wire object (strict)."""
+    document = _require_dict(document, "trace")
+    _check_fields(document, TRACE_FIELDS, "trace")
+    for field in TRACE_FIELDS:
+        if field not in document:
+            raise ProtocolError(f"trace: missing field {field!r}")
+    addresses = _int_list(document["addresses"], "trace.addresses")
+    kinds_wire = document["kinds"]
+    kinds = None
+    if kinds_wire is not None:
+        try:
+            kinds = [
+                AccessKind(_int(k, "trace.kinds[]")) for k in kinds_wire
+            ]
+        except ValueError as exc:
+            raise ProtocolError(f"trace.kinds: {exc}") from exc
+    try:
+        return Trace(
+            addresses,
+            address_bits=_int(document["address_bits"], "trace.address_bits"),
+            kinds=kinds,
+            name=_str(document["name"], "trace.name"),
+        )
+    except ValueError as exc:
+        raise ProtocolError(f"trace: {exc}") from exc
+
+
+# -- requests -------------------------------------------------------------------
+
+
+def request_to_wire(request: ExplorationRequest) -> Dict:
+    """An :class:`ExplorationRequest` as a wire document.
+
+    The server-side attachments (``recorder``, ``store``) are not wire
+    concerns and are dropped; the daemon supplies its own.
+    """
+    return {
+        "schema": REQUEST_SCHEMA,
+        "mode": request.mode,
+        "traces": [trace_to_wire(trace) for trace in request.traces],
+        "budgets": list(request.budgets),
+        "percents": list(request.percents),
+        "max_depth": request.max_depth,
+        "include_depth_one": request.include_depth_one,
+        "line_sizes": list(request.line_sizes),
+        "weights": list(request.weights) if request.weights is not None else None,
+        "engine": request.engine,
+        "processes": request.processes,
+        "prelude": request.prelude,
+    }
+
+
+def request_from_wire(document: object) -> ExplorationRequest:
+    """Rebuild (and fully validate) a request from its wire document."""
+    document = _require_dict(document, "request")
+    _check_fields(document, REQUEST_FIELDS, "request")
+    for field in ("schema", "mode", "traces"):
+        if field not in document:
+            raise ProtocolError(f"request: missing field {field!r}")
+    if document["schema"] != REQUEST_SCHEMA:
+        raise ProtocolError(
+            f"request.schema must be {REQUEST_SCHEMA!r}, "
+            f"got {document['schema']!r}"
+        )
+    mode = _str(document["mode"], "request.mode")
+    if mode not in MODES:
+        raise ProtocolError(f"request.mode must be one of {MODES}, got {mode!r}")
+    traces_wire = document["traces"]
+    if not isinstance(traces_wire, list) or not traces_wire:
+        raise ProtocolError("request.traces must be a non-empty list")
+    traces = tuple(trace_from_wire(t) for t in traces_wire)
+    percents_wire = document.get("percents", [])
+    if not isinstance(percents_wire, list):
+        raise ProtocolError("request.percents must be a list")
+    percents = tuple(
+        _number(p, f"request.percents[{i}]")
+        for i, p in enumerate(percents_wire)
+    )
+    max_depth = document.get("max_depth")
+    if max_depth is not None:
+        max_depth = _int(max_depth, "request.max_depth")
+    weights = document.get("weights")
+    if weights is not None:
+        weights = tuple(_int_list(weights, "request.weights"))
+    line_sizes = document.get(
+        "line_sizes", list(LineSizeExplorer.DEFAULT_LINE_SIZES)
+    )
+    try:
+        return ExplorationRequest(
+            traces=traces,
+            mode=mode,
+            budgets=tuple(_int_list(document.get("budgets", []), "request.budgets")),
+            percents=percents,
+            max_depth=max_depth,
+            include_depth_one=_bool(
+                document.get("include_depth_one", False),
+                "request.include_depth_one",
+            ),
+            line_sizes=tuple(_int_list(line_sizes, "request.line_sizes")),
+            weights=weights,
+            engine=_str(document.get("engine", "auto"), "request.engine"),
+            processes=_int(document.get("processes", 2), "request.processes"),
+            prelude=_str(document.get("prelude", "auto"), "request.prelude"),
+        )
+    except ValueError as exc:  # semantic validation (mode arity, budgets...)
+        raise ProtocolError(f"request: {exc}") from exc
+
+
+def request_key(document: object) -> str:
+    """The in-flight dedup identity of a request wire document.
+
+    Validates the document (so a malformed request can never poison the
+    dedup table), then hashes the canonical JSON with each trace
+    replaced by its content digest: requests differing only in trace
+    *names* or field order share a key; requests differing in any
+    parameter that could change the answer (or the machinery asked to
+    produce it) do not.
+    """
+    request = request_from_wire(document)
+    canonical = {
+        "mode": request.mode,
+        "traces": [trace_digest(trace) for trace in request.traces],
+        "budgets": list(request.budgets),
+        "percents": list(request.percents),
+        "max_depth": request.max_depth,
+        "include_depth_one": request.include_depth_one,
+        "line_sizes": list(request.line_sizes),
+        "weights": list(request.weights) if request.weights is not None else None,
+        "engine": request.engine,
+        "processes": request.processes,
+        "prelude": request.prelude,
+    }
+    blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def batch_from_wire(document: object) -> List[Dict]:
+    """Validate a batch envelope; returns the raw per-request documents.
+
+    Each member document is *not* validated here — the server validates
+    (and keys) members individually so one bad member fails the whole
+    batch with a pointed error message.
+    """
+    document = _require_dict(document, "batch")
+    _check_fields(document, ("schema", "requests"), "batch")
+    if document.get("schema", BATCH_REQUEST_SCHEMA) != BATCH_REQUEST_SCHEMA:
+        raise ProtocolError(
+            f"batch.schema must be {BATCH_REQUEST_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    requests = document.get("requests")
+    if not isinstance(requests, list) or not requests:
+        raise ProtocolError("batch.requests must be a non-empty list")
+    return [_require_dict(item, f"batch.requests[{i}]") for i, item in enumerate(requests)]
+
+
+# -- responses ------------------------------------------------------------------
+
+
+def response_to_wire(
+    report: ExplorationReport, manifest: Optional[Dict] = None
+) -> Dict:
+    """Wrap a report (and its run manifest) as a response document."""
+    document: Dict[str, object] = {
+        "schema": RESPONSE_SCHEMA,
+        "report": report.to_json_dict(),
+    }
+    if manifest is not None:
+        document["manifest"] = manifest
+    return document
+
+
+def response_from_wire(document: object) -> ExplorationReport:
+    """Extract the report from a response document (strict)."""
+    document = _require_dict(document, "response")
+    _check_fields(document, ("schema", "report", "manifest"), "response")
+    if document.get("schema") != RESPONSE_SCHEMA:
+        raise ProtocolError(
+            f"response.schema must be {RESPONSE_SCHEMA!r}, "
+            f"got {document.get('schema')!r}"
+        )
+    report_wire = _require_dict(document.get("report"), "response.report")
+    try:
+        return ExplorationReport.from_json_dict(report_wire)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"response.report: {exc}") from exc

@@ -195,7 +195,7 @@ class ArtifactStore:
             payload = unpack_entry(blob, codec.version)
             value = codec.decode(payload, context=context)
         except (CorruptArtifact, ValueError, OverflowError) as exc:
-            self._quarantine(path, exc)
+            self._quarantine(path, exc, corrupt_blob=blob)
             self.stats.misses += 1
             recorder.count("store_misses")
             return None
@@ -246,15 +246,43 @@ class ArtifactStore:
         except OSError:  # pragma: no cover - entry evicted mid-read
             pass
 
-    def _quarantine(self, path: Path, reason: Exception) -> None:
-        """Move a bad entry aside; it will never be read again."""
-        self.stats.corrupt += 1
+    def _quarantine(
+        self,
+        path: Path,
+        reason: Exception,
+        corrupt_blob: Optional[bytes] = None,
+    ) -> None:
+        """Move a bad entry aside; it will never be read again.
+
+        Between the reader's ``read_bytes`` returning corrupt data and
+        this call, a concurrent ``put`` may have atomically installed a
+        fresh, valid entry at ``path`` — blindly renaming would
+        quarantine (i.e. lose) that fresh entry.  So: rename first, then
+        compare the moved bytes against the corrupt blob we actually
+        read.  Once renamed the bytes cannot change under us, making the
+        check race-free; on mismatch the entry was rewritten and is
+        restored.  Restoring cannot clobber newer data — entries are
+        content-addressed, so every valid blob at this path encodes the
+        same artifact.
+        """
         target = self._quarantine_path(path)
         try:
             target.parent.mkdir(parents=True, exist_ok=True)
             os.replace(path, target)
         except OSError:  # pragma: no cover - raced with another reader
-            pass
+            return
+        if corrupt_blob is not None:
+            try:
+                moved = target.read_bytes()
+            except OSError:  # pragma: no cover - quarantine dir raced
+                moved = None
+            if moved is not None and moved != corrupt_blob:
+                try:
+                    os.replace(target, path)
+                except OSError:  # pragma: no cover - filesystem raced
+                    pass
+                return
+        self.stats.corrupt += 1
 
     # -- maintenance ------------------------------------------------------------
 

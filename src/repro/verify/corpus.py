@@ -61,6 +61,8 @@ class CrashArtifact:
         shrunk_from: original trace length before shrinking (None when
             the artifact was never shrunk, e.g. regression seeds).
         seed: the verification run's seed, for provenance.
+        mtime: the on-disk manifest's modification time (0.0 for
+            artifacts not yet saved); drives newest-first replay.
     """
 
     kind: str
@@ -73,6 +75,7 @@ class CrashArtifact:
     shrunk_from: Optional[int] = None
     seed: Optional[int] = None
     path: Optional[str] = field(default=None, compare=False)
+    mtime: float = field(default=0.0, compare=False)
 
     def manifest_dict(self) -> dict:
         return {
@@ -120,11 +123,19 @@ def save_crash(root: str, artifact: CrashArtifact) -> str:
         json.dump(artifact.manifest_dict(), fh, indent=2, sort_keys=True)
         fh.write("\n")
     artifact.path = entry_dir
+    artifact.mtime = os.path.getmtime(os.path.join(entry_dir, "crash.json"))
     return entry_dir
 
 
 def load_corpus(root: str) -> List[CrashArtifact]:
-    """Load every crash artifact under ``root`` (sorted, deterministic).
+    """Load every crash artifact under ``root``, newest first.
+
+    Newest-first (manifest mtime descending, directory name ascending as
+    the tiebreak) so that when ``--max-traces`` or a time budget caps
+    the replay, *recently found* failures are always reached — name
+    order replays digest-alphabetically and could starve a fresh crash
+    behind old regression seeds forever.  Still deterministic for a
+    given on-disk state.
 
     Unreadable entries are skipped rather than failing the whole replay:
     a corrupt artifact must never mask the healthy rest of the corpus.
@@ -144,6 +155,7 @@ def load_corpus(root: str) -> List[CrashArtifact]:
             if manifest.get("schema") != CRASH_SCHEMA:
                 continue
             trace = read_trace(trace_path)
+            mtime = os.path.getmtime(manifest_path)
         except (OSError, ValueError, json.JSONDecodeError):
             continue
         trace = Trace(
@@ -163,8 +175,10 @@ def load_corpus(root: str) -> List[CrashArtifact]:
                 shrunk_from=manifest.get("shrunk_from"),
                 seed=manifest.get("seed"),
                 path=entry_dir,
+                mtime=mtime,
             )
         )
+    artifacts.sort(key=lambda artifact: (-artifact.mtime, artifact.path or ""))
     return artifacts
 
 

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.store",
+    "repro.serve",
 ]
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
@@ -71,10 +72,11 @@ def test_api_doc_backtick_names_resolve():
     ):
         universe.update(dir(importlib.import_module(module_name)))
     universe.update(PACKAGES)
-    # Engine names are registry strings, not Python identifiers.
+    # Engine and pool-kind names are registry strings, not identifiers.
     universe.update(
         {"repro", "bitmask", "serial", "streaming", "parallel", "vectorized", "auto"}
     )
+    universe.update({"process", "thread", "inline"})
     missing = sorted(
         name
         for name in names

@@ -1,0 +1,130 @@
+"""Serve-battery fixtures: a real in-process daemon on an ephemeral port.
+
+The harness runs :class:`repro.serve.server.ExploreServer` on its own
+event loop in a background thread, bound to port 0, so every test talks
+to the daemon exactly the way production clients do — real sockets,
+real HTTP — while staying hermetic and parallel-safe.  Tests that need
+controlled execution inject a custom ``execute`` into a thread-backed
+:class:`~repro.serve.pool.WorkerPool` (slow functions to force requests
+to overlap, counters to prove dedup, raisers to exercise the 500 path).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Optional
+
+import pytest
+
+from repro.core.request import ExplorationRequest
+from repro.serve import ExploreServer, ServeClient, WorkerPool
+from repro.trace.trace import Trace
+
+
+class RunningServer:
+    """A live daemon plus the loop/thread that hosts it."""
+
+    def __init__(self, server: ExploreServer, loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+        self._stopped = False
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def client(self, timeout: float = 30.0) -> ServeClient:
+        return ServeClient("127.0.0.1", self.port, timeout=timeout)
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = 30.0) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(drain=drain, timeout=timeout), self.loop
+        )
+        future.result(timeout=60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+    def begin_shutdown(self, drain: bool = True, timeout: Optional[float] = 30.0):
+        """Kick off shutdown without waiting; returns the concurrent future."""
+        self._stopped = True
+
+        async def run() -> None:
+            await self.server.shutdown(drain=drain, timeout=timeout)
+
+        future = asyncio.run_coroutine_threadsafe(run(), self.loop)
+
+        def finish() -> None:
+            future.result(timeout=60)
+            self.loop.call_soon_threadsafe(self.loop.stop)
+            self.thread.join(timeout=30)
+            self.loop.close()
+
+        self._finish = finish
+        return future
+
+    def finish_shutdown(self) -> None:
+        self._finish()
+
+
+def start_server(
+    pool: Optional[WorkerPool] = None,
+    latency_seed: Optional[int] = 1234,
+    **kwargs,
+) -> RunningServer:
+    """Boot a daemon on port 0 in a background event-loop thread."""
+    if pool is None:
+        pool = WorkerPool(workers=2, kind="thread")
+    server = ExploreServer(pool, port=0, latency_seed=latency_seed, **kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, name="serve-harness", daemon=True)
+    thread.start()
+    if not started.wait(timeout=10):
+        raise RuntimeError("serve harness failed to start")
+    return RunningServer(server, loop, thread)
+
+
+@pytest.fixture
+def live_server() -> Callable[..., RunningServer]:
+    """Factory fixture: boot daemons, stop every survivor at teardown."""
+    running = []
+
+    def factory(pool: Optional[WorkerPool] = None, **kwargs) -> RunningServer:
+        instance = start_server(pool, **kwargs)
+        running.append(instance)
+        return instance
+
+    yield factory
+    for instance in running:
+        try:
+            instance.stop()
+        except Exception:
+            pass
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """A small trace with real conflict structure (fast to explore)."""
+    return Trace(
+        [1, 2, 3, 1, 2, 3, 7, 1, 9, 2, 3, 7, 1, 5, 2, 3],
+        address_bits=4,
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def tiny_request(tiny_trace: Trace) -> ExplorationRequest:
+    return ExplorationRequest(traces=(tiny_trace,), mode="single", budgets=(0, 1))

@@ -1,0 +1,114 @@
+"""Load smoke: hundreds of mixed warm/cold requests against a live daemon.
+
+Not a benchmark (``benchmarks/bench_serve.py`` measures and asserts the
+real latency floors) — this is the service-grade sanity check: under a
+burst of concurrent, repetitive traffic the daemon must answer every
+request correctly, keep its counters consistent, and stay responsive.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core.request import ExplorationRequest, explore_request
+from repro.serve import WorkerPool
+from repro.serve.protocol import request_to_wire
+from repro.trace.trace import Trace
+
+TOTAL_REQUESTS = 200
+UNIQUE_REQUESTS = 10
+CLIENT_THREADS = 8
+
+
+def _unique_requests() -> list:
+    rng = random.Random(20030313)
+    requests = []
+    for index in range(UNIQUE_REQUESTS):
+        addresses = [rng.randrange(64) for _ in range(48)]
+        trace = Trace(addresses, address_bits=6, name=f"load-{index}")
+        requests.append(
+            ExplorationRequest(
+                traces=(trace,), mode="single", budgets=(index % 3,)
+            )
+        )
+    return requests
+
+
+@pytest.mark.slow
+def test_load_smoke_mixed_warm_cold(live_server, tmp_path) -> None:
+    server = live_server(
+        pool=WorkerPool(
+            workers=4, kind="thread", store_root=str(tmp_path / "store")
+        )
+    )
+    requests = _unique_requests()
+    wires = [request_to_wire(request) for request in requests]
+    expected = [explore_request(request).to_json_dict() for request in requests]
+
+    def comparable(report: dict) -> dict:
+        # the daemon's workers attach their own store-stat snapshots;
+        # correctness is about everything else
+        return {k: v for k, v in report.items() if k != "store"}
+
+    # cold pass: every unique request once, sequentially
+    client = server.client()
+    for wire, want in zip(wires, expected):
+        response = client.explore_wire(wire)
+        assert comparable(response["report"]) == want
+
+    # warm burst: the remaining traffic, concurrent and repetitive
+    warm_total = TOTAL_REQUESTS - UNIQUE_REQUESTS
+    schedule = [wires[i % UNIQUE_REQUESTS] for i in range(warm_total)]
+    random.Random(7).shuffle(schedule)
+    chunks = [schedule[i::CLIENT_THREADS] for i in range(CLIENT_THREADS)]
+    errors = []
+    latencies = []
+    lock = threading.Lock()
+
+    def worker(chunk) -> None:
+        local_client = server.client()
+        for wire in chunk:
+            start = time.perf_counter()
+            try:
+                response = local_client.explore_wire(wire)
+            except Exception as exc:
+                with lock:
+                    errors.append(exc)
+                continue
+            elapsed = time.perf_counter() - start
+            want = expected[wires.index(wire)]
+            with lock:
+                latencies.append(elapsed)
+                if comparable(response["report"]) != want:
+                    errors.append(
+                        AssertionError(f"wrong report for {wire['traces'][0]['name']}")
+                    )
+
+    threads = [threading.Thread(target=worker, args=(chunk,)) for chunk in chunks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+
+    assert not errors, errors[:3]
+    assert len(latencies) == warm_total
+    latencies.sort()
+    p99 = latencies[min(len(latencies) - 1, int(0.99 * (len(latencies) - 1)))]
+    # generous ceiling: warm requests are store- or dedup-served, so even
+    # a loaded CI box finishes them in well under two seconds
+    assert p99 < 2.0, f"warm p99 {p99:.3f}s"
+
+    metrics = server.client().metrics()
+    assert metrics["serve_requests_total"] == TOTAL_REQUESTS
+    assert metrics["serve_errors_total"] == 0
+    assert metrics["serve_in_flight"] == 0
+    assert (
+        metrics["serve_computations_total"] + metrics["serve_dedup_hits_total"]
+        == TOTAL_REQUESTS
+    )
+    assert metrics["serve_request_latency_seconds_count"] == TOTAL_REQUESTS
+    assert metrics["serve_store_hits_total"] >= 1

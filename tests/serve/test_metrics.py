@@ -1,0 +1,97 @@
+"""Unit tests for the metrics layer: reservoir sampling + exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.metrics import (
+    DEFAULT_RESERVOIR_K,
+    Reservoir,
+    parse_metrics,
+    render_metrics,
+)
+
+
+class TestReservoir:
+    def test_exact_below_capacity(self) -> None:
+        reservoir = Reservoir(k=100, seed=0)
+        for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            reservoir.add(value)
+        assert reservoir.percentile(0.0) == 1.0
+        assert reservoir.percentile(0.5) == 3.0
+        assert reservoir.percentile(1.0) == 5.0
+        assert reservoir.count == 5
+        assert reservoir.total == 15.0
+
+    def test_memory_bounded(self) -> None:
+        reservoir = Reservoir(k=64, seed=1)
+        for value in range(10_000):
+            reservoir.add(float(value))
+        assert len(reservoir._samples) == 64
+        assert reservoir.count == 10_000
+
+    def test_deterministic_given_seed(self) -> None:
+        a, b = Reservoir(k=32, seed=7), Reservoir(k=32, seed=7)
+        for value in range(1000):
+            a.add(float(value))
+            b.add(float(value))
+        assert a._samples == b._samples
+        assert a.percentile(0.95) == b.percentile(0.95)
+
+    def test_sampling_tracks_distribution(self) -> None:
+        # 10k uniform values: the sampled p50 must land near the middle.
+        reservoir = Reservoir(k=512, seed=42)
+        for value in range(10_000):
+            reservoir.add(float(value))
+        assert 3500 <= reservoir.percentile(0.5) <= 6500
+
+    def test_empty_percentile_is_zero(self) -> None:
+        assert Reservoir(k=8).percentile(0.99) == 0.0
+
+    def test_summary_keys(self) -> None:
+        reservoir = Reservoir(k=8, seed=0)
+        reservoir.add(1.0)
+        summary = reservoir.summary()
+        assert set(summary) == {"p50", "p95", "p99", "count", "sum"}
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError):
+            Reservoir(k=0)
+        with pytest.raises(ValueError):
+            Reservoir(k=8).percentile(1.5)
+
+    def test_default_capacity(self) -> None:
+        assert Reservoir().k == DEFAULT_RESERVOIR_K
+
+
+class TestExposition:
+    def test_render_parse_round_trip(self) -> None:
+        latency = Reservoir(k=16, seed=3)
+        for value in (0.1, 0.2, 0.3):
+            latency.add(value)
+        text = render_metrics(
+            {"serve_requests_total": 7, "serve_errors_total": 0},
+            {"serve_in_flight": 2.0},
+            latency,
+        )
+        parsed = parse_metrics(text)
+        assert parsed["serve_requests_total"] == 7
+        assert parsed["serve_errors_total"] == 0
+        assert parsed["serve_in_flight"] == 2.0
+        assert parsed["serve_request_latency_seconds_count"] == 3
+        assert parsed["serve_request_latency_seconds_sum"] == pytest.approx(0.6)
+        assert parsed['serve_request_latency_seconds{quantile="0.5"}'] == pytest.approx(0.2)
+
+    def test_type_lines_present(self) -> None:
+        text = render_metrics({"a_total": 1}, {"b": 2.0}, Reservoir(k=4))
+        assert "# TYPE a_total counter" in text
+        assert "# TYPE b gauge" in text
+        assert "# TYPE serve_request_latency_seconds summary" in text
+
+    def test_names_sanitized(self) -> None:
+        text = render_metrics({"serve:weird-name": 1}, {})
+        assert "serve_weird_name 1" in text
+
+    def test_no_latency_section_when_omitted(self) -> None:
+        text = render_metrics({"a": 1}, {})
+        assert "quantile" not in text
