@@ -1,0 +1,369 @@
+"""Benchmark harness for incremental trace sessions.
+
+Measures the point of :mod:`repro.stream`: once a long trace has been
+ingested, answering after a small append must cost time proportional to
+the append, not the history.  The schedule:
+
+* **warm** — a :class:`repro.core.streaming.StreamingState` holding all
+  but the final ``tail_fraction`` (0.5%, comfortably inside the <= 1%
+  acceptance envelope that ``validate_results`` enforces) of a
+  high-locality synthetic trace is cloned per repeat (clone untimed);
+  the timed region
+  appends the tail, rebuilds the per-level histograms, and derives the
+  optimal ``(D, A)`` pairs for every budget;
+* **cold** — the timed region recomputes the same answers from scratch
+  on the full concatenated trace with the best available batch engine
+  (``vectorized`` when NumPy is importable, else ``serial``).
+
+Every warm answer set and histogram table is cross-checked against the
+cold one; any divergence counts as an error and fails the run.  The
+headline number is ``cold_s / warm_s`` (best-of-``repeats`` each); the
+acceptance bar is a **>= 10x** speedup with **zero** errors, on a trace
+of at least 10^5 references (``--quick`` shrinks the trace for CI smoke
+but keeps the same bar when ``--assert-speedup`` is set).
+
+A checkpoint round-trip through the versioned store codec is also
+exercised at full state size, recording the encoded byte count.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py
+    PYTHONPATH=src python benchmarks/bench_stream.py --quick --assert-speedup
+
+JSON schema (``validate_results`` enforces it)::
+
+    {
+      "schema": "repro-bench-stream/1",
+      "python": str, "numpy": str | null, "platform": str,
+      "config": {
+        "total_refs": int, "unique_refs": int, "tail_refs": int,
+        "tail_fraction": float, "budgets": [int], "repeats": int,
+        "cold_engine": str, "address_bits": int
+      },
+      "results": {
+        "cold_s": float, "warm_s": float, "speedup": float,
+        "cold_samples_s": [float], "warm_samples_s": [float],
+        "checkpoint": {"bytes": int, "encode_s": float,
+                       "decode_s": float, "roundtrip_ok": bool},
+        "errors": int
+      },
+      "summary": {
+        "speedup": float, "floor": float, "errors": int, "pass": bool
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import engines
+from repro.core.postlude import optimal_pairs
+from repro.core.streaming import StreamingState
+from repro.core.vectorized import numpy_available
+from repro.obs import environment_info
+from repro.store.codec import STREAM_CHECKPOINT_CODEC
+from repro.trace.synthetic import markov_trace
+
+SCHEMA = "repro-bench-stream/1"
+
+#: The acceptance bar: warm append must beat cold recompute by this.
+SPEEDUP_FLOOR = 10.0
+
+#: The appended tail, as a fraction of the whole trace.
+TAIL_FRACTION = 0.005
+
+#: The acceptance envelope the tail must stay inside (the "<= 1%" bar).
+TAIL_BAR = 0.01
+
+#: The full-size run must cover at least this many references.
+MIN_TOTAL_REFS = 100_000
+
+#: Required fields of the checkpoint block.
+CHECKPOINT_FIELDS = ("bytes", "encode_s", "decode_s", "roundtrip_ok")
+
+
+def _answers(histograms, budgets: Sequence[int], max_level=None):
+    """Normalized ``{budget: [(depth, assoc), ...]}`` answer tables."""
+    return {
+        budget: [
+            (instance.depth, instance.associativity)
+            for instance in optimal_pairs(
+                histograms, budget, max_level=max_level
+            )
+        ]
+        for budget in budgets
+    }
+
+
+def _normalized(histograms) -> Dict[int, Dict[int, int]]:
+    return {level: dict(h.counts) for level, h in histograms.items()}
+
+
+def run_bench(
+    total: int,
+    unique: int,
+    budgets: Sequence[int],
+    repeats: int,
+    floor: float = SPEEDUP_FLOOR,
+) -> Dict:
+    """Time warm append vs cold recompute; return the result document."""
+    if total < 2:
+        raise ValueError("total must be >= 2")
+    trace = markov_trace(total, unique, locality=0.9, seed=20260808)
+    trace.name = "bench-stream"
+    tail_refs = max(1, int(total * TAIL_FRACTION))
+    head = trace[: total - tail_refs]
+    tail = trace[total - tail_refs :]
+    cold_engine = "vectorized" if numpy_available() else "serial"
+
+    # Warm phase: per repeat, clone the head-loaded state (untimed), then
+    # time append(tail) + histograms() + optimal_pairs for every budget.
+    base = StreamingState(trace.address_bits)
+    base.append(head)
+    snapshot = base.snapshot()
+    warm_samples: List[float] = []
+    warm_answers = warm_histograms = None
+    for _ in range(repeats):
+        state = StreamingState.from_snapshot(snapshot)
+        start = time.perf_counter()
+        state.append(tail)
+        histograms = state.histograms()
+        warm_answers = _answers(histograms, budgets, max_level=state.limit)
+        warm_samples.append(time.perf_counter() - start)
+        warm_histograms = _normalized(histograms)
+    final_state = StreamingState.from_snapshot(snapshot)
+    final_state.append(tail)
+    print(
+        f"  warm: {tail_refs} appended refs "
+        f"({100.0 * tail_refs / total:.2f}% of {total}), "
+        f"best of {repeats}: {min(warm_samples):.4f}s",
+        file=sys.stderr,
+    )
+
+    # Cold phase: full recompute on the concatenated trace, end to end.
+    cold_samples: List[float] = []
+    cold_answers = cold_histograms = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        histograms = engines.compute_histograms(
+            cold_engine, engines.EngineInputs(trace)
+        )
+        cold_answers = _answers(histograms, budgets)
+        cold_samples.append(time.perf_counter() - start)
+        cold_histograms = _normalized(histograms)
+    print(
+        f"  cold: {total} refs via {cold_engine}, "
+        f"best of {repeats}: {min(cold_samples):.4f}s",
+        file=sys.stderr,
+    )
+
+    errors = 0
+    if warm_answers != cold_answers:
+        errors += 1
+        print("  ERROR: warm answers diverge from cold answers", file=sys.stderr)
+    if warm_histograms != cold_histograms:
+        errors += 1
+        print("  ERROR: warm histograms diverge from cold", file=sys.stderr)
+
+    # Checkpoint codec round-trip at full state size.
+    start = time.perf_counter()
+    blob = STREAM_CHECKPOINT_CODEC.encode(final_state.snapshot())
+    encode_s = time.perf_counter() - start
+    start = time.perf_counter()
+    restored = StreamingState.from_snapshot(STREAM_CHECKPOINT_CODEC.decode(blob))
+    decode_s = time.perf_counter() - start
+    roundtrip_ok = (
+        restored.content_digest == final_state.content_digest
+        and _normalized(restored.histograms()) == warm_histograms
+    )
+    if not roundtrip_ok:
+        errors += 1
+        print("  ERROR: checkpoint round-trip diverged", file=sys.stderr)
+
+    cold_s = min(cold_samples)
+    warm_s = min(warm_samples)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    environment = environment_info()
+    return {
+        "schema": SCHEMA,
+        "python": environment["python"],
+        "numpy": environment["numpy"],
+        "platform": environment["platform"],
+        "config": {
+            "total_refs": total,
+            "unique_refs": trace.unique_count(),
+            "tail_refs": tail_refs,
+            "tail_fraction": TAIL_FRACTION,
+            "budgets": list(budgets),
+            "repeats": repeats,
+            "cold_engine": cold_engine,
+            "address_bits": trace.address_bits,
+        },
+        "results": {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": speedup,
+            "cold_samples_s": cold_samples,
+            "warm_samples_s": warm_samples,
+            "checkpoint": {
+                "bytes": len(blob),
+                "encode_s": encode_s,
+                "decode_s": decode_s,
+                "roundtrip_ok": roundtrip_ok,
+            },
+            "errors": errors,
+        },
+        "summary": {
+            "speedup": speedup,
+            "floor": floor,
+            "errors": errors,
+            "pass": errors == 0 and speedup >= floor,
+        },
+    }
+
+
+def validate_results(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the schema above."""
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for key, kind in (("python", str), ("platform", str)):
+        if not isinstance(document.get(key), kind):
+            raise ValueError(f"missing or mistyped field {key!r}")
+    if not isinstance(document.get("numpy"), (str, type(None))):
+        raise ValueError("field 'numpy' must be a string or null")
+    config = document.get("config")
+    if not isinstance(config, dict):
+        raise ValueError("'config' is required")
+    for key in ("total_refs", "unique_refs", "tail_refs", "repeats", "address_bits"):
+        value = config.get(key)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise ValueError(f"config field {key!r} must be a positive int")
+    if not isinstance(config.get("cold_engine"), str):
+        raise ValueError("config field 'cold_engine' must be a string")
+    if not isinstance(config.get("budgets"), list) or not config["budgets"]:
+        raise ValueError("config field 'budgets' must be a non-empty list")
+    tail_bar = config["total_refs"] * TAIL_BAR
+    if config["tail_refs"] > max(1, tail_bar):
+        raise ValueError(
+            f"appended tail of {config['tail_refs']} refs exceeds "
+            f"{100 * TAIL_BAR:.0f}% of the {config['total_refs']}-ref trace"
+        )
+    results = document.get("results")
+    if not isinstance(results, dict):
+        raise ValueError("'results' is required")
+    for key in ("cold_s", "warm_s", "speedup"):
+        value = results.get(key)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"results.{key} must be numeric")
+        if value < 0:
+            raise ValueError(f"results.{key} is negative")
+    for key in ("cold_samples_s", "warm_samples_s"):
+        samples = results.get(key)
+        if not isinstance(samples, list) or len(samples) != config["repeats"]:
+            raise ValueError(f"results.{key} must list one sample per repeat")
+    checkpoint = results.get("checkpoint")
+    if not isinstance(checkpoint, dict) or set(checkpoint) != set(CHECKPOINT_FIELDS):
+        raise ValueError(f"results.checkpoint fields != {CHECKPOINT_FIELDS}")
+    if checkpoint["roundtrip_ok"] is not True:
+        raise ValueError("checkpoint round-trip diverged")
+    summary = document.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("'summary' is required")
+    for key in ("speedup", "floor", "errors", "pass"):
+        if key not in summary:
+            raise ValueError(f"summary missing {key!r}")
+    if summary["errors"] != 0:
+        raise ValueError(f"{summary['errors']} warm results diverged from cold")
+
+
+def _print_table(document: Dict) -> None:
+    config = document["config"]
+    results = document["results"]
+    summary = document["summary"]
+    print(
+        f"trace: {config['total_refs']} refs "
+        f"({config['unique_refs']} unique, {config['address_bits']} bits), "
+        f"tail {config['tail_refs']} refs, cold engine {config['cold_engine']}"
+    )
+    print(
+        f"cold {results['cold_s']:.4f}s  warm {results['warm_s']:.4f}s  "
+        f"checkpoint {results['checkpoint']['bytes']} bytes"
+    )
+    verdict = "PASS" if summary["pass"] else "FAIL"
+    print(
+        f"speedup {summary['speedup']:.1f}x "
+        f"(floor {summary['floor']:.0f}x), "
+        f"errors {summary['errors']} -> {verdict}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_stream.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trace for smoke tests (seconds, not minutes)",
+    )
+    parser.add_argument("--total", type=int, default=None, help="trace length")
+    parser.add_argument(
+        "--unique", type=int, default=None, help="trace footprint (distinct refs)"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--budget",
+        type=int,
+        action="append",
+        help="miss budget K to answer per phase (repeatable; default: 0 and 25)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=SPEEDUP_FLOOR,
+        help="speedup acceptance bar (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        action="store_true",
+        help="exit non-zero unless the speedup floor holds (CI gate)",
+    )
+    args = parser.parse_args(argv)
+
+    total = args.total if args.total is not None else (
+        20_000 if args.quick else MIN_TOTAL_REFS
+    )
+    unique = args.unique if args.unique is not None else (
+        200 if args.quick else 400
+    )
+    if not args.quick and args.total is None and total < MIN_TOTAL_REFS:
+        raise SystemExit(f"full runs must cover >= {MIN_TOTAL_REFS} refs")
+    budgets = args.budget if args.budget else [0, 25]
+    document = run_bench(
+        total=total,
+        unique=unique,
+        budgets=budgets,
+        repeats=args.repeats,
+        floor=args.floor,
+    )
+    validate_results(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    _print_table(document)
+    print(f"wrote {args.output}")
+    if document["summary"]["errors"]:
+        return 1
+    if args.assert_speedup:
+        return int(not document["summary"]["pass"])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

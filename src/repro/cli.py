@@ -28,6 +28,7 @@ Subcommands::
     repro paper-example                    the paper's running example
     repro serve [--port P] [--workers W]   exploration daemon (HTTP/JSON)
     repro submit TRACE --budget K          send a request to the daemon
+    repro stream TRACE --budget K          chunked/out-of-core exploration
 """
 
 from __future__ import annotations
@@ -888,6 +889,116 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.streaming import StreamDigest
+    from repro.stream import TraceSession
+    from repro.trace.io import iter_trace_chunks, probe_address_bits
+
+    try:
+        bits = probe_address_bits(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+    if args.address_bits is not None:
+        bits = args.address_bits
+    if bits is None:
+        print(
+            f"stream failed: cannot probe the address width of "
+            f"{args.trace}; pass --address-bits",
+            file=sys.stderr,
+        )
+        return 1
+    if bits < 1:
+        print(
+            f"stream failed: address_bits must be >= 1, got {bits}",
+            file=sys.stderr,
+        )
+        return 1
+
+    store = _resolve_store(args)
+    budgets = args.budget if args.budget else [0]
+
+    session = None
+    resumed = False
+    try:
+        if store is not None:
+            # Cheap digest-only pre-pass: decide whether a checkpoint
+            # for the full sequence already exists before ingesting.
+            digest = StreamDigest(bits)
+            for chunk in iter_trace_chunks(args.trace, args.chunk_refs):
+                digest.append(chunk)
+            session = TraceSession.resume(
+                store,
+                digest.content_digest,
+                max_level=args.max_level,
+                name=args.trace,
+            )
+            resumed = session is not None
+        if session is None:
+            session = TraceSession(
+                bits,
+                max_level=args.max_level,
+                store=store,
+                name=args.trace,
+            )
+            for chunk in iter_trace_chunks(args.trace, args.chunk_refs):
+                session.append(chunk)
+            if store is not None:
+                session.checkpoint()
+        results = session.explore_many(
+            budgets, include_depth_one=args.include_depth_one
+        )
+    except (OSError, ValueError) as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        import json
+
+        document = {
+            "trace": args.trace,
+            "address_bits": session.address_bits,
+            "max_level": session.max_level,
+            "total_refs": session.total_refs,
+            "unique_refs": session.unique_refs,
+            "digest": session.content_digest,
+            "resumed": resumed,
+            "results": {
+                str(budget): [
+                    {
+                        "depth": inst.depth,
+                        "associativity": inst.associativity,
+                        "size_words": inst.size_words,
+                    }
+                    for inst in instances
+                ]
+                for budget, instances in results.items()
+            },
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+
+    warmth = "resumed from checkpoint" if resumed else "ingested"
+    print(
+        f"stream {args.trace}: {session.total_refs} refs "
+        f"({session.unique_refs} unique, {session.address_bits} bits, "
+        f"{warmth})"
+    )
+    for budget in budgets:
+        rows = [
+            [inst.depth, inst.associativity, inst.size_words]
+            for inst in results[budget]
+        ]
+        print(
+            format_table(
+                ["Depth D", "Assoc A", "Size (words)"],
+                rows,
+                title=f"optimal instances at K={budget}",
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser.
 
@@ -896,6 +1007,7 @@ def build_parser() -> argparse.ArgumentParser:
     never drift from what the registry actually serves.
     """
     from repro.core import engines as _engine_registry
+    from repro.trace import io as _trace_io
 
     engine_list = ", ".join(_engine_registry.engine_names())
     alias_list = ", ".join(
@@ -1321,6 +1433,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "stream",
+        help="chunked/out-of-core exploration of one trace file, with "
+        "checkpoint warm-start when a cache directory is set",
+    )
+    p.add_argument("trace", help="trace file (read in chunks, never whole)")
+    p.add_argument(
+        "--budget",
+        type=int,
+        action="append",
+        help="absolute miss budget K (repeatable; default: 0)",
+    )
+    p.add_argument(
+        "--max-level",
+        type=int,
+        default=None,
+        metavar="L",
+        help="deepest conflict level to maintain (default: address width)",
+    )
+    p.add_argument(
+        "--chunk-refs",
+        type=int,
+        default=_trace_io.DEFAULT_CHUNK_REFS,
+        metavar="N",
+        help="references per ingested chunk "
+        f"(default: {_trace_io.DEFAULT_CHUNK_REFS})",
+    )
+    p.add_argument(
+        "--address-bits",
+        type=int,
+        default=None,
+        metavar="B",
+        help="significant address width (required when the file format "
+        "does not carry one, e.g. .din/.csv)",
+    )
+    p.add_argument(
+        "--include-depth-one",
+        action="store_true",
+        help="admit degenerate depth-1 instances into the answer set",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the results as JSON"
+    )
+    _add_cache_flags(p)
+    p.set_defaults(func=_cmd_stream)
 
     return parser
 

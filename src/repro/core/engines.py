@@ -54,7 +54,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.mrct import MRCT, build_mrct
-from repro.core.postlude import LevelHistogram, compute_level_histograms
+from repro.core.postlude import (
+    LevelHistogram,
+    compute_level_histograms,
+    validate_max_level,
+)
 from repro.core.zerosets import ZeroOneSets, build_zero_one_sets
 from repro.obs.recorder import NULL_RECORDER
 from repro.trace.strip import StrippedTrace, strip_trace
@@ -213,7 +217,7 @@ class EngineInputs:
             return None
         from repro.store.codec import HISTOGRAMS_CODEC
 
-        level_key = "full" if max_level is None else int(max_level)
+        level_key = self._histogram_level_key(max_level)
         exact = self.load_artifact(HISTOGRAMS_CODEC, max_level=level_key)
         if exact is not None or max_level is None:
             return exact
@@ -236,8 +240,18 @@ class EngineInputs:
             return
         from repro.store.codec import HISTOGRAMS_CODEC
 
-        level_key = "full" if max_level is None else int(max_level)
+        level_key = self._histogram_level_key(max_level)
         self.save_artifact(HISTOGRAMS_CODEC, histograms, max_level=level_key)
+
+    @staticmethod
+    def _histogram_level_key(max_level: Optional[int]):
+        """The store key parameter for a ``max_level`` bound.
+
+        Validates the bound even here: an unvalidated negative level
+        must never be persisted as a legitimate-looking store key.
+        """
+        max_level = validate_max_level(max_level)
+        return "full" if max_level is None else int(max_level)
 
     @property
     def stripped(self) -> StrippedTrace:
@@ -468,9 +482,12 @@ class EngineSpec:
         written by any engine serves every engine.
 
         Raises:
-            ValueError: for option names the engine does not declare
-                (e.g. a typo'd ``proceses=8``).
+            ValueError: for a negative ``max_level`` (every engine
+                rejects it identically, before the store is consulted)
+                or for option names the engine does not declare (e.g. a
+                typo'd ``proceses=8``).
         """
+        max_level = validate_max_level(max_level)
         unknown = sorted(set(options) - set(self.options))
         if unknown:
             accepted = ", ".join(sorted(self.options)) or "(none)"

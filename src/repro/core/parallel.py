@@ -29,7 +29,11 @@ import multiprocessing
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.mrct import MRCT
-from repro.core.postlude import LevelHistogram, node_distance_histogram
+from repro.core.postlude import (
+    LevelHistogram,
+    node_distance_histogram,
+    validate_max_level,
+)
 from repro.core.zerosets import ZeroOneSets
 
 # A worker's job: one subtree root.  Everything else (zero/one tables,
@@ -107,6 +111,7 @@ def compute_level_histograms_parallel(
         raise ValueError("processes must be >= 1")
     if split_level < 0:
         raise ValueError("split_level must be >= 0")
+    max_level = validate_max_level(max_level)
     limit = zerosets.address_bits if max_level is None else max_level
     limit = min(limit, zerosets.address_bits)
     split = min(split_level, limit)

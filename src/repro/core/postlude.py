@@ -26,6 +26,32 @@ from repro.core.mrct import MRCT
 from repro.core.zerosets import ZeroOneSets
 
 
+def validate_max_level(max_level: Optional[int]) -> Optional[int]:
+    """Validate a ``max_level`` bound shared by every engine and prelude.
+
+    ``None`` means "no bound" (histogram every level up to the address
+    width).  Anything else must be a non-negative integer; every entry
+    point — serial, parallel, streaming, vectorized, the store key
+    derivation, and the serve wire protocol — funnels through this one
+    check so an invalid bound fails identically everywhere.
+
+    Returns:
+        the validated bound (as ``int``, or ``None``).
+
+    Raises:
+        ValueError: when ``max_level`` is negative or not an integer.
+    """
+    if max_level is None:
+        return None
+    if isinstance(max_level, bool) or not isinstance(max_level, int):
+        raise ValueError(
+            f"max_level must be an integer or None, got {max_level!r}"
+        )
+    if max_level < 0:
+        raise ValueError(f"max_level must be >= 0, got {max_level}")
+    return max_level
+
+
 @dataclass
 class LevelHistogram:
     """Histogram of per-row conflict cardinalities at one BCAT level.
@@ -123,6 +149,7 @@ def compute_level_histograms(
     fully associative depth-1 cache), including levels whose rows are all
     conflict-free (empty histogram).
     """
+    max_level = validate_max_level(max_level)
     limit = zerosets.address_bits if max_level is None else max_level
     limit = min(limit, zerosets.address_bits)
     histograms: Dict[int, LevelHistogram] = {

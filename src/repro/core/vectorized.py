@@ -37,7 +37,11 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.mrct import MRCT
-from repro.core.postlude import LevelHistogram, compute_level_histograms
+from repro.core.postlude import (
+    LevelHistogram,
+    compute_level_histograms,
+    validate_max_level,
+)
 from repro.core.zerosets import ZeroOneSets
 
 try:  # NumPy is optional: the engine falls back to the serial kernel.
@@ -231,6 +235,7 @@ def _walk_bit_matrix(
 
 
 def _level_limit(zerosets: ZeroOneSets, max_level: Optional[int]) -> int:
+    max_level = validate_max_level(max_level)
     limit = zerosets.address_bits if max_level is None else max_level
     return min(limit, zerosets.address_bits)
 

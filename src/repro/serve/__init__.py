@@ -9,6 +9,7 @@ splits along seams:
 * :mod:`repro.serve.dedup` — the in-flight leader/follower table;
 * :mod:`repro.serve.pool` — bounded process/thread/inline worker pool;
 * :mod:`repro.serve.metrics` — latency reservoir + Prometheus text;
+* :mod:`repro.serve.sessions` — incremental append/explore sessions;
 * :mod:`repro.serve.server` — the asyncio HTTP daemon;
 * :mod:`repro.serve.client` — thin blocking client (``repro submit``).
 """
@@ -18,6 +19,7 @@ from repro.serve.dedup import InFlightTable
 from repro.serve.metrics import Reservoir, parse_metrics, render_metrics
 from repro.serve.pool import WorkerPool, execute_wire_request
 from repro.serve.protocol import (
+    ACCEPTED_REQUEST_SCHEMAS,
     BATCH_REQUEST_SCHEMA,
     BATCH_RESPONSE_SCHEMA,
     REQUEST_SCHEMA,
@@ -33,8 +35,10 @@ from repro.serve.protocol import (
     trace_to_wire,
 )
 from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, ExploreServer
+from repro.serve.sessions import SESSION_SCHEMA, SessionError, SessionManager
 
 __all__ = [
+    "ACCEPTED_REQUEST_SCHEMAS",
     "BATCH_REQUEST_SCHEMA",
     "BATCH_RESPONSE_SCHEMA",
     "DEFAULT_HOST",
@@ -45,8 +49,11 @@ __all__ = [
     "REQUEST_SCHEMA",
     "RESPONSE_SCHEMA",
     "Reservoir",
+    "SESSION_SCHEMA",
     "ServeClient",
     "ServeError",
+    "SessionError",
+    "SessionManager",
     "WorkerPool",
     "batch_from_wire",
     "execute_wire_request",

@@ -142,3 +142,67 @@ class ServeClient:
             return [response_from_wire(response) for response in responses]
         except ProtocolError as exc:
             raise ServeError(200, f"undecodable batch response: {exc}") from exc
+
+    # -- incremental sessions ----------------------------------------------------
+
+    def session_create(
+        self,
+        address_bits: int,
+        max_level: Optional[int] = None,
+        name: str = "",
+        resume: Optional[str] = None,
+    ) -> Dict:
+        """``POST /v1/sessions``; the session info document."""
+        from repro.serve.sessions import SESSION_SCHEMA
+
+        document = self._call_json(
+            "POST",
+            "/v1/sessions",
+            {
+                "schema": SESSION_SCHEMA,
+                "address_bits": address_bits,
+                "max_level": max_level,
+                "name": name,
+                "resume": resume,
+            },
+        )
+        return document["session"]
+
+    def session_list(self) -> List[Dict]:
+        """``GET /v1/sessions``; info documents of open sessions."""
+        return self._call_json("GET", "/v1/sessions")["sessions"]
+
+    def session_info(self, session_id: str) -> Dict:
+        """``GET /v1/sessions/{id}``; one session's info document."""
+        return self._call_json("GET", f"/v1/sessions/{session_id}")["session"]
+
+    def session_append(
+        self,
+        session_id: str,
+        addresses: Sequence[int],
+        checkpoint: bool = False,
+    ) -> Dict:
+        """``POST /v1/sessions/{id}/append``; the full append response."""
+        return self._call_json(
+            "POST",
+            f"/v1/sessions/{session_id}/append",
+            {"addresses": list(addresses), "checkpoint": checkpoint},
+        )
+
+    def session_explore(
+        self,
+        session_id: str,
+        budgets: Sequence[int] = (0,),
+        include_depth_one: bool = False,
+    ) -> Dict:
+        """``GET /v1/sessions/{id}/explore``; results keyed by budget."""
+        query = "&".join(f"budget={int(b)}" for b in budgets)
+        if include_depth_one:
+            query += "&include_depth_one=true"
+        return self._call_json(
+            "GET", f"/v1/sessions/{session_id}/explore?{query}"
+        )
+
+    def session_delete(self, session_id: str) -> None:
+        """``DELETE /v1/sessions/{id}``."""
+        self._call_json("DELETE", f"/v1/sessions/{session_id}")

@@ -31,13 +31,19 @@ import json
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.linesize import LineSizeExplorer
+from repro.core.postlude import validate_max_level
 from repro.core.request import ExplorationRequest, ExplorationReport, MODES
 from repro.store.keys import trace_digest
 from repro.trace.reference import AccessKind
 from repro.trace.trace import Trace
 
-#: Request document schema identifier.
-REQUEST_SCHEMA = "repro-serve-request/1"
+#: Request document schema identifier (current minor revision).
+REQUEST_SCHEMA = "repro-serve-request/1.1"
+
+#: Request schemas the daemon accepts.  ``/1`` documents predate the
+#: ``max_level`` field and remain valid — every ``/1.1`` addition is
+#: optional, so old clients keep working unchanged.
+ACCEPTED_REQUEST_SCHEMAS = (REQUEST_SCHEMA, "repro-serve-request/1")
 
 #: Response document schema identifier.
 RESPONSE_SCHEMA = "repro-serve-response/1"
@@ -50,6 +56,7 @@ REQUEST_FIELDS = (
     "budgets",
     "percents",
     "max_depth",
+    "max_level",
     "include_depth_one",
     "line_sizes",
     "weights",
@@ -188,9 +195,9 @@ def request_from_wire(document: object) -> ExplorationRequest:
     for field in ("schema", "mode", "traces"):
         if field not in document:
             raise ProtocolError(f"request: missing field {field!r}")
-    if document["schema"] != REQUEST_SCHEMA:
+    if document["schema"] not in ACCEPTED_REQUEST_SCHEMAS:
         raise ProtocolError(
-            f"request.schema must be {REQUEST_SCHEMA!r}, "
+            f"request.schema must be one of {ACCEPTED_REQUEST_SCHEMAS}, "
             f"got {document['schema']!r}"
         )
     mode = _str(document["mode"], "request.mode")
@@ -210,6 +217,21 @@ def request_from_wire(document: object) -> ExplorationRequest:
     max_depth = document.get("max_depth")
     if max_depth is not None:
         max_depth = _int(max_depth, "request.max_depth")
+    max_level = document.get("max_level")
+    if max_level is not None:
+        if max_depth is not None:
+            raise ProtocolError(
+                "request: max_depth and max_level are two spellings of one "
+                "bound; supply at most one"
+            )
+        max_level = _int(max_level, "request.max_level")
+        try:
+            validate_max_level(max_level)
+        except ValueError as exc:
+            raise ProtocolError(f"request: {exc}") from exc
+        # The dataclass speaks depths; a level bound is exactly the
+        # power-of-two depth it indexes.
+        max_depth = 1 << max_level
     weights = document.get("weights")
     if weights is not None:
         weights = tuple(_int_list(weights, "request.weights"))

@@ -10,9 +10,13 @@ framework), because the protocol surface is four routes:
   document (report + run manifest) out;
 * ``POST /v1/explore/batch`` — ``{"requests": [...]}`` in, responses
   out in request order;
+* ``/v1/sessions`` and ``/v1/sessions/{id}[/append|/explore]`` —
+  incremental trace sessions (:mod:`repro.serve.sessions`): append
+  address chunks, re-explore after every append at chunk-proportional
+  cost;
 * ``GET /metrics`` — Prometheus text: request/dedup/error counters,
-  in-flight and queue-depth gauges, reservoir-sampled latency
-  percentiles;
+  session counters, in-flight and queue-depth gauges, reservoir-sampled
+  latency percentiles;
 * ``GET /healthz`` — liveness + drain state.
 
 Request flow: decode and *validate* on the event loop (cheap), compute
@@ -45,6 +49,13 @@ from repro.serve.protocol import (
     ProtocolError,
     batch_from_wire,
     request_key,
+)
+from repro.serve.sessions import (
+    SessionError,
+    SessionManager,
+    parse_append,
+    parse_budgets,
+    parse_create,
 )
 
 #: Default bind address and port.
@@ -84,6 +95,9 @@ class ExploreServer:
             :class:`repro.obs.Recorder` by default.
         latency_seed: seed for the latency reservoir (deterministic
             sampling in tests).
+        sessions: the incremental-session registry; by default a fresh
+            :class:`repro.serve.sessions.SessionManager` checkpointing
+            into the pool's artifact store root.
     """
 
     def __init__(
@@ -93,6 +107,7 @@ class ExploreServer:
         port: int = DEFAULT_PORT,
         recorder: Optional[Recorder] = None,
         latency_seed: Optional[int] = None,
+        sessions: Optional[SessionManager] = None,
     ) -> None:
         self.pool = pool
         self.host = host
@@ -100,6 +115,11 @@ class ExploreServer:
         self.recorder = recorder if recorder is not None else Recorder(thread_safe=True)
         self.latency = Reservoir(seed=latency_seed)
         self.inflight = InFlightTable()
+        self.sessions = (
+            sessions
+            if sessions is not None
+            else SessionManager(store_root=pool.store_root)
+        )
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.Task] = set()
         self._draining = False
@@ -170,6 +190,10 @@ class ExploreServer:
         counters = self.recorder.counters_snapshot()
         counters.setdefault("serve_requests_total", 0)
         counters.setdefault("serve_errors_total", 0)
+        counters.setdefault("serve_sessions_created_total", 0)
+        counters.setdefault("serve_session_appends_total", 0)
+        counters.setdefault("serve_session_refs_total", 0)
+        counters.setdefault("serve_session_explores_total", 0)
         counters["serve_dedup_hits_total"] = self.inflight.dedup_hits
         counters["serve_computations_total"] = self.inflight.computations
         return counters
@@ -181,6 +205,7 @@ class ExploreServer:
             "serve_queue_depth": float(self.pool.queue_depth),
             "serve_inflight_keys": float(len(self.inflight)),
             "serve_workers": float(self.pool.workers),
+            "serve_sessions_open": float(len(self.sessions)),
             "serve_draining": 1.0 if self._draining else 0.0,
         }
 
@@ -306,7 +331,7 @@ class ExploreServer:
     async def _dispatch(
         self, method: str, target: str, body: bytes
     ) -> Tuple[int, str, bytes]:
-        target = target.split("?", 1)[0]
+        target, _, query = target.partition("?")
         if target == "/healthz":
             if method != "GET":
                 return 405, _JSON, _error_body(405, "healthz is GET-only")
@@ -333,7 +358,128 @@ class ExploreServer:
             if method != "POST":
                 return 405, _JSON, _error_body(405, "batch is POST-only")
             return await self._handle_batch(body)
+        if target == "/v1/sessions":
+            if method == "POST":
+                return await self._handle_session_create(body)
+            if method == "GET":
+                return 200, _JSON, _json_body(
+                    {"sessions": self.sessions.list_info()}
+                )
+            return 405, _JSON, _error_body(405, "sessions is POST/GET-only")
+        if target.startswith("/v1/sessions/"):
+            return await self._dispatch_session(
+                method, target[len("/v1/sessions/"):], query, body
+            )
         return 404, _JSON, _error_body(404, f"no route {target!r}")
+
+    async def _dispatch_session(
+        self, method: str, rest: str, query: str, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        session_id, _, action = rest.partition("/")
+        try:
+            managed = self.sessions.get(session_id)
+        except KeyError:
+            return 404, _JSON, _error_body(404, f"no session {session_id!r}")
+        if not action:
+            if method == "GET":
+                return 200, _JSON, _json_body({"session": managed.info()})
+            if method == "DELETE":
+                self.sessions.remove(session_id)
+                return 200, _JSON, _json_body({"deleted": session_id})
+            return 405, _JSON, _error_body(405, "session is GET/DELETE-only")
+        if action == "append":
+            if method != "POST":
+                return 405, _JSON, _error_body(405, "append is POST-only")
+            return await self._handle_session_append(managed, body)
+        if action == "explore":
+            if method != "GET":
+                return 405, _JSON, _error_body(405, "explore is GET-only")
+            return await self._handle_session_explore(managed, query)
+        return 404, _JSON, _error_body(404, f"no session action {action!r}")
+
+    async def _handle_session_create(self, body: bytes) -> Tuple[int, str, bytes]:
+        try:
+            params = parse_create(_parse_json(body))
+        except ProtocolError as exc:
+            return 400, _JSON, _error_body(400, str(exc))
+        loop = asyncio.get_running_loop()
+        try:
+            # Resume decodes a checkpoint — potentially large; off-loop.
+            managed = await loop.run_in_executor(
+                None, lambda: self.sessions.create(**params)
+            )
+        except SessionError as exc:
+            return 400, _JSON, _error_body(400, str(exc))
+        self.recorder.count("serve_sessions_created_total")
+        return 200, _JSON, _json_body({"session": managed.info()})
+
+    async def _handle_session_append(
+        self, managed, body: bytes
+    ) -> Tuple[int, str, bytes]:
+        try:
+            params = parse_append(_parse_json(body))
+        except ProtocolError as exc:
+            return 400, _JSON, _error_body(400, str(exc))
+        if params["checkpoint"] and managed.session.store is None:
+            return 400, _JSON, _error_body(
+                400, "checkpoint requires the daemon to run with a store"
+            )
+        loop = asyncio.get_running_loop()
+
+        def ingest() -> Tuple[int, Optional[str]]:
+            appended = managed.session.append(params["addresses"])
+            digest = (
+                managed.session.checkpoint() if params["checkpoint"] else None
+            )
+            return appended, digest
+
+        async with managed.lock:
+            try:
+                appended, digest = await loop.run_in_executor(None, ingest)
+            except ValueError as exc:  # address out of range etc.
+                return 400, _JSON, _error_body(400, str(exc))
+        self.recorder.count("serve_session_appends_total")
+        self.recorder.count("serve_session_refs_total", appended)
+        return 200, _JSON, _json_body(
+            {
+                "session": managed.info(),
+                "appended": appended,
+                "checkpoint_digest": digest,
+            }
+        )
+
+    async def _handle_session_explore(
+        self, managed, query: str
+    ) -> Tuple[int, str, bytes]:
+        try:
+            params = parse_budgets(query)
+        except ProtocolError as exc:
+            return 400, _JSON, _error_body(400, str(exc))
+        loop = asyncio.get_running_loop()
+
+        def explore() -> Dict[str, object]:
+            results = managed.session.explore_many(
+                params["budgets"],
+                include_depth_one=params["include_depth_one"],
+            )
+            return {
+                str(budget): [
+                    {
+                        "depth": inst.depth,
+                        "associativity": inst.associativity,
+                        "size_words": inst.size_words,
+                    }
+                    for inst in instances
+                ]
+                for budget, instances in results.items()
+            }
+
+        async with managed.lock:
+            results = await loop.run_in_executor(None, explore)
+        self.recorder.count("serve_session_explores_total")
+        return 200, _JSON, _json_body(
+            {"session": managed.info(), "results": results}
+        )
 
     async def _handle_explore(self, body: bytes) -> Tuple[int, str, bytes]:
         try:

@@ -343,12 +343,115 @@ class PackedMRCTCodec:
         )
 
 
+class StreamCheckpointCodec:
+    """A :class:`repro.core.streaming.StreamingState` snapshot.
+
+    Layout: header (address width, bound flag + bound, total references,
+    digest accumulators), the LRU stack as int64 little-endian addresses
+    most recent first (the stack holds exactly the unique references —
+    nothing is ever evicted), uint64 occurrence counts aligned to the
+    stack, then the *raw* per-level cardinality counts in the
+    :class:`HistogramsCodec` layout (raw: before the singleton-row
+    post-filter, which is re-derived from the restored state).  Row
+    membership is rebuilt from the stack on decode.
+    """
+
+    stage = "stream-checkpoint"
+    version = 1
+
+    def encode(self, snapshot: Dict[str, object]) -> bytes:
+        stack = snapshot["stack"]
+        occurrences = snapshot["occurrences"]
+        max_level = snapshot["max_level"]
+        bounded = 0 if max_level is None else 1
+        counts: List[Dict[int, int]] = snapshot["counts"]  # type: ignore[assignment]
+        parts: List[bytes] = [
+            struct.pack(
+                "<IBIQQQQ",
+                snapshot["address_bits"],
+                bounded,
+                0 if max_level is None else int(max_level),
+                snapshot["total_refs"],
+                snapshot["h1"],
+                snapshot["h2"],
+                len(stack),
+            ),
+            _array_bytes(array("q", stack)),
+            _array_bytes(array("Q", occurrences)),
+            struct.pack("<I", len(counts)),
+        ]
+        for level, level_counts in enumerate(counts):
+            parts.append(struct.pack("<II", level, len(level_counts)))
+            for distance in sorted(level_counts):
+                parts.append(struct.pack("<IQ", distance, level_counts[distance]))
+        return b"".join(parts)
+
+    def decode(
+        self, payload: bytes, context: Optional[Trace] = None
+    ) -> Dict[str, object]:
+        reader = _Reader(payload)
+        (
+            address_bits,
+            bounded,
+            bound,
+            total_refs,
+            h1,
+            h2,
+            n_unique,
+        ) = reader.unpack("<IBIQQQQ")
+        stack = _array_from("q", reader.read(8 * n_unique)).tolist()
+        occurrences = _array_from("Q", reader.read(8 * n_unique)).tolist()
+        (n_levels,) = reader.unpack("<I")
+        counts: List[Dict[int, int]] = []
+        for expected in range(n_levels):
+            level, n_entries = reader.unpack("<II")
+            if level != expected:
+                raise CorruptArtifact(
+                    f"checkpoint level {level} out of order (expected {expected})"
+                )
+            level_counts: Dict[int, int] = {}
+            for _ in range(n_entries):
+                distance, count = reader.unpack("<IQ")
+                level_counts[distance] = count
+            counts.append(level_counts)
+        reader.expect_end()
+        if address_bits < 1:
+            raise CorruptArtifact("checkpoint address_bits must be >= 1")
+        max_level = int(bound) if bounded else None
+        limit = address_bits if max_level is None else min(max_level, address_bits)
+        if n_levels != limit + 1:
+            raise CorruptArtifact(
+                f"checkpoint carries {n_levels} levels, expected {limit + 1}"
+            )
+        if len(set(stack)) != len(stack):
+            raise CorruptArtifact("checkpoint stack repeats an address")
+        if any(a < 0 or a >= (1 << address_bits) for a in stack):
+            raise CorruptArtifact("checkpoint stack address out of range")
+        if any(c < 1 for c in occurrences):
+            raise CorruptArtifact("checkpoint occurrence count must be >= 1")
+        if sum(occurrences) > total_refs:
+            raise CorruptArtifact(
+                "checkpoint occurrence counts exceed total references"
+            )
+        return {
+            "address_bits": address_bits,
+            "max_level": max_level,
+            "total_refs": total_refs,
+            "h1": h1,
+            "h2": h2,
+            "stack": stack,
+            "occurrences": occurrences,
+            "counts": counts,
+        }
+
+
 #: Shared codec instances, one per pipeline stage.
 STRIPPED_CODEC = StrippedTraceCodec()
 ZEROSETS_CODEC = ZeroOneSetsCodec()
 MRCT_CODEC = MRCTCodec()
 HISTOGRAMS_CODEC = HistogramsCodec()
 PACKED_MRCT_CODEC = PackedMRCTCodec()
+STREAM_CHECKPOINT_CODEC = StreamCheckpointCodec()
 
 #: All stage codecs by stage name (CLI stats iterate this).
 STAGE_CODECS = {
@@ -359,5 +462,6 @@ STAGE_CODECS = {
         MRCT_CODEC,
         PACKED_MRCT_CODEC,
         HISTOGRAMS_CODEC,
+        STREAM_CHECKPOINT_CODEC,
     )
 }

@@ -1,0 +1,208 @@
+"""Incremental trace sessions: append chunks, keep ``(D, A)`` answers hot.
+
+The paper's pipeline assumes the trace is fully materialized before the
+prelude runs.  A :class:`TraceSession` drops that assumption: it wraps
+the appendable :class:`repro.core.streaming.StreamingState` so a
+long-running trace source can feed references in chunks and re-ask for
+per-level histograms — and the optimal ``(D, A)`` pairs derived from
+them — after every append, paying time proportional to the appended
+chunk rather than the whole history.
+
+Sessions survive restarts: :meth:`TraceSession.checkpoint` persists the
+full streaming state to the content-addressed artifact store under the
+session's rolling content digest (split-independent — any chunking of
+the same sequence produces the same digest), and
+:meth:`TraceSession.resume` restores it.  Combined with
+:func:`repro.trace.io.iter_trace_chunks`, a 10⁶–10⁸-reference file is
+analyzed without ever materializing the trace.
+
+The serve daemon exposes sessions over HTTP
+(``POST /v1/sessions`` / ``.../append`` / ``.../explore``, see
+:mod:`repro.serve.sessions`) and the CLI as ``repro stream``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.instance import CacheInstance
+from repro.core.postlude import LevelHistogram, optimal_pairs, validate_max_level
+from repro.core.streaming import StreamingState
+from repro.obs.recorder import NULL_RECORDER
+from repro.trace.trace import Trace
+
+__all__ = ["TraceSession", "checkpoint_key"]
+
+
+def checkpoint_key(digest: str, max_level: Optional[int]):
+    """The artifact key a session checkpoint is stored under."""
+    from repro.store.codec import STREAM_CHECKPOINT_CODEC
+    from repro.store.keys import ArtifactKey
+
+    max_level = validate_max_level(max_level)
+    level_key = "full" if max_level is None else int(max_level)
+    return ArtifactKey.for_stage(
+        digest,
+        STREAM_CHECKPOINT_CODEC.stage,
+        STREAM_CHECKPOINT_CODEC.version,
+        max_level=level_key,
+    )
+
+
+class TraceSession:
+    """An append-only exploration session over an unbounded trace.
+
+    Args:
+        address_bits: significant address width, fixed for the session.
+        max_level: deepest level to maintain (default: ``address_bits``);
+            bounding it shrinks both state and per-append cost.
+        store: optional :class:`repro.store.ArtifactStore` for
+            checkpoints; without one, :meth:`checkpoint` is a no-op.
+        name: optional label (appears in ``repr`` and the serve API).
+        recorder: a :class:`repro.obs.Recorder` that appends and
+            explorations report to; defaults to the no-op recorder.
+
+    Raises:
+        ValueError: on a non-positive width or negative ``max_level``.
+    """
+
+    def __init__(
+        self,
+        address_bits: int,
+        max_level: Optional[int] = None,
+        store=None,
+        name: str = "",
+        recorder=NULL_RECORDER,
+    ) -> None:
+        self.state = StreamingState(address_bits, max_level=max_level)
+        self.store = store
+        self.name = name
+        self.recorder = recorder
+        self.appends = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def address_bits(self) -> int:
+        return self.state.address_bits
+
+    @property
+    def max_level(self) -> Optional[int]:
+        return self.state.max_level
+
+    @property
+    def total_refs(self) -> int:
+        """References ingested so far."""
+        return self.state.total_refs
+
+    @property
+    def unique_refs(self) -> int:
+        """Distinct addresses seen so far (the paper's N')."""
+        return self.state.unique_count
+
+    @property
+    def content_digest(self) -> str:
+        """Digest of (address width, appended sequence); checkpoint key."""
+        return self.state.content_digest
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<TraceSession{label} refs={self.total_refs} "
+            f"unique={self.unique_refs} bits={self.address_bits}>"
+        )
+
+    # -- ingestion -------------------------------------------------------------
+
+    def append(self, chunk: Union[Trace, Sequence[int]]) -> int:
+        """Ingest a chunk; histograms stay exact after it returns.
+
+        Returns the number of references ingested.
+        """
+        with self.recorder.phase("stream:append"):
+            n = self.state.append(chunk)
+        self.appends += 1
+        self.recorder.record("stream_refs", n)
+        return n
+
+    # -- answers ---------------------------------------------------------------
+
+    def histograms(self) -> Dict[int, LevelHistogram]:
+        """Current per-level histograms, bit-identical to the batch path."""
+        with self.recorder.phase("stream:histograms"):
+            return self.state.histograms()
+
+    def explore(
+        self, budget: int, include_depth_one: bool = False
+    ) -> List[CacheInstance]:
+        """Optimal ``(depth, associativity)`` pairs for the trace so far."""
+        return optimal_pairs(
+            self.histograms(),
+            budget,
+            max_level=self.state.limit,
+            include_depth_one=include_depth_one,
+        )
+
+    def explore_many(
+        self, budgets: Sequence[int], include_depth_one: bool = False
+    ) -> Dict[int, List[CacheInstance]]:
+        """:meth:`explore` for several budgets, sharing one histogram pass."""
+        histograms = self.histograms()
+        return {
+            budget: optimal_pairs(
+                histograms,
+                budget,
+                max_level=self.state.limit,
+                include_depth_one=include_depth_one,
+            )
+            for budget in budgets
+        }
+
+    # -- persistence -----------------------------------------------------------
+
+    def checkpoint(self) -> Optional[str]:
+        """Persist the session state under its content digest.
+
+        Returns the digest the checkpoint is addressed by, or ``None``
+        when the session has no store.
+        """
+        if self.store is None:
+            return None
+        from repro.store.codec import STREAM_CHECKPOINT_CODEC
+
+        digest = self.content_digest
+        key = checkpoint_key(digest, self.max_level)
+        with self.recorder.phase("stream:checkpoint"):
+            self.store.put(
+                key, STREAM_CHECKPOINT_CODEC, self.state.snapshot(),
+                recorder=self.recorder,
+            )
+        return digest
+
+    @classmethod
+    def resume(
+        cls,
+        store,
+        digest: str,
+        max_level: Optional[int] = None,
+        name: str = "",
+        recorder=NULL_RECORDER,
+    ) -> Optional["TraceSession"]:
+        """Restore a checkpointed session, or ``None`` on a store miss.
+
+        ``max_level`` must match the bound the checkpoint was written
+        with (it participates in the key).
+        """
+        from repro.store.codec import STREAM_CHECKPOINT_CODEC
+
+        key = checkpoint_key(digest, max_level)
+        snapshot = store.get(key, STREAM_CHECKPOINT_CODEC, recorder=recorder)
+        if snapshot is None:
+            return None
+        session = cls.__new__(cls)
+        session.state = StreamingState.from_snapshot(snapshot)
+        session.store = store
+        session.name = name
+        session.recorder = recorder
+        session.appends = 0
+        return session

@@ -25,7 +25,9 @@ import csv
 import gzip
 import io
 import os
-from typing import Callable, Dict, List, Optional, TextIO, Union
+import struct
+from array import array
+from typing import Callable, Dict, Iterator, List, Optional, TextIO, Union
 
 from repro.trace.reference import AccessKind
 from repro.trace.trace import Trace
@@ -205,6 +207,139 @@ def read_binary_trace(path: PathLike, address_bits: Optional[int] = None) -> Tra
         address_bits=address_bits if address_bits is not None else bits,
         kinds=kinds,
         name=os.path.basename(_strip_gz(path)),
+    )
+
+
+# -- chunked / out-of-core reading -------------------------------------------------
+
+#: Default references per chunk for :func:`iter_trace_chunks`.
+DEFAULT_CHUNK_REFS = 65536
+
+
+def _iter_text_addresses(path: PathLike) -> Iterator[int]:
+    with _open_text(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield int(line, 16)
+
+
+def _iter_dinero_addresses(path: PathLike) -> Iterator[int]:
+    with _open_text(path, "r") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: malformed dinero line: {line!r}")
+            yield int(parts[1], 16)
+
+
+def _iter_csv_addresses(path: PathLike) -> Iterator[int]:
+    with _open_text(path, "r") as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            kind_name = row["kind"].strip().lower()
+            if kind_name not in _KIND_BY_NAME:
+                raise ValueError(f"unknown access kind in CSV: {row['kind']!r}")
+            yield int(row["address"], 0)
+
+
+_CHUNK_ITERATORS: Dict[str, Callable[[PathLike], Iterator[int]]] = {
+    ".trace": _iter_text_addresses,
+    ".txt": _iter_text_addresses,
+    ".din": _iter_dinero_addresses,
+    ".csv": _iter_csv_addresses,
+}
+
+
+def _iter_binary_chunks(path: PathLike, chunk_refs: int) -> Iterator[array]:
+    """Blocked reads of the ``.rbt`` address block — no line parsing."""
+    with _open_binary(path, "r") as fh:
+        magic = fh.read(4)
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"{path}: not a repro binary trace (bad magic)")
+        _bits, count, _has_kinds = struct.unpack("<BQB", fh.read(10))
+        remaining = count
+        while remaining:
+            take = min(remaining, chunk_refs)
+            raw = fh.read(8 * take)
+            chunk = array("q")
+            chunk.frombytes(raw)
+            if len(chunk) != take:
+                raise ValueError(f"{path}: truncated address block")
+            remaining -= take
+            yield chunk
+
+
+def iter_trace_chunks(
+    path: PathLike, chunk_refs: int = DEFAULT_CHUNK_REFS
+) -> Iterator[array]:
+    """Stream a trace file as bounded ``array('q')`` address chunks.
+
+    The out-of-core companion to :func:`read_trace`: dispatches on the
+    same suffixes (``.gz`` included) but never materializes the whole
+    trace — at most ``chunk_refs`` addresses are live at once, so
+    10⁶–10⁸-reference files feed a
+    :class:`repro.stream.TraceSession` in O(chunk) memory.  Access
+    kinds are not surfaced; the analytical pipeline only consumes
+    addresses.
+    """
+    if chunk_refs < 1:
+        raise ValueError(f"chunk_refs must be >= 1, got {chunk_refs}")
+    suffix = _suffix(path)
+    if suffix == ".rbt":
+        yield from _iter_binary_chunks(path, chunk_refs)
+        return
+    iterator = _CHUNK_ITERATORS.get(suffix)
+    if iterator is None:
+        raise ValueError(
+            f"unknown trace format {suffix!r}; expected one of "
+            f"{sorted((*_CHUNK_ITERATORS, '.rbt'))}"
+        )
+    chunk = array("q")
+    for address in iterator(path):
+        chunk.append(address)
+        if len(chunk) >= chunk_refs:
+            yield chunk
+            chunk = array("q")
+    if len(chunk):
+        yield chunk
+
+
+def probe_address_bits(path: PathLike) -> Optional[int]:
+    """The address width a trace file declares, without reading its body.
+
+    ``.rbt`` carries the width in its header and text traces may carry
+    an ``# address_bits=`` comment; dinero and CSV files declare
+    nothing, so the caller must supply a width (``None`` is returned).
+    """
+    suffix = _suffix(path)
+    if suffix == ".rbt":
+        with _open_binary(path, "r") as fh:
+            magic = fh.read(4)
+            if magic != _BINARY_MAGIC:
+                raise ValueError(f"{path}: not a repro binary trace (bad magic)")
+            bits, _count, _has_kinds = struct.unpack("<BQB", fh.read(10))
+            return bits
+    if suffix in (".trace", ".txt"):
+        with _open_text(path, "r") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                if not line.startswith("#"):
+                    break
+                body = line.lstrip("#").strip()
+                if body.startswith("address_bits="):
+                    return int(body.split("=", 1)[1])
+        return None
+    if suffix in (".din", ".csv"):
+        return None
+    raise ValueError(
+        f"unknown trace format {suffix!r}; expected one of {sorted(_READERS)}"
     )
 
 

@@ -40,6 +40,7 @@ from repro.verify.oracle import (
     GridOutcome,
     grid_cells,
     run_grid,
+    stream_divergences,
 )
 from repro.verify.runner import (
     LAW_MODES,
@@ -76,6 +77,7 @@ __all__ = [
     "paper_trace",
     "regression_entries",
     "run_grid",
+    "stream_divergences",
     "run_verify",
     "save_crash",
     "seed_regression_corpus",

@@ -17,6 +17,7 @@ prove the oracle catches (and the shrinker minimizes) an injected fault.
 
 from __future__ import annotations
 
+import random
 import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -89,9 +90,11 @@ class Divergence:
 
     Attributes:
         kind: ``"grid"`` (cells disagree), ``"simulator"`` (analytical
-            prediction != simulated misses or budget exceeded) or
+            prediction != simulated misses or budget exceeded),
             ``"minimality"`` (one associativity step below still meets
-            the budget — the emitted A was not minimal).
+            the budget — the emitted A was not minimal) or ``"stream"``
+            (an incremental session fed the trace in chunks diverged
+            from the batch engine on the concatenated trace).
         cell: label of the diverging cell (grid failures only).
         budget: the miss budget the failing exploration ran at.
         detail: human-readable description of the mismatch.
@@ -214,6 +217,107 @@ def _simulator_divergences(
     return divergences
 
 
+def random_chunk_splits(
+    n: int, splits: int, seed: int
+) -> List[List[Tuple[int, int]]]:
+    """Seeded random chunkings of ``range(n)``: lists of (start, stop).
+
+    Always includes the two boundary chunkings — one chunk per reference
+    (maximal append count) and a lone whole-trace chunk — then ``splits``
+    seeded random cuts.  Deterministic in ``(n, splits, seed)``.
+    """
+    if n == 0:
+        return [[]]
+    chunkings: List[List[Tuple[int, int]]] = [
+        [(i, i + 1) for i in range(n)],
+        [(0, n)],
+    ]
+    rng = random.Random((seed << 16) ^ n)
+    for _ in range(max(0, splits)):
+        cut_count = rng.randrange(1, min(n, 8) + 1)
+        cuts = sorted(rng.sample(range(1, n + 1), cut_count) + [0, n])
+        chunking = [
+            (start, stop)
+            for start, stop in zip(cuts, cuts[1:])
+            if stop > start
+        ]
+        chunkings.append(chunking)
+    return chunkings
+
+
+def stream_divergences(
+    trace: Trace,
+    budgets: Sequence[int] = (0,),
+    seed: int = 0,
+    splits: int = 2,
+) -> List[Divergence]:
+    """The append-equivalence oracle: chunked sessions == batch engines.
+
+    Feeds the trace to a :class:`repro.stream.TraceSession` under a
+    seeded set of random chunk splits (plus the one-reference-per-append
+    and single-append boundary chunkings) and requires, for every split:
+    histograms after the final append bit-identical to the batch
+    ``vectorized`` engine on the concatenated trace (``serial`` when
+    NumPy is absent — the two are themselves differentially tested), and
+    identical ``(D, A)`` answers at every budget.
+    """
+    from repro.core.postlude import optimal_pairs
+    from repro.core.vectorized import numpy_available
+    from repro.stream import TraceSession
+
+    engine = "vectorized" if numpy_available() else "serial"
+    inputs = _engines.EngineInputs(trace)
+    batch = _engines.compute_histograms(engine, inputs)
+    batch_counts = {level: dict(h.counts) for level, h in batch.items()}
+    batch_answers = {
+        budget: optimal_pairs(batch, budget) for budget in budgets
+    }
+
+    divergences: List[Divergence] = []
+    addresses = list(trace.addresses)
+    for chunking in random_chunk_splits(len(trace), splits, seed):
+        session = TraceSession(trace.address_bits)
+        for start, stop in chunking:
+            session.append(addresses[start:stop])
+        streamed = session.histograms()
+        streamed_counts = {
+            level: dict(h.counts) for level, h in streamed.items()
+        }
+        label = f"{len(chunking)} chunks"
+        if streamed_counts != batch_counts:
+            diff_levels = sorted(
+                level
+                for level in set(batch_counts) | set(streamed_counts)
+                if batch_counts.get(level) != streamed_counts.get(level)
+            )
+            divergences.append(
+                Divergence(
+                    kind="stream",
+                    cell=f"stream/{label}",
+                    detail=(
+                        f"session histograms diverge from batch {engine} "
+                        f"at levels {diff_levels} after {label}"
+                    ),
+                )
+            )
+            continue
+        for budget in budgets:
+            answers = session.explore(budget)
+            if answers != batch_answers[budget]:
+                divergences.append(
+                    Divergence(
+                        kind="stream",
+                        cell=f"stream/{label}",
+                        budget=budget,
+                        detail=(
+                            f"session (D, A) answers diverge from batch "
+                            f"{engine} at budget {budget} after {label}"
+                        ),
+                    )
+                )
+    return divergences
+
+
 def run_grid(
     trace: Trace,
     budgets: Sequence[int],
@@ -222,6 +326,8 @@ def run_grid(
     tamper: Optional[Tamper] = None,
     simulate: bool = True,
     recorder=None,
+    stream_splits: int = 2,
+    stream_seed: int = 0,
 ) -> GridOutcome:
     """Run one trace through the oracle grid.
 
@@ -237,6 +343,11 @@ def run_grid(
             cache simulator (exactness + budget + minimality).
         recorder: optional :class:`repro.obs.Recorder`; cell counts land
             in its counters.
+        stream_splits: random chunk splits for the append-equivalence
+            oracle (:func:`stream_divergences`); ``-1`` skips the
+            stream check entirely (0 still runs the boundary
+            chunkings).
+        stream_seed: seed for the random chunk splits.
     """
     cell_list = tuple(cells) if cells is not None else grid_cells()
     if not cell_list or cell_list[0] != REFERENCE_CELL:
@@ -284,6 +395,12 @@ def run_grid(
     if simulate and outcome.reference:
         outcome.divergences.extend(
             _simulator_divergences(trace, outcome.reference)
+        )
+    if stream_splits >= 0:
+        outcome.divergences.extend(
+            stream_divergences(
+                trace, budgets, seed=stream_seed, splits=stream_splits
+            )
         )
     if recorder is not None:
         recorder.count("verify_cells", outcome.cells_run)

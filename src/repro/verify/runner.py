@@ -51,6 +51,7 @@ from repro.verify.oracle import (
     Tamper,
     grid_cells,
     run_grid,
+    stream_divergences,
 )
 from repro.verify.shrink import shrink_trace
 
@@ -193,7 +194,8 @@ def _make_recheck(
     Re-runs only what's needed to reproduce this failure kind: the
     diverging cell against the reference for grid failures, the
     reference cell plus simulator for simulator/minimality failures,
-    or the violated law alone for invariant failures.
+    the chunked-session comparison alone for stream failures, or the
+    violated law alone for invariant failures.
     """
     if kind == "grid" and cell is not None:
         cells = (REFERENCE_CELL, _parse_cell(cell))
@@ -206,6 +208,7 @@ def _make_recheck(
                 processes=processes,
                 tamper=tamper,
                 simulate=False,
+                stream_splits=-1,
             )
             return any(d.kind == "grid" for d in outcome.divergences)
 
@@ -220,8 +223,15 @@ def _make_recheck(
                 processes=processes,
                 tamper=tamper,
                 simulate=True,
+                stream_splits=-1,
             )
             return any(d.kind == kind for d in outcome.divergences)
+
+        return recheck
+    if kind == "stream":
+
+        def recheck(trace: Trace) -> bool:
+            return bool(stream_divergences(trace, budgets))
 
         return recheck
     if kind == "invariant" and law is not None:

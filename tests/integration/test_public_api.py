@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.obs",
     "repro.store",
     "repro.serve",
+    "repro.stream",
 ]
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
@@ -69,6 +70,8 @@ def test_api_doc_backtick_names_resolve():
         "repro.cache.onepass",
         "repro.core.validation",
         "repro.isa.errors",
+        "repro.core.streaming",
+        "repro.trace.io",
     ):
         universe.update(dir(importlib.import_module(module_name)))
     universe.update(PACKAGES)

@@ -129,6 +129,7 @@ class TestStageCodecs:
             "histograms",
             "mrct",
             "packed-mrct",
+            "stream-checkpoint",
             "stripped",
             "zerosets",
         ]
