@@ -19,6 +19,8 @@ evaluation depends on:
 * :mod:`repro.obs`       — per-phase telemetry (recorders, run manifests)
 * :mod:`repro.store`     — persistent content-addressed artifact cache
   (warm-starts repeated explorations of the same trace)
+* :mod:`repro.scenario`  — policy-aware exploration beyond the paper's
+  fixed point: FIFO replacement, two-level hierarchies, cost models
 * :mod:`repro.verify`    — differential verification: corpus-driven
   fuzzing oracle, metamorphic invariants, trace shrinking, failure corpus
 * :mod:`repro.serve`     — the exploration daemon: async HTTP/JSON
@@ -47,11 +49,12 @@ from repro.core import (
 )
 from repro.cache import CacheConfig, CacheSimulator, SimulationResult, simulate_trace
 from repro.obs import NullRecorder, Recorder, RunManifest, validate_manifest
+from repro.scenario import COST_MODELS, ScenarioSpec
 from repro.store import ArtifactStore, StoreStats, default_cache_dir, trace_digest
 from repro.trace import Trace, compute_statistics, read_trace, write_trace
 from repro.verify import VerifyConfig, VerifyReport, run_verify
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AnalyticalCacheExplorer",
@@ -69,6 +72,8 @@ __all__ = [
     "CacheSimulator",
     "SimulationResult",
     "simulate_trace",
+    "COST_MODELS",
+    "ScenarioSpec",
     "NullRecorder",
     "Recorder",
     "RunManifest",

@@ -143,7 +143,108 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scenario_flags(p: argparse.ArgumentParser) -> None:
+    """The uniform scenario flags, grouped in one help section."""
+    from repro.core import engines as _engines
+    from repro.scenario import COST_MODELS
+
+    group = p.add_argument_group(
+        "scenario options",
+        "policy-aware exploration beyond the paper's fixed point "
+        "(LRU replacement, single level, no cost model)",
+    )
+    group.add_argument(
+        "--policy",
+        default="lru",
+        choices=list(_engines.policy_names()),
+        help="replacement policy to explore under (default: lru)",
+    )
+    group.add_argument(
+        "--l2-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="also explore a second cache level: the L1 winner's miss "
+        "stream is re-explored with depths bounded by this power of two",
+    )
+    group.add_argument(
+        "--cost-model",
+        default=None,
+        choices=list(COST_MODELS),
+        help="rank each budget's instances by hardware cost",
+    )
+
+
+def _scenario_from_args(args: argparse.Namespace):
+    """Build the :class:`ScenarioSpec` a subcommand's flags describe."""
+    from repro.scenario import ScenarioSpec
+
+    return ScenarioSpec(
+        engine=getattr(args, "engine", "auto"),
+        processes=getattr(args, "processes", 2),
+        prelude=getattr(args, "prelude", "auto"),
+        max_depth=getattr(args, "max_depth", None) or None,
+        include_depth_one=getattr(args, "include_depth_one", False),
+        policy=args.policy,
+        l2_depth=args.l2_depth,
+        cost_model=args.cost_model,
+    )
+
+
+def _print_scenario_extras(extras: dict) -> None:
+    """Render the L2/cost sections of a scenario report as tables."""
+    l2 = extras.get("l2")
+    if l2:
+        for entry in l2["explorations"]:
+            rows = [
+                [i["depth"], i["associativity"], i["size_words"], i["misses"]]
+                for i in entry["result"]["instances"]
+            ]
+            print(
+                format_table(
+                    ["Depth D", "Assoc A", "Size (words)", "Misses"],
+                    rows,
+                    title=(
+                        f"L2 instances behind L1 "
+                        f"(D={entry['l1']['depth']}, "
+                        f"A={entry['l1']['associativity']}) "
+                        f"at K={entry['budget']}"
+                    ),
+                )
+            )
+    cost = extras.get("cost")
+    if cost:
+        for ranking in cost["rankings"]:
+            rows = [
+                [
+                    d["depth"],
+                    d["associativity"],
+                    d["size_words"],
+                    d["non_cold_misses"],
+                    f"{d['cost']:.6g}",
+                ]
+                for d in ranking["designs"]
+            ]
+            print(
+                format_table(
+                    ["Depth D", "Assoc A", "Size (words)", "Misses", "Cost"],
+                    rows,
+                    title=(
+                        f"cost ranking ({cost['model']}) "
+                        f"at K={ranking['budget']}"
+                    ),
+                )
+            )
+
+
 def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core import engines as _engines
+
+    try:
+        spec = _scenario_from_args(args)
+    except ValueError as exc:
+        print(f"explore failed: {exc}", file=sys.stderr)
+        return 1
     recorder = None
     if args.profile:
         from repro.obs import Recorder
@@ -154,16 +255,31 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             trace = read_trace(args.trace)
     else:
         trace = read_trace(args.trace)
-    explorer = AnalyticalCacheExplorer(
+    store = _resolve_store(args)
+    explorer = _engines.policy_explorer(
+        spec.policy,
         trace,
-        max_depth=args.max_depth if args.max_depth else None,
-        engine=args.engine,
-        prelude=args.prelude,
+        max_depth=spec.max_depth,
+        engine=spec.engine,
+        prelude=spec.prelude,
         recorder=recorder,
-        store=_resolve_store(args),
+        store=store,
     )
     budget = _budget_for(args, explorer)
     result = explorer.explore(budget)
+    extras = None
+    if not spec.is_baseline():
+        from repro.scenario import scenario_extras
+
+        extras = scenario_extras(
+            trace,
+            spec,
+            [budget],
+            [result],
+            explorer,
+            recorder=recorder,
+            store=store,
+        )
     if recorder is not None:
         manifest = explorer.run_manifest()
         with open(args.profile, "w", encoding="utf-8") as fh:
@@ -173,11 +289,15 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     if args.json:
         import json
 
-        print(json.dumps(result.to_json_dict(), indent=2))
+        document = result.to_json_dict()
+        if extras is not None:
+            document["scenario"] = extras
+        print(json.dumps(document, indent=2))
         return 0
+    policy_note = "" if spec.policy == "lru" else f", policy: {spec.policy}"
     print(
         f"trace {trace.name}: N={len(trace)} N'={trace.unique_count()} "
-        f"(engine: {explorer.resolved_engine})"
+        f"(engine: {explorer.resolved_engine}{policy_note})"
     )
     print(f"miss budget K={budget} (beyond cold misses)")
     rows = [
@@ -191,6 +311,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             title="optimal cache instances",
         )
     )
+    if extras is not None:
+        _print_scenario_extras(extras)
     return 0
 
 
@@ -313,6 +435,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         preludes=preludes,
         include_warm=not args.no_warm,
         laws=args.laws,
+        policies=tuple(args.policies) if args.policies else (),
         processes=args.processes,
         corpus_dir=None if args.no_corpus else corpus_dir,
         shrink=not args.no_shrink,
@@ -822,14 +945,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient, ServeError
 
     traces = tuple(read_trace(path) for path in args.traces)
-    request = ExplorationRequest(
-        traces=traces,
-        mode=args.mode,
-        budgets=tuple(args.budget) if args.budget else (),
-        percents=tuple(args.percent) if args.percent else (),
-        engine=args.engine,
-        prelude=args.prelude,
-    )
+    try:
+        request = ExplorationRequest(
+            traces=traces,
+            mode=args.mode,
+            budgets=tuple(args.budget) if args.budget else (),
+            percents=tuple(args.percent) if args.percent else (),
+            scenario=_scenario_from_args(args),
+        )
+    except ValueError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
     client = ServeClient(args.host, args.port, timeout=args.timeout)
     try:
         report = client.explore(request)
@@ -886,6 +1012,82 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 title=f"line-size sweep at K={sweep.budget}",
             )
         )
+    if report.scenario:
+        _print_scenario_extras(report.scenario)
+    return 0
+
+
+def _cmd_stream_scenario(args: argparse.Namespace, spec) -> int:
+    """Non-baseline scenarios need the whole trace resident.
+
+    The streaming tier maintains online LRU conflict histograms only;
+    FIFO simulation, miss-stream capture, and costing all replay the
+    full reference sequence.  Fall back to a materialized exploration
+    with a warning rather than silently answering the wrong question.
+    """
+    from repro.core import engines as _engines
+    from repro.scenario import scenario_extras
+
+    print(
+        f"stream: scenario (policy={spec.policy}, l2_depth={spec.l2_depth}, "
+        f"cost_model={spec.cost_model}) requires the whole trace; "
+        f"materializing {args.trace}",
+        file=sys.stderr,
+    )
+    store = _resolve_store(args)
+    budgets = args.budget if args.budget else [0]
+    try:
+        trace = read_trace(args.trace, address_bits=args.address_bits)
+        explorer = _engines.policy_explorer(spec.policy, trace, store=store)
+        results = [
+            explorer.explore(b, include_depth_one=args.include_depth_one)
+            for b in budgets
+        ]
+        extras = scenario_extras(
+            trace, spec, budgets, results, explorer, store=store
+        )
+    except (OSError, ValueError) as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        import json
+
+        document = {
+            "trace": args.trace,
+            "address_bits": trace.address_bits,
+            "total_refs": len(trace),
+            "unique_refs": trace.unique_count(),
+            "materialized": True,
+            "results": {
+                str(budget): result.to_json_dict()
+                for budget, result in zip(budgets, results)
+            },
+        }
+        if extras is not None:
+            document["scenario"] = extras
+        print(json.dumps(document, indent=2))
+        return 0
+
+    print(
+        f"stream {args.trace}: {len(trace)} refs "
+        f"({trace.unique_count()} unique, {trace.address_bits} bits, "
+        f"materialized, policy {spec.policy})"
+    )
+    for budget, result in zip(budgets, results):
+        rows = [
+            [inst.depth, inst.associativity, inst.size_words, misses]
+            for inst, misses in zip(result.instances, result.misses)
+        ]
+        print(
+            format_table(
+                ["Depth D", "Assoc A", "Size (words)", "Misses"],
+                rows,
+                title=f"optimal instances at K={budget}",
+            )
+        )
+    if extras is not None:
+        _print_scenario_extras(extras)
     return 0
 
 
@@ -893,6 +1095,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.core.streaming import StreamDigest
     from repro.stream import TraceSession
     from repro.trace.io import iter_trace_chunks, probe_address_bits
+
+    try:
+        spec = _scenario_from_args(args)
+    except ValueError as exc:
+        print(f"stream failed: {exc}", file=sys.stderr)
+        return 1
+    if not spec.is_baseline():
+        return _cmd_stream_scenario(args, spec)
 
     try:
         bits = probe_address_bits(args.trace)
@@ -1077,6 +1287,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MANIFEST",
         help="record per-phase telemetry and write a run manifest JSON here",
     )
+    _add_scenario_flags(p)
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_explore)
 
@@ -1165,6 +1376,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="rotate",
         choices=["rotate", "all", "none"],
         help="metamorphic laws per trace: one (round-robin), all, or none",
+    )
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        metavar="POLICY",
+        choices=list(_engines.policy_names()),
+        help="also run the policy oracle for these replacement policies "
+        "(policy engine vs simulator, every (D, A) cell)",
     )
     p.add_argument(
         "--processes", type=int, default=2, help="parallel-engine workers"
@@ -1422,6 +1641,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(_engines.PRELUDE_MODES),
         help="prelude builder (default: auto)",
     )
+    _add_scenario_flags(p)
     p.add_argument("--host", default=_serve_host, help="daemon address")
     p.add_argument(
         "--port", type=int, default=_serve_port, help="daemon port"
@@ -1477,6 +1697,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="emit the results as JSON"
     )
+    _add_scenario_flags(p)
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_stream)
 

@@ -725,3 +725,109 @@ register_engine(
         requires_numpy=True,
     )
 )
+
+
+# -- replacement-policy exploration registry ------------------------------------
+#
+# The histogram registry above is LRU-only by construction: every entry
+# is differentially tested bit-identical against ``serial``, and FIFO
+# misses are not monotone in associativity (Belady's anomaly), so they
+# cannot be encoded as a LevelHistogram at all.  Policy-aware
+# exploration therefore has its own registry: each entry is a factory
+# producing an *explorer* (the ``AnalyticalCacheExplorer`` surface —
+# ``explore``/``explore_many``/``misses``/``statistics``/
+# ``resolved_engine``/``report_level``) for one replacement policy.
+
+
+@dataclass(frozen=True)
+class PolicyEngineSpec:
+    """A registered policy-aware exploration engine.
+
+    Attributes:
+        name: replacement policy name (matches
+            :class:`repro.cache.config.ReplacementKind` values).
+        summary: one-line description of how the policy is explored.
+        exactness: where the answers are analytical vs simulator-backed.
+        factory: callable ``factory(trace, **kwargs)`` returning an
+            explorer; accepts the :class:`AnalyticalCacheExplorer`
+            constructor keywords (``max_depth``, ``engine``,
+            ``processes``, ``prelude``, ``recorder``, ``store``).
+    """
+
+    name: str
+    summary: str
+    exactness: str
+    factory: Callable[..., object]
+
+
+_POLICY_REGISTRY: "OrderedDict[str, PolicyEngineSpec]" = OrderedDict()
+
+
+def register_policy_engine(spec: PolicyEngineSpec) -> PolicyEngineSpec:
+    """Add a policy engine to the registry (name must be new)."""
+    if spec.name in _POLICY_REGISTRY:
+        raise ValueError(f"policy engine name {spec.name!r} already taken")
+    _POLICY_REGISTRY[spec.name] = spec
+    return spec
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Registered replacement-policy names, in registration order."""
+    return tuple(_POLICY_REGISTRY)
+
+
+def get_policy_engine(name: str) -> PolicyEngineSpec:
+    """Look up a policy engine by name.
+
+    Raises:
+        ValueError: for unregistered policy names.
+    """
+    spec = _POLICY_REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown policy {name!r}; expected one of {policy_names()}"
+        )
+    return spec
+
+
+def policy_explorer(policy: str, trace: Trace, **kwargs: object):
+    """Build the exploration engine for a replacement policy.
+
+    ``policy_explorer("lru", trace)`` is exactly
+    ``AnalyticalCacheExplorer(trace)``; other policies return hybrid
+    engines that fall back to per-depth simulation where no analytical
+    shortcut is exact.
+    """
+    return get_policy_engine(policy).factory(trace, **kwargs)
+
+
+def _make_lru_explorer(trace: Trace, **kwargs: object):
+    from repro.core.explorer import AnalyticalCacheExplorer
+
+    return AnalyticalCacheExplorer(trace, **kwargs)
+
+
+def _make_fifo_explorer(trace: Trace, **kwargs: object):
+    from repro.core.fifo import FIFOHybridExplorer
+
+    return FIFOHybridExplorer(trace, **kwargs)
+
+
+register_policy_engine(
+    PolicyEngineSpec(
+        name="lru",
+        summary="the paper's fully analytical histogram pipeline",
+        exactness="analytical at every (D, A)",
+        factory=_make_lru_explorer,
+    )
+)
+register_policy_engine(
+    PolicyEngineSpec(
+        name="fifo",
+        summary="DEW-style hybrid: analytical where exact, one-pass "
+        "multi-associativity simulation elsewhere",
+        exactness="analytical at A=1 and at the zero-eviction bound; "
+        "simulator-backed per depth in between",
+        factory=_make_fifo_explorer,
+    )
+)

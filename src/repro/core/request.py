@@ -29,14 +29,26 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core import engines as _engines
-from repro.core.explorer import AnalyticalCacheExplorer
 from repro.core.instance import ExplorationResult
 from repro.core.linesize import LineSizeExplorer, LineSweepResult
 from repro.core.multi import MultiTraceExplorer, MultiTraceResult
+from repro.scenario.spec import ScenarioSpec
 from repro.trace.trace import Trace
 
 #: The exploration shapes a request can take.
 MODES = ("single", "sum", "each", "linesize")
+
+#: The machinery kwargs that predate :class:`ScenarioSpec`, with their
+#: defaults.  They remain accepted as deprecation shims; when a request
+#: carries an explicit scenario, any non-default loose value must agree
+#: with it (conflicts fail loudly instead of silently winning).
+_SCENARIO_SHIM_FIELDS = {
+    "engine": _engines.AUTO_ENGINE,
+    "processes": 2,
+    "prelude": "auto",
+    "max_depth": None,
+    "include_depth_one": False,
+}
 
 
 @dataclass(frozen=True, eq=False)
@@ -71,6 +83,15 @@ class ExplorationRequest:
             explorer the request spawns.
         store: optional :class:`repro.store.ArtifactStore` shared by
             every explorer the request spawns (warm-start).
+        scenario: the :class:`repro.scenario.ScenarioSpec` describing
+            *how* to explore — machinery (engine/processes/prelude/
+            depth bounds) plus the scenario dimensions (replacement
+            policy, second level, cost model).  When omitted, one is
+            built from the loose machinery kwargs above (the
+            pre-scenario signature, kept as a deprecation shim); when
+            given, the loose kwargs must be left at their defaults or
+            agree with it, and are overwritten to mirror it so older
+            call sites reading ``request.engine`` etc. keep working.
 
     Build via the mode-specific constructors (:meth:`single`,
     :meth:`multi`, :meth:`line_sweep`) rather than positionally.
@@ -89,8 +110,10 @@ class ExplorationRequest:
     prelude: str = "auto"
     recorder: Optional[object] = None
     store: Optional[object] = None
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
+        self._reconcile_scenario()
         if self.mode not in MODES:
             raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if not self.traces:
@@ -117,12 +140,57 @@ class ExplorationRequest:
             raise ValueError("budgets must be non-negative")
         if any(p < 0 for p in self.percents):
             raise ValueError("percents must be non-negative")
-        _engines.canonical_name(self.engine)  # fail fast on unknown names
-        if self.prelude not in _engines.PRELUDE_MODES:
+        if self.mode != "single" and not self.scenario.is_baseline():
             raise ValueError(
-                f"prelude must be one of {_engines.PRELUDE_MODES}, "
-                f"got {self.prelude!r}"
+                "policy/l2_depth/cost_model scenarios are only supported "
+                f"in mode 'single', not {self.mode!r}"
             )
+
+    def _reconcile_scenario(self) -> None:
+        """Unify the scenario with the legacy loose kwargs (shim path).
+
+        Field validation (engine names, prelude modes, policy domains)
+        lives in :class:`ScenarioSpec` itself, so both spellings fail
+        with identical errors.
+        """
+        if self.scenario is None:
+            object.__setattr__(
+                self,
+                "scenario",
+                ScenarioSpec(
+                    **{
+                        name: getattr(self, name)
+                        for name in _SCENARIO_SHIM_FIELDS
+                    }
+                ),
+            )
+            return
+        for name, default in _SCENARIO_SHIM_FIELDS.items():
+            loose = getattr(self, name)
+            from_spec = getattr(self.scenario, name)
+            if loose != default and loose != from_spec:
+                raise ValueError(
+                    f"conflicting {name!r}: request kwarg {loose!r} vs "
+                    f"scenario {from_spec!r} — set it on the scenario only"
+                )
+            object.__setattr__(self, name, from_spec)
+
+    # -- scenario accessors -----------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        """The scenario's replacement policy."""
+        return self.scenario.policy
+
+    @property
+    def l2_depth(self) -> Optional[int]:
+        """The scenario's L2 depth bound (``None`` = single level)."""
+        return self.scenario.l2_depth
+
+    @property
+    def cost_model(self) -> Optional[str]:
+        """The scenario's cost model (``None`` = miss counts only)."""
+        return self.scenario.cost_model
 
     # -- constructors -----------------------------------------------------------
 
@@ -141,12 +209,41 @@ class ExplorationRequest:
         prelude: str = "auto",
         recorder=None,
         store=None,
+        policy: str = "lru",
+        l2_depth: Optional[int] = None,
+        cost_model: Optional[str] = None,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> "ExplorationRequest":
-        """One-trace exploration at absolute and/or percent budgets."""
+        """One-trace exploration at absolute and/or percent budgets.
+
+        Pass a :class:`~repro.scenario.ScenarioSpec` via ``scenario``,
+        or spell its fields loose (``engine``/``prelude``/``policy``/
+        ``l2_depth``/``cost_model``/...) — not both, unless they agree.
+        """
         all_budgets = tuple(budgets) + ((budget,) if budget is not None else ())
         all_percents = tuple(percents) + (
             (percent,) if percent is not None else ()
         )
+        if scenario is None:
+            scenario = ScenarioSpec(
+                engine=engine,
+                processes=processes,
+                prelude=prelude,
+                max_depth=max_depth,
+                include_depth_one=include_depth_one,
+                policy=policy,
+                l2_depth=l2_depth,
+                cost_model=cost_model,
+            )
+        elif (policy, l2_depth, cost_model) != ("lru", None, None) and (
+            policy,
+            l2_depth,
+            cost_model,
+        ) != (scenario.policy, scenario.l2_depth, scenario.cost_model):
+            raise ValueError(
+                "conflicting policy/l2_depth/cost_model: set them on the "
+                "scenario only"
+            )
         return cls(
             traces=(trace,),
             mode="single",
@@ -159,6 +256,7 @@ class ExplorationRequest:
             prelude=prelude,
             recorder=recorder,
             store=store,
+            scenario=scenario,
         )
 
     @classmethod
@@ -231,6 +329,11 @@ class ExplorationReport:
         line_sweeps: per-budget sweep results (``linesize``).
         store_stats: snapshot of the artifact store's counters after the
             run, when the request carried a store.
+        scenario: the scenario extras section (JSON-ready dict from
+            :func:`repro.scenario.runner.scenario_extras`) — policy,
+            second-level explorations, cost rankings.  ``None`` for
+            baseline scenarios, keeping pre-scenario reports (and
+            ``/1``/``/1.1`` wire responses) byte-identical.
     """
 
     mode: str
@@ -240,6 +343,7 @@ class ExplorationReport:
     multi_results: Tuple[MultiTraceResult, ...] = ()
     line_sweeps: Tuple[LineSweepResult, ...] = ()
     store_stats: Optional[Dict[str, int]] = None
+    scenario: Optional[Dict] = None
 
     @property
     def result(self):
@@ -308,6 +412,8 @@ class ExplorationReport:
             ]
         if self.store_stats is not None:
             payload["store"] = dict(self.store_stats)
+        if self.scenario is not None:
+            payload["scenario"] = dict(self.scenario)
         return payload
 
     @classmethod
@@ -373,6 +479,7 @@ class ExplorationReport:
                 )
             )
         store_stats = payload.get("store")
+        scenario = payload.get("scenario")
         return cls(
             mode=str(payload["mode"]),
             engine=str(payload["engine"]),
@@ -381,6 +488,7 @@ class ExplorationReport:
             multi_results=tuple(multi_results),
             line_sweeps=tuple(line_sweeps),
             store_stats=dict(store_stats) if store_stats is not None else None,
+            scenario=dict(scenario) if scenario is not None else None,
         )
 
 
@@ -403,12 +511,14 @@ def explore_request(request: ExplorationRequest) -> ExplorationReport:
 
 
 def _run_single(request: ExplorationRequest) -> ExplorationReport:
-    explorer = AnalyticalCacheExplorer(
+    spec = request.scenario
+    explorer = _engines.policy_explorer(
+        spec.policy,
         request.traces[0],
-        max_depth=request.max_depth,
-        engine=request.engine,
-        processes=request.processes,
-        prelude=request.prelude,
+        max_depth=spec.max_depth,
+        engine=spec.engine,
+        processes=spec.processes,
+        prelude=spec.prelude,
         recorder=request.recorder,
         store=request.store,
     )
@@ -417,15 +527,28 @@ def _run_single(request: ExplorationRequest) -> ExplorationReport:
         explorer.statistics.budget(percent) for percent in request.percents
     )
     results = tuple(
-        explorer.explore(k, include_depth_one=request.include_depth_one)
+        explorer.explore(k, include_depth_one=spec.include_depth_one)
         for k in budgets
     )
-    return ExplorationReport(
+    report = ExplorationReport(
         mode=request.mode,
         engine=explorer.resolved_engine,
         budgets=tuple(budgets),
         results=results,
     )
+    if not spec.is_baseline():
+        from repro.scenario.runner import scenario_extras
+
+        report.scenario = scenario_extras(
+            request.traces[0],
+            spec,
+            tuple(budgets),
+            results,
+            explorer,
+            recorder=request.recorder,
+            store=request.store,
+        )
+    return report
 
 
 def _run_multi(request: ExplorationRequest) -> ExplorationReport:

@@ -1,0 +1,45 @@
+"""Policy-aware exploration scenarios: replacement x hierarchy x cost.
+
+The scenario tier answers the paper's budget -> design-space question
+beyond its fixed point (single-level, one-word-line, LRU):
+
+* :class:`ScenarioSpec` — the frozen contract carried by every
+  :class:`repro.core.request.ExplorationRequest`, bundling the
+  machinery knobs with the scenario dimensions (replacement ``policy``,
+  second-level ``l2_depth``, ``cost_model``).
+* :mod:`repro.scenario.runner` — executes the extras: L1-winner miss
+  streams re-explored at L2 granularity (validated against
+  :mod:`repro.cache.multilevel`'s composed simulation) and per-budget
+  hardware-cost rankings.
+
+Policy engines themselves live in the registry
+(:func:`repro.core.engines.policy_explorer`); ``fifo`` resolves to the
+DEW-style hybrid of :mod:`repro.core.fifo`.
+"""
+
+from repro.scenario.spec import COST_MODELS, ScenarioSpec
+
+__all__ = [
+    "COST_MODELS",
+    "ScenarioSpec",
+    "cost_ranking",
+    "explore_second_level",
+    "scenario_extras",
+]
+
+_RUNNER_EXPORTS = ("cost_ranking", "explore_second_level", "scenario_extras")
+
+
+def __getattr__(name: str):
+    # Lazy: runner pulls in cache/explore modules the spec does not
+    # need, and must not load while repro.core is mid-import.
+    if name in _RUNNER_EXPORTS:
+        from repro.scenario import runner
+
+        return getattr(runner, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    # Make the lazy runner names visible to dir()/introspection.
+    return sorted(set(globals()) | set(_RUNNER_EXPORTS))

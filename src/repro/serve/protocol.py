@@ -33,17 +33,24 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.linesize import LineSizeExplorer
 from repro.core.postlude import validate_max_level
 from repro.core.request import ExplorationRequest, ExplorationReport, MODES
+from repro.scenario.spec import ScenarioSpec
 from repro.store.keys import trace_digest
 from repro.trace.reference import AccessKind
 from repro.trace.trace import Trace
 
 #: Request document schema identifier (current minor revision).
-REQUEST_SCHEMA = "repro-serve-request/1.1"
+REQUEST_SCHEMA = "repro-serve-request/1.2"
 
 #: Request schemas the daemon accepts.  ``/1`` documents predate the
-#: ``max_level`` field and remain valid — every ``/1.1`` addition is
-#: optional, so old clients keep working unchanged.
-ACCEPTED_REQUEST_SCHEMAS = (REQUEST_SCHEMA, "repro-serve-request/1")
+#: ``max_level`` field, ``/1.1`` documents the ``scenario`` block; both
+#: remain valid — every later addition is optional with defaults
+#: matching the old behavior, so old clients keep working unchanged and
+#: are answered byte-identically.
+ACCEPTED_REQUEST_SCHEMAS = (
+    REQUEST_SCHEMA,
+    "repro-serve-request/1.1",
+    "repro-serve-request/1",
+)
 
 #: Response document schema identifier.
 RESPONSE_SCHEMA = "repro-serve-response/1"
@@ -63,7 +70,11 @@ REQUEST_FIELDS = (
     "engine",
     "processes",
     "prelude",
+    "scenario",
 )
+
+#: Wire fields of a ``/1.2`` scenario block.
+SCENARIO_FIELDS = ("policy", "l2_depth", "cost_model")
 
 #: Batch request/response document schema identifiers.
 BATCH_REQUEST_SCHEMA = "repro-serve-batch/1"
@@ -185,7 +196,22 @@ def request_to_wire(request: ExplorationRequest) -> Dict:
         "engine": request.engine,
         "processes": request.processes,
         "prelude": request.prelude,
+        "scenario": request.scenario.to_json_dict(),
     }
+
+
+def _scenario_from_wire(document: object) -> Dict:
+    """Validate a ``/1.2`` scenario block; returns its plain fields."""
+    document = _require_dict(document, "request.scenario")
+    _check_fields(document, SCENARIO_FIELDS, "request.scenario")
+    policy = _str(document.get("policy", "lru"), "request.scenario.policy")
+    l2_depth = document.get("l2_depth")
+    if l2_depth is not None:
+        l2_depth = _int(l2_depth, "request.scenario.l2_depth")
+    cost_model = document.get("cost_model")
+    if cost_model is not None:
+        cost_model = _str(cost_model, "request.scenario.cost_model")
+    return {"policy": policy, "l2_depth": l2_depth, "cost_model": cost_model}
 
 
 def request_from_wire(document: object) -> ExplorationRequest:
@@ -238,22 +264,37 @@ def request_from_wire(document: object) -> ExplorationRequest:
     line_sizes = document.get(
         "line_sizes", list(LineSizeExplorer.DEFAULT_LINE_SIZES)
     )
+    scenario_wire = document.get("scenario")
+    if scenario_wire is not None and document["schema"] != REQUEST_SCHEMA:
+        raise ProtocolError(
+            f"request.scenario requires schema {REQUEST_SCHEMA!r}, "
+            f"got {document['schema']!r}"
+        )
+    scenario_fields = (
+        _scenario_from_wire(scenario_wire)
+        if scenario_wire is not None
+        else {"policy": "lru", "l2_depth": None, "cost_model": None}
+    )
     try:
-        return ExplorationRequest(
-            traces=traces,
-            mode=mode,
-            budgets=tuple(_int_list(document.get("budgets", []), "request.budgets")),
-            percents=percents,
+        scenario = ScenarioSpec(
+            engine=_str(document.get("engine", "auto"), "request.engine"),
+            processes=_int(document.get("processes", 2), "request.processes"),
+            prelude=_str(document.get("prelude", "auto"), "request.prelude"),
             max_depth=max_depth,
             include_depth_one=_bool(
                 document.get("include_depth_one", False),
                 "request.include_depth_one",
             ),
+            **scenario_fields,
+        )
+        return ExplorationRequest(
+            traces=traces,
+            mode=mode,
+            budgets=tuple(_int_list(document.get("budgets", []), "request.budgets")),
+            percents=percents,
             line_sizes=tuple(_int_list(line_sizes, "request.line_sizes")),
             weights=weights,
-            engine=_str(document.get("engine", "auto"), "request.engine"),
-            processes=_int(document.get("processes", 2), "request.processes"),
-            prelude=_str(document.get("prelude", "auto"), "request.prelude"),
+            scenario=scenario,
         )
     except ValueError as exc:  # semantic validation (mode arity, budgets...)
         raise ProtocolError(f"request: {exc}") from exc
@@ -270,6 +311,10 @@ def request_key(document: object) -> str:
     produce it) do not.
     """
     request = request_from_wire(document)
+    # The scenario triple is keyed from the *parsed* request, so a /1 or
+    # /1.1 document (no scenario block) and a /1.2 document carrying the
+    # default scenario hash identically — dedup is unified across
+    # protocol revisions.
     canonical = {
         "mode": request.mode,
         "traces": [trace_digest(trace) for trace in request.traces],
@@ -282,6 +327,9 @@ def request_key(document: object) -> str:
         "engine": request.engine,
         "processes": request.processes,
         "prelude": request.prelude,
+        "policy": request.scenario.policy,
+        "l2_depth": request.scenario.l2_depth,
+        "cost_model": request.scenario.cost_model,
     }
     blob = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

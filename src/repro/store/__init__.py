@@ -24,9 +24,13 @@ from repro.store.codec import (
     MRCT_CODEC,
     MRCTCodec,
     PACKED_MRCT_CODEC,
+    POLICY_MISSES_CODEC,
     PackedMRCTCodec,
+    PolicyMissesCodec,
     STAGE_CODECS,
+    STREAM_CHECKPOINT_CODEC,
     STRIPPED_CODEC,
+    StreamCheckpointCodec,
     StrippedTraceCodec,
     ZEROSETS_CODEC,
     ZeroOneSetsCodec,
@@ -59,12 +63,16 @@ __all__ = [
     "MRCT_CODEC",
     "MRCTCodec",
     "PACKED_MRCT_CODEC",
+    "POLICY_MISSES_CODEC",
     "PackedMRCTCodec",
+    "PolicyMissesCodec",
     "QUARANTINE_DIR",
     "STAGE_CODECS",
+    "STREAM_CHECKPOINT_CODEC",
     "STRIPPED_CODEC",
     "StoreEntry",
     "StoreStats",
+    "StreamCheckpointCodec",
     "StrippedTraceCodec",
     "TRACE_DIGEST_SCHEMA",
     "ZEROSETS_CODEC",

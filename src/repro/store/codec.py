@@ -445,6 +445,55 @@ class StreamCheckpointCodec:
         }
 
 
+class PolicyMissesCodec:
+    """Per-depth miss table of one non-LRU replacement policy.
+
+    Keyed with the policy name and depth as artifact-key params — a
+    stage of its own, disjoint from the (LRU-only) ``histograms``
+    stage, so policy entries can never be addressed by an LRU
+    warm-start or vice versa.
+    """
+
+    stage = "policy-misses"
+    version = 1
+
+    def encode(self, table) -> bytes:
+        counts = table.counts
+        parts: List[bytes] = [
+            struct.pack(
+                "<III", table.depth, table.zero_associativity, len(counts)
+            )
+        ]
+        for assoc in sorted(counts):
+            parts.append(struct.pack("<IQ", assoc, counts[assoc]))
+        return b"".join(parts)
+
+    def decode(self, payload: bytes, context: Optional[Trace] = None):
+        from repro.core.fifo import PolicyMissTable
+
+        reader = _Reader(payload)
+        depth, zero, n_entries = reader.unpack("<III")
+        if depth < 1 or (depth & (depth - 1)) != 0:
+            raise CorruptArtifact(f"depth {depth} is not a power of two")
+        if zero < 1:
+            raise CorruptArtifact(f"zero associativity {zero} < 1")
+        counts: Dict[int, int] = {}
+        previous = 1
+        for _ in range(n_entries):
+            assoc, misses = reader.unpack("<IQ")
+            if not previous < assoc < zero:
+                raise CorruptArtifact(
+                    f"associativity {assoc} out of order or outside "
+                    f"(1, {zero})"
+                )
+            previous = assoc
+            counts[assoc] = misses
+        reader.expect_end()
+        return PolicyMissTable(
+            depth=depth, zero_associativity=zero, counts=counts
+        )
+
+
 #: Shared codec instances, one per pipeline stage.
 STRIPPED_CODEC = StrippedTraceCodec()
 ZEROSETS_CODEC = ZeroOneSetsCodec()
@@ -452,6 +501,7 @@ MRCT_CODEC = MRCTCodec()
 HISTOGRAMS_CODEC = HistogramsCodec()
 PACKED_MRCT_CODEC = PackedMRCTCodec()
 STREAM_CHECKPOINT_CODEC = StreamCheckpointCodec()
+POLICY_MISSES_CODEC = PolicyMissesCodec()
 
 #: All stage codecs by stage name (CLI stats iterate this).
 STAGE_CODECS = {
@@ -463,5 +513,6 @@ STAGE_CODECS = {
         PACKED_MRCT_CODEC,
         HISTOGRAMS_CODEC,
         STREAM_CHECKPOINT_CODEC,
+        POLICY_MISSES_CODEC,
     )
 }

@@ -51,6 +51,8 @@ from repro.trace.synthetic import (
     zipf_trace,
     markov_trace,
     interleaved_trace,
+    adversarial_lowbit_trace,
+    skewed_trace,
 )
 
 __all__ = [
@@ -88,4 +90,6 @@ __all__ = [
     "zipf_trace",
     "markov_trace",
     "interleaved_trace",
+    "adversarial_lowbit_trace",
+    "skewed_trace",
 ]

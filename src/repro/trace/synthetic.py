@@ -133,6 +133,78 @@ def markov_trace(
     return Trace(addresses, address_bits=address_bits, name=f"markov-{locality}")
 
 
+def adversarial_lowbit_trace(
+    length: int,
+    low_bits: int,
+    footprint: int = 64,
+    ratio: float = 0.5,
+    seed: int = 0,
+    address_bits: Optional[int] = None,
+) -> Trace:
+    """A base stream salted with addresses that share identical low bits.
+
+    A ``ratio`` fraction of references are multiples of ``2**low_bits``:
+    their set-index bits are all zero for every cache depth up to
+    ``2**low_bits``, so they pile into one set no matter how deep the
+    cache grows — the worst case for index-bit hashing, and the shape
+    that separates true per-set conflict tracking from approximations
+    keyed on address popularity alone.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if low_bits < 1:
+        raise ValueError("low_bits must be >= 1")
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError("ratio must be in [0, 1]")
+    rng = random.Random(seed)
+    addresses: List[int] = []
+    for _ in range(length):
+        if rng.random() < ratio:
+            addresses.append(rng.randrange(1, footprint + 1) << low_bits)
+        else:
+            addresses.append(rng.randrange(footprint))
+    return Trace(
+        addresses, address_bits=address_bits, name=f"advlow-{low_bits}"
+    )
+
+
+def skewed_trace(
+    length: int,
+    footprint: int,
+    hot_fraction: float = 0.1,
+    skew: float = 0.9,
+    seed: int = 0,
+    address_bits: Optional[int] = None,
+) -> Trace:
+    """Two-tier popularity skew: a small hot set absorbs most references.
+
+    With probability ``skew`` a reference lands uniformly in the hot
+    ``hot_fraction`` of the footprint; otherwise in the cold remainder.
+    Unlike :func:`zipf_trace`'s smooth rank decay, the hard hot/cold
+    boundary makes the working-set knee land at a predictable size —
+    useful for skew-parameterized sweeps.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if footprint <= 0:
+        raise ValueError("footprint must be positive")
+    if not 0.0 < hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in (0, 1]")
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError("skew must be in [0, 1]")
+    hot = max(1, min(footprint, round(footprint * hot_fraction)))
+    rng = random.Random(seed)
+    addresses: List[int] = []
+    for _ in range(length):
+        if hot >= footprint or rng.random() < skew:
+            addresses.append(rng.randrange(hot))
+        else:
+            addresses.append(rng.randrange(hot, footprint))
+    return Trace(addresses, address_bits=address_bits, name=f"skew-{skew}")
+
+
 def interleaved_trace(
     traces: Sequence[Trace],
     address_bits: Optional[int] = None,

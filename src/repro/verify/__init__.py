@@ -39,6 +39,7 @@ from repro.verify.oracle import (
     GridCell,
     GridOutcome,
     grid_cells,
+    policy_divergences,
     run_grid,
     stream_divergences,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "grid_cells",
     "load_corpus",
     "paper_trace",
+    "policy_divergences",
     "regression_entries",
     "run_grid",
     "stream_divergences",

@@ -25,11 +25,13 @@ from typing import Iterator, List, Tuple
 
 from repro.trace.stats import compute_statistics
 from repro.trace.synthetic import (
+    adversarial_lowbit_trace,
     interleaved_trace,
     loop_nest_trace,
     markov_trace,
     random_trace,
     sequential_trace,
+    skewed_trace,
     strided_trace,
     zipf_trace,
 )
@@ -151,6 +153,14 @@ def anchor_entries() -> List[CorpusEntry]:
         _entry("transpose", _transpose_trace(6, 8)),
         _entry("loop-nest", loop_nest_trace(12, 8)),
         _entry(
+            "adversarial-lowbit",
+            adversarial_lowbit_trace(160, low_bits=4, footprint=12, seed=11),
+        ),
+        _entry(
+            "skewed-hot-cold",
+            skewed_trace(200, footprint=24, hot_fraction=0.2, skew=0.85, seed=13),
+        ),
+        _entry(
             "nested-loops",
             interleaved_trace(
                 [loop_nest_trace(6, 12), strided_trace(72, stride=4, start=64)],
@@ -164,7 +174,7 @@ def anchor_entries() -> List[CorpusEntry]:
 def _fuzz_entry(index: int, seed: int) -> CorpusEntry:
     """The ``index``-th seeded random entry (deterministic in seed)."""
     rng = random.Random((seed << 20) ^ index)
-    family = index % 6
+    family = index % 8
     length = rng.randrange(48, 400)
     footprint = rng.randrange(2, 48)
     if family == 0:
@@ -187,6 +197,22 @@ def _fuzz_entry(index: int, seed: int) -> CorpusEntry:
         trace = loop_nest_trace(footprint, max(1, length // footprint))
     elif family == 4:
         trace = strided_trace(length, stride=rng.choice((2, 3, 4, 8, 16)))
+    elif family == 5:
+        trace = adversarial_lowbit_trace(
+            length,
+            low_bits=rng.choice((2, 3, 4, 5)),
+            footprint=footprint,
+            ratio=rng.choice((0.25, 0.5, 0.75)),
+            seed=rng.randrange(1 << 30),
+        )
+    elif family == 6:
+        trace = skewed_trace(
+            length,
+            footprint,
+            hot_fraction=rng.choice((0.1, 0.25, 0.5)),
+            skew=rng.choice((0.6, 0.85, 0.95)),
+            seed=rng.randrange(1 << 30),
+        )
     else:
         parts = [
             random_trace(length // 2, footprint, seed=rng.randrange(1 << 30)),

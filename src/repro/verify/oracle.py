@@ -92,9 +92,11 @@ class Divergence:
         kind: ``"grid"`` (cells disagree), ``"simulator"`` (analytical
             prediction != simulated misses or budget exceeded),
             ``"minimality"`` (one associativity step below still meets
-            the budget — the emitted A was not minimal) or ``"stream"``
+            the budget — the emitted A was not minimal), ``"stream"``
             (an incremental session fed the trace in chunks diverged
-            from the batch engine on the concatenated trace).
+            from the batch engine on the concatenated trace) or
+            ``"policy"`` (a policy engine's per-cell prediction diverged
+            from the simulator under that replacement policy).
         cell: label of the diverging cell (grid failures only).
         budget: the miss budget the failing exploration ran at.
         detail: human-readable description of the mismatch.
@@ -318,6 +320,94 @@ def stream_divergences(
     return divergences
 
 
+def policy_divergences(
+    trace: Trace,
+    budgets: Sequence[int] = (0,),
+    policies: Sequence[str] = ("fifo",),
+) -> List[Divergence]:
+    """The policy oracle: policy engines == the simulator, cell by cell.
+
+    For each requested non-LRU policy, *every* ``(D, A)`` cell the
+    engine can answer — all report depths, associativities from 1 to one
+    past the zero-miss bound — must match the cache simulator's non-cold
+    miss count under that replacement policy bit for bit (the hybrid
+    engine's exactness claim: analytical where exact, simulated
+    elsewhere, never approximated).  Every instance the engine emits at
+    each budget must also stay within budget and be minimal under the
+    policy simulator.
+    """
+    from repro.cache.config import CacheConfig, ReplacementKind
+    from repro.cache.simulator import simulate_trace
+
+    divergences: List[Divergence] = []
+    for policy in policies:
+        if policy == "lru":
+            continue  # LRU is the reference pipeline, covered above
+        explorer = _engines.policy_explorer(policy, trace)
+        replacement = ReplacementKind(policy)
+
+        def measure(depth: int, assoc: int) -> int:
+            config = CacheConfig(
+                depth=depth,
+                associativity=assoc,
+                line_words=1,
+                replacement=replacement,
+            )
+            return simulate_trace(trace, config).non_cold_misses
+
+        label = f"policy/{policy}"
+        for level in range(explorer.report_level + 1):
+            depth = 1 << level
+            zero = explorer.zero_miss_associativity(depth)
+            for assoc in range(1, zero + 2):
+                predicted = explorer.misses(depth, assoc)
+                simulated = measure(depth, assoc)
+                if predicted != simulated:
+                    divergences.append(
+                        Divergence(
+                            kind="policy",
+                            cell=label,
+                            detail=(
+                                f"(D={depth}, A={assoc}): {policy} engine "
+                                f"predicts {predicted} non-cold misses, "
+                                f"simulator measured {simulated}"
+                            ),
+                        )
+                    )
+        for budget in budgets:
+            result = explorer.explore(budget)
+            for inst, misses in zip(result.instances, result.misses):
+                if misses > budget:
+                    divergences.append(
+                        Divergence(
+                            kind="policy",
+                            cell=label,
+                            budget=budget,
+                            detail=(
+                                f"{inst}: {misses} non-cold misses "
+                                f"exceeds budget {budget}"
+                            ),
+                        )
+                    )
+                if inst.associativity > 1:
+                    below = measure(inst.depth, inst.associativity - 1)
+                    if below <= budget:
+                        divergences.append(
+                            Divergence(
+                                kind="policy",
+                                cell=label,
+                                budget=budget,
+                                detail=(
+                                    f"{inst}: A-1="
+                                    f"{inst.associativity - 1} still meets "
+                                    f"the budget under {policy} (simulated "
+                                    f"{below} <= {budget})"
+                                ),
+                            )
+                        )
+    return divergences
+
+
 def run_grid(
     trace: Trace,
     budgets: Sequence[int],
@@ -328,6 +418,7 @@ def run_grid(
     recorder=None,
     stream_splits: int = 2,
     stream_seed: int = 0,
+    policies: Sequence[str] = (),
 ) -> GridOutcome:
     """Run one trace through the oracle grid.
 
@@ -348,6 +439,8 @@ def run_grid(
             stream check entirely (0 still runs the boundary
             chunkings).
         stream_seed: seed for the random chunk splits.
+        policies: non-LRU replacement policies to run through the
+            policy oracle (:func:`policy_divergences`); empty skips it.
     """
     cell_list = tuple(cells) if cells is not None else grid_cells()
     if not cell_list or cell_list[0] != REFERENCE_CELL:
@@ -401,6 +494,10 @@ def run_grid(
             stream_divergences(
                 trace, budgets, seed=stream_seed, splits=stream_splits
             )
+        )
+    if policies:
+        outcome.divergences.extend(
+            policy_divergences(trace, budgets, policies=policies)
         )
     if recorder is not None:
         recorder.count("verify_cells", outcome.cells_run)

@@ -50,6 +50,7 @@ from repro.verify.oracle import (
     GridCell,
     Tamper,
     grid_cells,
+    policy_divergences,
     run_grid,
     stream_divergences,
 )
@@ -75,6 +76,8 @@ class VerifyConfig:
         include_warm: run the warm-store half of the grid.
         laws: ``"rotate"`` (one metamorphic law per trace, round-robin),
             ``"all"`` (every law on every trace) or ``"none"``.
+        policies: non-LRU replacement policies to run through the
+            policy oracle on every trace (empty skips the axis).
         processes: worker count for the ``parallel`` engine's cells.
         corpus_dir: failure-corpus directory; ``None`` disables both
             replay-from-disk and persistence.
@@ -90,6 +93,7 @@ class VerifyConfig:
     preludes: Optional[Tuple[str, ...]] = None
     include_warm: bool = True
     laws: str = "rotate"
+    policies: Tuple[str, ...] = ()
     processes: int = 2
     corpus_dir: Optional[str] = None
     shrink: bool = True
@@ -101,6 +105,14 @@ class VerifyConfig:
             raise ValueError(
                 f"laws must be one of {LAW_MODES}, got {self.laws!r}"
             )
+        from repro.core import engines as _engines
+
+        for policy in self.policies:
+            if policy not in _engines.policy_names():
+                raise ValueError(
+                    f"unknown policy {policy!r}; expected one of "
+                    f"{_engines.policy_names()}"
+                )
         if self.max_traces is not None and self.max_traces < 1:
             raise ValueError("max_traces must be >= 1")
         if self.time_budget_s is not None and self.time_budget_s <= 0:
@@ -232,6 +244,16 @@ def _make_recheck(
 
         def recheck(trace: Trace) -> bool:
             return bool(stream_divergences(trace, budgets))
+
+        return recheck
+    if kind == "policy" and cell is not None:
+        policy = cell.split("/", 1)[1]
+
+        def recheck(trace: Trace) -> bool:
+            return any(
+                d.kind == "policy"
+                for d in policy_divergences(trace, budgets, policies=(policy,))
+            )
 
         return recheck
     if kind == "invariant" and law is not None:
@@ -397,6 +419,7 @@ def run_verify(
             tamper=tamper,
             simulate=True,
             recorder=recorder,
+            policies=config.policies,
         )
         report.traces += 1
         report.cells += outcome.cells_run

@@ -1,0 +1,146 @@
+"""The FIFO hybrid engine: bit-identical to the simulator by construction."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, ReplacementKind
+from repro.cache.simulator import simulate_trace
+from repro.core.explorer import AnalyticalCacheExplorer
+from repro.core.fifo import FIFOHybridExplorer
+from repro.store import ArtifactStore
+from repro.trace.synthetic import (
+    adversarial_lowbit_trace,
+    loop_nest_trace,
+    random_trace,
+    skewed_trace,
+)
+from repro.trace.trace import Trace
+from tests.conftest import PAPER_TRACE_BITS
+
+
+def _paper_trace():
+    return Trace.from_bit_strings(PAPER_TRACE_BITS, name="paper-table-1")
+
+
+def _fifo_misses(trace, depth, assoc):
+    config = CacheConfig(
+        depth=depth,
+        associativity=assoc,
+        line_words=1,
+        replacement=ReplacementKind.FIFO,
+    )
+    return simulate_trace(trace, config).non_cold_misses
+
+
+TRACES = (
+    _paper_trace(),
+    random_trace(700, footprint=90, seed=7),
+    adversarial_lowbit_trace(400, low_bits=3, footprint=16, seed=2),
+    skewed_trace(500, footprint=40, hot_fraction=0.25, skew=0.85, seed=4),
+    loop_nest_trace(20, 12),
+)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("trace", TRACES, ids=lambda t: t.name)
+    def test_every_cell_matches_the_simulator(self, trace):
+        explorer = FIFOHybridExplorer(trace)
+        for level in range(explorer.report_level + 1):
+            depth = 1 << level
+            zero = explorer.zero_miss_associativity(depth)
+            for assoc in range(1, zero + 2):
+                assert explorer.misses(depth, assoc) == _fifo_misses(
+                    trace, depth, assoc
+                ), (trace.name, depth, assoc)
+
+    def test_direct_mapped_column_is_the_analytical_one(self):
+        trace = TRACES[1]
+        fifo = FIFOHybridExplorer(trace)
+        lru = AnalyticalCacheExplorer(trace)
+        for level in range(fifo.report_level + 1):
+            depth = 1 << level
+            # A=1 leaves no replacement choice: FIFO == LRU == analytical.
+            assert fifo.misses(depth, 1) == lru.misses(depth, 1)
+
+    def test_zero_bound_is_tight(self):
+        trace = TRACES[2]
+        explorer = FIFOHybridExplorer(trace)
+        for depth in (1, 2, 4, 8):
+            zero = explorer.zero_miss_associativity(depth)
+            assert explorer.misses(depth, zero) == 0
+            assert _fifo_misses(trace, depth, zero) == 0
+
+
+class TestExploration:
+    def test_instances_are_within_budget_and_first_fit(self):
+        trace = TRACES[1]
+        explorer = FIFOHybridExplorer(trace)
+        budget = explorer.statistics.budget(10.0)
+        result = explorer.explore(budget)
+        for inst, misses in zip(result.instances, result.misses):
+            assert misses <= budget
+            # Upward scan: every smaller A must exceed the budget.
+            for below in range(1, inst.associativity):
+                assert explorer.misses(inst.depth, below) > budget
+
+    def test_explore_percent_and_many_agree_with_explore(self):
+        trace = TRACES[3]
+        explorer = FIFOHybridExplorer(trace)
+        budget = explorer.statistics.budget(20.0)
+        assert (
+            explorer.explore_percent(20.0).to_json_dict()
+            == explorer.explore(budget).to_json_dict()
+        )
+        many = explorer.explore_many((0, budget))
+        assert many[1].to_json_dict() == explorer.explore(budget).to_json_dict()
+
+    def test_include_depth_one_adds_the_fully_associative_column(self):
+        explorer = FIFOHybridExplorer(_paper_trace())
+        with_one = explorer.explore(0, include_depth_one=True)
+        without = explorer.explore(0)
+        assert 1 in with_one.as_dict()
+        assert 1 not in without.as_dict()
+
+    def test_validation(self):
+        explorer = FIFOHybridExplorer(_paper_trace())
+        with pytest.raises(ValueError, match="power of two"):
+            explorer.misses(3, 1)
+        with pytest.raises(ValueError, match="associativity"):
+            explorer.misses(4, 0)
+        with pytest.raises(ValueError, match="non-negative"):
+            explorer.explore(-1)
+
+
+class TestStoreWarmStart:
+    def test_second_run_loads_tables_instead_of_simulating(self, tmp_path):
+        trace = random_trace(500, footprint=60, seed=11)
+        store = ArtifactStore(tmp_path / "s")
+        cold = FIFOHybridExplorer(trace, store=store)
+        cold_result = cold.explore(5)
+        puts_after_cold = store.stats.puts
+        assert puts_after_cold > 0
+
+        warm = FIFOHybridExplorer(trace, store=store)
+        warm_result = warm.explore(5)
+        assert warm_result.to_json_dict() == cold_result.to_json_dict()
+        assert not warm._tables or store.stats.hits > 0
+        assert store.stats.puts == puts_after_cold  # nothing re-written
+
+    def test_fifo_keys_are_disjoint_from_lru_histograms(self, tmp_path):
+        trace = random_trace(400, footprint=50, seed=12)
+        store = ArtifactStore(tmp_path / "s")
+        FIFOHybridExplorer(trace, store=store).explore(0)
+        lru_before = AnalyticalCacheExplorer(trace, store=store)
+        lru_result = lru_before.explore(0)
+        # An LRU run against the FIFO-primed store must match a storeless
+        # run exactly: the policy-misses stage cannot poison histograms.
+        fresh = AnalyticalCacheExplorer(trace).explore(0)
+        assert lru_result.to_json_dict() == fresh.to_json_dict()
+
+    def test_policy_attribute_lands_in_the_key(self, tmp_path):
+        trace = random_trace(300, footprint=30, seed=13)
+        explorer = FIFOHybridExplorer(trace, store=ArtifactStore(tmp_path / "s"))
+        key = explorer._table_key(4)
+        params = dict(key.params)
+        assert params["policy"] == "'fifo'"
+        assert params["depth"] == "4"
+        assert key.stage == "policy-misses"

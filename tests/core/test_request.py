@@ -248,6 +248,114 @@ class TestRequestValidation:
             )
 
 
+class TestScenario:
+    """ScenarioSpec is the contract; loose kwargs are deprecation shims."""
+
+    def test_loose_kwargs_build_an_equivalent_spec(self):
+        from repro.scenario import ScenarioSpec
+
+        loose = ExplorationRequest(
+            traces=(_paper_trace(),),
+            budgets=(0,),
+            engine="serial",
+            prelude="python",
+            max_depth=8,
+        )
+        spec_first = ExplorationRequest(
+            traces=(_paper_trace(),),
+            budgets=(0,),
+            scenario=ScenarioSpec(
+                engine="serial", prelude="python", max_depth=8
+            ),
+        )
+        assert loose.scenario == spec_first.scenario
+        # The spec is copied back onto the loose fields, so old attribute
+        # reads keep working.
+        assert spec_first.engine == "serial"
+        assert spec_first.prelude == "python"
+        assert spec_first.max_depth == 8
+
+    def test_loose_and_scenario_reports_are_byte_identical(self):
+        from repro.scenario import ScenarioSpec
+
+        trace = _paper_trace()
+        via_loose = explore_request(
+            ExplorationRequest(traces=(trace,), budgets=(0, 2), engine="serial")
+        )
+        via_spec = explore_request(
+            ExplorationRequest(
+                traces=(trace,),
+                budgets=(0, 2),
+                scenario=ScenarioSpec(engine="serial"),
+            )
+        )
+        assert via_loose.to_json_dict() == via_spec.to_json_dict()
+
+    def test_conflicting_loose_kwarg_and_spec_rejected(self):
+        from repro.scenario import ScenarioSpec
+
+        with pytest.raises(ValueError, match="conflicting 'engine'"):
+            ExplorationRequest(
+                traces=(_paper_trace(),),
+                budgets=(0,),
+                engine="serial",
+                scenario=ScenarioSpec(engine="vectorized"),
+            )
+
+    def test_single_helper_accepts_the_scenario_triple(self):
+        request = ExplorationRequest.single(
+            _paper_trace(), budget=0, policy="fifo", cost_model="area"
+        )
+        assert request.policy == "fifo"
+        assert request.cost_model == "area"
+        assert request.scenario.policy == "fifo"
+
+    def test_non_single_modes_reject_scenarios(self):
+        from repro.scenario import ScenarioSpec
+
+        a = loop_nest_trace(8, 4)
+        a.name = "a"
+        b = loop_nest_trace(8, 4, start=64)
+        b.name = "b"
+        with pytest.raises(ValueError, match="mode 'single'"):
+            ExplorationRequest(
+                traces=(a, b),
+                mode="sum",
+                budgets=(0,),
+                scenario=ScenarioSpec(policy="fifo"),
+            )
+
+    def test_baseline_report_has_no_scenario_key(self):
+        report = explore_request(
+            ExplorationRequest.single(_paper_trace(), budget=0)
+        )
+        assert report.scenario is None
+        assert "scenario" not in report.to_json_dict()
+
+    def test_fifo_report_matches_the_fifo_engine(self):
+        from repro.core.fifo import FIFOHybridExplorer
+
+        trace = zipf_trace(400, 40, seed=6)
+        report = explore_request(
+            ExplorationRequest.single(trace, budget=3, policy="fifo")
+        )
+        direct = FIFOHybridExplorer(trace).explore(3)
+        assert report.results[0].to_json_dict() == direct.to_json_dict()
+        assert report.scenario["policy"] == "fifo"
+
+    def test_scenario_report_round_trips_through_json(self):
+        trace = zipf_trace(400, 40, seed=6)
+        report = explore_request(
+            ExplorationRequest.single(
+                trace, budget=3, policy="fifo", l2_depth=8, cost_model="energy"
+            )
+        )
+        payload = report.to_json_dict()
+        assert payload["scenario"]["levels"] == 2
+        clone = ExplorationReport.from_json_dict(payload)
+        assert clone.to_json_dict() == payload
+
+
 class TestReport:
     def test_report_shape_and_result_accessor(self):
         trace = _paper_trace()

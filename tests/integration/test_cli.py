@@ -419,3 +419,71 @@ class TestParser:
     def test_explore_requires_a_budget_flag(self, trace_file):
         with pytest.raises(SystemExit):
             main(["explore", trace_file])
+
+
+class TestScenarioFlags:
+    def test_explore_help_groups_scenario_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explore", "--help"])
+        out = capsys.readouterr().out
+        assert "scenario options" in out
+        assert "--policy" in out and "--l2-depth" in out
+        assert "--cost-model" in out
+
+    def test_fifo_policy_noted_in_the_table(self, trace_file, capsys):
+        assert main(
+            ["explore", trace_file, "--budget", "5", "--policy", "fifo"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "policy: fifo" in out
+        assert "Depth D" in out
+
+    def test_l2_and_cost_sections_print(self, trace_file, capsys):
+        assert main(
+            ["explore", trace_file, "--percent", "10",
+             "--l2-depth", "8", "--cost-model", "energy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "L2 instances behind L1" in out
+        assert "cost ranking (energy)" in out
+
+    def test_baseline_json_has_no_scenario_key(self, trace_file, capsys):
+        import json
+
+        assert main(
+            ["explore", trace_file, "--budget", "5", "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "scenario" not in document
+
+    def test_scenario_json_carries_the_section(self, trace_file, capsys):
+        import json
+
+        assert main(
+            ["explore", trace_file, "--budget", "5", "--json",
+             "--policy", "fifo", "--cost-model", "area"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["scenario"]["policy"] == "fifo"
+        assert document["scenario"]["cost"]["model"] == "area"
+
+    def test_bad_l2_depth_fails_cleanly(self, trace_file, capsys):
+        assert main(
+            ["explore", trace_file, "--budget", "5", "--l2-depth", "3"]
+        ) == 1
+        assert "explore failed" in capsys.readouterr().err
+
+    def test_stream_materializes_for_scenarios(self, trace_file, capsys):
+        assert main(
+            ["stream", trace_file, "--budget", "5", "--policy", "fifo"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "materializing" in captured.err
+        assert "policy fifo" in captured.out
+
+    def test_submit_and_stream_expose_the_flags(self, capsys):
+        for command in ("submit", "stream"):
+            with pytest.raises(SystemExit):
+                main([command, "--help"])
+            out = capsys.readouterr().out
+            assert "--policy" in out and "--l2-depth" in out

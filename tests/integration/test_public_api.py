@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.cache",
     "repro.core",
     "repro.explore",
+    "repro.scenario",
     "repro.analysis",
     "repro.obs",
     "repro.store",
@@ -80,6 +81,9 @@ def test_api_doc_backtick_names_resolve():
         {"repro", "bitmask", "serial", "streaming", "parallel", "vectorized", "auto"}
     )
     universe.update({"process", "thread", "inline"})
+    # Scenario registry strings and spec field names.
+    universe.update({"lru", "fifo", "energy", "area", "time"})
+    universe.update({"policy", "l2_depth", "cost_model", "scenario"})
     missing = sorted(
         name
         for name in names

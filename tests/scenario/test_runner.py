@@ -1,0 +1,110 @@
+"""The scenario runner: L2 exactness against multilevel, cost rankings."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, ReplacementKind
+from repro.cache.multilevel import simulate_two_level
+from repro.core import engines as _engines
+from repro.scenario import (
+    ScenarioSpec,
+    cost_ranking,
+    explore_second_level,
+    scenario_extras,
+)
+from repro.trace.synthetic import random_trace, skewed_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return random_trace(900, footprint=150, seed=21)
+
+
+class TestSecondLevel:
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_l2_counters_match_the_composed_simulation(self, trace, policy):
+        spec = ScenarioSpec(policy=policy, l2_depth=16)
+        explorer = _engines.policy_explorer(policy, trace)
+        budget = explorer.statistics.budget(10.0)
+        winner = explorer.explore(budget).smallest()
+        entry = explore_second_level(trace, winner, budget, spec)
+
+        replacement = ReplacementKind(policy)
+        l1_config = winner.to_config(replacement=replacement)
+        for inst in entry["result"]["instances"]:
+            l2_config = CacheConfig(
+                depth=inst["depth"],
+                associativity=inst["associativity"],
+                line_words=1,
+                replacement=replacement,
+            )
+            two = simulate_two_level(trace, l1_config, l2_config)
+            assert inst["misses"] == two.l2.non_cold_misses, inst
+            assert entry["l1_non_cold_misses"] == two.l1.non_cold_misses
+            assert entry["l1_cold_misses"] == two.l1.cold_misses
+
+    def test_l2_depths_bounded_by_the_spec(self, trace):
+        spec = ScenarioSpec(l2_depth=8)
+        explorer = _engines.policy_explorer("lru", trace)
+        winner = explorer.explore(0).smallest()
+        entry = explore_second_level(trace, winner, 0, spec)
+        assert entry["result"]["instances"]
+        assert all(
+            inst["depth"] <= 8 for inst in entry["result"]["instances"]
+        )
+
+    def test_entry_shape(self, trace):
+        spec = ScenarioSpec(l2_depth=4)
+        explorer = _engines.policy_explorer("lru", trace)
+        winner = explorer.explore(0).smallest()
+        entry = explore_second_level(trace, winner, 0, spec)
+        assert entry["budget"] == 0
+        assert entry["l1"] == {
+            "depth": winner.depth,
+            "associativity": winner.associativity,
+        }
+        assert entry["miss_trace_name"].endswith("/missL1")
+        assert entry["miss_trace_length"] > 0
+
+
+class TestCostRanking:
+    @pytest.mark.parametrize("model", ["energy", "area", "time"])
+    def test_designs_sorted_by_the_selected_cost(self, trace, model):
+        explorer = _engines.policy_explorer("lru", trace)
+        result = explorer.explore_percent(10.0)
+        ranking = cost_ranking(
+            explorer, result, model, address_bits=trace.address_bits
+        )
+        costs = [d["cost"] for d in ranking["designs"]]
+        assert costs == sorted(costs)
+        assert len(ranking["designs"]) == len(result.instances)
+        key = {
+            "energy": "run_energy",
+            "area": "area_bits",
+            "time": "access_time",
+        }[model]
+        for design in ranking["designs"]:
+            assert design["cost"] == design[key]
+
+
+class TestScenarioExtras:
+    def test_baseline_produces_no_section(self, trace):
+        explorer = _engines.policy_explorer("lru", trace)
+        result = explorer.explore(0)
+        assert (
+            scenario_extras(trace, ScenarioSpec(), [0], [result], explorer)
+            is None
+        )
+
+    def test_full_scenario_section(self):
+        trace = skewed_trace(500, footprint=60, hot_fraction=0.2, seed=3)
+        spec = ScenarioSpec(policy="fifo", l2_depth=8, cost_model="energy")
+        explorer = _engines.policy_explorer("fifo", trace)
+        budgets = [0, explorer.statistics.budget(20.0)]
+        results = explorer.explore_many(budgets)
+        extras = scenario_extras(trace, spec, budgets, results, explorer)
+        assert extras["policy"] == "fifo"
+        assert extras["levels"] == 2
+        assert extras["l2"]["l2_depth"] == 8
+        assert len(extras["l2"]["explorations"]) == len(budgets)
+        assert extras["cost"]["model"] == "energy"
+        assert len(extras["cost"]["rankings"]) == len(budgets)

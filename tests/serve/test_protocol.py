@@ -132,6 +132,98 @@ class TestRequestCodec:
             request_from_wire(wire)
 
 
+class TestScenarioWire:
+    """The /1.2 scenario block, and byte-compat for /1 and /1.1 clients."""
+
+    def _legacy_wire(self, tiny_trace, schema: str) -> dict:
+        return {
+            "schema": schema,
+            "mode": "single",
+            "traces": [trace_to_wire(tiny_trace)],
+            "budgets": [0],
+        }
+
+    def test_scenario_round_trips(self, tiny_trace) -> None:
+        from repro.scenario import ScenarioSpec
+
+        request = ExplorationRequest(
+            traces=(tiny_trace,),
+            mode="single",
+            budgets=(0,),
+            scenario=ScenarioSpec(policy="fifo", l2_depth=8, cost_model="time"),
+        )
+        wire = request_to_wire(request)
+        assert wire["schema"] == REQUEST_SCHEMA
+        assert wire["scenario"] == {
+            "policy": "fifo",
+            "l2_depth": 8,
+            "cost_model": "time",
+        }
+        rebuilt = request_from_wire(wire)
+        assert rebuilt.scenario == request.scenario
+
+    @pytest.mark.parametrize(
+        "schema", ["repro-serve-request/1", "repro-serve-request/1.1"]
+    )
+    def test_legacy_schemas_answered_byte_identically(
+        self, tiny_trace, schema
+    ) -> None:
+        legacy = request_from_wire(self._legacy_wire(tiny_trace, schema))
+        current = request_from_wire(self._legacy_wire(tiny_trace, REQUEST_SCHEMA))
+        assert legacy.scenario == current.scenario
+        old = response_to_wire(explore_request(legacy))
+        new = response_to_wire(explore_request(current))
+        assert old == new
+
+    @pytest.mark.parametrize(
+        "schema", ["repro-serve-request/1", "repro-serve-request/1.1"]
+    )
+    def test_scenario_block_rejected_on_legacy_schemas(
+        self, tiny_trace, schema
+    ) -> None:
+        wire = self._legacy_wire(tiny_trace, schema)
+        wire["scenario"] = {"policy": "fifo"}
+        with pytest.raises(ProtocolError, match="request.scenario requires"):
+            request_from_wire(wire)
+
+    def test_out_of_range_scenario_fields_rejected(self, tiny_trace) -> None:
+        base = self._legacy_wire(tiny_trace, REQUEST_SCHEMA)
+        for bad in (
+            {"policy": "mru"},
+            {"l2_depth": 12},
+            {"cost_model": "carbon"},
+            {"policy": 7},
+            {"unknown": 1},
+        ):
+            wire = dict(base)
+            wire["scenario"] = bad
+            with pytest.raises(ProtocolError):
+                request_from_wire(wire)
+
+    def test_dedup_key_unified_across_schema_revisions(self, tiny_trace) -> None:
+        docs = [
+            self._legacy_wire(tiny_trace, "repro-serve-request/1"),
+            self._legacy_wire(tiny_trace, "repro-serve-request/1.1"),
+            self._legacy_wire(tiny_trace, REQUEST_SCHEMA),
+        ]
+        explicit_default = self._legacy_wire(tiny_trace, REQUEST_SCHEMA)
+        explicit_default["scenario"] = {
+            "policy": "lru",
+            "l2_depth": None,
+            "cost_model": None,
+        }
+        docs.append(explicit_default)
+        assert len({request_key(d) for d in docs}) == 1
+
+    def test_scenario_changes_the_dedup_key(self, tiny_trace) -> None:
+        base = self._legacy_wire(tiny_trace, REQUEST_SCHEMA)
+        fifo = dict(base)
+        fifo["scenario"] = {"policy": "fifo"}
+        costed = dict(base)
+        costed["scenario"] = {"cost_model": "energy"}
+        assert len({request_key(d) for d in (base, fifo, costed)}) == 3
+
+
 class TestRequestKey:
     def test_trace_name_does_not_change_key(self, tiny_trace: Trace) -> None:
         renamed = Trace(

@@ -129,6 +129,7 @@ class TestStageCodecs:
             "histograms",
             "mrct",
             "packed-mrct",
+            "policy-misses",
             "stream-checkpoint",
             "stripped",
             "zerosets",

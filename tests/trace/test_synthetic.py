@@ -3,11 +3,13 @@
 import pytest
 
 from repro.trace.synthetic import (
+    adversarial_lowbit_trace,
     interleaved_trace,
     loop_nest_trace,
     markov_trace,
     random_trace,
     sequential_trace,
+    skewed_trace,
     strided_trace,
     zipf_trace,
 )
@@ -104,6 +106,66 @@ class TestMarkov:
     def test_invalid_locality_rejected(self):
         with pytest.raises(ValueError, match="locality"):
             markov_trace(10, 8, locality=1.5)
+
+
+class TestAdversarialLowbit:
+    def test_deterministic_for_seed(self):
+        trace = adversarial_lowbit_trace(200, low_bits=4, footprint=20, seed=9)
+        assert list(trace) == list(
+            adversarial_lowbit_trace(200, low_bits=4, footprint=20, seed=9)
+        )
+
+    def test_aliasing_addresses_share_zero_low_bits(self):
+        trace = adversarial_lowbit_trace(
+            400, low_bits=5, footprint=16, ratio=1.0, seed=2
+        )
+        assert all(a % 32 == 0 for a in trace)
+        assert trace.unique_count() > 1  # distinct tags, same set
+
+    def test_mixed_ratio_keeps_some_background_refs(self):
+        trace = adversarial_lowbit_trace(
+            400, low_bits=4, footprint=16, ratio=0.5, seed=2
+        )
+        assert any(a % 16 != 0 for a in trace)
+        assert any(a % 16 == 0 and a > 0 for a in trace)
+
+    def test_name_records_the_low_bits(self):
+        assert adversarial_lowbit_trace(10, low_bits=3).name == "advlow-3"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="low_bits"):
+            adversarial_lowbit_trace(10, low_bits=0)
+        with pytest.raises(ValueError, match="ratio"):
+            adversarial_lowbit_trace(10, low_bits=2, ratio=1.5)
+        with pytest.raises(ValueError, match="footprint"):
+            adversarial_lowbit_trace(10, low_bits=2, footprint=0)
+
+
+class TestSkewed:
+    def test_deterministic_for_seed(self):
+        trace = skewed_trace(300, footprint=40, seed=6)
+        assert list(trace) == list(skewed_trace(300, footprint=40, seed=6))
+
+    def test_addresses_within_footprint(self):
+        assert all(a < 30 for a in skewed_trace(500, footprint=30, seed=1))
+
+    def test_hot_set_dominates(self):
+        trace = skewed_trace(
+            2000, footprint=100, hot_fraction=0.1, skew=0.9, seed=0
+        )
+        hot = sum(1 for a in trace if a < 10)
+        assert hot > len(trace) // 2
+
+    def test_name_records_the_skew(self):
+        assert skewed_trace(10, footprint=8, skew=0.75).name == "skew-0.75"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hot_fraction"):
+            skewed_trace(10, footprint=8, hot_fraction=0.0)
+        with pytest.raises(ValueError, match="skew"):
+            skewed_trace(10, footprint=8, skew=-0.1)
+        with pytest.raises(ValueError, match="footprint"):
+            skewed_trace(10, footprint=0)
 
 
 class TestInterleaved:
