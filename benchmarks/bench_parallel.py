@@ -1,0 +1,364 @@
+"""Benchmark harness for the parallel postlude engines.
+
+Times the two parallel engines (``parallel``, the bigint pickle-based
+one, and ``parallel-shm``, the shared-memory one) plus ``vectorized``
+as the single-process baseline, cross-checks that they produce
+identical histograms, measures the store's warm mmap start, and writes
+a machine-readable ``BENCH_parallel.json``.
+
+Run it from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick --assert-speedup
+
+Each engine is timed against the prelude product it actually consumes,
+built outside the clock: the bigint MRCT for ``parallel``, the packed
+conflict matrix for ``parallel-shm`` and ``vectorized``.  What remains
+inside the clock is exactly the work the engines compete on — shipping
+the tables to workers (pickle versus shared segment) plus the BCAT
+walk.  ``--assert-speedup`` turns the summary into a gate: the run
+fails unless ``parallel-shm`` beats ``parallel`` by the floor on the
+largest trace *and* the warm mmap start decoded without a matrix-sized
+allocation.
+
+JSON schema (``validate_results`` enforces it)::
+
+    {
+      "schema": "repro-bench-parallel/1",
+      "python": str, "numpy": str | null, "platform": str,
+      "repeats": int,
+      "results": [
+        {"engine": str,   # parallel | parallel-shm | vectorized
+         "trace": str,
+         "N": int,
+         "N_prime": int,
+         "wall_s": float,
+         "match": bool}   # identical histograms across engines
+      ],
+      "warm_start": {
+        "trace": str,
+        "matrix_bytes": int,        # packed matrix payload size
+        "decode_peak_bytes": int,   # tracemalloc peak during warm get
+        "mmap_hits": int,
+        "zero_copy": bool           # peak < matrix_bytes / 2
+      },
+      "summary": {
+        "largest_trace": str,
+        "N": int,
+        "parallel_wall_s": float,
+        "parallel_shm_wall_s": float,
+        "shm_speedup": float        # parallel / parallel-shm
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import tracemalloc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import engines
+from repro.obs import NULL_RECORDER, Recorder, environment_info
+from repro.trace.synthetic import interleaved_trace, loop_nest_trace, zipf_trace
+from repro.trace.trace import Trace
+
+SCHEMA = "repro-bench-parallel/1"
+
+ENGINES = ("vectorized", "parallel", "parallel-shm")
+
+RESULT_FIELDS = {
+    "engine": str,
+    "trace": str,
+    "N": int,
+    "N_prime": int,
+    "wall_s": float,
+    "match": bool,
+}
+
+
+def loop_mix_trace(footprint: int, iterations: int) -> Trace:
+    """Four interleaved loop nests (see ``bench_postlude``); length is
+    ``4 * footprint * iterations``."""
+    regions = [
+        loop_nest_trace(footprint, iterations, start=region << 13)
+        for region in range(4)
+    ]
+    return interleaved_trace(
+        regions, name=f"loop-mix-{footprint}x4x{iterations}"
+    )
+
+
+def panel(quick: bool = False) -> List[Trace]:
+    """Benchmark traces, largest last (the largest carries the gate)."""
+    def named(trace: Trace, name: str) -> Trace:
+        trace.name = name
+        return trace
+
+    if quick:
+        return [loop_mix_trace(footprint=256, iterations=60)]
+    return [
+        named(zipf_trace(200_000, 1500, seed=1), "zipf-200000-1500"),
+        # >= 1e6 references: the ISSUE's target size for the shm engine.
+        loop_mix_trace(footprint=512, iterations=500),
+    ]
+
+
+def _prebuild(name: str, trace: Trace) -> engines.EngineInputs:
+    """Fresh inputs with the engine's preferred prelude product built.
+
+    Outside the timed region, so the clock covers only the postlude:
+    table distribution (pickle vs shared segment) plus the BCAT walk.
+    """
+    inputs = engines.EngineInputs(trace)
+    if name == "parallel":
+        inputs.mrct
+    else:
+        inputs.packed_mrct
+    return inputs
+
+
+def _time_engine(
+    name: str, trace: Trace, repeats: int
+) -> Tuple[float, Dict]:
+    spec = engines.get_engine(name)
+    inputs = _prebuild(name, trace)
+    options = spec.filter_options({"processes": 2})
+    best = float("inf")
+    histograms = None
+    try:
+        for _ in range(max(1, repeats)):
+            recorder = Recorder()
+            inputs.recorder = recorder
+            histograms = spec.compute(inputs, **options)
+            best = min(best, recorder.find(f"engine:{name}").duration_s)
+    finally:
+        inputs.recorder = NULL_RECORDER
+    return best, histograms
+
+
+def measure_warm_start(trace: Trace) -> Dict:
+    """Peak allocation of a warm packed-MRCT load through the mmap path."""
+    from repro.store import ArtifactStore
+
+    with tempfile.TemporaryDirectory(prefix="bench-parallel-") as tmp:
+        cold = engines.EngineInputs(trace, store=ArtifactStore(tmp))
+        matrix_bytes = int(cold.packed_mrct.matrix.nbytes)
+        warm_store = ArtifactStore(tmp, memory_entries=0)
+        warm = engines.EngineInputs(trace, store=warm_store)
+        warm.stripped  # digest/strip outside the measured window
+        tracemalloc.start()
+        try:
+            packed = warm.packed_mrct
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert packed == cold.packed_mrct
+        return {
+            "trace": trace.name,
+            "matrix_bytes": matrix_bytes,
+            "decode_peak_bytes": int(peak),
+            "mmap_hits": int(warm_store.stats.mmap_hits),
+            "zero_copy": bool(
+                warm_store.stats.mmap_hits > 0 and peak < matrix_bytes / 2
+            ),
+        }
+
+
+def run_bench(
+    traces: Sequence[Trace], repeats: int = 2, warm_trace: Optional[Trace] = None
+) -> Dict:
+    results: List[Dict] = []
+    wall_by_key: Dict[Tuple[str, str], float] = {}
+    for trace in traces:
+        print(f"[bench] {trace.name} (N={len(trace)})", file=sys.stderr)
+        reference = None
+        n_prime = None
+        for name in ENGINES:
+            wall, histograms = _time_engine(name, trace, repeats)
+            if reference is None:
+                reference = histograms
+                n_prime = engines.EngineInputs(trace).stripped.n_unique
+            wall_by_key[(name, trace.name)] = wall
+            results.append(
+                {
+                    "engine": name,
+                    "trace": trace.name,
+                    "N": len(trace),
+                    "N_prime": n_prime,
+                    "wall_s": wall,
+                    "match": histograms == reference,
+                }
+            )
+    largest = max(traces, key=len)
+    environment = environment_info()
+    document = {
+        "schema": SCHEMA,
+        "python": environment["python"],
+        "numpy": environment["numpy"],
+        "platform": environment["platform"],
+        "repeats": repeats,
+        "results": results,
+        "warm_start": measure_warm_start(warm_trace or largest),
+        "summary": {
+            "largest_trace": largest.name,
+            "N": len(largest),
+            "parallel_wall_s": wall_by_key[("parallel", largest.name)],
+            "parallel_shm_wall_s": wall_by_key[("parallel-shm", largest.name)],
+            "shm_speedup": (
+                wall_by_key[("parallel", largest.name)]
+                / wall_by_key[("parallel-shm", largest.name)]
+            ),
+        },
+    }
+    return document
+
+
+def validate_results(document: Dict) -> None:
+    """Raise ``ValueError`` unless ``document`` matches the schema above."""
+    if document.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}")
+    for key, kind in (("python", str), ("repeats", int), ("platform", str)):
+        if not isinstance(document.get(key), kind):
+            raise ValueError(f"missing or mistyped field {key!r}")
+    if not isinstance(document.get("numpy"), (str, type(None))):
+        raise ValueError("field 'numpy' must be a string or null")
+    results = document.get("results")
+    if not isinstance(results, list) or not results:
+        raise ValueError("'results' must be a non-empty list")
+    for row in results:
+        if set(row) != set(RESULT_FIELDS):
+            raise ValueError(f"result fields {sorted(row)} != schema")
+        for field, kind in RESULT_FIELDS.items():
+            value = row[field]
+            if kind is not bool and isinstance(value, bool):
+                raise ValueError(f"result field {field!r} must be {kind.__name__}")
+            if not isinstance(value, kind):
+                raise ValueError(f"result field {field!r} must be {kind.__name__}")
+        if row["wall_s"] < 0 or row["N"] < 0:
+            raise ValueError("negative measurement")
+        if not row["match"]:
+            raise ValueError(
+                f"engine {row['engine']!r} diverged on {row['trace']!r}"
+            )
+        if row["engine"] not in ENGINES:
+            raise ValueError(f"unexpected engine {row['engine']!r}")
+    warm = document.get("warm_start")
+    if not isinstance(warm, dict):
+        raise ValueError("'warm_start' must be present")
+    for key, kind in (
+        ("trace", str),
+        ("matrix_bytes", int),
+        ("decode_peak_bytes", int),
+        ("mmap_hits", int),
+        ("zero_copy", bool),
+    ):
+        if not isinstance(warm.get(key), kind):
+            raise ValueError(f"warm_start field {key!r} must be {kind.__name__}")
+    summary = document.get("summary")
+    if not isinstance(summary, dict):
+        raise ValueError("'summary' must be present")
+    for key in (
+        "largest_trace",
+        "N",
+        "parallel_wall_s",
+        "parallel_shm_wall_s",
+        "shm_speedup",
+    ):
+        if key not in summary:
+            raise ValueError(f"summary missing {key!r}")
+
+
+def assert_speedup(document: Dict, floor: float) -> None:
+    """The CI gate: shm speedup over the floor, warm start zero-copy."""
+    summary = document["summary"]
+    if summary["shm_speedup"] < floor:
+        raise SystemExit(
+            f"parallel-shm speedup {summary['shm_speedup']:.2f}x is below "
+            f"the {floor:.2f}x floor on {summary['largest_trace']}"
+        )
+    warm = document["warm_start"]
+    if not warm["zero_copy"]:
+        raise SystemExit(
+            f"warm mmap start was not zero-copy: peak "
+            f"{warm['decode_peak_bytes']} bytes vs matrix "
+            f"{warm['matrix_bytes']} bytes ({warm['mmap_hits']} mmap hits)"
+        )
+
+
+def _print_table(document: Dict) -> None:
+    print(
+        f"{'trace':26s} {'engine':12s} {'N':>8s} {'N_prime':>7s} {'wall_s':>8s}"
+    )
+    for row in document["results"]:
+        print(
+            f"{row['trace']:26s} {row['engine']:12s} {row['N']:8d} "
+            f"{row['N_prime']:7d} {row['wall_s']:8.3f}"
+        )
+    summary = document["summary"]
+    warm = document["warm_start"]
+    print(
+        f"{summary['largest_trace']} (N={summary['N']}): parallel "
+        f"{summary['parallel_wall_s']:.3f}s, parallel-shm "
+        f"{summary['parallel_shm_wall_s']:.3f}s -> "
+        f"{summary['shm_speedup']:.2f}x"
+    )
+    print(
+        f"warm mmap start on {warm['trace']}: matrix {warm['matrix_bytes']} B, "
+        f"decode peak {warm['decode_peak_bytes']} B, zero_copy="
+        f"{warm['zero_copy']}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_parallel.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small panel for CI smoke (seconds, not minutes)",
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--assert-speedup",
+        action="store_true",
+        help="fail unless parallel-shm clears the speedup floor and the "
+        "warm mmap start is zero-copy",
+    )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=None,
+        help="override the gate floor (default 2.0, or 1.2 with --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.vectorized import numpy_available
+
+    if not numpy_available():
+        print("bench_parallel requires NumPy; skipping", file=sys.stderr)
+        return 0
+
+    document = run_bench(panel(quick=args.quick), repeats=args.repeats)
+    validate_results(document)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    _print_table(document)
+    print(f"wrote {args.output}")
+    if args.assert_speedup:
+        floor = args.speedup_floor
+        if floor is None:
+            floor = 1.2 if args.quick else 2.0
+        assert_speedup(document, floor)
+        print(f"speedup gate passed (floor {floor:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

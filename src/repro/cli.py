@@ -126,7 +126,8 @@ def _resolve_store(args: argparse.Namespace):
         return None
     from repro.store import ArtifactStore
 
-    return ArtifactStore(cache_dir)
+    mmap_reads = "never" if getattr(args, "no_mmap", False) else "auto"
+    return ArtifactStore(cache_dir, mmap_reads=mmap_reads)
 
 
 def _add_cache_flags(p: argparse.ArgumentParser) -> None:
@@ -140,6 +141,12 @@ def _add_cache_flags(p: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="ignore any artifact store, even if REPRO_CACHE_DIR is set",
+    )
+    p.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read store entries into memory instead of memory-mapping "
+        "them (mmap is the default for zero-copy codecs)",
     )
 
 
@@ -384,8 +391,10 @@ def _cmd_engines(args: argparse.Namespace) -> int:
         f">= {engines.AUTO_MIN_REFS} references "
         f"(>= {engines.AUTO_MIN_REFS_POSTLUDE} when the MRCT is already "
         f"built) and >= {engines.AUTO_MIN_UNIQUE} unique addresses, "
-        f"else 'serial'; 'parallel' and 'streaming' are explicit-only "
-        f"(see BENCH_postlude.json)"
+        f"else 'serial'; 'parallel-shm' at "
+        f">= {engines.AUTO_MIN_REFS_PARALLEL_SHM} references on multi-CPU "
+        f"hosts; 'parallel' and 'streaming' are explicit-only "
+        f"(see BENCH_postlude.json, BENCH_parallel.json)"
     )
     return 0
 

@@ -18,7 +18,18 @@ Names
     as a legacy alias.
 ``parallel``
     BCAT subtrees fanned out over worker processes
-    (:mod:`repro.core.parallel`); takes a ``processes`` option.
+    (:mod:`repro.core.parallel`); takes a ``processes`` option.  The
+    bigint tables travel through the pool initializer, and the
+    initialized pool is cached per trace digest so repeat runs re-pickle
+    nothing.
+``parallel-shm``
+    BCAT subtrees over worker processes *sharing* one packed conflict
+    bit-matrix in a ``multiprocessing.shared_memory`` segment
+    (:mod:`repro.core.parallel` + :mod:`repro.core.shm`); workers
+    attach read-only and claim subtree indices from the pool's task
+    queue, each running the vectorized blocked walk over its row
+    segments.  Takes ``processes`` and ``split_level``; falls back to
+    ``parallel`` when NumPy is missing.
 ``streaming``
     Single LRU-stack pass over the raw trace with O(N') memory
     (:mod:`repro.core.streaming`).
@@ -29,15 +40,19 @@ Names
     directly (:mod:`repro.core.prelude_fast`) and the postlude consumes
     it zero-copy, skipping the bigint MRCT entirely.
 ``auto``
-    Picks between ``serial`` and ``vectorized`` only — calibration
-    against BENCH_postlude.json showed ``parallel`` 2.5–8x slower than
-    ``serial`` and ``streaming`` 22–125x slower at every measured size,
-    so neither is ever auto-selected (they remain available by name).
-    The threshold depends on what work is left: a cold trace favors
-    ``vectorized`` from ``AUTO_MIN_REFS`` because the fused prelude is
-    part of the win; with the bigint MRCT already in hand only the
-    postlude differs, and ``serial`` stays competitive until
-    ``AUTO_MIN_REFS_POSTLUDE``.
+    Picks between ``serial``, ``vectorized`` and — on multi-core hosts
+    at very large N — ``parallel-shm``.  Calibration against
+    BENCH_postlude.json showed the bigint ``parallel`` 2.5–8x slower
+    than ``serial`` and ``streaming`` 22–125x slower at every measured
+    size, so neither is ever auto-selected (they remain available by
+    name).  The serial/vectorized threshold depends on what work is
+    left: a cold trace favors ``vectorized`` from ``AUTO_MIN_REFS``
+    because the fused prelude is part of the win; with the bigint MRCT
+    already in hand only the postlude differs, and ``serial`` stays
+    competitive until ``AUTO_MIN_REFS_POSTLUDE``.  ``parallel-shm``
+    takes over from ``vectorized`` at ``AUTO_MIN_REFS_PARALLEL_SHM``
+    when more than one CPU is available — below that the fork/attach
+    overhead eats the fan-out win (BENCH_parallel.json).
 
 All engines consume the same :class:`EngineInputs` bundle, which builds
 the prelude products (stripped trace, zero/one sets, MRCT — and, for
@@ -85,12 +100,23 @@ AUTO_MIN_REFS_POSTLUDE = 16384
 #: loses at N'=1000 (markov) when the trace behind it is long.
 AUTO_MIN_UNIQUE = 1024
 
-#: The only engines ``auto`` may return.  ``parallel`` and
+#: ``auto`` escalates from ``vectorized`` to ``parallel-shm`` at this
+#: trace length, and only when the host has more than one CPU: forking
+#: workers, laying out the shared segment and gathering the matrix into
+#: it is ~50-80 ms of fixed overhead (BENCH_parallel.json: shm trails
+#: vectorized by 0.08 s at N=2x10^5 and by 0.03 s at N=10^6 on one
+#: CPU) that only a multi-core walk can amortize — so the gate is the
+#: size where the per-worker walk share is large enough to cover it.
+AUTO_MIN_REFS_PARALLEL_SHM = 1_000_000
+
+#: The only engines ``auto`` may return.  The bigint ``parallel`` and
 #: ``streaming`` are deliberately excluded: BENCH_postlude.json shows
 #: parallel slower than serial on every panel trace (0.554 s vs
 #: 0.210 s on loop-1024x100) and streaming 22-125x slower (26.3 s vs
 #: 0.21 s) — an auto policy must never pick a measured regression.
-AUTO_CANDIDATES = ("serial", "vectorized")
+#: ``parallel-shm`` shares the vectorized kernel, so its floor is not a
+#: regression, just overhead — hence the size + core-count gate.
+AUTO_CANDIDATES = ("serial", "vectorized", "parallel-shm")
 
 #: Prelude builder modes accepted by :class:`EngineInputs`.
 PRELUDE_MODES = ("auto", "fast", "python")
@@ -400,7 +426,9 @@ class EngineInputs:
                     return cached
             stripped = self.stripped
             with self.recorder.phase("prelude:packed-mrct"):
-                self._packed_mrct = build_packed_mrct(stripped)
+                self._packed_mrct = build_packed_mrct(
+                    stripped, recorder=self.recorder
+                )
                 self.recorder.record(
                     "conflict_sets", self._packed_mrct.total_conflict_sets
                 )
@@ -556,12 +584,12 @@ def choose_auto(
 ) -> str:
     """The concrete engine ``auto`` stands for, given what is known.
 
-    Only :data:`AUTO_CANDIDATES` (``serial``/``vectorized``) are ever
-    returned — see the constant's calibration note.  Sizing prefers the
-    raw trace length; when the raw trace is unavailable — a caller
-    injected prelude products — it falls back to the stripped trace's
-    ``n_unique`` (``>= AUTO_MIN_UNIQUE``) rather than silently treating
-    the unknown trace as short.
+    Only :data:`AUTO_CANDIDATES` (``serial``/``vectorized``/
+    ``parallel-shm``) are ever returned — see the constants' calibration
+    notes.  Sizing prefers the raw trace length; when the raw trace is
+    unavailable — a caller injected prelude products — it falls back to
+    the stripped trace's ``n_unique`` (``>= AUTO_MIN_UNIQUE``) rather
+    than silently treating the unknown trace as short.
 
     Args:
         prelude_ready: True when the bigint MRCT is already built, so
@@ -576,10 +604,19 @@ def choose_auto(
         return "serial"
     threshold = AUTO_MIN_REFS_POSTLUDE if prelude_ready else AUTO_MIN_REFS
     if trace is not None:
+        if len(trace) >= AUTO_MIN_REFS_PARALLEL_SHM and _usable_cpus() >= 2:
+            return "parallel-shm"
         return "vectorized" if len(trace) >= threshold else "serial"
     if stripped is not None:
         return "vectorized" if stripped.n_unique >= AUTO_MIN_UNIQUE else "serial"
     return "serial"
+
+
+def _usable_cpus() -> int:
+    """CPUs available for worker fan-out (module-level for testability)."""
+    import os
+
+    return os.cpu_count() or 1
 
 
 def get_engine(name: str) -> EngineSpec:
@@ -646,6 +683,51 @@ def _run_parallel(
         max_level=max_level,
         processes=processes,
         split_level=split_level,
+        # The digest names the tables' content, letting repeat calls on
+        # the same trace reuse the already-initialized worker pool.
+        reuse_key=inputs.trace_digest,
+    )
+
+
+def _run_parallel_shm(
+    inputs: EngineInputs,
+    max_level: Optional[int] = None,
+    processes: int = 2,
+    split_level: int = 2,
+) -> Dict[int, LevelHistogram]:
+    from repro.core.vectorized import numpy_available
+
+    if not numpy_available():
+        return _run_parallel(
+            inputs,
+            max_level=max_level,
+            processes=processes,
+            split_level=split_level,
+        )
+    from repro.core.parallel import compute_level_histograms_parallel_shm
+
+    # Same input preference as the vectorized engine: consume the packed
+    # matrix when it exists or can be built without repeating paid-for
+    # prelude work; otherwise pack the bigint MRCT.
+    can_build_packed = (
+        inputs.prelude != "python"
+        and inputs.mrct_if_built is None
+        and (inputs.trace is not None or inputs.stripped_if_built is not None)
+    )
+    if inputs.packed_mrct_if_built is not None or can_build_packed:
+        return compute_level_histograms_parallel_shm(
+            inputs.zerosets,
+            packed=inputs.packed_mrct,
+            max_level=max_level,
+            processes=processes,
+            split_level=split_level,
+        )
+    return compute_level_histograms_parallel_shm(
+        inputs.zerosets,
+        mrct=inputs.mrct,
+        max_level=max_level,
+        processes=processes,
+        split_level=split_level,
     )
 
 
@@ -680,10 +762,16 @@ def _run_vectorized(
         )
         if inputs.packed_mrct_if_built is not None or can_build_packed:
             return compute_level_histograms_packed(
-                inputs.zerosets, inputs.packed_mrct, max_level=max_level
+                inputs.zerosets,
+                inputs.packed_mrct,
+                max_level=max_level,
+                recorder=inputs.recorder,
             )
     return compute_level_histograms_vectorized(
-        inputs.zerosets, inputs.mrct, max_level=max_level
+        inputs.zerosets,
+        inputs.mrct,
+        max_level=max_level,
+        recorder=inputs.recorder,
     )
 
 
@@ -704,6 +792,18 @@ register_engine(
         best_for="very large N x N' on multi-core hosts without NumPy",
         runner=_run_parallel,
         options=("processes", "split_level"),
+    )
+)
+register_engine(
+    EngineSpec(
+        name="parallel-shm",
+        summary="BCAT subtrees over workers sharing one packed matrix "
+        "in shared memory",
+        memory="one shared copy of the packed matrix + O(N') per worker",
+        best_for="very large N on multi-core hosts with NumPy",
+        runner=_run_parallel_shm,
+        options=("processes", "split_level"),
+        requires_numpy=True,
     )
 )
 register_engine(

@@ -16,8 +16,10 @@ exact replacements:
   last-occurrence positions frozen at ``M`` (a suffix of its
   position-sorted member rows, OR-accumulated once per block) — and
   ``[M, i)``, answered from an in-block prefix-OR accumulate.  Two block
-  scales plus a tiny-window Python tail make every occurrence O(words)
-  vector work instead of O(depth) object work.
+  scales plus a small-window tail (``bitwise_or.reduceat`` over segment
+  ranges, or a flattened-window bit scatter when the member matrix would
+  be too wide) make every occurrence O(words) vector work instead of
+  O(depth) object work.
 * :func:`build_mrct_fenwick` — pure Python, no NumPy: a Fenwick
   (order-statistic) tree over trace positions yields each occurrence's
   stack distance in O(log N), and an OR segment tree over "current last
@@ -42,6 +44,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.core.mrct import MRCT, build_mrct
+from repro.obs.recorder import NULL_RECORDER
 from repro.trace.strip import StrippedTrace
 
 try:  # pragma: no cover - trivial import guard
@@ -61,13 +64,19 @@ _BLOCK_SCALES = (1024, 64)
 _REDUCEAT_OPS_BUDGET = 150_000_000
 
 #: The reduceat tail materializes an (N, words) member matrix; skip it
-#: (Python bigint tail instead) when that would exceed this many bytes.
+#: (scatter tail instead) when that would exceed this many bytes.
 _REDUCEAT_MEM_BUDGET = 256 * 1024 * 1024
 
-#: Maximum total window length the Python bigint tail may absorb when
-#: the reduceat tail is ruled out by memory; block passes run until the
-#: remaining windows fit.
-_PY_WINDOW_BUDGET = 2_000_000
+#: Maximum total window length the scatter tail may absorb when the
+#: reduceat tail is ruled out by memory; block passes run until the
+#: remaining windows fit.  The scatter tail does O(1) work per window
+#: position regardless of row width, so this is far looser than the
+#: bigint tail budget it replaced.
+_SCATTER_WINDOW_BUDGET = 32_000_000
+
+#: Window positions flattened per scatter chunk; bounds the index
+#: temporaries at a few hundred MB independent of total tail size.
+_SCATTER_CHUNK = 8_000_000
 
 #: Below this trace length the classic LRU-stack builder wins — the
 #: NumPy kernel's argsorts and block setup cost more than they save
@@ -278,24 +287,53 @@ def _reduceat_tail(ids, prv, rows, row_of, pending, nwords):
     rows[row_of[pending[nonempty]]] = segments[0::2]
 
 
-def _python_tail(ids, prv, rows, row_of, pending, nwords):
-    """Finish the remaining queries with bigint ORs (memory fallback)."""
-    if pending.shape[0] == 0:
+def _scatter_tail(ids, prv, rows, row_of, pending, nwords):
+    """Finish the remaining queries by scattering membership bits.
+
+    The wide-matrix replacement for the reduceat tail (which would
+    materialize an (N, words) member matrix): every remaining window
+    ``(prv[q], q)`` is flattened into one run of trace positions — a
+    single cumsum over per-window start corrections — and each
+    position's membership bit is ORed into its query's row word with
+    ``np.bitwise_or.at``.  O(1) work per window position regardless of
+    row width; chunked on window boundaries so the flattened index
+    temporaries stay bounded.
+    """
+    starts = prv[pending] + 1
+    lengths = pending - starts
+    nonempty = lengths > 0  # empty window => conflict set stays 0
+    if not nonempty.any():
         return
-    nbytes = nwords * 8
-    ids_list = ids.tolist()
-    byte_rows = rows.view(_np.uint8).reshape(rows.shape[0], nbytes)
-    row_indices = row_of[pending].tolist()
-    prv_list = prv[pending].tolist()
-    frombuffer = _np.frombuffer
-    for query, previous, row in zip(pending.tolist(), prv_list, row_indices):
-        conflict = 0
-        for j in range(previous + 1, query):
-            conflict |= 1 << ids_list[j]
-        if conflict:
-            byte_rows[row] = frombuffer(
-                conflict.to_bytes(nbytes, "little"), dtype=_np.uint8
-            )
+    starts = starts[nonempty]
+    lengths = lengths[nonempty]
+    targets = row_of[pending[nonempty]]
+    boundaries = _np.cumsum(lengths)
+    nqueries = lengths.shape[0]
+    lo = 0
+    while lo < nqueries:
+        base = int(boundaries[lo - 1]) if lo else 0
+        hi = int(
+            _np.searchsorted(boundaries, base + _SCATTER_CHUNK, side="right")
+        )
+        hi = max(hi, lo + 1)  # a single window may exceed the chunk size
+        s = starts[lo:hi]
+        length = lengths[lo:hi]
+        count = int(boundaries[hi - 1]) - base
+        # flat = [s0, s0+1, ..., s0+L0-1, s1, s1+1, ...]: ones everywhere,
+        # each window boundary corrected to jump from the previous
+        # window's last position to the next window's start.
+        flat = _np.ones(count, dtype=_np.int64)
+        flat[0] = s[0]
+        if hi - lo > 1:
+            bnd = _np.cumsum(length[:-1])
+            flat[bnd] = s[1:] - (s[:-1] + length[:-1] - 1)
+        flat = _np.cumsum(flat)
+        row_idx = _np.repeat(targets[lo:hi], length)
+        pos_ids = ids[flat].astype(_np.uint64)
+        word_idx = (pos_ids >> _np.uint64(6)).astype(_np.int64)
+        bits = _np.uint64(1) << (pos_ids & _np.uint64(63))
+        _np.bitwise_or.at(rows, (row_idx, word_idx), bits)
+        lo = hi
 
 
 def _conflict_rows(ids, n_unique):
@@ -318,7 +356,7 @@ def _conflict_rows(ids, n_unique):
     row_of[noncold] = _np.arange(noncold.shape[0], dtype=_np.int64)
     use_reduceat = n * nwords * 8 <= _REDUCEAT_MEM_BUDGET
     tail_budget = (
-        _REDUCEAT_OPS_BUDGET // nwords if use_reduceat else _PY_WINDOW_BUDGET
+        _REDUCEAT_OPS_BUDGET // nwords if use_reduceat else _SCATTER_WINDOW_BUDGET
     )
     pending = noncold
     for scale in _BLOCK_SCALES:
@@ -332,7 +370,7 @@ def _conflict_rows(ids, n_unique):
         if use_reduceat:
             _reduceat_tail(ids, prv, rows, row_of, pending, nwords)
         else:
-            _python_tail(ids, prv, rows, row_of, pending, nwords)
+            _scatter_tail(ids, prv, rows, row_of, pending, nwords)
     return rows, noncold
 
 
@@ -362,14 +400,16 @@ def build_mrct_fast(stripped: StrippedTrace) -> MRCT:
     return MRCT(sets=table, n_unique=n_unique)
 
 
-def build_packed_mrct(stripped: StrippedTrace) -> PackedMRCT:
+def build_packed_mrct(stripped: StrippedTrace, recorder=NULL_RECORDER) -> PackedMRCT:
     """Build the deduplicated packed MRCT for the fused vectorized path.
 
     Same kernel as :func:`build_mrct_fast`, but instead of expanding to
     bigints the per-occurrence rows are deduplicated by ``(identifier,
     conflict words)`` via ``np.unique(axis=0)`` with occurrence counts
     as integer weights.  Zero-conflict rows are kept — they carry the
-    distance-0 histogram mass.
+    distance-0 histogram mass.  ``recorder`` gets per-kernel phase
+    timers (``prelude:conflict-rows``, ``prelude:dedup-rows``) for
+    ``repro profile``.
     """
     if _np is None:
         raise RuntimeError("build_packed_mrct requires NumPy; use build_mrct_auto")
@@ -383,8 +423,10 @@ def build_packed_mrct(stripped: StrippedTrace) -> PackedMRCT:
             n_unique=n_unique,
         )
     ids = _ids_array(stripped)
-    rows, noncold = _conflict_rows(ids, n_unique)
-    return _dedup_rows(rows, ids[noncold], n_unique)
+    with recorder.phase("prelude:conflict-rows"):
+        rows, noncold = _conflict_rows(ids, n_unique)
+    with recorder.phase("prelude:dedup-rows"):
+        return _dedup_rows(rows, ids[noncold], n_unique)
 
 
 def _mix64(values):

@@ -1,0 +1,273 @@
+"""Shared-memory segments for the ``parallel-shm`` postlude engine.
+
+The parallel engine's original scheme shipped the full zero/one tables
+and MRCT to every worker through the pool initializer — one pickle of
+the whole working set per worker process.  The packed conflict
+bit-matrix is a dense ``uint64`` array, which is exactly what
+``multiprocessing.shared_memory`` is for: the main process lays the
+matrix (plus the small sidecar vectors) out once in a single shared
+segment, and workers map it read-only at attach cost O(1), no
+serialization at all.
+
+This module owns the segment *lifecycle*; the engine logic lives in
+:mod:`repro.core.parallel`:
+
+* :func:`allocate_segment` — lay out named arrays in one segment and
+  return writable NumPy views over it, so callers can fill fields
+  in place (e.g. gather the row-sorted matrix straight into shared
+  memory) without an intermediate copy.
+* :func:`attach_segment` — map an existing segment by its
+  :class:`SegmentSpec` (a tiny picklable descriptor) and return
+  *read-only* views; this is the worker side.
+* :func:`unlink_segment` / :func:`close_segment` — owner-side removal
+  and worker-side detach.
+
+Cleanup is belt-and-braces:
+
+* the engine unlinks its segment in a ``finally`` block, which covers
+  normal exit, worker crashes (the pool raises in the parent) and
+  ``KeyboardInterrupt``;
+* every segment created here is also tracked in a module registry and
+  unlinked by an ``atexit`` hook, covering callers that lose their
+  reference mid-exception;
+* if the owning process dies without running either (SIGKILL), the
+  CPython ``resource_tracker`` — which this module deliberately leaves
+  registered on the create side — unlinks the segment when the tracker
+  process exits.
+
+Workers never unlink: the owner always outlives the pool (it joins the
+pool before unlinking), so the tracker's bookkeeping stays consistent
+— creates register, the owner's unlink unregisters, attaches in forked
+workers are transient.  Tests assert that ``/dev/shm`` holds no
+``repro-shm-*`` entries after normal exit, worker crash or interrupt.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from multiprocessing import shared_memory
+
+try:  # pragma: no cover - trivial import guard
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI lane
+    _np = None
+
+#: Every segment this module creates is named with this prefix, so leak
+#: checks (tests, CI) can sweep ``/dev/shm`` for leftovers.
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Fields inside a segment start on this byte boundary (cache-line
+#: sized, and a multiple of every dtype's alignment used here).
+_ALIGNMENT = 64
+
+#: Names of segments created (and not yet unlinked) by this process.
+_owned: Set[str] = set()
+_owned_lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class SegmentField:
+    """One named array inside a segment: dtype, shape and byte offset."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """A picklable descriptor of one shared segment's layout.
+
+    This is all a worker needs to map the segment: the handful of ints
+    and strings here replaces the per-worker pickle of the tables
+    themselves.
+    """
+
+    name: str
+    size: int
+    fields: Tuple[SegmentField, ...]
+
+
+def numpy_required() -> None:
+    if _np is None:
+        raise RuntimeError(
+            "shared-memory segments hold NumPy arrays; NumPy is not installed"
+        )
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def _segment_name() -> str:
+    """A fresh segment name: prefix + pid + random suffix.
+
+    The pid makes leaked segments attributable; the random suffix keeps
+    concurrent allocations (threads, many explorers) collision-free.
+    """
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{os.urandom(6).hex()}"
+
+
+def _map_views(
+    spec: SegmentSpec, segment: shared_memory.SharedMemory, writable: bool
+) -> Dict[str, "object"]:
+    views: Dict[str, "object"] = {}
+    for field in spec.fields:
+        view = _np.ndarray(
+            field.shape,
+            dtype=_np.dtype(field.dtype),
+            buffer=segment.buf,
+            offset=field.offset,
+        )
+        if not writable:
+            view.flags.writeable = False
+        views[field.name] = view
+    return views
+
+
+def allocate_segment(
+    layout: "Dict[str, Tuple[str, Tuple[int, ...]]]",
+) -> Tuple[shared_memory.SharedMemory, SegmentSpec, Dict[str, "object"]]:
+    """Create one shared segment holding the named arrays, uninitialized.
+
+    Args:
+        layout: ``{field name: (dtype string, shape)}`` in the order the
+            fields should be laid out.
+
+    Returns:
+        ``(segment, spec, views)`` where ``views`` maps each field name
+        to a *writable* NumPy view over the segment, for the caller to
+        fill in place.  The caller owns the segment and must eventually
+        :func:`unlink_segment` it (the atexit sweep and the OS resource
+        tracker are fallbacks, not the plan).
+    """
+    numpy_required()
+    fields = []
+    offset = 0
+    for name, (dtype, shape) in layout.items():
+        offset = _aligned(offset)
+        fields.append(SegmentField(name=name, dtype=dtype, shape=tuple(shape), offset=offset))
+        count = 1
+        for dim in shape:
+            count *= int(dim)
+        offset += count * _np.dtype(dtype).itemsize
+    size = max(offset, 1)
+    segment = shared_memory.SharedMemory(name=_segment_name(), create=True, size=size)
+    with _owned_lock:
+        _owned.add(segment.name)
+    spec = SegmentSpec(name=segment.name, size=size, fields=tuple(fields))
+    return segment, spec, _map_views(spec, segment, writable=True)
+
+
+def create_segment(
+    arrays: "Dict[str, object]",
+) -> Tuple[shared_memory.SharedMemory, SegmentSpec]:
+    """Copy named arrays into one fresh shared segment.
+
+    Convenience over :func:`allocate_segment` for callers whose arrays
+    already exist; each is copied exactly once, into place.
+    """
+    numpy_required()
+    layout = {
+        name: (_np.asarray(value).dtype.str, _np.asarray(value).shape)
+        for name, value in arrays.items()
+    }
+    segment, spec, views = allocate_segment(layout)
+    for name, value in arrays.items():
+        views[name][...] = value
+    return segment, spec
+
+
+def attach_segment(
+    spec: SegmentSpec,
+) -> Tuple[shared_memory.SharedMemory, Dict[str, "object"]]:
+    """Map an existing segment; return read-only views (worker side).
+
+    The returned segment handle must stay referenced for as long as the
+    views are used (the views borrow its buffer); call
+    :func:`close_segment` when done.  Workers must never *unlink*.
+    """
+    numpy_required()
+    segment = shared_memory.SharedMemory(name=spec.name, create=False)
+    return segment, _map_views(spec, segment, writable=False)
+
+
+def close_segment(segment: shared_memory.SharedMemory) -> None:
+    """Detach a mapping without removing the segment (worker side)."""
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - views still exported
+        pass
+
+
+def unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    """Detach *and remove* a segment (owner side); idempotent.
+
+    Safe to call after a worker crash or interrupt: a segment that is
+    already gone is not an error.
+    """
+    close_segment(segment)
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:  # pragma: no cover - platform-specific races
+        pass
+    with _owned_lock:
+        _owned.discard(segment.name)
+
+
+def owned_segments() -> Tuple[str, ...]:
+    """Names of segments this process created and has not yet unlinked."""
+    with _owned_lock:
+        return tuple(sorted(_owned))
+
+
+def _cleanup_owned() -> None:
+    """atexit sweep: unlink anything an exception path left behind."""
+    with _owned_lock:
+        leftover = tuple(_owned)
+        _owned.clear()
+    for name in leftover:
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - platform-specific races
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+
+
+atexit.register(_cleanup_owned)
+
+
+def leaked_segments() -> Tuple[str, ...]:
+    """``repro-shm-*`` names visible in ``/dev/shm`` right now.
+
+    The leak-check used by tests and CI.  On platforms without a
+    ``/dev/shm`` view of POSIX shared memory this returns what the
+    registry knows instead (still catching in-process leaks).
+    """
+    root = "/dev/shm"
+    if os.path.isdir(root):
+        try:
+            return tuple(
+                sorted(
+                    name
+                    for name in os.listdir(root)
+                    if name.startswith(SEGMENT_PREFIX)
+                )
+            )
+        except OSError:  # pragma: no cover - platform-specific
+            pass
+    return owned_segments()

@@ -43,11 +43,20 @@ from repro.core.postlude import (
     validate_max_level,
 )
 from repro.core.zerosets import ZeroOneSets
+from repro.obs.recorder import NULL_RECORDER
 
 try:  # NumPy is optional: the engine falls back to the serial kernel.
     import numpy as _np
 except ImportError:  # pragma: no cover - exercised via monkeypatch in tests
     _np = None
+
+#: Byte budget for one node's ``block & mask`` temporary in the BCAT
+#: walk.  Large nodes (the root spans every row) are processed in row
+#: blocks of this size so the walk's transient memory stays flat instead
+#: of scaling with the row count — at N=10^6 undeduplicated rows the
+#: unblocked temporaries were 2x the matrix itself.  Sized to sit in L2
+#: cache territory; calibrated with benchmarks/bench_parallel.py.
+_WALK_BLOCK_BYTES = 4 * 1024 * 1024
 
 #: Prefer the hardware popcount ufunc (NumPy >= 2.0); older NumPy builds
 #: fall back to a byte lookup table.  Module-level so tests can force the
@@ -152,58 +161,82 @@ def _pack_conflict_rows(mrct: MRCT, perm, nbytes: int):
     return matrix, weights[:row], positions[:row]
 
 
-def _walk_bit_matrix(
-    zerosets: ZeroOneSets,
-    limit: int,
-    matrix,
-    weights,
-    positions,
-    histograms: Dict[int, LevelHistogram],
-) -> None:
-    """The BCAT walk over a row-sorted weighted bit-matrix.
+def _walk_tables(zerosets: ZeroOneSets, limit: int):
+    """Packed per-level split masks and the root mask for the BCAT walk.
 
-    ``matrix`` rows must be ordered by ``positions`` (each row's
-    identifier position under the bit-reversed permutation, ascending)
-    so every BCAT node is one contiguous row segment; ``weights`` are
-    the rows' occurrence multiplicities.  Fills ``histograms`` in
-    place.  Shared by the bigint-packing path
-    (:func:`compute_level_histograms_vectorized`) and the fused packed
-    path (:func:`compute_level_histograms_packed`).
+    Returns ``(zero_masks, one_masks, universe)`` — ``(limit, W)``
+    uint64 arrays plus the ``(W,)`` all-members mask.  Small (kilobytes
+    even at large N'), but shared by every node of the walk.
     """
     nprime = zerosets.n_unique
     nwords = (nprime + 63) // 64
     nbytes = nwords * 8
-    total_rows = matrix.shape[0]
-
     zero_masks = _np.empty((limit, nwords), dtype=_np.uint64)
     one_masks = _np.empty((limit, nwords), dtype=_np.uint64)
     for bit in range(limit):
         zero_masks[bit] = _pack_bigint(zerosets.zero[bit], nbytes)
         one_masks[bit] = _pack_bigint(zerosets.one[bit], nbytes)
-
     universe = _np.full(nwords, _np.uint64(0xFFFF_FFFF_FFFF_FFFF))
     if nprime % 64:
         universe[-1] = _np.uint64((1 << (nprime % 64)) - 1)
+    return zero_masks, one_masks, universe
 
-    # Per-level accumulators; a conflict cardinality can never exceed N'-1.
-    level_counts = [
-        _np.zeros(nprime + 1, dtype=_np.int64) for _ in range(limit + 1)
-    ]
 
-    # Depth-first BCAT walk over (level, mask, first identifier position,
-    # row range, cardinality); mirrors bcat.walk_bcat_sets including its
-    # pruning of nodes with fewer than two members.
-    stack = [(0, universe, 0, 0, total_rows, nprime)]
+def _node_counts(matrix, weights, row_lo, row_hi, mask, out) -> None:
+    """Accumulate one node's weighted distance histogram into ``out``.
+
+    Blocked: rows are processed ``_WALK_BLOCK_BYTES`` at a time, so the
+    ``block & mask`` temporary never scales with the node's row count —
+    the walk's transient memory stays flat even at the root node of an
+    undeduplicated million-row matrix, and each block's popcount input
+    stays cache-resident.
+    """
+    words = max(int(matrix.shape[1]), 1)
+    block_rows = max(_WALK_BLOCK_BYTES // (words * 8), 1)
+    for start in range(row_lo, row_hi, block_rows):
+        end = min(start + block_rows, row_hi)
+        distances = _row_popcounts(matrix[start:end], mask)
+        # Weighted bincount: weights are occurrence multiplicities,
+        # far below 2**53, so the float64 sums are exact integers.
+        binned = _np.bincount(distances, weights=weights[start:end])
+        out[: len(binned)] += binned.astype(_np.int64)
+
+
+def _walk_node(
+    matrix,
+    weights,
+    positions,
+    zero_masks,
+    one_masks,
+    level_counts,
+    limit: int,
+    root,
+    split_level=None,
+    jobs=None,
+) -> None:
+    """Depth-first BCAT walk from one node, accumulating into ``level_counts``.
+
+    ``root`` is ``(level, mask, first_position, row_lo, row_hi,
+    cardinality)``; ``level_counts`` is a ``(limit + 1, N' + 1)`` int64
+    accumulator.  Mirrors ``bcat.walk_bcat_sets`` including its pruning
+    of nodes with fewer than two members.
+
+    When ``split_level`` is given, nodes *at* that level are appended to
+    ``jobs`` (same tuple shape) instead of being descended into — the
+    parallel-shm engine uses this to discover its work units with the
+    exact pruning semantics of the full walk.
+    """
+    stack = [root]
     while stack:
-        level, mask, first_position, row_lo, row_hi, cardinality = stack.pop()
+        node = stack.pop()
+        level, mask, first_position, row_lo, row_hi, cardinality = node
         if cardinality < 2:
             continue
+        if split_level is not None and level == split_level:
+            jobs.append(node)
+            continue
         if row_hi > row_lo:
-            distances = _row_popcounts(matrix[row_lo:row_hi], mask)
-            # Weighted bincount: weights are occurrence multiplicities,
-            # far below 2**53, so the float64 sums are exact integers.
-            binned = _np.bincount(distances, weights=weights[row_lo:row_hi])
-            level_counts[level][: len(binned)] += binned.astype(_np.int64)
+            _node_counts(matrix, weights, row_lo, row_hi, mask, level_counts[level])
         if level >= limit:
             continue
         left_mask = mask & zero_masks[level]
@@ -227,11 +260,43 @@ def _walk_bit_matrix(
                 (level + 1, left_mask, first_position, row_lo, split_row, left_cardinality)
             )
 
-    for level in range(limit + 1):
-        accumulated = level_counts[level]
+
+def _flush_level_counts(level_counts, histograms: Dict[int, LevelHistogram]) -> None:
+    """Copy the dense per-level accumulators into sparse histograms."""
+    for level, accumulated in enumerate(level_counts):
         counts = histograms[level].counts
         for distance in _np.flatnonzero(accumulated):
             counts[int(distance)] = int(accumulated[distance])
+
+
+def _walk_bit_matrix(
+    zerosets: ZeroOneSets,
+    limit: int,
+    matrix,
+    weights,
+    positions,
+    histograms: Dict[int, LevelHistogram],
+) -> None:
+    """The BCAT walk over a row-sorted weighted bit-matrix.
+
+    ``matrix`` rows must be ordered by ``positions`` (each row's
+    identifier position under the bit-reversed permutation, ascending)
+    so every BCAT node is one contiguous row segment; ``weights`` are
+    the rows' occurrence multiplicities.  Fills ``histograms`` in
+    place.  Shared by the bigint-packing path
+    (:func:`compute_level_histograms_vectorized`) and the fused packed
+    path (:func:`compute_level_histograms_packed`).
+    """
+    nprime = zerosets.n_unique
+    total_rows = matrix.shape[0]
+    zero_masks, one_masks, universe = _walk_tables(zerosets, limit)
+    # Per-level accumulators; a conflict cardinality can never exceed N'-1.
+    level_counts = _np.zeros((limit + 1, nprime + 1), dtype=_np.int64)
+    root = (0, universe, 0, 0, total_rows, nprime)
+    _walk_node(
+        matrix, weights, positions, zero_masks, one_masks, level_counts, limit, root
+    )
+    _flush_level_counts(level_counts, histograms)
 
 
 def _level_limit(zerosets: ZeroOneSets, max_level: Optional[int]) -> int:
@@ -240,10 +305,55 @@ def _level_limit(zerosets: ZeroOneSets, max_level: Optional[int]) -> int:
     return min(limit, zerosets.address_bits)
 
 
+def prepare_bigint_walk(zerosets: ZeroOneSets, limit: int, mrct: MRCT):
+    """Row-sort a bigint MRCT into walk form: ``(matrix, weights, positions)``.
+
+    Rows are ordered by their identifier's position under the
+    bit-reversed permutation, so every BCAT node is one contiguous row
+    segment — the precondition of :func:`_walk_node`.
+    """
+    nprime = zerosets.n_unique
+    nbytes = ((nprime + 63) // 64) * 8
+    key = _bit_reversed_keys(zerosets, limit, nbytes)
+    perm = _np.argsort(key, kind="stable")
+    return _pack_conflict_rows(mrct, perm, nbytes)
+
+
+def prepare_packed_walk(
+    zerosets: ZeroOneSets, limit: int, packed: "PackedMRCT", matrix_out=None
+):
+    """Row-sort a :class:`PackedMRCT` into walk form.
+
+    Returns ``(matrix, weights, positions)`` with rows gathered under
+    the bit-reversed identifier permutation.  When ``matrix_out`` is
+    given (a writable ``(rows, words)`` uint64 array — the parallel-shm
+    engine passes its shared-segment view), the gather lands directly
+    in it, so a store-mapped packed matrix flows into shared memory
+    with exactly one copy and no intermediate allocation.
+    """
+    nprime = zerosets.n_unique
+    nbytes = ((nprime + 63) // 64) * 8
+    key = _bit_reversed_keys(zerosets, limit, nbytes)
+    perm = _np.argsort(key, kind="stable")
+    inverse_perm = _np.empty(nprime, dtype=_np.int64)
+    inverse_perm[perm] = _np.arange(nprime, dtype=_np.int64)
+    row_positions = inverse_perm[packed.idents]
+    order = _np.argsort(row_positions, kind="stable")
+    if matrix_out is not None:
+        _np.take(packed.matrix, order, axis=0, out=matrix_out)
+        matrix = matrix_out
+    else:
+        matrix = _np.ascontiguousarray(packed.matrix[order])
+    weights = packed.weights[order].astype(_np.float64)
+    positions = row_positions[order]
+    return matrix, weights, positions
+
+
 def compute_level_histograms_vectorized(
     zerosets: ZeroOneSets,
     mrct: MRCT,
     max_level: Optional[int] = None,
+    recorder=NULL_RECORDER,
 ) -> Dict[int, LevelHistogram]:
     """NumPy drop-in for :func:`~repro.core.postlude.compute_level_histograms`.
 
@@ -262,11 +372,10 @@ def compute_level_histograms_vectorized(
     if nprime < 2 or mrct.total_conflict_sets == 0:
         return histograms  # no row can conflict: every histogram is empty
 
-    nbytes = ((nprime + 63) // 64) * 8
-    key = _bit_reversed_keys(zerosets, limit, nbytes)
-    perm = _np.argsort(key, kind="stable")
-    matrix, weights, positions = _pack_conflict_rows(mrct, perm, nbytes)
-    _walk_bit_matrix(zerosets, limit, matrix, weights, positions, histograms)
+    with recorder.phase("postlude:pack-rows"):
+        matrix, weights, positions = prepare_bigint_walk(zerosets, limit, mrct)
+    with recorder.phase("postlude:walk"):
+        _walk_bit_matrix(zerosets, limit, matrix, weights, positions, histograms)
     return histograms
 
 
@@ -274,6 +383,7 @@ def compute_level_histograms_packed(
     zerosets: ZeroOneSets,
     packed: "PackedMRCT",
     max_level: Optional[int] = None,
+    recorder=NULL_RECORDER,
 ) -> Dict[int, LevelHistogram]:
     """The fused postlude: consume a packed MRCT with no bigint round-trip.
 
@@ -299,15 +409,8 @@ def compute_level_histograms_packed(
     if nprime < 2 or packed.n_rows == 0:
         return histograms
 
-    nbytes = ((nprime + 63) // 64) * 8
-    key = _bit_reversed_keys(zerosets, limit, nbytes)
-    perm = _np.argsort(key, kind="stable")
-    inverse_perm = _np.empty(nprime, dtype=_np.int64)
-    inverse_perm[perm] = _np.arange(nprime, dtype=_np.int64)
-    row_positions = inverse_perm[packed.idents]
-    order = _np.argsort(row_positions, kind="stable")
-    matrix = _np.ascontiguousarray(packed.matrix[order])
-    weights = packed.weights[order].astype(_np.float64)
-    positions = row_positions[order]
-    _walk_bit_matrix(zerosets, limit, matrix, weights, positions, histograms)
+    with recorder.phase("postlude:pack-rows"):
+        matrix, weights, positions = prepare_packed_walk(zerosets, limit, packed)
+    with recorder.phase("postlude:walk"):
+        _walk_bit_matrix(zerosets, limit, matrix, weights, positions, histograms)
     return histograms

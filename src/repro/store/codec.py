@@ -60,8 +60,13 @@ def pack_entry(codec_version: int, payload: bytes) -> bytes:
     )
 
 
-def unpack_entry(blob: bytes, codec_version: int) -> bytes:
+def unpack_entry(blob, codec_version: int):
     """Validate framing and checksum; return the payload.
+
+    ``blob`` may be ``bytes`` or a ``memoryview`` (e.g. over an ``mmap``
+    of the entry file); the returned payload is the same kind — a
+    memoryview in, a zero-copy memoryview slice out, which zero-copy
+    codecs decode into array views without materializing the payload.
 
     Raises:
         CorruptArtifact: on bad magic, version mismatch, truncation or
@@ -109,6 +114,19 @@ class _Reader:
         if self._pos + size > len(self._view):
             raise CorruptArtifact("payload truncated mid-block")
         block = self._view[self._pos:self._pos + size].tobytes()
+        self._pos += size
+        return block
+
+    def view(self, size: int) -> memoryview:
+        """A zero-copy window over the next ``size`` payload bytes.
+
+        The view borrows the payload's buffer: whatever is built on it
+        (e.g. ``np.frombuffer``) keeps the payload — and, for a mapped
+        entry, the mapping — alive through ordinary refcounting.
+        """
+        if self._pos + size > len(self._view):
+            raise CorruptArtifact("payload truncated mid-block")
+        block = self._view[self._pos:self._pos + size]
         self._pos += size
         return block
 
@@ -286,18 +304,44 @@ class HistogramsCodec:
         return histograms
 
 
+def _le_array_view(reader: _Reader, dtype: str, count: int):
+    """The next ``count`` little-endian items as a read-only array view.
+
+    Zero-copy on little-endian hosts: a ``np.frombuffer`` view over the
+    payload (which may itself be a view over a mapped entry file).  Only
+    big-endian hosts pay a byteswap copy.  The view is marked read-only
+    either way — decoded artifacts are shared through the store's memory
+    tier, so nothing downstream may scribble on them.
+    """
+    import numpy as np
+
+    itemsize = np.dtype(dtype).itemsize
+    values = np.frombuffer(reader.view(itemsize * count), dtype=dtype)
+    if sys.byteorder != "little":  # pragma: no cover - big-endian hosts
+        values = values.astype(values.dtype.newbyteorder("="))
+    values.flags.writeable = False
+    return values
+
+
 class PackedMRCTCodec:
     """Packed conflict bit-matrix (:class:`repro.core.prelude_fast.PackedMRCT`).
 
     Fixed-width little-endian arrays — identifiers, weights, then the
-    uint64 matrix — so encode/decode are single buffer copies and the
-    fused vectorized path warm-starts without touching bigints.
-    Requires NumPy to decode; the store only consults this stage from
-    the fused path, which is NumPy-gated.
+    uint64 matrix — so encode is a single buffer copy and decode is
+    *zero*-copy: the arrays are read-only ``np.frombuffer`` views over
+    the payload (only byte-swapping big-endian hosts copy).  With the
+    store's mmap read path the views point straight into the mapped
+    entry file, so a warm hit never materializes a second copy of the
+    matrix.  Requires NumPy to decode; the store only consults this
+    stage from the fused path, which is NumPy-gated.
     """
 
     stage = "packed-mrct"
     version = 1
+
+    #: Decoded values are views over the payload — the store's mmap read
+    #: path keys off this to map the entry file instead of reading it.
+    zero_copy = True
 
     def encode(self, packed) -> bytes:
         import numpy as np
@@ -312,9 +356,7 @@ class PackedMRCTCodec:
             )
         )
 
-    def decode(self, payload: bytes, context: Optional[Trace] = None):
-        import numpy as np
-
+    def decode(self, payload, context: Optional[Trace] = None):
         from repro.core.prelude_fast import PackedMRCT
 
         reader = _Reader(payload)
@@ -324,13 +366,9 @@ class PackedMRCTCodec:
                 f"packed matrix is {words} words wide, "
                 f"{n_unique} unique references need {(n_unique + 63) // 64}"
             )
-        idents = np.frombuffer(reader.read(8 * rows), dtype="<i8").astype(np.int64)
-        weights = np.frombuffer(reader.read(8 * rows), dtype="<i8").astype(np.int64)
-        matrix = (
-            np.frombuffer(reader.read(8 * rows * words), dtype="<u8")
-            .astype(np.uint64)
-            .reshape(rows, words)
-        )
+        idents = _le_array_view(reader, "<i8", rows)
+        weights = _le_array_view(reader, "<i8", rows)
+        matrix = _le_array_view(reader, "<u8", rows * words).reshape(rows, words)
         reader.expect_end()
         if rows and (
             (idents < 0).any() or (idents >= max(n_unique, 1)).any()

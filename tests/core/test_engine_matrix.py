@@ -127,7 +127,14 @@ def test_cached_runs_identical_to_uncached(engine, tiny_runs, tmp_path):
 
 def test_registry_lists_all_expected_engines():
     names = engines.engine_names()
-    assert names == ("serial", "parallel", "streaming", "vectorized", "auto")
+    assert names == (
+        "serial",
+        "parallel",
+        "parallel-shm",
+        "streaming",
+        "vectorized",
+        "auto",
+    )
     assert engines.canonical_name("bitmask") == "serial"
     with pytest.raises(ValueError, match="unknown engine"):
         engines.canonical_name("warp-drive")

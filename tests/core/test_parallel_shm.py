@@ -1,0 +1,328 @@
+"""Tests for the shared-memory parallel postlude and segment lifecycle."""
+
+import pytest
+
+from repro.core import engines, parallel
+from repro.core.mrct import build_mrct
+from repro.core.postlude import compute_level_histograms
+from repro.core.zerosets import build_zero_one_sets
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import loop_nest_trace, random_trace, zipf_trace
+from repro.trace.trace import Trace
+
+np = pytest.importorskip("numpy")
+
+from repro.core import shm  # noqa: E402  (needs NumPy)
+from repro.core.parallel import (  # noqa: E402
+    compute_level_histograms_parallel_shm,
+)
+from repro.core.prelude_fast import build_packed_mrct  # noqa: E402
+
+
+def _crash_worker(job):
+    """Module-level so the pool can pickle it into forked workers."""
+    raise RuntimeError("worker crashed on purpose")
+
+
+def _stages(trace):
+    stripped = strip_trace(trace)
+    return stripped, build_zero_one_sets(stripped)
+
+
+def _assert_identical(serial, result):
+    assert sorted(serial) == sorted(result)
+    for level in serial:
+        assert serial[level].counts == result[level].counts, level
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test in this module must leave ``/dev/shm`` clean."""
+    assert shm.leaked_segments() == ()
+    yield
+    assert shm.leaked_segments() == ()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("split_level", [0, 1, 2, 4])
+    def test_packed_matches_serial_across_splits(self, split_level):
+        stripped, zerosets = _stages(zipf_trace(400, 60, seed=2))
+        serial = compute_level_histograms(zerosets, build_mrct(stripped))
+        result = compute_level_histograms_parallel_shm(
+            zerosets,
+            packed=build_packed_mrct(stripped),
+            processes=2,
+            split_level=split_level,
+        )
+        _assert_identical(serial, result)
+
+    @pytest.mark.parametrize("processes", [1, 3])
+    def test_packed_matches_serial_across_process_counts(self, processes):
+        stripped, zerosets = _stages(random_trace(500, 80, seed=4))
+        serial = compute_level_histograms(zerosets, build_mrct(stripped))
+        result = compute_level_histograms_parallel_shm(
+            zerosets,
+            packed=build_packed_mrct(stripped),
+            processes=processes,
+            split_level=2,
+        )
+        _assert_identical(serial, result)
+
+    def test_bigint_path_matches_serial(self):
+        stripped, zerosets = _stages(zipf_trace(350, 70, seed=5))
+        mrct = build_mrct(stripped)
+        serial = compute_level_histograms(zerosets, mrct)
+        result = compute_level_histograms_parallel_shm(
+            zerosets, mrct=mrct, processes=2, split_level=2
+        )
+        _assert_identical(serial, result)
+
+    def test_matches_on_paper_trace(self, paper_trace):
+        stripped, zerosets = _stages(paper_trace)
+        serial = compute_level_histograms(zerosets, build_mrct(stripped))
+        result = compute_level_histograms_parallel_shm(
+            zerosets,
+            packed=build_packed_mrct(stripped),
+            processes=2,
+            split_level=1,
+        )
+        _assert_identical(serial, result)
+
+    def test_max_level_cap(self):
+        stripped, zerosets = _stages(loop_nest_trace(16, 4))
+        result = compute_level_histograms_parallel_shm(
+            zerosets,
+            packed=build_packed_mrct(stripped),
+            max_level=3,
+            processes=2,
+        )
+        assert sorted(result) == [0, 1, 2, 3]
+
+    def test_empty_trace(self):
+        stripped, zerosets = _stages(Trace([]))
+        result = compute_level_histograms_parallel_shm(
+            zerosets, packed=build_packed_mrct(stripped), processes=2
+        )
+        assert all(h.counts == {} for h in result.values())
+
+
+class TestValidation:
+    def test_bad_process_count(self):
+        stripped, zerosets = _stages(Trace([0, 1]))
+        with pytest.raises(ValueError, match="processes"):
+            compute_level_histograms_parallel_shm(
+                zerosets, packed=build_packed_mrct(stripped), processes=0
+            )
+
+    def test_bad_split_level(self):
+        stripped, zerosets = _stages(Trace([0, 1]))
+        with pytest.raises(ValueError, match="split_level"):
+            compute_level_histograms_parallel_shm(
+                zerosets, packed=build_packed_mrct(stripped), split_level=-1
+            )
+
+    def test_missing_tables(self):
+        _, zerosets = _stages(Trace([0, 1]))
+        with pytest.raises(ValueError, match="packed or bigint"):
+            compute_level_histograms_parallel_shm(zerosets)
+
+    def test_mismatched_packed_width(self):
+        stripped, zerosets = _stages(zipf_trace(100, 20, seed=1))
+        other = build_packed_mrct(strip_trace(zipf_trace(100, 40, seed=2)))
+        if other.n_unique == zerosets.n_unique:  # pragma: no cover
+            pytest.skip("traces happened to share a unique count")
+        with pytest.raises(ValueError, match="unique references"):
+            compute_level_histograms_parallel_shm(zerosets, packed=other)
+
+
+class TestSegmentLifecycle:
+    """ISSUE satellite: no leaked ``/dev/shm`` entries on any exit path."""
+
+    def test_normal_exit_unlinks(self):
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        compute_level_histograms_parallel_shm(
+            zerosets,
+            packed=build_packed_mrct(stripped),
+            processes=2,
+            split_level=3,
+        )
+        assert shm.leaked_segments() == ()
+        assert shm.owned_segments() == ()
+
+    def test_worker_crash_unlinks(self, monkeypatch):
+        """A worker raising mid-job must not leak the segment."""
+        # Workers are forked, so they inherit the patched module.
+        monkeypatch.setattr(parallel, "_shm_subtree_histograms", _crash_worker)
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        with pytest.raises(RuntimeError, match="on purpose"):
+            compute_level_histograms_parallel_shm(
+                zerosets,
+                packed=build_packed_mrct(stripped),
+                processes=2,
+                split_level=3,
+            )
+        assert shm.leaked_segments() == ()
+
+    def test_keyboard_interrupt_unlinks(self, monkeypatch):
+        class InterruptingPool:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def imap_unordered(self, *args, **kwargs):
+                raise KeyboardInterrupt
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return None
+
+        monkeypatch.setattr(parallel.multiprocessing, "Pool", InterruptingPool)
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        with pytest.raises(KeyboardInterrupt):
+            compute_level_histograms_parallel_shm(
+                zerosets,
+                packed=build_packed_mrct(stripped),
+                processes=2,
+                split_level=3,
+            )
+        assert shm.leaked_segments() == ()
+
+    def test_atexit_sweep_catches_lost_segments(self):
+        segment, _, _ = shm.allocate_segment({"field": ("<i8", (4,))})
+        assert segment.name in shm.owned_segments()
+        shm._cleanup_owned()  # what the atexit hook runs
+        assert shm.owned_segments() == ()
+        assert shm.leaked_segments() == ()
+
+    def test_unlink_is_idempotent(self):
+        segment, _, _ = shm.allocate_segment({"field": ("<i8", (4,))})
+        shm.unlink_segment(segment)
+        shm.unlink_segment(segment)  # second call must not raise
+        assert shm.leaked_segments() == ()
+
+    def test_attach_sees_owner_writes(self):
+        arrays = {"values": np.arange(16, dtype=np.int64)}
+        segment, spec = shm.create_segment(arrays)
+        try:
+            attached, views = shm.attach_segment(spec)
+            assert np.array_equal(views["values"], arrays["values"])
+            assert not views["values"].flags.writeable
+            del views
+            shm.close_segment(attached)
+        finally:
+            shm.unlink_segment(segment)
+
+
+class TestEngineDispatch:
+    def test_registry_matches_serial(self):
+        trace = zipf_trace(500, 70, seed=6)
+        result = engines.compute_histograms(
+            "parallel-shm", engines.EngineInputs(trace), processes=2
+        )
+        serial = engines.compute_histograms(
+            "serial", engines.EngineInputs(trace)
+        )
+        _assert_identical(serial, result)
+
+    def test_python_prelude_uses_bigint_tables(self):
+        trace = zipf_trace(300, 50, seed=8)
+        inputs = engines.EngineInputs(trace, prelude="python")
+        result = engines.compute_histograms("parallel-shm", inputs, processes=2)
+        serial = engines.compute_histograms(
+            "serial", engines.EngineInputs(trace)
+        )
+        _assert_identical(serial, result)
+        assert inputs.packed_mrct_if_built is None
+
+    def test_auto_picks_shm_only_on_large_multicore(self, monkeypatch):
+        trace = zipf_trace(300, 60, seed=1)
+        monkeypatch.setattr(engines, "AUTO_MIN_REFS_PARALLEL_SHM", 100)
+        monkeypatch.setattr(engines, "_usable_cpus", lambda: 4)
+        assert engines.choose_auto(trace) == "parallel-shm"
+        monkeypatch.setattr(engines, "_usable_cpus", lambda: 1)
+        assert engines.choose_auto(trace) != "parallel-shm"
+        monkeypatch.setattr(engines, "_usable_cpus", lambda: 4)
+        monkeypatch.setattr(engines, "AUTO_MIN_REFS_PARALLEL_SHM", 10**9)
+        assert engines.choose_auto(trace) != "parallel-shm"
+
+
+class TestPoolReuse:
+    """ISSUE satellite: repeat runs on the same trace reuse the worker pool."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_pool_cache(self):
+        parallel.shutdown_worker_pool()
+        yield
+        parallel.shutdown_worker_pool()
+
+    def _counting_pool(self, monkeypatch):
+        created = []
+        real_pool = parallel.multiprocessing.Pool
+
+        def counting(*args, **kwargs):
+            created.append(1)
+            return real_pool(*args, **kwargs)
+
+        monkeypatch.setattr(parallel.multiprocessing, "Pool", counting)
+        return created
+
+    def test_same_key_reuses_pool(self, monkeypatch):
+        created = self._counting_pool(monkeypatch)
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        mrct = build_mrct(stripped)
+        serial = compute_level_histograms(zerosets, mrct)
+        for _ in range(3):
+            result = parallel.compute_level_histograms_parallel(
+                zerosets, mrct, processes=2, split_level=3, reuse_key="digest-a"
+            )
+            _assert_identical(serial, result)
+        assert len(created) == 1
+
+    def test_key_change_recreates_pool(self, monkeypatch):
+        created = self._counting_pool(monkeypatch)
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        mrct = build_mrct(stripped)
+        for key in ("digest-a", "digest-a", "digest-b"):
+            parallel.compute_level_histograms_parallel(
+                zerosets, mrct, processes=2, split_level=3, reuse_key=key
+            )
+        assert len(created) == 2
+
+    def test_no_key_keeps_pool_per_call(self, monkeypatch):
+        created = self._counting_pool(monkeypatch)
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        mrct = build_mrct(stripped)
+        for _ in range(2):
+            parallel.compute_level_histograms_parallel(
+                zerosets, mrct, processes=2, split_level=3
+            )
+        assert len(created) == 2
+        assert parallel._pool_cache is None
+
+    def test_failed_map_poisons_cache(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_subtree_histograms", _crash_worker)
+        stripped, zerosets = _stages(random_trace(600, 90, seed=7))
+        mrct = build_mrct(stripped)
+        with pytest.raises(RuntimeError, match="on purpose"):
+            parallel.compute_level_histograms_parallel(
+                zerosets, mrct, processes=2, split_level=3, reuse_key="digest-a"
+            )
+        assert parallel._pool_cache is None
+
+    def test_registry_passes_trace_digest_as_reuse_key(self, monkeypatch):
+        captured = {}
+        real = parallel.compute_level_histograms_parallel
+
+        def spying(*args, **kwargs):
+            captured["reuse_key"] = kwargs.get("reuse_key")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(
+            parallel, "compute_level_histograms_parallel", spying
+        )
+        trace = zipf_trace(300, 50, seed=9)
+        inputs = engines.EngineInputs(trace)
+        engines.compute_histograms("parallel", inputs, processes=2)
+        assert captured["reuse_key"] == inputs.trace_digest
+        assert captured["reuse_key"] is not None

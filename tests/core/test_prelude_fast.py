@@ -130,7 +130,7 @@ class TestNumpyBuilders:
 
     @needs_numpy
     def test_budget_fallback_paths_agree(self, monkeypatch):
-        """Forcing the python bigint tail / disabling reduceat stays exact."""
+        """Forcing the scatter tail / disabling reduceat stays exact."""
         import repro.core.prelude_fast as pf
 
         trace = zipf_trace(1200, 150, seed=6)
@@ -139,6 +139,19 @@ class TestNumpyBuilders:
         monkeypatch.setattr(pf, "_REDUCEAT_MEM_BUDGET", 0)  # forbid reduceat
         assert pf.build_mrct_fast(stripped) == reference
         monkeypatch.setattr(pf, "_BLOCK_SCALES", ())  # no coarse passes either
+        assert pf.build_mrct_fast(stripped) == reference
+
+    @needs_numpy
+    def test_scatter_tail_chunking_is_exact(self, monkeypatch):
+        """Tiny chunks force many scatter batches; the result is unchanged."""
+        import repro.core.prelude_fast as pf
+
+        trace = zipf_trace(1500, 200, seed=7)
+        stripped = strip_trace(trace)
+        reference = build_mrct(stripped)
+        monkeypatch.setattr(pf, "_REDUCEAT_MEM_BUDGET", 0)
+        monkeypatch.setattr(pf, "_BLOCK_SCALES", ())  # every window to the tail
+        monkeypatch.setattr(pf, "_SCATTER_CHUNK", 64)
         assert pf.build_mrct_fast(stripped) == reference
 
 
@@ -283,8 +296,8 @@ class TestPackedStoreWarmStart:
 class TestAutoCalibration:
     """``auto`` only ever picks from AUTO_CANDIDATES (BENCH-calibrated)."""
 
-    def test_candidates_exclude_parallel_and_streaming(self):
-        assert engines.AUTO_CANDIDATES == ("serial", "vectorized")
+    def test_candidates_exclude_bigint_parallel_and_streaming(self):
+        assert engines.AUTO_CANDIDATES == ("serial", "vectorized", "parallel-shm")
 
     @pytest.mark.parametrize(
         "trace",

@@ -407,7 +407,7 @@ class TestCache:
         with pytest.raises(SystemExit):
             main(["--help"])
         out = capsys.readouterr().out
-        assert "serial, parallel, streaming, vectorized, auto" in out
+        assert "serial, parallel, parallel-shm, streaming, vectorized, auto" in out
         assert "bitmask -> serial" in out
 
 

@@ -1,0 +1,166 @@
+"""The memory-mapped warm read path: zero-copy hits, modes, corruption."""
+
+import argparse
+import tracemalloc
+
+import pytest
+
+from repro.core.vectorized import numpy_available
+from repro.store import (
+    ArtifactKey,
+    ArtifactStore,
+    MRCT_CODEC,
+    PACKED_MRCT_CODEC,
+    QUARANTINE_DIR,
+    trace_digest,
+)
+from repro.trace.strip import strip_trace
+from repro.trace.synthetic import zipf_trace
+
+pytestmark = pytest.mark.skipif(not numpy_available(), reason="needs NumPy")
+
+
+def _packed_entry(seed=17, refs=900, unique=120):
+    from repro.core.prelude_fast import build_packed_mrct
+
+    trace = zipf_trace(refs, unique, seed=seed)
+    trace.name = f"zipf-{seed}"
+    packed = build_packed_mrct(strip_trace(trace))
+    key = ArtifactKey.for_stage(
+        trace_digest(trace), PACKED_MRCT_CODEC.stage, PACKED_MRCT_CODEC.version
+    )
+    return key, packed
+
+
+class TestModes:
+    def test_auto_maps_zero_copy_codecs(self, tmp_path):
+        key, packed = _packed_entry()
+        ArtifactStore(tmp_path / "s").put(key, PACKED_MRCT_CODEC, packed)
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        got = store.get(key, PACKED_MRCT_CODEC)
+        assert got == packed
+        assert store.stats.mmap_hits == 1
+        assert store.stats.hits == 1
+        assert "mmap_hits" in store.stats.as_dict()
+        assert not got.matrix.flags.writeable
+
+    def test_auto_skips_codecs_without_zero_copy(self, tmp_path):
+        from repro.core.mrct import build_mrct
+
+        trace = zipf_trace(300, 40, seed=3)
+        trace.name = "zipf-3"
+        mrct = build_mrct(strip_trace(trace))
+        key = ArtifactKey.for_stage(
+            trace_digest(trace), MRCT_CODEC.stage, MRCT_CODEC.version
+        )
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        store.put(key, MRCT_CODEC, mrct)
+        got = store.get(key, MRCT_CODEC)
+        assert got.sets == mrct.sets
+        assert store.stats.mmap_hits == 0
+
+    def test_never_disables_mapping(self, tmp_path):
+        key, packed = _packed_entry()
+        store = ArtifactStore(
+            tmp_path / "s", memory_entries=0, mmap_reads="never"
+        )
+        store.put(key, PACKED_MRCT_CODEC, packed)
+        assert store.get(key, PACKED_MRCT_CODEC) == packed
+        assert store.stats.mmap_hits == 0
+
+    def test_always_maps_any_codec(self, tmp_path):
+        from repro.core.mrct import build_mrct
+
+        trace = zipf_trace(300, 40, seed=3)
+        trace.name = "zipf-3"
+        mrct = build_mrct(strip_trace(trace))
+        key = ArtifactKey.for_stage(
+            trace_digest(trace), MRCT_CODEC.stage, MRCT_CODEC.version
+        )
+        store = ArtifactStore(
+            tmp_path / "s", memory_entries=0, mmap_reads="always"
+        )
+        store.put(key, MRCT_CODEC, mrct)
+        got = store.get(key, MRCT_CODEC)
+        assert got.sets == mrct.sets
+        assert store.stats.mmap_hits == 1
+
+    def test_bool_aliases(self, tmp_path):
+        assert ArtifactStore(tmp_path / "a", mmap_reads=True).mmap_reads == (
+            "always"
+        )
+        assert ArtifactStore(tmp_path / "b", mmap_reads=False).mmap_reads == (
+            "never"
+        )
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="mmap_reads"):
+            ArtifactStore(tmp_path / "s", mmap_reads="sometimes")
+
+
+class TestZeroCopy:
+    def test_warm_hit_allocates_no_matrix_sized_buffer(self, tmp_path):
+        """ISSUE acceptance: warm mmap decode is zero-copy."""
+        key, packed = _packed_entry(seed=23, refs=6000, unique=900)
+        ArtifactStore(tmp_path / "s").put(key, PACKED_MRCT_CODEC, packed)
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        matrix_bytes = packed.matrix.nbytes
+        assert matrix_bytes > 100_000  # big enough to dominate overheads
+        tracemalloc.start()
+        try:
+            got = store.get(key, PACKED_MRCT_CODEC)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert store.stats.mmap_hits == 1
+        assert got == packed
+        assert peak < matrix_bytes // 2
+
+    def test_views_outlive_the_store(self, tmp_path):
+        import numpy as np
+
+        key, packed = _packed_entry()
+        ArtifactStore(tmp_path / "s").put(key, PACKED_MRCT_CODEC, packed)
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        got = store.get(key, PACKED_MRCT_CODEC)
+        del store  # the arrays keep the mapping alive on their own
+        assert np.array_equal(got.matrix, packed.matrix)
+        assert int(got.weights.sum()) == packed.total_conflict_sets
+
+
+class TestCorruption:
+    def test_corrupt_mapped_entry_quarantined(self, tmp_path):
+        key, packed = _packed_entry()
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        store.put(key, PACKED_MRCT_CODEC, packed)
+        path = store._entry_path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.get(key, PACKED_MRCT_CODEC) is None
+        assert store.stats.misses == 1
+        assert not path.exists()
+        quarantined = list((tmp_path / "s" / QUARANTINE_DIR).glob("*"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_bytes() == bytes(blob)
+
+    def test_empty_entry_file_is_a_miss(self, tmp_path):
+        key, packed = _packed_entry()
+        store = ArtifactStore(tmp_path / "s", memory_entries=0)
+        store.put(key, PACKED_MRCT_CODEC, packed)
+        path = store._entry_path(key)
+        path.write_bytes(b"")  # mmap refuses zero-length maps
+        assert store.get(key, PACKED_MRCT_CODEC) is None
+        assert store.stats.mmap_hits == 0
+
+
+class TestCliFlag:
+    def test_resolve_store_honors_no_mmap(self, tmp_path):
+        from repro.cli import _resolve_store
+
+        args = argparse.Namespace(
+            no_cache=False, cache_dir=str(tmp_path), no_mmap=True
+        )
+        assert _resolve_store(args).mmap_reads == "never"
+        args.no_mmap = False
+        assert _resolve_store(args).mmap_reads == "auto"

@@ -28,14 +28,27 @@ class TestRoundTrip:
         decoded = PACKED_MRCT_CODEC.decode(PACKED_MRCT_CODEC.encode(packed))
         assert decoded == packed
 
-    def test_decoded_arrays_native_and_writable(self, packed):
+    def test_decoded_arrays_native_readonly_zero_copy(self, packed):
+        import sys
+
         import numpy as np
 
-        decoded = PACKED_MRCT_CODEC.decode(PACKED_MRCT_CODEC.encode(packed))
+        payload = PACKED_MRCT_CODEC.encode(packed)
+        decoded = PACKED_MRCT_CODEC.decode(payload)
         assert decoded.matrix.dtype == np.uint64
         assert decoded.idents.dtype == np.int64
         assert decoded.weights.dtype == np.int64
-        decoded.matrix[0, 0] ^= np.uint64(1)  # frombuffer views would raise
+        assert decoded.matrix.dtype.isnative
+        # Decode returns read-only views: consumers share one buffer
+        # (possibly an mmap of the entry file), so writes must raise.
+        for arr in (decoded.matrix, decoded.idents, decoded.weights):
+            assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            decoded.matrix[0, 0] ^= np.uint64(1)
+        if sys.byteorder == "little":  # zero-copy only off the LE wire format
+            raw = np.frombuffer(payload, dtype=np.uint8)
+            for arr in (decoded.matrix, decoded.idents, decoded.weights):
+                assert np.shares_memory(arr, raw)
 
     def test_empty_matrix_round_trips(self):
         from repro.core.prelude_fast import build_packed_mrct
