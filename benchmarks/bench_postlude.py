@@ -226,43 +226,16 @@ def run_bench(
 
 
 def validate_results(document: Dict) -> None:
-    """Raise ``ValueError`` unless ``document`` matches the schema above."""
-    if document.get("schema") != SCHEMA:
-        raise ValueError(f"schema must be {SCHEMA!r}")
-    for key, kind in (("python", str), ("repeats", int), ("platform", str)):
-        if not isinstance(document.get(key), kind):
-            raise ValueError(f"missing or mistyped field {key!r}")
-    if not isinstance(document.get("numpy"), (str, type(None))):
-        raise ValueError("field 'numpy' must be a string or null")
-    results = document.get("results")
-    if not isinstance(results, list) or not results:
-        raise ValueError("'results' must be a non-empty list")
-    for row in results:
-        if set(row) != set(RESULT_FIELDS):
-            raise ValueError(f"result fields {sorted(row)} != schema")
-        for field, kind in RESULT_FIELDS.items():
-            value = row[field]
-            if not isinstance(value, kind) or (
-                kind is int and isinstance(value, bool) and field != "match"
-            ):
-                raise ValueError(f"result field {field!r} must be {kind.__name__}")
-        if row["wall_s"] < 0 or row["N"] < 0 or row["peak_mem"] < 0:
-            raise ValueError("negative measurement")
-        if not row["match"]:
-            raise ValueError(
-                f"engine {row['engine']!r} diverged from serial on "
-                f"{row['trace']!r}"
-            )
-    summary = document.get("summary")
-    if summary is not None:
-        for key in (
-            "largest_synthetic_trace",
-            "serial_wall_s",
-            "vectorized_wall_s",
-            "vectorized_speedup",
-        ):
-            if key not in summary:
-                raise ValueError(f"summary missing {key!r}")
+    """Raise ``ValueError`` unless ``document`` matches the schema above.
+
+    Delegates to the unified registry in :mod:`repro.sweep.schema`, so
+    every bench document validates through exactly one code path (CI
+    round-trips each committed ``BENCH_*.json`` against the same
+    registry).
+    """
+    from repro.sweep.schema import validate_bench
+
+    validate_bench(document, expect=SCHEMA)
 
 
 def _print_table(document: Dict) -> None:

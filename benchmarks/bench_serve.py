@@ -266,60 +266,16 @@ def run_bench(
 
 
 def validate_results(document: Dict) -> None:
-    """Raise ``ValueError`` unless ``document`` matches the schema above."""
-    if document.get("schema") != SCHEMA:
-        raise ValueError(f"schema must be {SCHEMA!r}")
-    for key, kind in (("python", str), ("platform", str)):
-        if not isinstance(document.get(key), kind):
-            raise ValueError(f"missing or mistyped field {key!r}")
-    if not isinstance(document.get("numpy"), (str, type(None))):
-        raise ValueError("field 'numpy' must be a string or null")
-    config = document.get("config")
-    if not isinstance(config, dict):
-        raise ValueError("'config' is required")
-    for key in ("total_requests", "unique_requests", "client_threads", "workers"):
-        value = config.get(key)
-        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
-            raise ValueError(f"config field {key!r} must be a positive int")
-    if not isinstance(config.get("pool"), str):
-        raise ValueError("config field 'pool' must be a string")
-    results = document.get("results")
-    if not isinstance(results, dict):
-        raise ValueError("'results' is required")
-    for phase in ("cold", "warm"):
-        block = results.get(phase)
-        if not isinstance(block, dict) or set(block) != set(PHASE_FIELDS):
-            raise ValueError(f"results.{phase} fields != {PHASE_FIELDS}")
-        for key in PHASE_FIELDS:
-            value = block[key]
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise ValueError(f"results.{phase}.{key} must be numeric")
-            if value < 0:
-                raise ValueError(f"results.{phase}.{key} is negative")
-    server = results.get("server")
-    if not isinstance(server, dict) or set(server) != set(SERVER_FIELDS):
-        raise ValueError(f"results.server fields != {SERVER_FIELDS}")
-    for key in SERVER_FIELDS:
-        value = server[key]
-        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
-            raise ValueError(f"results.server.{key} must be a non-negative int")
-    total = config["total_requests"]
-    if server["requests_total"] != total:
-        raise ValueError(
-            f"server answered {server['requests_total']} requests, expected {total}"
-        )
-    if server["store_hits_total"] < 1:
-        raise ValueError("the warm burst never hit the artifact store")
-    if results["warm"]["count"] + results["cold"]["count"] + results["errors"] < total:
-        raise ValueError("latency samples + errors do not cover every request")
-    summary = document.get("summary")
-    if not isinstance(summary, dict):
-        raise ValueError("'summary' is required")
-    for key in ("warm_p99_s", "threshold_s", "errors", "pass"):
-        if key not in summary:
-            raise ValueError(f"summary missing {key!r}")
-    if summary["errors"] != 0:
-        raise ValueError(f"{summary['errors']} requests failed or diverged")
+    """Raise ``ValueError`` unless ``document`` matches the schema above.
+
+    Delegates to the unified registry in :mod:`repro.sweep.schema`, so
+    every bench document validates through exactly one code path (CI
+    round-trips each committed ``BENCH_*.json`` against the same
+    registry).
+    """
+    from repro.sweep.schema import validate_bench
+
+    validate_bench(document, expect=SCHEMA)
 
 
 def _print_table(document: Dict) -> None:

@@ -196,44 +196,16 @@ def run_bench(
 
 
 def validate_results(document: Dict) -> None:
-    """Raise ``ValueError`` unless ``document`` matches the schema above."""
-    if document.get("schema") != SCHEMA:
-        raise ValueError(f"schema must be {SCHEMA!r}")
-    for key, kind in (("python", str), ("repeats", int), ("platform", str)):
-        if not isinstance(document.get(key), kind):
-            raise ValueError(f"missing or mistyped field {key!r}")
-    if not isinstance(document.get("numpy"), (str, type(None))):
-        raise ValueError("field 'numpy' must be a string or null")
-    results = document.get("results")
-    if not isinstance(results, list) or not results:
-        raise ValueError("'results' must be a non-empty list")
-    for row in results:
-        if set(row) != set(RESULT_FIELDS):
-            raise ValueError(f"result fields {sorted(row)} != schema")
-        for field, kind in RESULT_FIELDS.items():
-            value = row[field]
-            if kind is float:
-                ok = isinstance(value, (int, float)) and not isinstance(value, bool)
-            elif kind is int:
-                ok = isinstance(value, int) and not isinstance(value, bool)
-            else:
-                ok = isinstance(value, kind)
-            if not ok:
-                raise ValueError(f"result field {field!r} must be {kind.__name__}")
-        if row["cold_wall_s"] < 0 or row["warm_wall_s"] < 0:
-            raise ValueError("negative measurement")
-        if row["warm_hits"] < 1:
-            raise ValueError(f"warm pass on {row['trace']!r} never hit the store")
-        if not row["match"]:
-            raise ValueError(
-                f"cached exploration diverged from uncached on {row['trace']!r}"
-            )
-    summary = document.get("summary")
-    if not isinstance(summary, dict):
-        raise ValueError("'summary' is required")
-    for key in ("min_speedup", "max_speedup", "geomean_speedup", "threshold", "pass"):
-        if key not in summary:
-            raise ValueError(f"summary missing {key!r}")
+    """Raise ``ValueError`` unless ``document`` matches the schema above.
+
+    Delegates to the unified registry in :mod:`repro.sweep.schema`, so
+    every bench document validates through exactly one code path (CI
+    round-trips each committed ``BENCH_*.json`` against the same
+    registry).
+    """
+    from repro.sweep.schema import validate_bench
+
+    validate_bench(document, expect=SCHEMA)
 
 
 def _print_table(document: Dict) -> None:

@@ -228,57 +228,16 @@ def run_bench(
 
 
 def validate_results(document: Dict) -> None:
-    """Raise ``ValueError`` unless ``document`` matches the schema above."""
-    if document.get("schema") != SCHEMA:
-        raise ValueError(f"schema must be {SCHEMA!r}")
-    for key, kind in (("python", str), ("platform", str)):
-        if not isinstance(document.get(key), kind):
-            raise ValueError(f"missing or mistyped field {key!r}")
-    if not isinstance(document.get("numpy"), (str, type(None))):
-        raise ValueError("field 'numpy' must be a string or null")
-    config = document.get("config")
-    if not isinstance(config, dict):
-        raise ValueError("'config' is required")
-    for key in ("total_refs", "unique_refs", "tail_refs", "repeats", "address_bits"):
-        value = config.get(key)
-        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
-            raise ValueError(f"config field {key!r} must be a positive int")
-    if not isinstance(config.get("cold_engine"), str):
-        raise ValueError("config field 'cold_engine' must be a string")
-    if not isinstance(config.get("budgets"), list) or not config["budgets"]:
-        raise ValueError("config field 'budgets' must be a non-empty list")
-    tail_bar = config["total_refs"] * TAIL_BAR
-    if config["tail_refs"] > max(1, tail_bar):
-        raise ValueError(
-            f"appended tail of {config['tail_refs']} refs exceeds "
-            f"{100 * TAIL_BAR:.0f}% of the {config['total_refs']}-ref trace"
-        )
-    results = document.get("results")
-    if not isinstance(results, dict):
-        raise ValueError("'results' is required")
-    for key in ("cold_s", "warm_s", "speedup"):
-        value = results.get(key)
-        if isinstance(value, bool) or not isinstance(value, (int, float)):
-            raise ValueError(f"results.{key} must be numeric")
-        if value < 0:
-            raise ValueError(f"results.{key} is negative")
-    for key in ("cold_samples_s", "warm_samples_s"):
-        samples = results.get(key)
-        if not isinstance(samples, list) or len(samples) != config["repeats"]:
-            raise ValueError(f"results.{key} must list one sample per repeat")
-    checkpoint = results.get("checkpoint")
-    if not isinstance(checkpoint, dict) or set(checkpoint) != set(CHECKPOINT_FIELDS):
-        raise ValueError(f"results.checkpoint fields != {CHECKPOINT_FIELDS}")
-    if checkpoint["roundtrip_ok"] is not True:
-        raise ValueError("checkpoint round-trip diverged")
-    summary = document.get("summary")
-    if not isinstance(summary, dict):
-        raise ValueError("'summary' is required")
-    for key in ("speedup", "floor", "errors", "pass"):
-        if key not in summary:
-            raise ValueError(f"summary missing {key!r}")
-    if summary["errors"] != 0:
-        raise ValueError(f"{summary['errors']} warm results diverged from cold")
+    """Raise ``ValueError`` unless ``document`` matches the schema above.
+
+    Delegates to the unified registry in :mod:`repro.sweep.schema`, so
+    every bench document validates through exactly one code path (CI
+    round-trips each committed ``BENCH_*.json`` against the same
+    registry).
+    """
+    from repro.sweep.schema import validate_bench
+
+    validate_bench(document, expect=SCHEMA)
 
 
 def _print_table(document: Dict) -> None:

@@ -1218,6 +1218,123 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import tempfile
+
+    from repro.obs import Recorder, RunManifest
+    from repro.sweep import (
+        SweepScheduler,
+        build_report,
+        load_spec,
+        plan_sweep,
+        render_markdown,
+    )
+
+    spec = load_spec(args.spec)
+    overrides = {}
+    if args.tolerance is not None:
+        overrides["tolerance"] = args.tolerance
+    if overrides:
+        spec = spec.replace(**overrides)
+    plan = plan_sweep(spec)
+
+    if args.plan:
+        print(plan.to_json())
+        return 0
+
+    store_root = None
+    if not args.no_cache:
+        store_root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    scratch = None
+    try:
+        if store_root is None and any(c.warmth == "warm" for c in plan.cells):
+            # Warm cells without a shared store would silently measure
+            # nothing; give the run a private store for its lifetime.
+            scratch = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+            store_root = scratch.name
+        scheduler = SweepScheduler(
+            plan,
+            kind=args.pool,
+            workers=args.workers,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            store_root=store_root,
+        )
+        recorder = Recorder()
+        with recorder.phase("sweep:run"):
+            run = scheduler.run()
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    report = build_report(plan, run, baseline_dir=args.baseline_dir)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(report))
+    if args.manifest_out:
+        manifest = RunManifest.from_recorder(
+            recorder,
+            engine="sweep",
+            requested_engine=args.pool,
+            options={
+                "workers": scheduler.workers,
+                "timeout_s": scheduler.timeout_s,
+                "retries": scheduler.retries,
+            },
+            trace={
+                "name": spec.name,
+                "n": len(plan.cells),
+                "n_unique": None,
+                "address_bits": 0,
+            },
+        )
+        manifest.sweep = dict(run.counters)
+        with open(args.manifest_out, "w", encoding="utf-8") as handle:
+            handle.write(manifest.to_json())
+            handle.write("\n")
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        summary = report["summary"]
+        print(
+            f"sweep {spec.name}: {summary['total']} cells in "
+            f"{report['wall_s']:.2f}s — {summary['ok']} ok, "
+            f"{summary['quarantined']} quarantined, "
+            f"{summary['skipped']} skipped "
+            f"({summary['attempts']} attempts, {summary['retries']} retries, "
+            f"{summary['timeouts']} timeouts)"
+        )
+        for cell in report["cells"]:
+            if cell["status"] != "ok":
+                detail = cell.get("error") or "dependency failed"
+                print(f"  {cell['status']:11s} {cell['id']}: {detail}")
+        for entry in report["regressions"]:
+            print(
+                f"  regression  {entry['cell']}: {entry['cell_wall_s']:.3f}s "
+                f"vs {entry['baseline_wall_s']:.3f}s in {entry['baseline']} "
+                f"({entry['ratio']:.2f}x)"
+            )
+
+    if summary_failed(report):
+        return 1
+    if args.fail_on_regression and report["regressions"]:
+        return 1
+    return 0
+
+
+def summary_failed(report: dict) -> bool:
+    """True when any sweep cell failed to produce a result."""
+    summary = report["summary"]
+    return bool(summary["quarantined"] or summary["skipped"])
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser.
 
@@ -1709,6 +1826,76 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_flags(p)
     _add_cache_flags(p)
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser(
+        "sweep",
+        help="benchmark farm: run a declarative sweep spec through the "
+        "cell DAG scheduler and diff against committed baselines",
+    )
+    p.add_argument("spec", help="sweep spec YAML (repro-sweep-spec/1)")
+    p.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the expanded plan JSON (byte-stable) and exit",
+    )
+    p.add_argument(
+        "--pool",
+        default="process",
+        choices=list(_pool_kinds),
+        help="cell executor backend (default: process; only process "
+        "enforces per-cell timeouts by killing the worker)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent cells (default: the spec's execution.workers)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-cell attempt deadline (default: the spec's)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="re-executions before quarantine (default: the spec's)",
+    )
+    p.add_argument(
+        "--baseline-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding the spec's BENCH_*.json baselines "
+        "(default: current directory)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the spec's regression tolerance",
+    )
+    p.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any cell regresses past tolerance",
+    )
+    p.add_argument("-o", "--output", help="write the report JSON here")
+    p.add_argument(
+        "--markdown", metavar="FILE", help="write the markdown trend table here"
+    )
+    p.add_argument(
+        "--manifest-out",
+        metavar="MANIFEST",
+        help="write an aggregate run manifest with sweep counters",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="print the report JSON to stdout"
+    )
+    _add_cache_flags(p)
+    p.set_defaults(func=_cmd_sweep)
 
     return parser
 

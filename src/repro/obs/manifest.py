@@ -27,8 +27,10 @@ Document layout (schema ``repro-run-manifest/1``)::
                       "platform": str},
       "verify": {str: int},       # optional: verification counters
                                   # (repro verify --profile runs only)
-      "serve": {str: int}         # optional: serve daemon counters
-    }                             # (repro serve shutdown manifests only)
+      "serve": {str: int},        # optional: serve daemon counters
+                                  # (repro serve shutdown manifests only)
+      "sweep": {str: int}         # optional: sweep scheduler counters
+    }                             # (repro sweep aggregate manifests only)
 
 Validation enforces the structural schema *and* the timing invariant
 the whole layer exists for: at every tree node, children's durations
@@ -89,6 +91,9 @@ class RunManifest:
             only; ``None`` — and omitted from the JSON — otherwise).
         serve: serve-daemon counter totals (``repro serve`` shutdown
             manifests only; ``None`` — and omitted — otherwise).
+        sweep: sweep-scheduler counter totals (``repro sweep``
+            aggregate manifests only; ``None`` — and omitted —
+            otherwise).
     """
 
     engine: str
@@ -102,6 +107,7 @@ class RunManifest:
     environment: Dict[str, object] = field(default_factory=environment_info)
     verify: Optional[Dict[str, int]] = None
     serve: Optional[Dict[str, int]] = None
+    sweep: Optional[Dict[str, int]] = None
 
     @classmethod
     def from_recorder(
@@ -142,6 +148,8 @@ class RunManifest:
             document["verify"] = dict(self.verify)
         if self.serve is not None:
             document["serve"] = dict(self.serve)
+        if self.sweep is not None:
+            document["sweep"] = dict(self.sweep)
         return document
 
     def to_json(self, indent: int = 2) -> str:
@@ -219,7 +227,7 @@ def validate_manifest(document: object) -> None:
             raise ValueError(f"environment.{key} must be a string")
     if not isinstance(environment.get("numpy"), (str, type(None))):
         raise ValueError("environment.numpy must be a string or null")
-    for section in ("verify", "serve"):
+    for section in ("verify", "serve", "sweep"):
         if section in document:
             counters = document[section]
             if not isinstance(counters, dict) or any(

@@ -17,7 +17,12 @@ splits along seams:
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.dedup import InFlightTable
 from repro.serve.metrics import Reservoir, parse_metrics, render_metrics
-from repro.serve.pool import WorkerPool, execute_wire_request
+from repro.serve.pool import (
+    POOL_KINDS,
+    BoundedPool,
+    WorkerPool,
+    execute_wire_request,
+)
 from repro.serve.protocol import (
     ACCEPTED_REQUEST_SCHEMAS,
     BATCH_REQUEST_SCHEMA,
@@ -41,6 +46,8 @@ __all__ = [
     "ACCEPTED_REQUEST_SCHEMAS",
     "BATCH_REQUEST_SCHEMA",
     "BATCH_RESPONSE_SCHEMA",
+    "BoundedPool",
+    "POOL_KINDS",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
     "ExploreServer",

@@ -1,32 +1,40 @@
-"""The daemon's bounded worker pool.
+"""Bounded worker pools: a generic core plus the daemon's wire pool.
 
-One :class:`WorkerPool` fronts a ``concurrent.futures`` executor and
-runs :func:`execute_wire_request` for each admitted request: decode the
+:class:`BoundedPool` is the reusable piece — a counted, bounded front
+over a ``concurrent.futures`` executor with a synchronous
+``submit(fn, *args) -> Future`` surface.  It backs both the serve
+daemon's :class:`WorkerPool` and the sweep scheduler's thread/inline
+backends (:mod:`repro.sweep.scheduler`), so gauge semantics
+(``in_flight``, ``queue_depth``) are defined in exactly one place.
+
+Three backends share the interface:
+
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; the
+  serve daemon's production default (true parallelism across cores,
+  engine work off the event-loop process entirely).
+* ``thread`` — :class:`concurrent.futures.ThreadPoolExecutor`; cheap
+  startup, used by the test battery and quick smoke runs.
+* ``inline`` — execute synchronously on the calling thread; fully
+  deterministic, used by protocol-level tests.
+
+:class:`WorkerPool` keeps the daemon-specific parts: it runs
+:func:`execute_wire_request` for each admitted request — decode the
 wire document, attach a fresh per-request recorder (and, when the
 daemon was given a cache root, a fresh :class:`repro.store.ArtifactStore`
 pointed at the shared root), execute, and encode the response document.
 Everything that crosses the executor boundary is a plain JSON-shaped
 dict, so the process backend pickles only small structures and never a
 live store/recorder.
-
-Three backends share the interface:
-
-* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; the
-  production default (true parallelism across cores, engine work off
-  the event-loop process entirely).
-* ``thread`` — :class:`concurrent.futures.ThreadPoolExecutor`; cheap
-  startup, used by the test battery and quick smoke runs.
-* ``inline`` — execute synchronously on the calling thread; fully
-  deterministic, used by protocol-level tests.
-
-The pool tracks ``queue_depth`` (submitted, not yet finished beyond the
-worker count) and ``in_flight`` so the server can export live gauges.
 """
 
 from __future__ import annotations
 
 import asyncio
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import replace
 from typing import Callable, Dict, Optional
 
@@ -79,8 +87,80 @@ def execute_wire_request(
     return response_to_wire(report, manifest=manifest.to_json_dict())
 
 
+class BoundedPool:
+    """A counted, bounded executor with a synchronous submit surface.
+
+    Args:
+        workers: maximum concurrent executions.
+        kind: one of :data:`POOL_KINDS`.
+        thread_name_prefix: worker-thread naming for the ``thread``
+            backend (shows up in stack dumps and py-spy profiles).
+
+    ``submit`` always returns a :class:`concurrent.futures.Future`; the
+    ``inline`` backend executes on the calling thread and returns an
+    already-resolved future, so callers need no backend-specific paths.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        kind: str = "thread",
+        thread_name_prefix: str = "repro-pool",
+    ) -> None:
+        if kind not in POOL_KINDS:
+            raise ValueError(f"kind must be one of {POOL_KINDS}, got {kind!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.kind = kind
+        self._executor = None
+        if kind == "process":
+            self._executor = ProcessPoolExecutor(max_workers=workers)
+        elif kind == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=thread_name_prefix
+            )
+        #: Tasks submitted over the pool's lifetime.
+        self.submitted = 0
+        #: Tasks finished (success or failure).
+        self.completed = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Submitted executions that have not finished."""
+        return self.submitted - self.completed
+
+    @property
+    def queue_depth(self) -> int:
+        """Executions waiting for a free worker (0 when none queue)."""
+        return max(0, self.in_flight - self.workers)
+
+    def _on_done(self, _future: Future) -> None:
+        self.completed += 1
+
+    def submit(self, fn: Callable, *args) -> Future:
+        """Schedule ``fn(*args)``; returns its future immediately."""
+        self.submitted += 1
+        if self._executor is None:  # inline
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args))
+            except BaseException as exc:  # noqa: BLE001 — future carries it
+                future.set_exception(exc)
+            self.completed += 1
+            return future
+        future = self._executor.submit(fn, *args)
+        future.add_done_callback(self._on_done)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the executor (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+
+
 class WorkerPool:
-    """Bounded executor-backed pool running :func:`execute_wire_request`.
+    """The serve daemon's pool: :class:`BoundedPool` running wire requests.
 
     Args:
         workers: maximum concurrent executions.
@@ -99,52 +179,41 @@ class WorkerPool:
         store_root: Optional[str] = None,
         execute: Optional[Callable[[Dict, Optional[str]], Dict]] = None,
     ) -> None:
-        if kind not in POOL_KINDS:
-            raise ValueError(f"kind must be one of {POOL_KINDS}, got {kind!r}")
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
         if execute is not None and kind == "process":
             raise ValueError("custom execute functions need kind=thread|inline")
+        self._pool = BoundedPool(
+            workers=workers, kind=kind, thread_name_prefix="repro-serve"
+        )
         self.workers = workers
         self.kind = kind
         self.store_root = store_root
         self._execute = execute or execute_wire_request
-        self._executor = None
-        if kind == "process":
-            self._executor = ProcessPoolExecutor(max_workers=workers)
-        elif kind == "thread":
-            self._executor = ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="repro-serve"
-            )
-        #: Requests submitted over the pool's lifetime.
-        self.submitted = 0
-        #: Requests finished (success or failure).
-        self.completed = 0
+
+    @property
+    def submitted(self) -> int:
+        """Requests submitted over the pool's lifetime."""
+        return self._pool.submitted
+
+    @property
+    def completed(self) -> int:
+        """Requests finished (success or failure)."""
+        return self._pool.completed
 
     @property
     def in_flight(self) -> int:
         """Submitted executions that have not finished."""
-        return self.submitted - self.completed
+        return self._pool.in_flight
 
     @property
     def queue_depth(self) -> int:
         """Executions waiting for a free worker (0 when none queue)."""
-        return max(0, self.in_flight - self.workers)
+        return self._pool.queue_depth
 
     async def run(self, document: Dict) -> Dict:
         """Execute one wire request on the pool; awaitable."""
-        self.submitted += 1
-        try:
-            if self._executor is None:  # inline
-                return self._execute(document, self.store_root)
-            loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
-                self._executor, self._execute, document, self.store_root
-            )
-        finally:
-            self.completed += 1
+        future = self._pool.submit(self._execute, document, self.store_root)
+        return await asyncio.wrap_future(future)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the executor (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=wait)
+        self._pool.shutdown(wait=wait)

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.store",
     "repro.serve",
     "repro.stream",
+    "repro.sweep",
 ]
 
 ROOT = pathlib.Path(__file__).resolve().parents[2]
@@ -73,6 +74,7 @@ def test_api_doc_backtick_names_resolve():
         "repro.isa.errors",
         "repro.core.streaming",
         "repro.trace.io",
+        "repro.sweep.scheduler",
     ):
         universe.update(dir(importlib.import_module(module_name)))
     universe.update(PACKAGES)
